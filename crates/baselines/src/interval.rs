@@ -1,0 +1,147 @@
+//! Interval arithmetic over possibly-unbounded integer ranges.
+//!
+//! The Banerjee-style baseline tests bound the value of a linear form over
+//! the (real relaxation of the) iteration space. Loop ranges with symbolic
+//! bounds become unbounded intervals, which can never exclude a
+//! dependence — exactly the conservatism the inexact baselines exhibit.
+
+/// A closed integer interval, possibly unbounded on either side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower end (`None` = −∞).
+    pub lo: Option<i64>,
+    /// Upper end (`None` = +∞).
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The full line (−∞, +∞).
+    pub const UNBOUNDED: Interval = Interval { lo: None, hi: None };
+
+    /// A singleton interval.
+    #[must_use]
+    pub fn point(v: i64) -> Interval {
+        Interval {
+            lo: Some(v),
+            hi: Some(v),
+        }
+    }
+
+    /// A finite interval `[lo, hi]`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        Interval {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// Whether the interval is certainly empty (`lo > hi`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// Whether `v` lies in the interval.
+    #[must_use]
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo.is_none_or(|l| l <= v) && self.hi.is_none_or(|h| v <= h)
+    }
+
+    /// Interval sum (saturating: an overflowing end becomes unbounded,
+    /// which is conservative).
+    #[must_use]
+    pub fn add(&self, rhs: &Interval) -> Interval {
+        let lo = match (self.lo, rhs.lo) {
+            (Some(a), Some(b)) => a.checked_add(b),
+            _ => None,
+        };
+        let hi = match (self.hi, rhs.hi) {
+            (Some(a), Some(b)) => a.checked_add(b),
+            _ => None,
+        };
+        Interval { lo, hi }
+    }
+
+    /// Scales by `k`, flipping ends for negative `k`.
+    #[must_use]
+    pub fn scale(&self, k: i64) -> Interval {
+        if k == 0 {
+            return Interval::point(0);
+        }
+        let mul = |v: Option<i64>| v.and_then(|x| x.checked_mul(k));
+        if k > 0 {
+            Interval {
+                lo: mul(self.lo),
+                hi: mul(self.hi),
+            }
+        } else {
+            Interval {
+                lo: mul(self.hi),
+                hi: mul(self.lo),
+            }
+        }
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub fn intersect(&self, rhs: &Interval) -> Interval {
+        let lo = match (self.lo, rhs.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        let hi = match (self.hi, rhs.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        Interval { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_empty() {
+        let i = Interval::new(1, 5);
+        assert!(i.contains(1) && i.contains(5) && !i.contains(6));
+        assert!(!i.is_empty());
+        assert!(Interval::new(3, 2).is_empty());
+        assert!(Interval::UNBOUNDED.contains(i64::MIN));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(-2, 3);
+        assert_eq!(a.add(&b), Interval::new(-1, 8));
+        assert_eq!(a.scale(-2), Interval::new(-10, -2));
+        assert_eq!(a.scale(0), Interval::point(0));
+        let u = Interval {
+            lo: Some(0),
+            hi: None,
+        };
+        assert_eq!(u.scale(-1), Interval { lo: None, hi: Some(0) });
+        assert_eq!(a.add(&u).lo, Some(1));
+        assert_eq!(a.add(&u).hi, None);
+    }
+
+    #[test]
+    fn intersect() {
+        let a = Interval::new(1, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert_eq!(a.intersect(&Interval::UNBOUNDED), a);
+    }
+
+    #[test]
+    fn overflow_saturates_to_unbounded() {
+        let a = Interval::new(i64::MAX - 1, i64::MAX);
+        let sum = a.add(&a);
+        assert_eq!(sum.lo, None);
+        assert_eq!(sum.hi, None);
+    }
+}

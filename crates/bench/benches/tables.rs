@@ -1,0 +1,58 @@
+//! Whole-program analysis benchmarks over the synthetic PERFECT suite —
+//! the Criterion counterpart of the `table1`/`table6` binaries.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dda_bench::table1_config;
+use dda_core::{AnalyzerConfig, DependenceAnalyzer};
+use dda_perfect::{generate, SPECS};
+
+fn bench_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perfect_program");
+    // A representative subset at 5% scale keeps bench times sane.
+    for name in ["AP", "NA", "SR", "WS"] {
+        let spec = SPECS.iter().find(|s| s.name == name).expect("known");
+        let prog = generate(spec, 0.05);
+        group.bench_with_input(BenchmarkId::new("full", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut an = DependenceAnalyzer::new();
+                std::hint::black_box(an.analyze_program(&prog.program))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("table1_mode", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut an = DependenceAnalyzer::with_config(table1_config());
+                std::hint::black_box(an.analyze_program(&prog.program))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let suite = dda_perfect::perfect_suite(0.02);
+    c.bench_function("perfect_suite_2pct", |b| {
+        b.iter(|| {
+            let mut an = DependenceAnalyzer::with_config(AnalyzerConfig::default());
+            for p in &suite {
+                std::hint::black_box(an.analyze_program(&p.program));
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_programs, bench_suite
+}
+criterion_main!(benches);

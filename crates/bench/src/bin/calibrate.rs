@@ -1,0 +1,103 @@
+//! Scratch calibration tool: prints which test resolves each candidate
+//! synthetic pattern (used while tuning the PERFECT generator).
+
+use dda_core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
+use dda_ir::parse_program;
+
+fn main() {
+    let candidates: &[(&str, &str)] = &[
+        ("const_dep", "for i = 1 to 10 { a[5] = a[5] + 1; }"),
+        ("const_ind", "for i = 1 to 10 { a[5] = a[6] + 1; }"),
+        ("gcd", "for i = 1 to 10 { a[2 * i] = a[2 * i + 1] + 1; }"),
+        ("sv1", "for i = 1 to 10 { a[i + 3] = a[i] + 1; }"),
+        ("sv2", "for i = 1 to 10 { a[i] = a[i + 13] + 1; }"),
+        ("sv3", "for i = 1 to 10 { a[i] = a[2 * i + 1] + 1; }"),
+        (
+            "sv4",
+            "for i = 1 to 10 { for j = 1 to 10 { a[i][j] = a[j + 10][i + 9] + 1; } }",
+        ),
+        (
+            "sv5",
+            "for i = 1 to 10 { for j = 1 to 10 { a[i][j + 2] = a[i][j] + 1; } }",
+        ),
+        (
+            "ac1",
+            "for i = 1 to 10 { for j = 1 to 10 { a[i + j] = a[i + j + 3] + 1; } }",
+        ),
+        (
+            "ac2",
+            "for i = 1 to 10 { for j = i to 10 { a[j] = a[j - 1] + 1; } }",
+        ),
+        (
+            "ac3",
+            "for i = 1 to 10 { for j = 1 to 10 { a[i - j] = a[i - j + 2] + 1; } }",
+        ),
+        (
+            "lr1",
+            "for i = 1 to 10 { for j = i to 10 { a[i + j] = a[i + j + 1] + 1; } }",
+        ),
+        (
+            "lr2",
+            "for i = 1 to 10 { for j = i to 10 { a[j - i] = a[j - i + 1] + 1; } }",
+        ),
+        (
+            "fm1",
+            "for i = 1 to 10 { for j = 1 to 10 { a[2 * i + j] = a[i + 2 * j + 1] + 1; } }",
+        ),
+        (
+            "fm2",
+            "for i = 1 to 10 { for j = i to 10 { a[2 * i + j] = a[i + 2 * j + 1] + 1; } }",
+        ),
+        (
+            "fm3",
+            "for i = 1 to 6 { for j = 1 to 6 { for k = 1 to 6 { a[2*i + 3*j + k] = a[i + j + 5*k + 1] + 1; } } }",
+        ),
+        (
+            "lr3",
+            "for i = 1 to 10 { for j = i to i + 3 { a[j] = a[j + 1] + 1; } }",
+        ),
+        (
+            "lr4",
+            "for i = 1 to 10 { for j = i to i + 5 { a[j + 2] = a[j] + 1; } }",
+        ),
+        (
+            "lr5_ind",
+            "for i = 1 to 10 { for j = i to i + 3 { a[j] = a[j + 7] + 1; } }",
+        ),
+        (
+            "ac4",
+            "for i = 1 to 10 { for j = i to 10 { a[j + 2] = a[j] + 1; } }",
+        ),
+        (
+            "ac5_ind",
+            "for i = 1 to 10 { for j = i to 10 { a[j + 20] = a[j] + 1; } }",
+        ),
+        (
+            "sy3",
+            "read(n); for i = 1 to 10 { a[i + n] = a[i + n + 2] + 1; }",
+        ),
+        (
+            "sy1",
+            "read(n); for i = 1 to 10 { a[i + n] = a[i + 2 * n + 1] + 1; }",
+        ),
+        ("sy2", "for i = 1 to n { a[i + 3] = a[i] + 1; }"),
+    ];
+
+    for (name, src) in candidates {
+        let program = parse_program(src).expect("parse");
+        let mut an = DependenceAnalyzer::with_config(AnalyzerConfig {
+            memo: MemoMode::Off,
+            ..AnalyzerConfig::default()
+        });
+        let report = an.analyze_program(&program);
+        let p = &report.pairs()[0];
+        let vecs: Vec<String> = p.direction_vectors.iter().map(ToString::to_string).collect();
+        println!(
+            "{name:10} resolved_by={:<16} answer={:?} dir_tests=[{}] vectors={:?}",
+            p.result.resolved_by.to_string(),
+            p.result.answer,
+            report.stats.direction_tests,
+            vecs,
+        );
+    }
+}

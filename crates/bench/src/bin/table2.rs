@@ -1,0 +1,93 @@
+//! Table 2: percentage of unique cases under memoization.
+//!
+//! Two hash tables (the paper's design): the no-bounds table serving the
+//! extended GCD phase, and the with-bounds table serving full results.
+//! "Simple" matches inputs exactly; "Improved" eliminates unused loop
+//! variables first. Paper values (improved, with bounds) in parentheses.
+
+use dda_bench::{run_suite, suite_from_env};
+use dda_core::{AnalyzerConfig, MemoMode};
+use dda_perfect::SPECS;
+
+fn pct(unique: u64, total: u64) -> f64 {
+    if total == 0 {
+        100.0
+    } else {
+        100.0 * unique as f64 / total as f64
+    }
+}
+
+fn main() {
+    let suite = suite_from_env();
+    let simple = run_suite(
+        &suite,
+        AnalyzerConfig {
+            memo: MemoMode::Simple,
+            compute_directions: false,
+            ..AnalyzerConfig::default()
+        },
+    );
+    let improved = run_suite(
+        &suite,
+        AnalyzerConfig {
+            memo: MemoMode::Improved,
+            compute_directions: false,
+            ..AnalyzerConfig::default()
+        },
+    );
+
+    println!("Table 2: percentage of unique cases under memoization\n");
+    println!(
+        "{:<8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "",
+        "----- no",
+        "bounds (GCD)",
+        "-----",
+        "-------",
+        "with",
+        "bounds",
+        "-------"
+    );
+    println!(
+        "{:<8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "Program", "total", "simple%", "improv%", "total", "simple%", "improv%", "(paper)"
+    );
+    let mut acc = [0u64; 6];
+    for ((s, i), spec) in simple.iter().zip(&improved).zip(&SPECS) {
+        let gq = s.stats.gcd_memo_queries;
+        let gu_s = gq - s.stats.gcd_memo_hits;
+        let gu_i = i.stats.gcd_memo_queries - i.stats.gcd_memo_hits;
+        let bq = s.stats.memo_queries;
+        let bu_s = bq - s.stats.memo_hits;
+        let bu_i = i.stats.memo_queries - i.stats.memo_hits;
+        acc[0] += gq;
+        acc[1] += gu_s;
+        acc[2] += gu_i;
+        acc[3] += bq;
+        acc[4] += bu_s;
+        acc[5] += bu_i;
+        println!(
+            "{:<8} | {:>9} {:>8.1}% {:>8.1}% | {:>9} {:>8.1}% {:>8.1}% {:>8.1}%",
+            s.name,
+            gq,
+            pct(gu_s, gq),
+            pct(gu_i, i.stats.gcd_memo_queries),
+            bq,
+            pct(bu_s, bq),
+            pct(bu_i, i.stats.memo_queries),
+            spec.unique_pct,
+        );
+    }
+    println!(
+        "{:<8} | {:>9} {:>8.1}% {:>8.1}% | {:>9} {:>8.1}% {:>8.1}% {:>8.1}%",
+        "TOTAL",
+        acc[0],
+        pct(acc[1], acc[0]),
+        pct(acc[2], acc[0]),
+        acc[3],
+        pct(acc[4], acc[3]),
+        pct(acc[5], acc[3]),
+        5.8,
+    );
+    println!("\nPaper totals: 5.7%/4.4% without bounds, 7.3%/5.8% with bounds.");
+}

@@ -1,0 +1,60 @@
+//! Table 3: number of times each test is called on *unique* cases only
+//! (improved memoization on; cache hits never re-run a test).
+//!
+//! The paper's headline: memoization reduces 5,679 tests to 332.
+
+use dda_bench::{cell, run_suite, suite_from_env, total};
+use dda_core::{AnalyzerConfig, MemoMode};
+
+fn main() {
+    let suite = suite_from_env();
+    let runs = run_suite(
+        &suite,
+        AnalyzerConfig {
+            memo: MemoMode::Improved,
+            compute_directions: false,
+            ..AnalyzerConfig::default()
+        },
+    );
+
+    // Paper's Table 3 per-program unique test counts.
+    let paper: &[(u32, u32, u32, u32)] = &[
+        (27, 0, 0, 0),
+        (14, 6, 0, 0),
+        (23, 0, 0, 0),
+        (15, 2, 0, 0),
+        (14, 0, 0, 0),
+        (48, 11, 1, 1),
+        (5, 0, 0, 0),
+        (36, 6, 3, 4),
+        (8, 0, 0, 0),
+        (14, 0, 0, 0),
+        (20, 0, 0, 0),
+        (3, 8, 0, 0),
+        (35, 1, 0, 27),
+    ];
+
+    println!("Table 3: unique-case test frequency with memoization (measured (paper))\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Program", "TotalCases", "SVPC", "Acyclic", "LoopRes", "FM"
+    );
+    for (run, p) in runs.iter().zip(paper) {
+        let t = &run.stats.base_tests;
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            run.name,
+            run.stats.memo_queries,
+            cell(t.calls[0], p.0),
+            cell(t.calls[1], p.1),
+            cell(t.calls[2], p.2),
+            cell(t.calls[3], p.3),
+        );
+    }
+    let unique_tests = total(&runs, |r| r.stats.base_tests.total());
+    let queries = total(&runs, |r| r.stats.memo_queries);
+    println!(
+        "\nTOTAL: {queries} memo queries -> {unique_tests} tests actually run \
+         (paper: 5,679 -> 332)."
+    );
+}

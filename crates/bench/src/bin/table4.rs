@@ -1,0 +1,75 @@
+//! Table 4: test counts when computing direction vectors with plain
+//! Burke–Cytron hierarchical refinement — *no* pruning.
+//!
+//! The paper's point: without further optimization, direction vectors
+//! blow the test count up from ~330 to ~12,500, shifting work into the
+//! Acyclic and Loop Residue tests (added direction constraints break the
+//! single-variable and acyclic shapes).
+
+use dda_bench::{cell, run_suite, suite_from_env, total, ProgramRun};
+use dda_core::stats::TestCounts;
+use dda_core::{AnalyzerConfig, MemoMode};
+
+/// Base + refinement tests combined (the paper counts "every direction
+/// tested").
+fn combined(run: &ProgramRun) -> TestCounts {
+    let mut t = run.stats.base_tests;
+    t.add(&run.stats.direction_tests);
+    t
+}
+
+fn main() {
+    let suite = suite_from_env();
+    let runs = run_suite(
+        &suite,
+        AnalyzerConfig {
+            memo: MemoMode::Improved,
+            compute_directions: true,
+            prune_unused: false,
+            prune_distance: false,
+            symbolic: false,
+            ..AnalyzerConfig::default()
+        },
+    );
+
+    let paper: &[(u32, u32, u32, u32)] = &[
+        (363, 104, 100, 0),
+        (127, 48, 34, 0),
+        (1067, 1138, 4619, 0),
+        (132, 73, 59, 0),
+        (120, 32, 16, 0),
+        (295, 124, 172, 23),
+        (37, 8, 4, 0),
+        (309, 106, 120, 28),
+        (355, 110, 169, 0),
+        (130, 30, 18, 0),
+        (169, 16, 11, 0),
+        (780, 267, 703, 0),
+        (303, 105, 52, 106),
+    ];
+
+    println!("Table 4: direction-vector test frequency, no pruning (measured (paper))\n");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>12}",
+        "Program", "SVPC", "Acyclic", "LoopRes", "FM"
+    );
+    for (run, p) in runs.iter().zip(paper) {
+        let t = combined(run);
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>12}",
+            run.name,
+            cell(t.calls[0], p.0),
+            cell(t.calls[1], p.1),
+            cell(t.calls[2], p.2),
+            cell(t.calls[3], p.3),
+        );
+    }
+    let grand = total(&runs, |r| combined(r).total());
+    println!(
+        "\nTOTAL tests: {grand} (paper: 12,582 = 4,187 + 2,161 + 6,077 + 157)."
+    );
+    println!(
+        "Direction vectors found: {}",
+        total(&runs, |r| r.stats.direction_vectors_found)
+    );
+}

@@ -1,0 +1,774 @@
+//! The whole-program dependence analyzer.
+//!
+//! Ties every piece together the way the paper's SUIF implementation does:
+//! enumerate reference pairs, short-circuit constant subscripts, memoize,
+//! run extended-GCD preprocessing, cascade the exact tests, refine
+//! direction vectors with pruning, and keep the statistics behind
+//! Tables 1–5 and 7.
+
+use std::collections::BTreeSet;
+
+use dda_ir::{extract_accesses, reference_pairs, Access, Program};
+
+use crate::cascade::{run_cascade_with, CascadeOutcome};
+use crate::direction::{analyze_directions, DirectionAnalysis, DirectionConfig};
+use crate::fourier_motzkin::FmLimits;
+use crate::gcd::{
+    expand_lattice, reduce_with_lattice, solve_equalities, solve_equalities_restricted,
+    EqOutcome, Lattice,
+};
+use crate::memo::{bounds_key, nobounds_key, CanonicalKey, MemoTable};
+use crate::problem::{build_problem, constant_compare, DependenceProblem};
+use crate::result::{
+    Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy,
+};
+use crate::stats::{AnalysisStats, TestCounts};
+use crate::symmetry;
+
+/// Memoization flavour (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoMode {
+    /// No memoization (Table 1 semantics).
+    Off,
+    /// Exact-input matching.
+    Simple,
+    /// Unused loop variables eliminated before matching.
+    #[default]
+    Improved,
+}
+
+/// Analyzer configuration; the default enables everything the paper's
+/// final system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// Memoization flavour.
+    pub memo: MemoMode,
+    /// Whether to compute direction vectors for dependent pairs.
+    pub compute_directions: bool,
+    /// Direction pruning: free `*` for unused loop indices.
+    pub prune_unused: bool,
+    /// Direction pruning: constant distances fix the direction.
+    pub prune_distance: bool,
+    /// Symbolic-term support (Section 8). When off, pairs involving
+    /// loop-invariant unknowns are assumed dependent without testing.
+    pub symbolic: bool,
+    /// Also test read–read (input dependence) pairs.
+    pub include_input_deps: bool,
+    /// Symmetric-pair canonicalization (the Section 5 "further
+    /// optimization"): a pair and its mirror (`a[i+1] = a[i]` vs
+    /// `a[i] = a[i+1]`) share one memo entry; cached directions and
+    /// distances are flipped on the way out.
+    pub memo_symmetry: bool,
+    /// Burke–Cytron dimension-by-dimension direction computation for
+    /// separable systems (Section 6's "nice cases"): 3·L tests instead of
+    /// 3^L when the refinable levels do not interact.
+    pub separable_directions: bool,
+    /// Fourier–Motzkin effort limits.
+    pub fm_limits: FmLimits,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> AnalyzerConfig {
+        AnalyzerConfig {
+            memo: MemoMode::Improved,
+            compute_directions: true,
+            prune_unused: true,
+            prune_distance: true,
+            symbolic: true,
+            include_input_deps: false,
+            memo_symmetry: false,
+            separable_directions: false,
+            fm_limits: FmLimits::default(),
+        }
+    }
+}
+
+/// The analysis of one reference pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairReport {
+    /// Name of the shared array.
+    pub array: String,
+    /// Access id of the first reference (program order).
+    pub a_access: usize,
+    /// Access id of the second reference.
+    pub b_access: usize,
+    /// Ids of the common enclosing loops, outermost first.
+    pub common_loop_ids: Vec<usize>,
+    /// The verdict and what produced it.
+    pub result: DependenceResult,
+    /// A witness assignment over the problem variables, when dependent.
+    pub witness: Option<Vec<i64>>,
+    /// All direction vectors under which the pair is dependent.
+    pub direction_vectors: Vec<DirectionVector>,
+    /// Constant per-level distances where known.
+    pub distance: DistanceVector,
+    /// Whether the result came from the memo table.
+    pub from_cache: bool,
+}
+
+/// The analysis of a whole program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramReport {
+    pairs: Vec<PairReport>,
+    /// Statistics for this program alone.
+    pub stats: AnalysisStats,
+}
+
+impl ProgramReport {
+    /// The per-pair reports, in enumeration order.
+    #[must_use]
+    pub fn pairs(&self) -> &[PairReport] {
+        &self.pairs
+    }
+
+    /// Pairs proven independent.
+    #[must_use]
+    pub fn independent_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.result.is_independent()).count()
+    }
+
+    /// Loop ids that (conservatively) carry a dependence: a loop cannot
+    /// be run in parallel if some dependent pair has a direction vector
+    /// carried at that loop's level.
+    #[must_use]
+    pub fn carried_dependence_loops(&self) -> BTreeSet<usize> {
+        let mut carried = BTreeSet::new();
+        for pair in &self.pairs {
+            if pair.result.is_independent() {
+                continue;
+            }
+            if pair.direction_vectors.is_empty() {
+                // Dependent but unrefined: every common loop may carry it.
+                carried.extend(pair.common_loop_ids.iter().copied());
+                continue;
+            }
+            for v in &pair.direction_vectors {
+                for (level, &id) in pair.common_loop_ids.iter().enumerate() {
+                    let outer_could_be_eq = v.0[..level]
+                        .iter()
+                        .all(|d| matches!(d, Direction::Eq | Direction::Any));
+                    let this_could_cross = matches!(
+                        v.0.get(level),
+                        Some(Direction::Lt | Direction::Gt | Direction::Any)
+                    );
+                    if outer_could_be_eq && this_could_cross {
+                        carried.insert(id);
+                    }
+                }
+            }
+        }
+        carried
+    }
+}
+
+/// What the full-result memo table stores. Direction vectors and
+/// distances live in *canonical* space (kept levels only), so a cached
+/// entry can be rehydrated for any pair that canonicalizes to the same
+/// key — e.g. the same reference pattern under a different number of
+/// irrelevant enclosing loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CachedOutcome {
+    pub(crate) result: DependenceResult,
+    pub(crate) witness: Option<Vec<i64>>,
+    pub(crate) direction_vectors: Vec<DirectionVector>,
+    pub(crate) distance: DistanceVector,
+}
+
+/// Restricts full-length vectors to the kept levels, deduplicating.
+fn restrict_vectors(
+    vectors: &[DirectionVector],
+    kept_levels: &[usize],
+) -> Vec<DirectionVector> {
+    let mut out: Vec<DirectionVector> = Vec::new();
+    for v in vectors {
+        let restricted =
+            DirectionVector(kept_levels.iter().map(|&k| v.0[k]).collect());
+        if !out.contains(&restricted) {
+            out.push(restricted);
+        }
+    }
+    out
+}
+
+/// Expands canonical vectors back to `common` levels, filling dropped
+/// (unused) levels with `*`.
+fn expand_vectors(
+    vectors: &[DirectionVector],
+    kept_levels: &[usize],
+    common: usize,
+) -> Vec<DirectionVector> {
+    vectors
+        .iter()
+        .map(|v| {
+            let mut full = vec![Direction::Any; common];
+            for (ci, &k) in kept_levels.iter().enumerate() {
+                full[k] = v.0[ci];
+            }
+            DirectionVector(full)
+        })
+        .collect()
+}
+
+fn restrict_distance(d: &DistanceVector, kept_levels: &[usize]) -> DistanceVector {
+    DistanceVector(kept_levels.iter().map(|&k| d.0[k]).collect())
+}
+
+fn expand_distance(d: &DistanceVector, kept_levels: &[usize], common: usize) -> DistanceVector {
+    let mut full = vec![None; common];
+    for (ci, &k) in kept_levels.iter().enumerate() {
+        full[k] = d.0[ci];
+    }
+    DistanceVector(full)
+}
+
+/// The paper's dependence analyzer.
+///
+/// The analyzer owns its memo tables, so reusing one instance across
+/// programs models the paper's "store the hash table across compilations"
+/// extension.
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::parse_program;
+/// use dda_core::{DependenceAnalyzer, Direction, DirectionVector};
+///
+/// let program = parse_program("for i = 1 to 10 { a[i + 1] = a[i] + 7; }")?;
+/// let mut analyzer = DependenceAnalyzer::new();
+/// let report = analyzer.analyze_program(&program);
+/// let pair = &report.pairs()[0];
+/// assert!(pair.result.answer.is_dependent());
+/// assert_eq!(
+///     pair.direction_vectors,
+///     vec![DirectionVector(vec![Direction::Lt])]
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DependenceAnalyzer {
+    config: AnalyzerConfig,
+    pub(crate) full_memo: MemoTable<CachedOutcome>,
+    pub(crate) gcd_memo: MemoTable<EqOutcome>,
+    stats: AnalysisStats,
+}
+
+impl DependenceAnalyzer {
+    /// Creates an analyzer with the default configuration.
+    #[must_use]
+    pub fn new() -> DependenceAnalyzer {
+        DependenceAnalyzer::default()
+    }
+
+    /// Creates an analyzer with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: AnalyzerConfig) -> DependenceAnalyzer {
+        DependenceAnalyzer {
+            config,
+            ..DependenceAnalyzer::default()
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics since construction (or the last
+    /// [`reset`](Self::reset)).
+    #[must_use]
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    /// Number of distinct entries in the full-result memo table.
+    #[must_use]
+    pub fn memo_entries(&self) -> usize {
+        self.full_memo.unique_entries()
+    }
+
+    /// Number of distinct entries in the no-bounds (GCD) memo table.
+    #[must_use]
+    pub fn gcd_memo_entries(&self) -> usize {
+        self.gcd_memo.unique_entries()
+    }
+
+    /// Clears memo tables and statistics.
+    pub fn reset(&mut self) {
+        self.full_memo.clear();
+        self.gcd_memo.clear();
+        self.stats = AnalysisStats::default();
+    }
+
+    /// Analyzes every reference pair of `program` (which should already be
+    /// normalized; see `dda_ir::passes::normalize`).
+    pub fn analyze_program(&mut self, program: &Program) -> ProgramReport {
+        let before = self.stats;
+        let set = extract_accesses(program);
+        let pairs = reference_pairs(&set, self.config.include_input_deps);
+        let mut reports = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            reports.push(self.analyze_pair(pair.a, pair.b, pair.common));
+        }
+        ProgramReport {
+            pairs: reports,
+            stats: self.stats.since(&before),
+        }
+    }
+
+    /// Analyzes a single pair of accesses sharing `common` loops.
+    pub fn analyze_pair(&mut self, a: &Access, b: &Access, common: usize) -> PairReport {
+        self.stats.pairs += 1;
+        let common_loop_ids: Vec<usize> =
+            a.loops.iter().take(common).map(|l| l.id).collect();
+        let template = PairReport {
+            array: a.array.clone(),
+            a_access: a.id,
+            b_access: b.id,
+            common_loop_ids,
+            result: DependenceResult {
+                answer: Answer::Unknown,
+                resolved_by: ResolvedBy::Assumed,
+            },
+            witness: None,
+            direction_vectors: Vec::new(),
+            distance: DistanceVector(vec![None; common]),
+            from_cache: false,
+        };
+
+        // Constant subscripts: no dependence testing at all.
+        if let Some(dependent) = constant_compare(a, b) {
+            self.stats.constant += 1;
+            let mut report = template;
+            report.result = DependenceResult {
+                answer: if dependent {
+                    Answer::Dependent(None)
+                } else {
+                    Answer::Independent
+                },
+                resolved_by: ResolvedBy::Constant,
+            };
+            if dependent && self.config.compute_directions {
+                report.direction_vectors = vec![DirectionVector::any(common)];
+            }
+            self.note_outcome(&report);
+            return report;
+        }
+
+        // Build the integer system.
+        let problem = match build_problem(a, b, common, self.config.symbolic) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.assumed += 1;
+                let mut report = template;
+                if self.config.compute_directions {
+                    report.direction_vectors = vec![DirectionVector::any(common)];
+                }
+                self.note_outcome(&report);
+                return report;
+            }
+        };
+
+        // Extended GCD through the no-bounds memo — consulted for every
+        // non-constant pair, bounds or not, exactly like the paper's
+        // Table 2 "without bounds" column.
+        let eq_outcome = self.gcd_phase(&problem);
+        let lattice = match eq_outcome {
+            None => {
+                self.stats.assumed += 1;
+                self.note_outcome(&template);
+                return template; // overflow: assume dependent
+            }
+            Some(EqOutcome::Independent) => {
+                self.stats.gcd_independent += 1;
+                let mut report = template;
+                report.result = DependenceResult {
+                    answer: Answer::Independent,
+                    resolved_by: ResolvedBy::Gcd,
+                };
+                self.note_outcome(&report);
+                return report;
+            }
+            Some(EqOutcome::Lattice(l)) => l,
+        };
+
+        // Full-result memo. With symmetric canonicalization enabled, a
+        // pair and its mirror share the lexicographically smaller key;
+        // `flipped` records whether *this* problem is the mirror of what
+        // the table stores.
+        let full_key: Option<(CanonicalKey, bool)> = if self.config.memo == MemoMode::Off
+        {
+            None
+        } else {
+            let improved = self.config.memo == MemoMode::Improved;
+            let own = bounds_key(&problem, improved);
+            if self.config.memo_symmetry && symmetry::swappable(&problem) {
+                let mirror = bounds_key(&symmetry::swap_problem(&problem), improved);
+                if mirror.key < own.key {
+                    Some((mirror, true))
+                } else {
+                    Some((own, false))
+                }
+            } else {
+                Some((own, false))
+            }
+        };
+        if let Some((ck, flipped)) = &full_key {
+            self.stats.memo_queries += 1;
+            if let Some(cached) = self.full_memo.get(&ck.key) {
+                self.stats.memo_hits += 1;
+                let cached = cached.clone();
+                let mut report = template;
+                report.result = cached.result;
+                // Witnesses only transfer when the problems are literally
+                // identical; under the improved scheme (or a mirror hit)
+                // they may not be, so drop them.
+                report.witness = if self.config.memo == MemoMode::Improved || *flipped {
+                    None
+                } else {
+                    cached.witness
+                };
+                let (vectors, distance) = if *flipped {
+                    (
+                        symmetry::flip_vectors(&cached.direction_vectors),
+                        symmetry::flip_distance(&cached.distance),
+                    )
+                } else {
+                    (cached.direction_vectors, cached.distance)
+                };
+                report.direction_vectors =
+                    expand_vectors(&vectors, &ck.kept_levels, common);
+                report.distance = expand_distance(&distance, &ck.kept_levels, common);
+                report.from_cache = true;
+                self.note_outcome(&report);
+                return report;
+            }
+        }
+
+        let report = self.analyze_reduced(&problem, &lattice, template);
+        if let Some((ck, flipped)) = full_key {
+            let (vectors, distance) = if flipped {
+                (
+                    symmetry::flip_vectors(&report.direction_vectors),
+                    symmetry::flip_distance(&report.distance),
+                )
+            } else {
+                (report.direction_vectors.clone(), report.distance.clone())
+            };
+            self.full_memo.insert(
+                ck.key,
+                CachedOutcome {
+                    result: report.result.clone(),
+                    witness: if flipped { None } else { report.witness.clone() },
+                    direction_vectors: restrict_vectors(&vectors, &ck.kept_levels),
+                    distance: restrict_distance(&distance, &ck.kept_levels),
+                },
+            );
+        }
+        self.note_outcome(&report);
+        report
+    }
+
+    /// Runs the extended GCD test through the no-bounds memo table,
+    /// returning a lattice over all problem variables.
+    fn gcd_phase(&mut self, problem: &DependenceProblem) -> Option<EqOutcome> {
+        if self.config.memo == MemoMode::Off {
+            return solve_equalities(problem);
+        }
+        let improved = self.config.memo == MemoMode::Improved;
+        let nk = nobounds_key(problem, improved);
+        self.stats.gcd_memo_queries += 1;
+        let canonical = if let Some(hit) = self.gcd_memo.get(&nk.key) {
+            self.stats.gcd_memo_hits += 1;
+            Some(hit.clone())
+        } else {
+            let computed = solve_equalities_restricted(
+                &problem.eq_coeffs,
+                &problem.eq_rhs,
+                &nk.kept_vars,
+            );
+            if let Some(v) = &computed {
+                self.gcd_memo.insert(nk.key.clone(), v.clone());
+            }
+            computed
+        };
+        canonical.map(|eq| match eq {
+            EqOutcome::Independent => EqOutcome::Independent,
+            EqOutcome::Lattice(l) => EqOutcome::Lattice(expand_lattice(
+                &l,
+                &nk.kept_vars,
+                problem.num_vars(),
+            )),
+        })
+    }
+
+    fn analyze_reduced(
+        &mut self,
+        problem: &DependenceProblem,
+        lattice: &Lattice,
+        mut report: PairReport,
+    ) -> PairReport {
+        let Some(reduced) = reduce_with_lattice(problem, lattice) else {
+            self.stats.assumed += 1;
+            return report;
+        };
+
+        // Base (star-vector) cascade.
+        let base: CascadeOutcome = run_cascade_with(&reduced.system, self.config.fm_limits);
+        self.stats
+            .base_tests
+            .record(base.used, base.answer.is_independent());
+        report.result = DependenceResult {
+            answer: match &base.answer {
+                Answer::Dependent(_) => Answer::Dependent(None),
+                other => other.clone(),
+            },
+            resolved_by: ResolvedBy::Test(base.used),
+        };
+        if let Answer::Dependent(Some(t)) = &base.answer {
+            report.witness = reduced.x_at(t);
+            debug_assert!(
+                report
+                    .witness
+                    .as_ref()
+                    .is_none_or(|w| problem.is_witness(w)),
+                "cascade witness must satisfy the original problem"
+            );
+        }
+        if base.answer.is_independent() {
+            return report;
+        }
+
+        // Direction vectors.
+        if self.config.compute_directions {
+            let mut counts = TestCounts::default();
+            let DirectionAnalysis {
+                vectors,
+                distance,
+                exact,
+            } = analyze_directions(
+                problem,
+                &reduced,
+                DirectionConfig {
+                    prune_unused: self.config.prune_unused,
+                    prune_distance: self.config.prune_distance,
+                    separable: self.config.separable_directions,
+                    fm_limits: self.config.fm_limits,
+                },
+                &mut counts,
+            );
+            self.stats.direction_tests.add(&counts);
+            report.distance = distance;
+            if vectors.is_empty() && exact {
+                // The paper's implicit branch and bound: every direction
+                // proved independent even though the `*` query could not.
+                report.result.answer = Answer::Independent;
+            } else {
+                report.direction_vectors = vectors;
+            }
+        }
+        report
+    }
+
+    fn note_outcome(&mut self, report: &PairReport) {
+        if report.result.is_independent() {
+            self.stats.independent_pairs += 1;
+        } else {
+            self.stats.dependent_pairs += 1;
+        }
+        self.stats.direction_vectors_found += report.direction_vectors.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::TestKind;
+    use dda_ir::parse_program;
+
+    fn analyze(src: &str) -> ProgramReport {
+        let program = parse_program(src).unwrap();
+        DependenceAnalyzer::new().analyze_program(&program)
+    }
+
+    #[test]
+    fn paper_opening_examples() {
+        let r1 = analyze("for i = 1 to 10 { a[i] = a[i + 10] + 3; }");
+        assert!(r1.pairs()[0].result.is_independent());
+        let r2 = analyze("for i = 1 to 10 { a[i + 1] = a[i] + 3; }");
+        assert!(r2.pairs()[0].result.answer.is_dependent());
+        assert_eq!(r2.pairs()[0].distance.0, vec![Some(1)]);
+    }
+
+    #[test]
+    fn constant_subscripts_short_circuit() {
+        let r = analyze("for i = 1 to 10 { a[3] = a[4] + a[3]; }");
+        assert_eq!(r.stats.constant, 2); // (w3,r4) and (w3,r3)
+        assert_eq!(r.stats.base_tests.total(), 0);
+        let dep = r
+            .pairs()
+            .iter()
+            .find(|p| p.result.answer.is_dependent())
+            .unwrap();
+        assert_eq!(dep.result.resolved_by, ResolvedBy::Constant);
+    }
+
+    #[test]
+    fn coupled_subscripts_resolved_by_svpc() {
+        // The paper's Section 3.2 showpiece.
+        let r = analyze(
+            "for i1 = 1 to 10 { for i2 = 1 to 10 {
+                a[i1][i2] = a[i2 + 10][i1 + 9] + 1;
+            } }",
+        );
+        assert!(r.pairs()[0].result.is_independent());
+        assert_eq!(
+            r.pairs()[0].result.resolved_by,
+            ResolvedBy::Test(TestKind::Svpc)
+        );
+    }
+
+    #[test]
+    fn gcd_independent_counted() {
+        let r = analyze("for i = 1 to 10 { a[2 * i] = a[2 * i + 1] + 1; }");
+        assert!(r.pairs()[0].result.is_independent());
+        assert_eq!(r.pairs()[0].result.resolved_by, ResolvedBy::Gcd);
+        assert_eq!(r.stats.gcd_independent, 1);
+        assert_eq!(r.stats.base_tests.total(), 0);
+    }
+
+    #[test]
+    fn memoization_hits_repeated_patterns() {
+        let src = "
+            for i = 1 to 100 { a[i + 10] = a[i] + 1; }
+            for i = 1 to 100 { b[i + 10] = b[i] + 2; }
+            for i = 1 to 100 { c[i + 10] = c[i] + 3; }
+        ";
+        let r = analyze(src);
+        assert_eq!(r.stats.memo_queries, 3);
+        assert_eq!(r.stats.memo_hits, 2);
+        assert_eq!(r.stats.base_tests.total(), 1);
+        assert!(r.pairs()[1].from_cache);
+        assert_eq!(r.pairs()[0].result, r.pairs()[2].result);
+    }
+
+    #[test]
+    fn improved_memo_collapses_unused_loops() {
+        let src = "
+            for i = 1 to 10 { for j = 1 to 10 { a[i + 10] = a[i] + 3; } }
+            for i = 1 to 10 { for j = 1 to 10 { b[j + 10] = b[j] + 3; } }
+        ";
+        let improved = {
+            let program = parse_program(src).unwrap();
+            let mut an = DependenceAnalyzer::new();
+            an.analyze_program(&program).stats
+        };
+        assert_eq!(improved.memo_hits, 1);
+        let simple = {
+            let program = parse_program(src).unwrap();
+            let mut an = DependenceAnalyzer::with_config(AnalyzerConfig {
+                memo: MemoMode::Simple,
+                ..AnalyzerConfig::default()
+            });
+            an.analyze_program(&program).stats
+        };
+        assert_eq!(simple.memo_hits, 0);
+    }
+
+    #[test]
+    fn symbolic_support_toggles(){
+        let src = "read(n); for i = 1 to 10 { a[i + n] = a[i + 2 * n + 1] + 3; }";
+        let program = parse_program(src).unwrap();
+        let mut with = DependenceAnalyzer::new();
+        let r = with.analyze_program(&program);
+        // i + n = i' + 2n + 1 ⇒ i - i' = n + 1: for the pair to overlap
+        // some n makes it dependent (e.g. n = 0 gives distance 1).
+        assert!(r.pairs()[0].result.answer.is_dependent());
+        assert!(r.stats.base_tests.total() > 0);
+
+        let mut without = DependenceAnalyzer::with_config(AnalyzerConfig {
+            symbolic: false,
+            ..AnalyzerConfig::default()
+        });
+        let r2 = without.analyze_program(&program);
+        assert_eq!(r2.stats.assumed, 1);
+        assert_eq!(r2.stats.base_tests.total(), 0);
+        assert!(!r2.pairs()[0].result.answer.is_exact());
+    }
+
+    #[test]
+    fn carried_dependence_loops_drive_parallelization() {
+        // Outer loop carries nothing (distance 0 on i); inner carries the
+        // j-distance-1 dependence.
+        let src = "for i = 1 to 10 { for j = 1 to 10 {
+            a[i][j + 1] = a[i][j] + 1;
+        } }";
+        let program = parse_program(src).unwrap();
+        let mut an = DependenceAnalyzer::new();
+        let r = an.analyze_program(&program);
+        let carried = r.carried_dependence_loops();
+        assert_eq!(carried.len(), 1, "only the inner loop carries");
+    }
+
+    #[test]
+    fn analyzer_persists_memo_across_programs() {
+        let mut an = DependenceAnalyzer::new();
+        let p1 = parse_program("for i = 1 to 10 { a[i + 10] = a[i]; }").unwrap();
+        let p2 = parse_program("for i = 1 to 10 { z[i + 10] = z[i]; }").unwrap();
+        let r1 = an.analyze_program(&p1);
+        assert_eq!(r1.stats.memo_hits, 0);
+        let r2 = an.analyze_program(&p2);
+        assert_eq!(r2.stats.memo_hits, 1, "cross-program reuse");
+        an.reset();
+        let r3 = an.analyze_program(&p2);
+        assert_eq!(r3.stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn symmetric_memoization_flips_directions() {
+        let src = "
+            for i = 1 to 10 { a[i + 1] = a[i]; }
+            for i = 1 to 10 { z[i] = z[i + 1]; }
+        ";
+        let program = parse_program(src).unwrap();
+        let mut plain = DependenceAnalyzer::new();
+        let fresh = plain.analyze_program(&program);
+        assert_eq!(fresh.stats.memo_hits, 0, "mirrors differ without symmetry");
+
+        let mut sym = DependenceAnalyzer::with_config(AnalyzerConfig {
+            memo_symmetry: true,
+            ..AnalyzerConfig::default()
+        });
+        let cached = sym.analyze_program(&program);
+        assert_eq!(cached.stats.memo_hits, 1, "mirror pair shares the entry");
+        for (c, f) in cached.pairs().iter().zip(fresh.pairs()) {
+            assert_eq!(c.result, f.result);
+            assert_eq!(c.direction_vectors, f.direction_vectors, "{}", c.array);
+            assert_eq!(c.distance, f.distance);
+        }
+        // Orientations really are opposite.
+        assert_eq!(cached.pairs()[0].direction_vectors[0].to_string(), "(<)");
+        assert_eq!(cached.pairs()[1].direction_vectors[0].to_string(), "(>)");
+        assert_eq!(cached.pairs()[0].distance.0, vec![Some(1)]);
+        assert_eq!(cached.pairs()[1].distance.0, vec![Some(-1)]);
+    }
+
+    #[test]
+    fn nonaffine_assumed_dependent() {
+        let r = analyze("for i = 1 to 10 { a[i * i] = a[i] + 1; }");
+        assert_eq!(r.stats.assumed, 1);
+        assert!(!r.pairs()[0].result.answer.is_exact());
+        assert_eq!(r.pairs()[0].result.resolved_by, ResolvedBy::Assumed);
+    }
+
+    #[test]
+    fn stats_deltas_per_program() {
+        let mut an = DependenceAnalyzer::new();
+        let p = parse_program("for i = 1 to 10 { a[i + 1] = a[i]; }").unwrap();
+        let r1 = an.analyze_program(&p);
+        let r2 = an.analyze_program(&p);
+        assert_eq!(r1.stats.pairs, 1);
+        assert_eq!(r2.stats.pairs, 1, "per-program delta, not cumulative");
+        assert_eq!(an.stats().pairs, 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Human-readable explanations of a pair's analysis — the paper's worked
+//! examples, generated for arbitrary input.
+//!
+//! Compiler engineers debugging a surprising serialization need to see
+//! *why*: which equality system was built, what the extended GCD did to
+//! it, which test of the cascade decided, and what the direction
+//! refinement concluded. [`explain_pair`] replays the pipeline and
+//! narrates each step (re-running the cheap tests; nothing here mutates
+//! analyzer state or memo tables).
+
+use std::fmt::Write as _;
+
+use dda_ir::Access;
+
+use crate::cascade::run_cascade;
+use crate::direction::{analyze_directions, DirectionConfig};
+use crate::gcd::{gcd_preprocess, GcdOutcome};
+use crate::problem::{build_problem, constant_compare, DependenceProblem};
+use crate::result::Answer;
+use crate::stats::TestCounts;
+
+/// Formats one linear row over the problem's variables.
+fn linear(problem: &DependenceProblem, coeffs: &[i64]) -> String {
+    let mut s = String::new();
+    for (v, &c) in coeffs.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let name = problem.vars[v].to_string();
+        if s.is_empty() {
+            match c {
+                1 => write!(s, "{name}"),
+                -1 => write!(s, "-{name}"),
+                _ => write!(s, "{c}*{name}"),
+            }
+            .expect("string write");
+        } else if c > 0 {
+            if c == 1 {
+                write!(s, " + {name}").expect("string write");
+            } else {
+                write!(s, " + {c}*{name}").expect("string write");
+            }
+        } else if c == -1 {
+            write!(s, " - {name}").expect("string write");
+        } else {
+            write!(s, " - {}*{name}", -c).expect("string write");
+        }
+    }
+    if s.is_empty() {
+        s.push('0');
+    }
+    s
+}
+
+/// Produces a step-by-step narration of the analysis of one pair.
+///
+/// # Examples
+///
+/// ```
+/// use dda_core::explain::explain_pair;
+/// use dda_ir::{extract_accesses, parse_program, reference_pairs};
+///
+/// let p = parse_program("for i = 1 to 10 { a[i] = a[i + 10]; }")?;
+/// let set = extract_accesses(&p);
+/// let pairs = reference_pairs(&set, false);
+/// let text = explain_pair(pairs[0].a, pairs[0].b, pairs[0].common, true);
+/// assert!(text.contains("extended GCD"));
+/// assert!(text.contains("INDEPENDENT"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "pair: {a}  vs  {b}  ({common} common loop(s))");
+
+    if let Some(dependent) = constant_compare(a, b) {
+        let _ = writeln!(
+            w,
+            "constant subscripts: compared directly -> {}",
+            if dependent {
+                "DEPENDENT (same element every time)"
+            } else {
+                "INDEPENDENT (different elements)"
+            }
+        );
+        return out;
+    }
+
+    let problem = match build_problem(a, b, common, symbolic) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(w, "cannot build an affine system ({e}): ASSUMED dependent");
+            return out;
+        }
+    };
+
+    let _ = writeln!(
+        w,
+        "variables: {}",
+        problem
+            .vars
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(w, "subscript equations:");
+    for (row, rhs) in problem.eq_coeffs.iter().zip(&problem.eq_rhs) {
+        let _ = writeln!(w, "    {} = {rhs}", linear(&problem, row));
+    }
+    let _ = writeln!(w, "loop-bound constraints:");
+    for c in &problem.bounds {
+        let _ = writeln!(w, "    {} <= {}", linear(&problem, &c.coeffs), c.rhs);
+    }
+
+    let reduced = match gcd_preprocess(&problem) {
+        None => {
+            let _ = writeln!(w, "extended GCD: arithmetic overflow -> ASSUMED dependent");
+            return out;
+        }
+        Some(GcdOutcome::Independent) => {
+            let _ = writeln!(
+                w,
+                "extended GCD: the equality system has no integer solution \
+                 -> INDEPENDENT (bounds not needed)"
+            );
+            return out;
+        }
+        Some(GcdOutcome::Reduced(r)) => {
+            let _ = writeln!(
+                w,
+                "extended GCD: solutions form a lattice over {} free variable(s); \
+                 bounds become:",
+                r.num_t()
+            );
+            for c in &r.system.constraints {
+                let _ = writeln!(w, "    {c}");
+            }
+            r
+        }
+    };
+
+    let outcome = run_cascade(&reduced.system);
+    match &outcome.answer {
+        Answer::Independent => {
+            let _ = writeln!(w, "cascade: {} proves INDEPENDENT", outcome.used);
+            return out;
+        }
+        Answer::Dependent(sample) => {
+            let _ = writeln!(w, "cascade: {} proves DEPENDENT", outcome.used);
+            if let Some(t) = sample {
+                if let Some(x) = reduced.x_at(t) {
+                    let pairs: Vec<String> = problem
+                        .vars
+                        .iter()
+                        .zip(&x)
+                        .map(|(v, val)| format!("{v} = {val}"))
+                        .collect();
+                    let _ = writeln!(w, "    witness: {}", pairs.join(", "));
+                }
+            }
+        }
+        Answer::Unknown => {
+            let _ = writeln!(
+                w,
+                "cascade: {} hit its effort limits -> ASSUMED dependent",
+                outcome.used
+            );
+        }
+    }
+
+    let mut counts = TestCounts::default();
+    let analysis = analyze_directions(
+        &problem,
+        &reduced,
+        DirectionConfig::default(),
+        &mut counts,
+    );
+    let _ = writeln!(w, "distance vector: {}", analysis.distance);
+    if analysis.vectors.is_empty() {
+        let _ = writeln!(
+            w,
+            "direction refinement: every direction independent -> INDEPENDENT \
+             (implicit branch and bound)"
+        );
+    } else {
+        let vecs: Vec<String> = analysis.vectors.iter().map(ToString::to_string).collect();
+        let _ = writeln!(
+            w,
+            "direction vectors: {}   ({} refinement test(s))",
+            vecs.join(" "),
+            counts.total()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_ir::{extract_accesses, parse_program, reference_pairs};
+
+    fn explain(src: &str) -> String {
+        let p = parse_program(src).unwrap();
+        let set = extract_accesses(&p);
+        let pairs = reference_pairs(&set, false);
+        explain_pair(pairs[0].a, pairs[0].b, pairs[0].common, true)
+    }
+
+    #[test]
+    fn narrates_gcd_independence() {
+        let text = explain("for i = 1 to 10 { a[2 * i] = a[2 * i + 1]; }");
+        assert!(text.contains("no integer solution"), "{text}");
+        assert!(text.contains("INDEPENDENT"), "{text}");
+    }
+
+    #[test]
+    fn narrates_cascade_and_directions() {
+        let text = explain("for i = 1 to 10 { a[i + 1] = a[i]; }");
+        assert!(text.contains("SVPC proves DEPENDENT"), "{text}");
+        assert!(text.contains("witness:"), "{text}");
+        assert!(text.contains("direction vectors: (<)"), "{text}");
+        assert!(text.contains("distance vector: (1)"), "{text}");
+    }
+
+    #[test]
+    fn narrates_constant_pairs() {
+        let text = explain("for i = 1 to 10 { a[3] = a[4]; }");
+        assert!(text.contains("compared directly"), "{text}");
+    }
+
+    #[test]
+    fn narrates_nonaffine() {
+        let text = explain("for i = 1 to 10 { a[i * i] = a[i]; }");
+        assert!(text.contains("ASSUMED dependent"), "{text}");
+    }
+
+    #[test]
+    fn shows_equations_with_variable_names() {
+        let text = explain(
+            "for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }",
+        );
+        assert!(text.contains("i0 - i1' = 10"), "{text}");
+        assert!(text.contains("i1 - i0' = 9"), "{text}");
+    }
+}

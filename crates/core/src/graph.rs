@@ -1,0 +1,246 @@
+//! The statement-level dependence graph: the artifact a parallelizing
+//! compiler actually consumes.
+//!
+//! Every direction vector reported for a pair of references becomes one
+//! or two *oriented* edges (source executes before sink). Orientation
+//! follows the vector's leading non-`=` component: `<` keeps the pair
+//! order, `>` reverses it (and mirrors the vector), `*` is conservatively
+//! both. All-`=` vectors are loop-independent edges ordered by execution
+//! position within the iteration (reads of a statement execute before its
+//! write).
+
+use dda_ir::AccessSet;
+
+use crate::analyzer::ProgramReport;
+use crate::result::{DependenceKind, Direction, DirectionVector};
+use crate::symmetry::flip_vectors;
+
+/// One oriented dependence edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependenceEdge {
+    /// Access id of the source (executes first).
+    pub source: usize,
+    /// Access id of the sink.
+    pub sink: usize,
+    /// Flow / anti / output / input.
+    pub kind: DependenceKind,
+    /// Direction vector oriented source → sink.
+    pub vector: DirectionVector,
+    /// The loop level carrying the dependence (outermost first), or
+    /// `None` for a loop-independent edge.
+    pub carrying_level: Option<usize>,
+}
+
+impl DependenceEdge {
+    /// Whether the edge crosses iterations of some common loop.
+    #[must_use]
+    pub fn is_loop_carried(&self) -> bool {
+        self.carrying_level.is_some()
+    }
+}
+
+/// The leading non-`=` component, if any. `Err(())` signals a leading `*`
+/// (ambiguous orientation).
+fn leading(v: &DirectionVector) -> Result<Option<Direction>, ()> {
+    for d in &v.0 {
+        match d {
+            Direction::Eq => continue,
+            Direction::Any => return Err(()),
+            other => return Ok(Some(*other)),
+        }
+    }
+    Ok(None)
+}
+
+/// The outermost level whose component is `<` with an all-`=` prefix
+/// (the carrying level of a source→sink-oriented vector).
+fn carrying_level(v: &DirectionVector) -> Option<usize> {
+    for (k, d) in v.0.iter().enumerate() {
+        match d {
+            Direction::Eq => continue,
+            _ => return Some(k),
+        }
+    }
+    None
+}
+
+/// Execution position of an access within one iteration: statements run
+/// in order, and a statement's reads run before its write.
+fn execution_pos(set: &AccessSet, access: usize) -> (usize, usize) {
+    let a = &set.accesses[access];
+    (a.stmt_index, usize::from(a.is_write))
+}
+
+/// Builds the oriented dependence graph from an analysis report.
+///
+/// `set` must be the access set of the same program the report was
+/// produced from (it supplies read/write kinds and statement positions).
+///
+/// # Examples
+///
+/// ```
+/// use dda_core::{DependenceAnalyzer, graph::dependence_graph};
+/// use dda_core::result::DependenceKind;
+/// use dda_ir::{extract_accesses, parse_program};
+///
+/// let p = parse_program("for i = 1 to 10 { a[i + 1] = a[i]; }")?;
+/// let set = extract_accesses(&p);
+/// let report = DependenceAnalyzer::new().analyze_program(&p);
+/// let edges = dependence_graph(&report, &set);
+/// assert_eq!(edges.len(), 1);
+/// assert_eq!(edges[0].kind, DependenceKind::Flow); // write feeds later read
+/// assert!(edges[0].is_loop_carried());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn dependence_graph(report: &ProgramReport, set: &AccessSet) -> Vec<DependenceEdge> {
+    let mut edges = Vec::new();
+    for pair in report.pairs() {
+        if pair.result.is_independent() {
+            continue;
+        }
+        let vectors: &[DirectionVector] = &pair.direction_vectors;
+        let a = pair.a_access;
+        let b = pair.b_access;
+        let push =
+            |edges: &mut Vec<DependenceEdge>, src: usize, dst: usize, v: DirectionVector| {
+                let kind = DependenceKind::classify(
+                    set.accesses[src].is_write,
+                    set.accesses[dst].is_write,
+                );
+                let carrying_level = carrying_level(&v);
+                edges.push(DependenceEdge {
+                    source: src,
+                    sink: dst,
+                    kind,
+                    vector: v,
+                    carrying_level,
+                });
+            };
+        if vectors.is_empty() {
+            // Unrefined (assumed) dependence: conservative both ways.
+            let n = pair.common_loop_ids.len();
+            push(&mut edges, a, b, DirectionVector::any(n));
+            push(&mut edges, b, a, DirectionVector::any(n));
+            continue;
+        }
+        for v in vectors {
+            match leading(v) {
+                Ok(Some(Direction::Lt)) | Ok(Some(Direction::Any)) => {
+                    push(&mut edges, a, b, v.clone());
+                }
+                Ok(Some(Direction::Gt)) => {
+                    let flipped = flip_vectors(std::slice::from_ref(v));
+                    push(&mut edges, b, a, flipped.into_iter().next().expect("one"));
+                }
+                Ok(Some(Direction::Eq)) | Ok(None) => {
+                    // Loop-independent: order by execution position.
+                    if execution_pos(set, a) <= execution_pos(set, b) {
+                        push(&mut edges, a, b, v.clone());
+                    } else {
+                        let flipped = flip_vectors(std::slice::from_ref(v));
+                        push(&mut edges, b, a, flipped.into_iter().next().expect("one"));
+                    }
+                }
+                Err(()) => {
+                    // Leading `*`: could run either way.
+                    push(&mut edges, a, b, v.clone());
+                    let flipped = flip_vectors(std::slice::from_ref(v));
+                    push(&mut edges, b, a, flipped.into_iter().next().expect("one"));
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DependenceAnalyzer;
+    use dda_ir::{extract_accesses, parse_program};
+
+    fn graph(src: &str) -> (Vec<DependenceEdge>, dda_ir::AccessSet) {
+        let p = parse_program(src).unwrap();
+        let set = extract_accesses(&p);
+        let report = DependenceAnalyzer::new().analyze_program(&p);
+        (dependence_graph(&report, &set), set)
+    }
+
+    #[test]
+    fn flow_dependence_oriented_forward() {
+        let (edges, _) = graph("for i = 1 to 10 { a[i + 1] = a[i]; }");
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(e.kind, DependenceKind::Flow);
+        assert_eq!(e.source, 0); // the write
+        assert_eq!(e.sink, 1);
+        assert_eq!(e.vector.to_string(), "(<)");
+        assert_eq!(e.carrying_level, Some(0));
+    }
+
+    #[test]
+    fn anti_dependence_from_reversed_vector() {
+        // Write a[i] meets read a[i+1] at i = i′ + 1: raw vector (>),
+        // oriented edge read → write with (<): an anti dependence.
+        let (edges, _) = graph("for i = 1 to 10 { a[i] = a[i + 1]; }");
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(e.kind, DependenceKind::Anti);
+        assert_eq!(e.source, 1); // the read executes (one iteration) first
+        assert_eq!(e.sink, 0);
+        assert_eq!(e.vector.to_string(), "(<)");
+    }
+
+    #[test]
+    fn loop_independent_same_statement() {
+        // a[i] = a[i] + 1: same-iteration read before write: anti,
+        // not carried.
+        let (edges, _) = graph("for i = 1 to 10 { a[i] = a[i] + 1; }");
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(e.kind, DependenceKind::Anti);
+        assert_eq!(e.source, 1);
+        assert_eq!(e.sink, 0);
+        assert!(!e.is_loop_carried());
+    }
+
+    #[test]
+    fn output_dependence_between_statements() {
+        let (edges, _) = graph(
+            "for i = 1 to 10 { a[i + 1] = 1; a[i] = 2; }",
+        );
+        // Write a[i+1] at i meets write a[i'] at i′ = i + 1: carried WAW
+        // (source: first statement) — vector (<) from access 0 to 1.
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(e.kind, DependenceKind::Output);
+        assert_eq!((e.source, e.sink), (0, 1));
+        assert_eq!(e.carrying_level, Some(0));
+    }
+
+    #[test]
+    fn star_leading_vector_goes_both_ways() {
+        // Unused outer loop: vector (*, <) is ambiguous at level 0.
+        let (edges, _) = graph(
+            "for i = 1 to 10 { for j = 1 to 10 { a[j + 2] = a[j]; } }",
+        );
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].source, 0);
+        assert_eq!(edges[1].source, 1);
+        assert_eq!(edges[1].vector.to_string(), "(*, >)");
+    }
+
+    #[test]
+    fn assumed_pairs_become_bidirectional_any_edges() {
+        let (edges, _) = graph("for i = 1 to 10 { a[i * i] = a[i]; }");
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|e| e.vector.to_string() == "(*)"));
+    }
+
+    #[test]
+    fn independent_pairs_produce_no_edges() {
+        let (edges, _) = graph("for i = 1 to 10 { a[i] = a[i + 10]; }");
+        assert!(edges.is_empty());
+    }
+}

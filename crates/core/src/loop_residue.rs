@@ -1,0 +1,284 @@
+//! The Simple Loop Residue test (Section 3.4).
+//!
+//! Pratt observed that systems whose constraints all have the form
+//! `tᵢ ≤ tⱼ + c` can be decided by building a graph (one node per variable
+//! plus a zero node `n₀` for absolute bounds) and checking for a negative
+//! cycle. The paper keeps the algorithm exact by restricting the
+//! admissible inputs to `a·tᵢ − a·tⱼ ≤ c`, which integer-tightens to
+//! `tᵢ − tⱼ ≤ ⌊c/a⌋` (Shostak's more general extensions would make the
+//! test inexact and are deliberately not used).
+//!
+//! When no negative cycle exists, shortest-path potentials from a virtual
+//! source deliver an *integral* witness, so the "dependent" answer is
+//! exact too.
+
+use dda_linalg::num;
+
+use crate::system::{Constraint, VarBounds};
+
+/// Outcome of the Loop Residue test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopResidueOutcome {
+    /// Some residual constraint is not of the form `a·tᵢ − a·tⱼ ≤ c`; the
+    /// test cannot run without losing exactness.
+    NotApplicable,
+    /// A negative cycle exists: independent (exact).
+    Infeasible,
+    /// No negative cycle: dependent (exact), with an integral witness for
+    /// every variable.
+    Feasible(Vec<i64>),
+}
+
+/// An edge `t_from ≤ t_to + weight` in the residue graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    from: usize,
+    to: usize,
+    weight: i64,
+}
+
+/// Runs the Loop Residue test on scalar bounds plus two-variable
+/// difference constraints.
+///
+/// `bounds` carries the per-variable ranges accumulated by the SVPC pass;
+/// `residual` the remaining multi-variable constraints.
+///
+/// # Examples
+///
+/// The paper's Figure 1 system: `t1 ≥ 1`, `t3 ≤ 4`, `t3 ≥ t1 + 4` (written
+/// `t1 − t3 ≤ −4`) has the cycle `t1 → t3 → n0 → t1` with value
+/// `−4 + 4 − 1 = −1`, so it is independent:
+///
+/// ```
+/// use dda_core::system::{Constraint, VarBounds};
+/// use dda_core::loop_residue::{loop_residue, LoopResidueOutcome};
+///
+/// let mut bounds = VarBounds::unbounded(3); // t1 is var 0, t3 is var 2
+/// bounds.tighten_lb(0, 1);
+/// bounds.tighten_ub(2, 4);
+/// let residual = vec![Constraint::new(vec![1, 0, -1], -4)];
+/// assert_eq!(loop_residue(&bounds, &residual), LoopResidueOutcome::Infeasible);
+/// ```
+#[must_use]
+pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueOutcome {
+    let n = bounds.len();
+    let zero_node = n; // the paper's n₀
+    let mut edges = Vec::new();
+
+    for c in residual {
+        // Exactly two non-zero coefficients of equal magnitude and
+        // opposite sign.
+        let nz: Vec<(usize, i64)> = c
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a != 0)
+            .map(|(i, &a)| (i, a))
+            .collect();
+        let [(i, ai), (j, aj)] = nz.as_slice() else {
+            return LoopResidueOutcome::NotApplicable;
+        };
+        if *ai != -*aj {
+            return LoopResidueOutcome::NotApplicable;
+        }
+        // Orient as a(t_pos - t_neg) ≤ rhs with a > 0.
+        let (pos, neg, a) = if *ai > 0 { (*i, *j, *ai) } else { (*j, *i, *aj) };
+        edges.push(Edge {
+            from: pos,
+            to: neg,
+            weight: num::div_floor(c.rhs, a),
+        });
+    }
+
+    // Scalar bounds become edges through the zero node.
+    for v in 0..n {
+        if let Some(u) = bounds.ub[v] {
+            edges.push(Edge {
+                from: v,
+                to: zero_node,
+                weight: u,
+            });
+        }
+        if let Some(l) = bounds.lb[v] {
+            edges.push(Edge {
+                from: zero_node,
+                to: v,
+                weight: -l,
+            });
+        }
+    }
+
+    // Bellman-Ford from a virtual source connected to every node with
+    // weight 0 (realized by starting all distances at 0). An edge
+    // `from ≤ to + w` relaxes as d(from) ← min(d(from), d(to) + w).
+    let mut dist = vec![0i128; n + 1];
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in &edges {
+            let cand = dist[e.to] + i128::from(e.weight);
+            if cand < dist[e.from] {
+                dist[e.from] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            // Early exit: already stable, certainly no negative cycle.
+            let shift = dist[zero_node];
+            let sample: Option<Vec<i64>> = (0..n)
+                .map(|v| i64::try_from(dist[v] - shift).ok())
+                .collect();
+            return match sample {
+                Some(s) => LoopResidueOutcome::Feasible(s),
+                None => LoopResidueOutcome::NotApplicable, // out of i64 range
+            };
+        }
+    }
+    // Still changing after n+1 rounds: negative cycle.
+    LoopResidueOutcome::Infeasible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+
+    fn check_feasible(bounds: &VarBounds, residual: &[Constraint], sample: &[i64]) {
+        let n = bounds.len();
+        let mut s = System::new(n);
+        for c in residual {
+            s.push(c.clone());
+        }
+        assert!(s.is_satisfied_by(sample).unwrap(), "residual violated");
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..n {
+            if let Some(l) = bounds.lb[v] {
+                assert!(sample[v] >= l, "lb violated for t{v}");
+            }
+            if let Some(u) = bounds.ub[v] {
+                assert!(sample[v] <= u, "ub violated for t{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_negative_cycle() {
+        // t1 ≥ 1, t3 ≤ 4, t1 - t3 ≤ -4... cycle value 4 - 4 ... -1 < 0.
+        let mut bounds = VarBounds::unbounded(3);
+        bounds.tighten_lb(0, 1);
+        bounds.tighten_ub(2, 4);
+        let residual = vec![Constraint::new(vec![1, 0, -1], -4)];
+        assert_eq!(
+            loop_residue(&bounds, &residual),
+            LoopResidueOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn feasible_difference_chain() {
+        // t0 ≤ t1 - 1 ≤ t2 - 2, 0 ≤ t0, t2 ≤ 10.
+        let mut bounds = VarBounds::unbounded(3);
+        bounds.tighten_lb(0, 0);
+        bounds.tighten_ub(2, 10);
+        let residual = vec![
+            Constraint::new(vec![1, -1, 0], -1),
+            Constraint::new(vec![0, 1, -1], -1),
+        ];
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual) else {
+            panic!("expected feasible");
+        };
+        check_feasible(&bounds, &residual, &sample);
+    }
+
+    #[test]
+    fn scaled_coefficients_tighten() {
+        // 3t0 - 3t1 ≤ 2  ⇒  t0 - t1 ≤ 0; with t0 ≥ 5 and t1 ≤ 4 the cycle
+        // 5 ≤ t0 ≤ t1 ≤ 4 is negative: independent.
+        let mut bounds = VarBounds::unbounded(2);
+        bounds.tighten_lb(0, 5);
+        bounds.tighten_ub(1, 4);
+        let residual = vec![Constraint::new(vec![3, -3], 2)];
+        assert_eq!(
+            loop_residue(&bounds, &residual),
+            LoopResidueOutcome::Infeasible
+        );
+        // Relax the bound: t1 ≤ 5 makes it feasible.
+        let mut bounds2 = VarBounds::unbounded(2);
+        bounds2.tighten_lb(0, 5);
+        bounds2.tighten_ub(1, 5);
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds2, &residual)
+        else {
+            panic!("expected feasible");
+        };
+        check_feasible(&bounds2, &residual, &sample);
+    }
+
+    #[test]
+    fn unequal_magnitudes_not_applicable() {
+        let bounds = VarBounds::unbounded(2);
+        let residual = vec![Constraint::new(vec![2, -1], 0)];
+        assert_eq!(
+            loop_residue(&bounds, &residual),
+            LoopResidueOutcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn three_variable_constraint_not_applicable() {
+        let bounds = VarBounds::unbounded(3);
+        let residual = vec![Constraint::new(vec![1, 1, -1], 0)];
+        assert_eq!(
+            loop_residue(&bounds, &residual),
+            LoopResidueOutcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn same_sign_pair_not_applicable() {
+        let bounds = VarBounds::unbounded(2);
+        let residual = vec![Constraint::new(vec![1, 1], 0)];
+        assert_eq!(
+            loop_residue(&bounds, &residual),
+            LoopResidueOutcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn pure_cycle_zero_weight_is_feasible() {
+        // t0 ≤ t1, t1 ≤ t0: feasible (equal values).
+        let bounds = VarBounds::unbounded(2);
+        let residual = vec![
+            Constraint::new(vec![1, -1], 0),
+            Constraint::new(vec![-1, 1], 0),
+        ];
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual)
+        else {
+            panic!();
+        };
+        assert_eq!(sample[0], sample[1]);
+    }
+
+    #[test]
+    fn unconstrained_system_feasible() {
+        let bounds = VarBounds::unbounded(2);
+        let out = loop_residue(&bounds, &[]);
+        assert!(matches!(out, LoopResidueOutcome::Feasible(_)));
+    }
+
+    #[test]
+    fn bounds_anchor_through_zero_node() {
+        // 1 ≤ t0 ≤ 3, t1 = t0 (two inequalities), t1 ≤ 2.
+        let mut bounds = VarBounds::unbounded(2);
+        bounds.tighten_lb(0, 1);
+        bounds.tighten_ub(0, 3);
+        bounds.tighten_ub(1, 2);
+        let residual = vec![
+            Constraint::new(vec![1, -1], 0),
+            Constraint::new(vec![-1, 1], 0),
+        ];
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual)
+        else {
+            panic!();
+        };
+        check_feasible(&bounds, &residual, &sample);
+    }
+}

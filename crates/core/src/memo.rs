@@ -1,0 +1,449 @@
+//! Memoization of dependence queries (Section 5).
+//!
+//! "There is little variation in array reference patterns found in real
+//! programs … one can save much computation by using memoization." Two
+//! tables are kept, mirroring the paper:
+//!
+//! - a **no-bounds** table keyed on the subscript equality system alone —
+//!   the extended GCD test ignores bounds, so its (expensive)
+//!   factorization can be reused even when the loop bounds differ;
+//! - a **with-bounds** table keyed on the whole problem, storing the full
+//!   analysis result.
+//!
+//! The *simple* scheme keys on the problem exactly as built; the
+//! *improved* scheme first eliminates unused loop variables, so that
+//! `a[i+10] = a[i]` nested under one loop or under two collapses to the
+//! same key (the paper's Section 5 example).
+//!
+//! Keys hash with the paper's function `h(x) = size(x) + Σ 2ⁱ·xᵢ`,
+//! "chosen so that symmetrical or partially symmetrical references would
+//! not collide"; equality on the full key vector resolves the rest.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+use crate::problem::DependenceProblem;
+
+/// The paper's hash function over a stream of integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperHasher {
+    state: u64,
+    index: u32,
+}
+
+impl Hasher for PaperHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (used for lengths etc.): fold bytes in.
+        for &b in bytes {
+            self.state = self
+                .state
+                .wrapping_add(u64::from(b).wrapping_shl(self.index % 61));
+            self.index = self.index.wrapping_add(1);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        // h += 2^i * x_i, with the shift wrapping around the word.
+        self.state = self
+            .state
+            .wrapping_add((v as u64).wrapping_shl(self.index % 61));
+        self.index = self.index.wrapping_add(1);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        // size(x) contributes directly.
+        self.state = self.state.wrapping_add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`PaperHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperHashBuilder;
+
+impl BuildHasher for PaperHashBuilder {
+    type Hasher = PaperHasher;
+    fn build_hasher(&self) -> PaperHasher {
+        PaperHasher::default()
+    }
+}
+
+/// A canonical encoding of a dependence problem. Ordered so symmetric
+/// canonicalization can pick the smaller of a key and its mirror.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemoKey(Vec<i64>);
+
+impl Hash for MemoKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash element-wise so the paper's 2^i weighting applies (the
+        // derived impl would hash the slice as one byte blob).
+        state.write_usize(self.0.len());
+        for &v in &self.0 {
+            state.write_i64(v);
+        }
+    }
+}
+
+impl MemoKey {
+    /// The raw encoded vector (exposed for the benchmark harness).
+    #[must_use]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Rebuilds a key from its raw encoding (used when loading a
+    /// persisted table).
+    #[must_use]
+    pub fn from_vec(raw: Vec<i64>) -> MemoKey {
+        MemoKey(raw)
+    }
+}
+
+/// Computes the set of *used* variables: those in a subscript equation,
+/// closed under co-occurrence in bound constraints.
+fn used_mask(problem: &DependenceProblem) -> Vec<bool> {
+    let n = problem.num_vars();
+    let mut used = vec![false; n];
+    for row in &problem.eq_coeffs {
+        for (v, &c) in row.iter().enumerate() {
+            if c != 0 {
+                used[v] = true;
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for c in &problem.bounds {
+            let touches_used = c
+                .coeffs
+                .iter()
+                .enumerate()
+                .any(|(v, &a)| a != 0 && used[v]);
+            if touches_used {
+                for (v, &a) in c.coeffs.iter().enumerate() {
+                    if a != 0 && !used[v] {
+                        used[v] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    used
+}
+
+const SECTION_MARKER: i64 = i64::MIN + 7;
+
+/// A canonicalized no-bounds key: the equality system, optionally with
+/// equation-unused variables dropped, plus the variable mapping needed to
+/// rehydrate a cached solution lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoBoundsKey {
+    /// The hashable encoding.
+    pub key: MemoKey,
+    /// Variables that survived elimination (all of them under the simple
+    /// scheme). Cached lattices are expressed over exactly these.
+    pub kept_vars: Vec<usize>,
+}
+
+/// Encodes the equality system only (the GCD table key). With `improved`,
+/// variables absent from every equation are dropped first — they are pure
+/// lattice freedom, so patterns under different numbers of irrelevant
+/// loops share the factorization.
+#[must_use]
+pub fn nobounds_key(problem: &DependenceProblem, improved: bool) -> NoBoundsKey {
+    let kept_vars: Vec<usize> = if improved {
+        (0..problem.num_vars())
+            .filter(|&v| problem.eq_coeffs.iter().any(|row| row[v] != 0))
+            .collect()
+    } else {
+        (0..problem.num_vars()).collect()
+    };
+    let mut v = Vec::new();
+    v.push(kept_vars.len() as i64);
+    v.push(problem.eq_coeffs.len() as i64);
+    // Equations are a *set*: sort their encodings so semantically equal
+    // systems (e.g. dimensions listed in another order, or a mirrored
+    // pair) produce identical keys.
+    let mut segments: Vec<Vec<i64>> = problem
+        .eq_coeffs
+        .iter()
+        .zip(&problem.eq_rhs)
+        .map(|(row, rhs)| {
+            let mut seg: Vec<i64> = kept_vars.iter().map(|&k| row[k]).collect();
+            seg.push(*rhs);
+            seg
+        })
+        .collect();
+    segments.sort();
+    for seg in segments {
+        v.extend(seg);
+    }
+    NoBoundsKey {
+        key: MemoKey(v),
+        kept_vars,
+    }
+}
+
+/// A canonicalized with-bounds key, plus the mapping needed to translate
+/// cached results (which live in canonical space) back to a concrete
+/// problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalKey {
+    /// The hashable encoding.
+    pub key: MemoKey,
+    /// Common loop levels that survived unused-variable elimination, in
+    /// order. Direction-vector components for other levels are a free `*`.
+    pub kept_levels: Vec<usize>,
+}
+
+/// Encodes the whole problem. With `improved`, unused variables (and
+/// bound constraints touching only them) are eliminated first, so
+/// patterns differing only in irrelevant enclosing loops collapse.
+#[must_use]
+pub fn bounds_key(problem: &DependenceProblem, improved: bool) -> CanonicalKey {
+    let (keep, kept_levels): (Vec<usize>, Vec<usize>) = if improved {
+        let used = used_mask(problem);
+        let keep = (0..problem.num_vars()).filter(|&v| used[v]).collect();
+        let kept_levels = (0..problem.num_common)
+            .filter(|&k| {
+                let ia = problem
+                    .var_index(&crate::problem::XVar::CommonA(k))
+                    .expect("common var present");
+                let ib = problem
+                    .var_index(&crate::problem::XVar::CommonB(k))
+                    .expect("common var present");
+                used[ia] || used[ib]
+            })
+            .collect();
+        (keep, kept_levels)
+    } else {
+        (
+            (0..problem.num_vars()).collect(),
+            (0..problem.num_common).collect(),
+        )
+    };
+
+    let mut v = Vec::new();
+    v.push(keep.len() as i64);
+    v.push(kept_levels.len() as i64);
+    v.push(problem.eq_coeffs.len() as i64);
+    // Both sections are constraint *sets*: sort their encodings so
+    // semantically equal systems (reordered dimensions or bounds, e.g.
+    // from a mirrored pair) produce identical keys.
+    let mut eq_segments: Vec<Vec<i64>> = problem
+        .eq_coeffs
+        .iter()
+        .zip(&problem.eq_rhs)
+        .map(|(row, rhs)| {
+            let mut seg: Vec<i64> = keep.iter().map(|&k| row[k]).collect();
+            seg.push(*rhs);
+            seg
+        })
+        .collect();
+    eq_segments.sort();
+    for seg in eq_segments {
+        v.extend(seg);
+    }
+    v.push(SECTION_MARKER);
+    let mut bound_segments: Vec<Vec<i64>> = problem
+        .bounds
+        .iter()
+        .filter(|c| keep.iter().any(|&k| c.coeffs[k] != 0))
+        .map(|c| {
+            let mut seg: Vec<i64> = keep.iter().map(|&k| c.coeffs[k]).collect();
+            seg.push(c.rhs);
+            seg
+        })
+        .collect();
+    bound_segments.sort();
+    for seg in bound_segments {
+        v.extend(seg);
+    }
+    CanonicalKey {
+        key: MemoKey(v),
+        kept_levels,
+    }
+}
+
+/// A memo table with hit/miss accounting.
+#[derive(Debug, Clone)]
+pub struct MemoTable<V> {
+    map: HashMap<MemoKey, V, PaperHashBuilder>,
+    queries: u64,
+    hits: u64,
+}
+
+impl<V> Default for MemoTable<V> {
+    fn default() -> MemoTable<V> {
+        MemoTable::new()
+    }
+}
+
+impl<V> MemoTable<V> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> MemoTable<V> {
+        MemoTable {
+            map: HashMap::with_hasher(PaperHashBuilder),
+            queries: 0,
+            hits: 0,
+        }
+    }
+
+    /// Looks up a key, counting the query.
+    pub fn get(&mut self, key: &MemoKey) -> Option<&V> {
+        self.queries += 1;
+        let hit = self.map.get(key);
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts a computed result.
+    pub fn insert(&mut self, key: MemoKey, value: V) {
+        self.map.insert(key, value);
+    }
+
+    /// Number of lookups performed.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Number of lookups that hit.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of distinct entries stored.
+    #[must_use]
+    pub fn unique_entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over stored entries (unspecified order).
+    pub fn entries(&self) -> impl Iterator<Item = (&MemoKey, &V)> {
+        self.map.iter()
+    }
+
+    /// Clears contents and counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.queries = 0;
+        self.hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::build_problem;
+    use dda_ir::{extract_accesses, parse_program, reference_pairs};
+
+    fn problem(src: &str) -> DependenceProblem {
+        let p = parse_program(src).unwrap();
+        let set = extract_accesses(&p);
+        let pairs = reference_pairs(&set, false);
+        assert_eq!(pairs.len(), 1);
+        build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).unwrap()
+    }
+
+    #[test]
+    fn paper_hash_matches_formula() {
+        let key = MemoKey(vec![3, -1, 4]);
+        let mut h = PaperHasher::default();
+        key.hash(&mut h);
+        // Vec<i64> hashing writes the length then each element; our
+        // write_usize adds the size, each write_i64 adds 2^i * x_i.
+        let expect = 3u64
+            .wrapping_add(3u64.wrapping_shl(0))
+            .wrapping_add((-1i64 as u64).wrapping_shl(1))
+            .wrapping_add(4u64.wrapping_shl(2));
+        assert_eq!(h.finish(), expect);
+    }
+
+    #[test]
+    fn symmetry_does_not_collide() {
+        // The stated design goal of the 2^i weighting.
+        let k1 = MemoKey(vec![1, 2]);
+        let k2 = MemoKey(vec![2, 1]);
+        let hash = |k: &MemoKey| {
+            let mut h = PaperHasher::default();
+            k.hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(hash(&k1), hash(&k2));
+    }
+
+    #[test]
+    fn identical_pairs_share_keys() {
+        let p1 = problem("for i = 1 to 10 { a[i + 10] = a[i] + 3; }");
+        let p2 = problem("for i = 1 to 10 { b[i + 10] = b[i] + 7; }");
+        assert_eq!(bounds_key(&p1, false).key, bounds_key(&p2, false).key);
+        assert_eq!(nobounds_key(&p1, false).key, nobounds_key(&p2, false).key);
+        assert_eq!(nobounds_key(&p1, true).key, nobounds_key(&p2, true).key);
+    }
+
+    #[test]
+    fn different_bounds_differ_with_bounds_only() {
+        let p1 = problem("for i = 1 to 10 { a[i + 10] = a[i]; }");
+        let p2 = problem("for i = 1 to 20 { a[i + 10] = a[i]; }");
+        assert_eq!(nobounds_key(&p1, false).key, nobounds_key(&p2, false).key);
+        assert_eq!(nobounds_key(&p1, true).key, nobounds_key(&p2, true).key);
+        assert_ne!(bounds_key(&p1, false).key, bounds_key(&p2, false).key);
+    }
+
+    #[test]
+    fn improved_scheme_collapses_unused_loops() {
+        // The paper's Section 5 example: both two-loop programs collapse
+        // to the single-loop one under the improved scheme.
+        let two_a = problem(
+            "for i = 1 to 10 { for j = 1 to 10 { a[i + 10] = a[i] + 3; } }",
+        );
+        let two_b = problem(
+            "for i = 1 to 10 { for j = 1 to 10 { a[j + 10] = a[j] + 3; } }",
+        );
+        let one = problem("for i = 1 to 10 { a[i + 10] = a[i] + 3; }");
+        assert_ne!(bounds_key(&two_a, false).key, bounds_key(&one, false).key);
+        // two_a uses i (outer), two_b uses j (inner): simple keys differ.
+        assert_ne!(bounds_key(&two_a, false).key, bounds_key(&two_b, false).key);
+        // Improved keys all coincide.
+        assert_eq!(bounds_key(&two_a, true).key, bounds_key(&one, true).key);
+        assert_eq!(bounds_key(&two_b, true).key, bounds_key(&one, true).key);
+    }
+
+    #[test]
+    fn triangular_coupling_keeps_variables() {
+        // j's bound references i, and j is used, so i must stay even
+        // though it appears in no subscript.
+        let p = problem(
+            "for i = 1 to 10 { for j = i to 10 { a[j + 5] = a[j]; } }",
+        );
+        let flat = problem("for j = 1 to 10 { a[j + 5] = a[j]; }");
+        assert_ne!(bounds_key(&p, true).key, bounds_key(&flat, true).key);
+    }
+
+    #[test]
+    fn table_counts_hits_and_misses() {
+        let mut t: MemoTable<u32> = MemoTable::new();
+        let k = MemoKey(vec![1, 2, 3]);
+        assert!(t.get(&k).is_none());
+        t.insert(k.clone(), 42);
+        assert_eq!(t.get(&k), Some(&42));
+        assert_eq!(t.queries(), 2);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.unique_entries(), 1);
+        t.clear();
+        assert_eq!(t.queries(), 0);
+        assert_eq!(t.unique_entries(), 0);
+    }
+}

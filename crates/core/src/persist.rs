@@ -1,0 +1,511 @@
+//! Persisting memo tables across compilations.
+//!
+//! Section 5: "One other possible improvement is to store the hash table
+//! across compilations. This will eliminate the dependence cost of
+//! incremental compilation. In addition, if there is similarity across
+//! programs, one could use a set of benchmarks to set up a standard table
+//! which would be used by all programs."
+//!
+//! The format is a line-oriented, versioned text encoding (plain `i64`
+//! streams — no external serialization dependency). Loading is strict:
+//! any malformed line aborts with a located error rather than silently
+//! importing half a table.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use dda_linalg::Matrix;
+
+use crate::analyzer::{CachedOutcome, DependenceAnalyzer};
+use crate::gcd::{EqOutcome, Lattice};
+use crate::memo::MemoKey;
+use crate::result::{
+    Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy, TestKind,
+};
+
+/// Magic header of the persisted format.
+const HEADER: &str = "dda-memo v1";
+
+/// Errors raised while loading a persisted table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// 1-based line where the problem was found.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memo file, line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError {
+        line,
+        message: message.into(),
+    })
+}
+
+// --- encoding helpers ---------------------------------------------------
+
+fn push_ints(out: &mut String, ints: &[i64]) {
+    for (i, v) in ints.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+fn encode_dir(d: Direction) -> char {
+    match d {
+        Direction::Lt => '<',
+        Direction::Eq => '=',
+        Direction::Gt => '>',
+        Direction::Any => '*',
+    }
+}
+
+fn decode_dir(c: char, line: usize) -> Result<Direction, PersistError> {
+    match c {
+        '<' => Ok(Direction::Lt),
+        '=' => Ok(Direction::Eq),
+        '>' => Ok(Direction::Gt),
+        '*' => Ok(Direction::Any),
+        other => err(line, format!("bad direction `{other}`")),
+    }
+}
+
+fn encode_resolved(r: ResolvedBy) -> &'static str {
+    match r {
+        ResolvedBy::Constant => "C",
+        ResolvedBy::Gcd => "G",
+        ResolvedBy::Test(TestKind::Svpc) => "T0",
+        ResolvedBy::Test(TestKind::Acyclic) => "T1",
+        ResolvedBy::Test(TestKind::LoopResidue) => "T2",
+        ResolvedBy::Test(TestKind::FourierMotzkin) => "T3",
+        ResolvedBy::Assumed => "A",
+    }
+}
+
+fn decode_resolved(s: &str, line: usize) -> Result<ResolvedBy, PersistError> {
+    Ok(match s {
+        "C" => ResolvedBy::Constant,
+        "G" => ResolvedBy::Gcd,
+        "T0" => ResolvedBy::Test(TestKind::Svpc),
+        "T1" => ResolvedBy::Test(TestKind::Acyclic),
+        "T2" => ResolvedBy::Test(TestKind::LoopResidue),
+        "T3" => ResolvedBy::Test(TestKind::FourierMotzkin),
+        "A" => ResolvedBy::Assumed,
+        other => return err(line, format!("bad resolver `{other}`")),
+    })
+}
+
+/// A small cursor over whitespace-separated fields.
+struct Fields<'a> {
+    parts: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn new(s: &'a str, line: usize) -> Fields<'a> {
+        Fields {
+            parts: s.split_whitespace(),
+            line,
+        }
+    }
+
+    fn next_str(&mut self) -> Result<&'a str, PersistError> {
+        match self.parts.next() {
+            Some(p) => Ok(p),
+            None => err(self.line, "unexpected end of line"),
+        }
+    }
+
+    fn next_i64(&mut self) -> Result<i64, PersistError> {
+        let s = self.next_str()?;
+        s.parse()
+            .map_err(|_| PersistError {
+                line: self.line,
+                message: format!("bad integer `{s}`"),
+            })
+    }
+
+    fn next_usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.next_i64()?;
+        usize::try_from(v).map_err(|_| PersistError {
+            line: self.line,
+            message: format!("bad count `{v}`"),
+        })
+    }
+
+    fn next_ints(&mut self, n: usize) -> Result<Vec<i64>, PersistError> {
+        (0..n).map(|_| self.next_i64()).collect()
+    }
+
+    fn finish(mut self) -> Result<(), PersistError> {
+        match self.parts.next() {
+            None => Ok(()),
+            Some(extra) => err(self.line, format!("trailing `{extra}`")),
+        }
+    }
+}
+
+// --- per-record encode/decode -------------------------------------------
+
+fn encode_gcd(key: &MemoKey, value: &EqOutcome, out: &mut String) {
+    out.push_str("gcd ");
+    out.push_str(&key.as_slice().len().to_string());
+    out.push(' ');
+    push_ints(out, key.as_slice());
+    match value {
+        EqOutcome::Independent => out.push_str(" I"),
+        EqOutcome::Lattice(l) => {
+            out.push_str(" L ");
+            out.push_str(&format!(
+                "{} {} {} ",
+                l.particular.len(),
+                l.basis.rows(),
+                l.basis.cols()
+            ));
+            push_ints(out, &l.particular);
+            for r in 0..l.basis.rows() {
+                out.push(' ');
+                push_ints(out, l.basis.row(r));
+            }
+        }
+    }
+    out.push('\n');
+}
+
+fn decode_gcd(f: &mut Fields<'_>) -> Result<(MemoKey, EqOutcome), PersistError> {
+    let klen = f.next_usize()?;
+    let key = MemoKey::from_vec(f.next_ints(klen)?);
+    let tag = f.next_str()?;
+    let value = match tag {
+        "I" => EqOutcome::Independent,
+        "L" => {
+            let np = f.next_usize()?;
+            let rows = f.next_usize()?;
+            let cols = f.next_usize()?;
+            if np != rows {
+                return err(f.line, "particular length must equal basis rows");
+            }
+            let particular = f.next_ints(np)?;
+            let mut basis = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    basis[(r, c)] = f.next_i64()?;
+                }
+            }
+            EqOutcome::Lattice(Lattice { particular, basis })
+        }
+        other => return err(f.line, format!("bad gcd tag `{other}`")),
+    };
+    Ok((key, value))
+}
+
+fn encode_full(key: &MemoKey, value: &CachedOutcome, out: &mut String) {
+    out.push_str("full ");
+    out.push_str(&key.as_slice().len().to_string());
+    out.push(' ');
+    push_ints(out, key.as_slice());
+    let answer = match &value.result.answer {
+        Answer::Independent => "I",
+        Answer::Dependent(_) => "D",
+        Answer::Unknown => "U",
+    };
+    out.push_str(&format!(" {answer} {} ", encode_resolved(value.result.resolved_by)));
+    match &value.witness {
+        Some(w) => {
+            out.push_str(&format!("w {} ", w.len()));
+            push_ints(out, w);
+        }
+        None => out.push('-'),
+    }
+    out.push_str(&format!(" v {}", value.direction_vectors.len()));
+    for dv in &value.direction_vectors {
+        out.push(' ');
+        if dv.0.is_empty() {
+            out.push('.');
+        } else {
+            for d in &dv.0 {
+                out.push(encode_dir(*d));
+            }
+        }
+    }
+    out.push_str(&format!(" d {}", value.distance.0.len()));
+    for d in &value.distance.0 {
+        match d {
+            Some(v) => out.push_str(&format!(" {v}")),
+            None => out.push_str(" ?"),
+        }
+    }
+    out.push('\n');
+}
+
+fn decode_full(f: &mut Fields<'_>) -> Result<(MemoKey, CachedOutcome), PersistError> {
+    let line = f.line;
+    let klen = f.next_usize()?;
+    let key = MemoKey::from_vec(f.next_ints(klen)?);
+    let answer = match f.next_str()? {
+        "I" => Answer::Independent,
+        "D" => Answer::Dependent(None),
+        "U" => Answer::Unknown,
+        other => return err(line, format!("bad answer `{other}`")),
+    };
+    let resolved_by = decode_resolved(f.next_str()?, line)?;
+    let witness = match f.next_str()? {
+        "-" => None,
+        "w" => {
+            let n = f.next_usize()?;
+            Some(f.next_ints(n)?)
+        }
+        other => return err(line, format!("bad witness tag `{other}`")),
+    };
+    match f.next_str()? {
+        "v" => {}
+        other => return err(line, format!("expected `v`, found `{other}`")),
+    }
+    let nv = f.next_usize()?;
+    let mut direction_vectors = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        let tok = f.next_str()?;
+        if tok == "." {
+            direction_vectors.push(DirectionVector(Vec::new()));
+        } else {
+            let dirs: Result<Vec<Direction>, PersistError> =
+                tok.chars().map(|c| decode_dir(c, line)).collect();
+            direction_vectors.push(DirectionVector(dirs?));
+        }
+    }
+    match f.next_str()? {
+        "d" => {}
+        other => return err(line, format!("expected `d`, found `{other}`")),
+    }
+    let nd = f.next_usize()?;
+    let mut distance = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        let tok = f.next_str()?;
+        if tok == "?" {
+            distance.push(None);
+        } else {
+            match tok.parse::<i64>() {
+                Ok(v) => distance.push(Some(v)),
+                Err(_) => return err(line, format!("bad distance `{tok}`")),
+            }
+        }
+    }
+    Ok((
+        key,
+        CachedOutcome {
+            result: DependenceResult {
+                answer,
+                resolved_by,
+            },
+            witness,
+            direction_vectors,
+            distance: DistanceVector(distance),
+        },
+    ))
+}
+
+// --- analyzer-level API ---------------------------------------------------
+
+impl DependenceAnalyzer {
+    /// Serializes both memo tables to the versioned text format.
+    ///
+    /// Entries are emitted in sorted key order, so exports are
+    /// deterministic and diff-friendly.
+    #[must_use]
+    pub fn export_memo(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        let mut gcd: Vec<_> = self.gcd_memo.entries().collect();
+        gcd.sort_by_key(|(k, _)| (*k).clone());
+        for (k, v) in gcd {
+            encode_gcd(k, v, &mut out);
+        }
+        let mut full: Vec<_> = self.full_memo.entries().collect();
+        full.sort_by_key(|(k, _)| (*k).clone());
+        for (k, v) in full {
+            encode_full(k, v, &mut out);
+        }
+        out
+    }
+
+    /// Loads entries from a previously exported table into this
+    /// analyzer's memo tables (existing entries are kept; imported keys
+    /// overwrite colliding ones).
+    ///
+    /// # Errors
+    ///
+    /// Returns a located [`PersistError`] on any malformed content; the
+    /// tables may then be partially updated.
+    pub fn import_memo(&mut self, text: &str) -> Result<(), PersistError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => {}
+            Some((_, h)) => return err(1, format!("bad header `{h}`")),
+            None => return err(1, "empty file"),
+        }
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut f = Fields::new(trimmed, line_no);
+            match f.next_str()? {
+                "gcd" => {
+                    let (k, v) = decode_gcd(&mut f)?;
+                    f.finish()?;
+                    self.gcd_memo.insert(k, v);
+                }
+                "full" => {
+                    let (k, v) = decode_full(&mut f)?;
+                    f.finish()?;
+                    self.full_memo.insert(k, v);
+                }
+                other => return err(line_no, format!("unknown record `{other}`")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes [`export_memo`](Self::export_memo) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        fs::write(path, self.export_memo())
+    }
+
+    /// Reads a file into the memo tables (see
+    /// [`import_memo`](Self::import_memo)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; format errors are wrapped as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load_memo_file(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let text = fs::read_to_string(path)?;
+        self.import_memo(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_ir::parse_program;
+
+    fn trained_analyzer() -> DependenceAnalyzer {
+        let src = "
+            for i = 1 to 10 { a[i + 1] = a[i]; }
+            for i = 1 to 10 { b[2 * i] = b[2 * i + 1]; }
+            for i = 1 to 10 { for j = i to 10 { c[j + 2] = c[j]; } }
+            read(n); for i = 1 to 10 { d[i + n] = d[i + n + 3]; }
+        ";
+        let program = parse_program(src).unwrap();
+        let mut an = DependenceAnalyzer::new();
+        an.analyze_program(&program);
+        an
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let trained = trained_analyzer();
+        let text = trained.export_memo();
+        assert!(text.starts_with(HEADER));
+
+        let mut fresh = DependenceAnalyzer::new();
+        fresh.import_memo(&text).unwrap();
+        assert_eq!(fresh.memo_entries(), trained.memo_entries());
+        assert_eq!(fresh.gcd_memo_entries(), trained.gcd_memo_entries());
+
+        // Round-trip stability.
+        assert_eq!(fresh.export_memo(), text);
+    }
+
+    #[test]
+    fn imported_table_eliminates_tests() {
+        let trained = trained_analyzer();
+        let text = trained.export_memo();
+
+        let program =
+            parse_program("for i = 1 to 10 { z[i + 1] = z[i]; }").unwrap();
+        // Without the import: one test.
+        let mut cold = DependenceAnalyzer::new();
+        let r = cold.analyze_program(&program);
+        assert_eq!(r.stats.base_tests.total(), 1);
+
+        // With the import: the a[i+1]=a[i] entry answers it from cache.
+        let mut warm = DependenceAnalyzer::new();
+        warm.import_memo(&text).unwrap();
+        let r = warm.analyze_program(&program);
+        assert_eq!(r.stats.base_tests.total(), 0);
+        assert_eq!(r.stats.memo_hits, 1);
+        assert_eq!(
+            r.pairs()[0].direction_vectors,
+            cold.analyze_program(&program).pairs()[0].direction_vectors
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = trained_analyzer().export_memo();
+        let b = trained_analyzer().export_memo();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_inputs_are_located() {
+        let mut an = DependenceAnalyzer::new();
+        let bad_header = an.import_memo("nope\n").unwrap_err();
+        assert_eq!(bad_header.line, 1);
+
+        let bad_record = an
+            .import_memo("dda-memo v1\nbogus 1 2 3\n")
+            .unwrap_err();
+        assert_eq!(bad_record.line, 2);
+        assert!(bad_record.message.contains("bogus"));
+
+        let truncated = an
+            .import_memo("dda-memo v1\ngcd 3 1 2\n")
+            .unwrap_err();
+        assert_eq!(truncated.line, 2);
+
+        let trailing = an
+            .import_memo("dda-memo v1\ngcd 1 7 I extra\n")
+            .unwrap_err();
+        assert!(trailing.message.contains("trailing"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_allowed() {
+        let mut an = DependenceAnalyzer::new();
+        an.import_memo("dda-memo v1\n\n# a comment\ngcd 1 7 I\n")
+            .unwrap();
+        assert_eq!(an.gcd_memo_entries(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dda_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("memo.txt");
+        let trained = trained_analyzer();
+        trained.save_memo_file(&path).unwrap();
+        let mut fresh = DependenceAnalyzer::new();
+        fresh.load_memo_file(&path).unwrap();
+        assert_eq!(fresh.export_memo(), trained.export_memo());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,298 @@
+//! Result types: answers, resolving tests, direction and distance vectors.
+
+use std::fmt;
+
+/// The four cascaded tests, in the cost order the paper applies them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TestKind {
+    /// Single Variable Per Constraint test.
+    Svpc,
+    /// Acyclic test.
+    Acyclic,
+    /// Simple Loop Residue test (exact restricted form).
+    LoopResidue,
+    /// Fourier–Motzkin backup.
+    FourierMotzkin,
+}
+
+impl TestKind {
+    /// All tests in cascade order.
+    pub const ALL: [TestKind; 4] = [
+        TestKind::Svpc,
+        TestKind::Acyclic,
+        TestKind::LoopResidue,
+        TestKind::FourierMotzkin,
+    ];
+}
+
+impl fmt::Display for TestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TestKind::Svpc => "SVPC",
+            TestKind::Acyclic => "Acyclic",
+            TestKind::LoopResidue => "Loop Residue",
+            TestKind::FourierMotzkin => "Fourier-Motzkin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What resolved a dependence question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolvedBy {
+    /// Both references had constant subscripts: compared directly, no
+    /// dependence testing (the paper's "Constant" column).
+    Constant,
+    /// The extended GCD test proved independence from the equality system
+    /// alone (the "GCD" column).
+    Gcd,
+    /// One of the cascaded tests on the reduced inequality system.
+    Test(TestKind),
+    /// No test applied (non-affine subscripts, arithmetic overflow, or
+    /// symbolic analysis disabled): dependence is assumed.
+    Assumed,
+}
+
+impl fmt::Display for ResolvedBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolvedBy::Constant => f.write_str("constant"),
+            ResolvedBy::Gcd => f.write_str("GCD"),
+            ResolvedBy::Test(t) => write!(f, "{t}"),
+            ResolvedBy::Assumed => f.write_str("assumed"),
+        }
+    }
+}
+
+/// The answer to "can these two references touch the same location?"
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Provably no common location: the loop can be parallelized with
+    /// respect to this pair.
+    Independent,
+    /// Provably dependent; carries a witness assignment of the problem
+    /// variables (loop indices of both references, then symbolics) when
+    /// one was constructed.
+    Dependent(Option<Vec<i64>>),
+    /// The tests could not decide; dependence is assumed (sound, inexact).
+    Unknown,
+}
+
+impl Answer {
+    /// Whether the answer is a definitive "independent".
+    #[must_use]
+    pub fn is_independent(&self) -> bool {
+        matches!(self, Answer::Independent)
+    }
+
+    /// Whether the answer is a definitive "dependent".
+    #[must_use]
+    pub fn is_dependent(&self) -> bool {
+        matches!(self, Answer::Dependent(_))
+    }
+
+    /// Whether the compiler must treat the pair as dependent (definitive
+    /// or assumed).
+    #[must_use]
+    pub fn must_assume_dependent(&self) -> bool {
+        !self.is_independent()
+    }
+
+    /// Whether the answer is exact (not an assumption).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, Answer::Unknown)
+    }
+}
+
+/// The outcome of a dependence query on one pair of references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependenceResult {
+    /// The verdict.
+    pub answer: Answer,
+    /// What produced the verdict.
+    pub resolved_by: ResolvedBy,
+}
+
+impl DependenceResult {
+    /// Shorthand for `self.answer.is_independent()`.
+    #[must_use]
+    pub fn is_independent(&self) -> bool {
+        self.answer.is_independent()
+    }
+}
+
+/// One component of a direction vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// `<` — the first reference's iteration precedes the second's.
+    Lt,
+    /// `=` — same iteration at this level.
+    Eq,
+    /// `>` — the first reference's iteration follows the second's.
+    Gt,
+    /// `*` — any direction (unrefined or proven irrelevant).
+    Any,
+}
+
+impl Direction {
+    /// The three refinable directions, in the order the hierarchy tries
+    /// them.
+    pub const REFINED: [Direction; 3] = [Direction::Lt, Direction::Eq, Direction::Gt];
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::Lt => "<",
+            Direction::Eq => "=",
+            Direction::Gt => ">",
+            Direction::Any => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A direction vector: one [`Direction`] per common loop, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirectionVector(pub Vec<Direction>);
+
+impl DirectionVector {
+    /// The all-`*` vector of length `n`.
+    #[must_use]
+    pub fn any(n: usize) -> DirectionVector {
+        DirectionVector(vec![Direction::Any; n])
+    }
+
+    /// Whether every component is `=` — a loop-independent (same
+    /// iteration) dependence.
+    #[must_use]
+    pub fn is_all_eq(&self) -> bool {
+        self.0.iter().all(|&d| d == Direction::Eq)
+    }
+
+    /// Whether the dependence is carried by loop `level` (0-based,
+    /// outermost first): all outer components are `=` and this one is `<`
+    /// or `>`.
+    #[must_use]
+    pub fn carried_by(&self, level: usize) -> bool {
+        self.0.len() > level
+            && self.0[..level].iter().all(|&d| d == Direction::Eq)
+            && matches!(self.0[level], Direction::Lt | Direction::Gt)
+    }
+}
+
+impl fmt::Display for DirectionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Classification of a dependence by the access kinds of its endpoints,
+/// oriented source → sink (the source executes first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependenceKind {
+    /// Write then read (true/RAW dependence).
+    Flow,
+    /// Read then write (WAR).
+    Anti,
+    /// Write then write (WAW).
+    Output,
+    /// Read then read (RAR; only reported when input dependences are
+    /// requested).
+    Input,
+}
+
+impl DependenceKind {
+    /// Classifies by the two endpoints' access kinds, in source → sink
+    /// order.
+    #[must_use]
+    pub fn classify(source_is_write: bool, sink_is_write: bool) -> DependenceKind {
+        match (source_is_write, sink_is_write) {
+            (true, false) => DependenceKind::Flow,
+            (false, true) => DependenceKind::Anti,
+            (true, true) => DependenceKind::Output,
+            (false, false) => DependenceKind::Input,
+        }
+    }
+}
+
+impl fmt::Display for DependenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DependenceKind::Flow => "flow",
+            DependenceKind::Anti => "anti",
+            DependenceKind::Output => "output",
+            DependenceKind::Input => "input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A distance vector: the constant `i′ − i` per common loop when known.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DistanceVector(pub Vec<Option<i64>>);
+
+impl fmt::Display for DistanceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match d {
+                Some(v) => write!(f, "{v}")?,
+                None => write!(f, "?")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_vector_display() {
+        let v = DirectionVector(vec![Direction::Lt, Direction::Eq, Direction::Any]);
+        assert_eq!(v.to_string(), "(<, =, *)");
+    }
+
+    #[test]
+    fn carried_by_levels() {
+        let v = DirectionVector(vec![Direction::Eq, Direction::Lt, Direction::Any]);
+        assert!(!v.carried_by(0));
+        assert!(v.carried_by(1));
+        assert!(!v.carried_by(2));
+        assert!(DirectionVector(vec![Direction::Eq, Direction::Eq]).is_all_eq());
+    }
+
+    #[test]
+    fn answer_predicates() {
+        assert!(Answer::Independent.is_independent());
+        assert!(Answer::Dependent(None).is_dependent());
+        assert!(Answer::Dependent(None).is_exact());
+        assert!(!Answer::Unknown.is_exact());
+        assert!(Answer::Unknown.must_assume_dependent());
+    }
+
+    #[test]
+    fn distance_vector_display() {
+        let d = DistanceVector(vec![Some(2), None]);
+        assert_eq!(d.to_string(), "(2, ?)");
+    }
+
+    #[test]
+    fn test_kind_display_ordering() {
+        let names: Vec<String> = TestKind::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(names, ["SVPC", "Acyclic", "Loop Residue", "Fourier-Motzkin"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The Single Variable Per Constraint (SVPC) test.
+//!
+//! Exact whenever every constraint involves at most one variable (Section
+//! 3.2): each constraint is then just an upper or lower bound for one
+//! variable, and the system is dependent iff every variable's range is
+//! non-empty. This is a superset of the classic single-loop,
+//! single-dimension exact test and — per the paper's measurements — handles
+//! the overwhelming majority of real dependence queries.
+//!
+//! Even when some constraints have several variables, this pass still
+//! absorbs every single-variable constraint into per-variable scalar
+//! bounds, shrinking the system for the Acyclic and Loop Residue tests.
+
+use dda_linalg::num;
+
+use crate::system::{Constraint, System, VarBounds};
+
+/// Outcome of the SVPC pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvpcOutcome {
+    /// Some variable's range is empty, or a variable-free constraint is
+    /// violated: the references are independent (exact).
+    Infeasible,
+    /// Every constraint had at most one variable and the ranges are all
+    /// non-empty: dependent (exact), with a witness assignment.
+    Complete {
+        /// A satisfying assignment of the `t` variables.
+        sample: Vec<i64>,
+    },
+    /// Multi-variable constraints remain; `bounds` holds the scalar ranges
+    /// and `residual` the constraints SVPC could not absorb.
+    Partial {
+        /// Scalar bounds accumulated from single-variable constraints.
+        bounds: VarBounds,
+        /// The remaining multi-variable constraints (normalized).
+        residual: Vec<Constraint>,
+    },
+}
+
+/// Runs the SVPC pass over a system.
+///
+/// Constraints are gcd-normalized on the fly, so `2t ≤ 5` correctly bounds
+/// `t ≤ 2`.
+///
+/// # Examples
+///
+/// The paper's Section 3.2 worked example (`a[i1][i2]` vs
+/// `a[i2+10][i1+9]`) reduces to four single-variable constraints whose
+/// ranges collapse to `11 ≤ t1 ≤ 10` — independent:
+///
+/// ```
+/// use dda_core::system::{Constraint, System};
+/// use dda_core::svpc::{svpc, SvpcOutcome};
+///
+/// let mut s = System::new(2);
+/// s.push(Constraint::new(vec![-1, 0], -1)); // 1 ≤ t1
+/// s.push(Constraint::new(vec![1, 0], 10));  // t1 ≤ 10
+/// s.push(Constraint::new(vec![0, -1], -1)); // 1 ≤ t2
+/// s.push(Constraint::new(vec![0, 1], 10));  // t2 ≤ 10
+/// s.push(Constraint::new(vec![0, 1], 1));   // t2 + 9 ≤ 10
+/// s.push(Constraint::new(vec![-1, 0], -11)); // 1 ≤ t1 - 10
+/// assert_eq!(svpc(&s), SvpcOutcome::Infeasible);
+/// ```
+#[must_use]
+pub fn svpc(system: &System) -> SvpcOutcome {
+    let n = system.num_vars;
+    let mut bounds = VarBounds::unbounded(n);
+    let mut residual = Vec::new();
+
+    for c in &system.constraints {
+        let mut c = c.clone();
+        c.normalize();
+        if c.is_trivial() {
+            if !c.trivially_satisfied() {
+                return SvpcOutcome::Infeasible;
+            }
+            continue;
+        }
+        if let Some(v) = c.single_var() {
+            let a = c.coeffs[v];
+            if a > 0 {
+                bounds.tighten_ub(v, num::div_floor(c.rhs, a));
+            } else {
+                bounds.tighten_lb(v, num::div_ceil(c.rhs, a));
+            }
+        } else {
+            residual.push(c);
+        }
+    }
+
+    if bounds.any_empty() {
+        return SvpcOutcome::Infeasible;
+    }
+    if residual.is_empty() {
+        let sample = (0..n).map(|v| bounds.pick(v)).collect();
+        return SvpcOutcome::Complete { sample };
+    }
+    SvpcOutcome::Partial { bounds, residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(rows: &[(&[i64], i64)]) -> System {
+        let n = rows.first().map_or(0, |(c, _)| c.len());
+        let mut s = System::new(n);
+        for (coeffs, rhs) in rows {
+            s.push(Constraint::new(coeffs.to_vec(), *rhs));
+        }
+        s
+    }
+
+    #[test]
+    fn paper_example_a_i_plus_10() {
+        // for i = 1 to 10: a[i+10] = a[i]; after GCD, t with
+        // 1 ≤ t ≤ 10 and 1 ≤ t + 10 ≤ 10  ⇒  11 ≤ t ≤ 0: independent.
+        let s = sys(&[
+            (&[-1], -1),
+            (&[1], 10),
+            (&[-1], 9),   // 1 ≤ t + 10  ⇔  -t ≤ 9
+            (&[1], 0),    // t + 10 ≤ 10 ⇔  t ≤ 0
+        ]);
+        // Wait: with bounds -9 ≤ t ≤ 0 and 1 ≤ t ≤ 10 → 1 ≤ t ≤ 0: empty.
+        assert_eq!(svpc(&s), SvpcOutcome::Infeasible);
+    }
+
+    #[test]
+    fn dependent_with_sample() {
+        let s = sys(&[(&[-1, 0], -1), (&[1, 0], 10), (&[0, 1], 5)]);
+        let SvpcOutcome::Complete { sample } = svpc(&s) else {
+            panic!("expected complete");
+        };
+        assert!(s.is_satisfied_by(&sample).unwrap());
+    }
+
+    #[test]
+    fn trivial_violation_is_infeasible() {
+        let s = sys(&[(&[0, 0], -1)]);
+        assert_eq!(svpc(&s), SvpcOutcome::Infeasible);
+    }
+
+    #[test]
+    fn trivial_satisfied_ignored() {
+        let s = sys(&[(&[0], 3)]);
+        let SvpcOutcome::Complete { sample } = svpc(&s) else {
+            panic!();
+        };
+        assert_eq!(sample, vec![0]);
+    }
+
+    #[test]
+    fn gcd_tightening_applies() {
+        // 2t ≤ 5 and 2t ≥ 5 has a real solution (2.5) but no integer one.
+        let s = sys(&[(&[2], 5), (&[-2], -5)]);
+        assert_eq!(svpc(&s), SvpcOutcome::Infeasible);
+    }
+
+    #[test]
+    fn multi_var_goes_to_residual() {
+        let s = sys(&[(&[1, -1], 0), (&[1, 0], 5)]);
+        let SvpcOutcome::Partial { bounds, residual } = svpc(&s) else {
+            panic!("expected partial");
+        };
+        assert_eq!(residual.len(), 1);
+        assert_eq!(bounds.ub[0], Some(5));
+        assert_eq!(bounds.ub[1], None);
+    }
+
+    #[test]
+    fn infeasible_detected_even_with_residual() {
+        // Empty scalar range decides regardless of the multi-var leftover.
+        let s = sys(&[(&[1, -1], 0), (&[1, 0], 0), (&[-1, 0], -1)]);
+        assert_eq!(svpc(&s), SvpcOutcome::Infeasible);
+    }
+
+    #[test]
+    fn empty_system_is_dependent() {
+        let s = System::new(3);
+        let SvpcOutcome::Complete { sample } = svpc(&s) else {
+            panic!();
+        };
+        assert_eq!(sample, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn negative_coefficient_lower_bound() {
+        // -3t ≤ -7  ⇒  t ≥ ceil(7/3) = 3.
+        let s = sys(&[(&[-3], -7), (&[1], 2)]);
+        assert_eq!(svpc(&s), SvpcOutcome::Infeasible);
+        let s2 = sys(&[(&[-3], -7), (&[1], 3)]);
+        let SvpcOutcome::Complete { sample } = svpc(&s2) else {
+            panic!();
+        };
+        assert_eq!(sample, vec![3]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Inequality constraint systems over the free variables `t`.
+//!
+//! After extended-GCD preprocessing, every dependence problem is a set of
+//! linear inequality constraints `a · t ≤ b` over integer variables. All
+//! four exact tests and the Fourier–Motzkin backup consume this form — one
+//! of the paper's stated reasons for choosing this particular suite of
+//! tests ("they all expect their data in the same form").
+
+use std::fmt;
+
+use dda_linalg::num;
+
+/// A single linear inequality `coeffs · t ≤ rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Coefficient per variable (dense; length = number of variables).
+    pub coeffs: Vec<i64>,
+    /// The inclusive right-hand side.
+    pub rhs: i64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    #[must_use]
+    pub fn new(coeffs: Vec<i64>, rhs: i64) -> Constraint {
+        Constraint { coeffs, rhs }
+    }
+
+    /// Number of variables with non-zero coefficients.
+    #[must_use]
+    pub fn num_nonzero(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Index of the single non-zero coefficient, if exactly one exists.
+    #[must_use]
+    pub fn single_var(&self) -> Option<usize> {
+        let mut found = None;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// Whether the constraint involves no variables at all.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Whether a trivial constraint is satisfied (`0 ≤ rhs`).
+    #[must_use]
+    pub fn trivially_satisfied(&self) -> bool {
+        self.rhs >= 0
+    }
+
+    /// Divides through by the gcd of the coefficients, flooring the
+    /// right-hand side — a tightening that preserves exactly the *integer*
+    /// solutions (the paper's loop-residue trick `a·t ≤ c  ⇒  t ≤ ⌊c/a⌋`
+    /// generalized to whole rows).
+    pub fn normalize(&mut self) {
+        let g = num::gcd_slice(&self.coeffs);
+        if g > 1 {
+            for c in &mut self.coeffs {
+                *c /= g;
+            }
+            self.rhs = num::div_floor(self.rhs, g);
+        }
+    }
+
+    /// Evaluates whether an assignment satisfies the constraint.
+    ///
+    /// Returns `None` on overflow or length mismatch.
+    #[must_use]
+    pub fn is_satisfied_by(&self, t: &[i64]) -> Option<bool> {
+        let lhs = num::dot(&self.coeffs, t).ok()?;
+        Some(lhs <= self.rhs)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if first {
+                if c == 1 {
+                    write!(f, "t{i}")?;
+                } else if c == -1 {
+                    write!(f, "-t{i}")?;
+                } else {
+                    write!(f, "{c}*t{i}")?;
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + t{i}")?;
+                } else {
+                    write!(f, " + {c}*t{i}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - t{i}")?;
+            } else {
+                write!(f, " - {}*t{i}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        write!(f, " <= {}", self.rhs)
+    }
+}
+
+/// Per-variable scalar bounds accumulated from single-variable
+/// constraints. `None` means unbounded in that direction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VarBounds {
+    /// Lower bound per variable.
+    pub lb: Vec<Option<i64>>,
+    /// Upper bound per variable.
+    pub ub: Vec<Option<i64>>,
+}
+
+impl VarBounds {
+    /// Creates unbounded bounds for `n` variables.
+    #[must_use]
+    pub fn unbounded(n: usize) -> VarBounds {
+        VarBounds {
+            lb: vec![None; n],
+            ub: vec![None; n],
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Whether there are no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lb.is_empty()
+    }
+
+    /// Tightens the lower bound of `v` to at least `value`.
+    pub fn tighten_lb(&mut self, v: usize, value: i64) {
+        self.lb[v] = Some(self.lb[v].map_or(value, |old| old.max(value)));
+    }
+
+    /// Tightens the upper bound of `v` to at most `value`.
+    pub fn tighten_ub(&mut self, v: usize, value: i64) {
+        self.ub[v] = Some(self.ub[v].map_or(value, |old| old.min(value)));
+    }
+
+    /// Whether some variable has an empty range (`lb > ub`).
+    #[must_use]
+    pub fn any_empty(&self) -> bool {
+        self.lb
+            .iter()
+            .zip(&self.ub)
+            .any(|(l, u)| matches!((l, u), (Some(l), Some(u)) if l > u))
+    }
+
+    /// A concrete in-range value for variable `v`: the lower bound when
+    /// one exists, else the upper bound, else 0.
+    #[must_use]
+    pub fn pick(&self, v: usize) -> i64 {
+        match (self.lb[v], self.ub[v]) {
+            (Some(l), _) => l,
+            (None, Some(u)) => u,
+            (None, None) => 0,
+        }
+    }
+}
+
+/// An inequality system over `num_vars` integer variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct System {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The constraints (`a · t ≤ b` each).
+    pub constraints: Vec<Constraint>,
+}
+
+impl System {
+    /// Creates an empty system over `num_vars` variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> System {
+        System {
+            num_vars,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Appends a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector's length differs from `num_vars`.
+    pub fn push(&mut self, c: Constraint) {
+        assert_eq!(
+            c.coeffs.len(),
+            self.num_vars,
+            "constraint arity must match system"
+        );
+        self.constraints.push(c);
+    }
+
+    /// Normalizes every constraint (gcd tightening).
+    pub fn normalize(&mut self) {
+        for c in &mut self.constraints {
+            c.normalize();
+        }
+    }
+
+    /// Checks an assignment against every constraint.
+    ///
+    /// Returns `None` on overflow or arity mismatch.
+    #[must_use]
+    pub fn is_satisfied_by(&self, t: &[i64]) -> Option<bool> {
+        for c in &self.constraints {
+            if !c.is_satisfied_by(t)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.constraints {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_var_detection() {
+        assert_eq!(Constraint::new(vec![0, 3, 0], 5).single_var(), Some(1));
+        assert_eq!(Constraint::new(vec![1, 3, 0], 5).single_var(), None);
+        assert_eq!(Constraint::new(vec![0, 0], 5).single_var(), None);
+        assert!(Constraint::new(vec![0, 0], 5).is_trivial());
+    }
+
+    #[test]
+    fn normalize_tightens_by_gcd() {
+        // 2t ≤ 5 ⇒ t ≤ 2 (integer tightening)
+        let mut c = Constraint::new(vec![2, 0], 5);
+        c.normalize();
+        assert_eq!(c, Constraint::new(vec![1, 0], 2));
+        // -3t ≤ -7 ⇒ -t ≤ floor(-7/3) = -3, i.e. t ≥ 3
+        let mut c = Constraint::new(vec![-3], -7);
+        c.normalize();
+        assert_eq!(c, Constraint::new(vec![-1], -3));
+    }
+
+    #[test]
+    fn normalize_keeps_integer_solutions() {
+        for a in [2i64, 3, 4, 6] {
+            for rhs in -10..10 {
+                let orig = Constraint::new(vec![a], rhs);
+                let mut norm = orig.clone();
+                norm.normalize();
+                for t in -20..20 {
+                    assert_eq!(
+                        orig.is_satisfied_by(&[t]).unwrap(),
+                        norm.is_satisfied_by(&[t]).unwrap(),
+                        "a={a} rhs={rhs} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_and_detect_empty() {
+        let mut b = VarBounds::unbounded(2);
+        b.tighten_lb(0, 1);
+        b.tighten_ub(0, 10);
+        b.tighten_lb(0, 3); // tighter
+        b.tighten_lb(0, 2); // looser, ignored
+        assert_eq!(b.lb[0], Some(3));
+        assert!(!b.any_empty());
+        b.tighten_ub(0, 2);
+        assert!(b.any_empty());
+    }
+
+    #[test]
+    fn pick_prefers_lower_bound() {
+        let mut b = VarBounds::unbounded(3);
+        b.tighten_lb(0, 5);
+        b.tighten_ub(1, -2);
+        assert_eq!(b.pick(0), 5);
+        assert_eq!(b.pick(1), -2);
+        assert_eq!(b.pick(2), 0);
+    }
+
+    #[test]
+    fn system_satisfaction() {
+        let mut s = System::new(2);
+        s.push(Constraint::new(vec![1, -1], 0)); // t0 ≤ t1
+        s.push(Constraint::new(vec![0, 1], 5)); // t1 ≤ 5
+        assert_eq!(s.is_satisfied_by(&[3, 4]), Some(true));
+        assert_eq!(s.is_satisfied_by(&[6, 5]), Some(false));
+        assert_eq!(s.is_satisfied_by(&[3, 6]), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut s = System::new(2);
+        s.push(Constraint::new(vec![1], 0));
+    }
+
+    #[test]
+    fn display_readable() {
+        let c = Constraint::new(vec![1, -2, 0, -1], 7);
+        assert_eq!(c.to_string(), "t0 - 2*t1 - t3 <= 7");
+        assert_eq!(Constraint::new(vec![0, 0], -1).to_string(), "0 <= -1");
+    }
+}

@@ -1,0 +1,233 @@
+//! Legality checks for classic loop transformations.
+//!
+//! Direction vectors exist to license transformations: a reordering is
+//! legal iff every dependence still flows forward (no vector becomes
+//! lexicographically negative). These helpers answer the standard
+//! questions a restructuring compiler asks of the analysis — and they are
+//! where the paper's *exactness* cashes out: an inexact extra vector can
+//! veto a perfectly legal transformation.
+
+use std::collections::BTreeSet;
+
+use crate::analyzer::ProgramReport;
+use crate::result::{Direction, DirectionVector};
+
+/// Whether a vector could be lexicographically negative — i.e. some
+/// realization has `>` before any `<` (reading left to right, `=` skipped,
+/// `*` treated as possibly `>`).
+#[must_use]
+pub fn may_be_lexicographically_negative(v: &DirectionVector) -> bool {
+    for d in &v.0 {
+        match d {
+            Direction::Lt => return false,
+            Direction::Eq => continue,
+            Direction::Gt | Direction::Any => return true,
+        }
+    }
+    false
+}
+
+/// Collects, for each pair, the direction vectors restricted to the given
+/// common-loop levels in the given order. Pairs whose common nest does not
+/// cover all requested levels are skipped (the transformation does not
+/// touch them).
+fn permuted_vectors(
+    report: &ProgramReport,
+    permutation: &[usize],
+) -> Vec<DirectionVector> {
+    let mut out = Vec::new();
+    for pair in report.pairs() {
+        if pair.result.is_independent() {
+            continue;
+        }
+        let depth = pair.common_loop_ids.len();
+        if permutation.iter().any(|&k| k >= depth) {
+            continue;
+        }
+        if pair.direction_vectors.is_empty() {
+            // Assumed dependence with no vectors: conservatively any.
+            out.push(DirectionVector::any(permutation.len()));
+            continue;
+        }
+        for v in &pair.direction_vectors {
+            out.push(DirectionVector(
+                permutation.iter().map(|&k| v.0[k]).collect(),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether permuting the common loop nest of every pair into the given
+/// level order preserves all dependences.
+///
+/// `permutation[p] = k` means the loop currently at level `k` moves to
+/// position `p`. Interchange of two adjacent loops is the permutation
+/// `[1, 0]` (plus identity on deeper levels, which need not be listed —
+/// trailing levels keep their relative order and cannot flip a leading
+/// non-`=`... they can, so list every level you permute *through*).
+///
+/// # Examples
+///
+/// ```
+/// use dda_core::{transform::permutation_is_legal, DependenceAnalyzer};
+/// use dda_ir::parse_program;
+///
+/// // (=, <) dependence: interchanging the two loops is fine.
+/// let p = parse_program(
+///     "for i = 1 to 8 { for j = 1 to 8 { a[i][j + 1] = a[i][j]; } }",
+/// )?;
+/// let report = DependenceAnalyzer::new().analyze_program(&p);
+/// assert!(permutation_is_legal(&report, &[1, 0]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn permutation_is_legal(report: &ProgramReport, permutation: &[usize]) -> bool {
+    permuted_vectors(report, permutation)
+        .iter()
+        .all(|v| !may_be_lexicographically_negative(v))
+}
+
+/// Whether interchanging common-loop levels `a` and `b` is legal for
+/// every dependent pair deep enough to be affected.
+#[must_use]
+pub fn interchange_is_legal(report: &ProgramReport, a: usize, b: usize) -> bool {
+    let deepest = a.max(b);
+    let mut perm: Vec<usize> = (0..=deepest).collect();
+    perm.swap(a, b);
+    permutation_is_legal(report, &perm)
+}
+
+/// Loop ids that can run fully in parallel (no carried dependence at
+/// their level) — the complement of
+/// [`ProgramReport::carried_dependence_loops`].
+#[must_use]
+pub fn parallelizable_loops(
+    report: &ProgramReport,
+    all_loop_ids: &BTreeSet<usize>,
+) -> BTreeSet<usize> {
+    let carried = report.carried_dependence_loops();
+    all_loop_ids.difference(&carried).copied().collect()
+}
+
+/// Whether the innermost common loop of every pair can be vectorized:
+/// legal when no dependence is carried by that loop, or every carried
+/// dependence at that level has a (forward) distance of at least
+/// `vector_width` — consecutive lanes then never conflict.
+#[must_use]
+pub fn innermost_vectorizable(report: &ProgramReport, vector_width: i64) -> bool {
+    assert!(vector_width >= 1, "vector width must be positive");
+    for pair in report.pairs() {
+        if pair.result.is_independent() {
+            continue;
+        }
+        let Some(depth) = pair.common_loop_ids.len().checked_sub(1) else {
+            continue;
+        };
+        if pair.direction_vectors.is_empty() {
+            return false; // assumed dependence: no information
+        }
+        for v in &pair.direction_vectors {
+            if !v.carried_by(depth)
+                && !v
+                    .0
+                    .get(depth)
+                    .is_some_and(|d| *d == Direction::Any)
+            {
+                continue; // not carried innermost
+            }
+            match pair.distance.0.get(depth) {
+                Some(Some(d)) if d.abs() >= vector_width => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DependenceAnalyzer;
+    use dda_ir::{parse_program, passes};
+
+    fn report(src: &str) -> ProgramReport {
+        let mut p = parse_program(src).unwrap();
+        passes::normalize(&mut p);
+        DependenceAnalyzer::new().analyze_program(&p)
+    }
+
+    #[test]
+    fn interchange_legal_for_inner_carried() {
+        let r = report(
+            "for i = 1 to 8 { for j = 1 to 8 { a[i][j + 1] = a[i][j]; } }",
+        );
+        assert!(interchange_is_legal(&r, 0, 1));
+    }
+
+    #[test]
+    fn interchange_illegal_for_skewed_recurrence() {
+        let r = report(
+            "for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j + 1]; } }",
+        );
+        assert!(!interchange_is_legal(&r, 0, 1));
+    }
+
+    #[test]
+    fn interchange_legal_for_diagonal() {
+        let r = report(
+            "for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j - 1]; } }",
+        );
+        assert!(interchange_is_legal(&r, 0, 1));
+    }
+
+    #[test]
+    fn three_level_rotation() {
+        // Dependence (=, =, <): any permutation keeping the k-loop's `<`
+        // after the `=`s is legal; rotating k outermost is also legal
+        // (leading `<`).
+        let r = report(
+            "for i = 1 to 4 { for j = 1 to 4 { for k = 1 to 4 {
+                 a[i][j][k + 1] = a[i][j][k];
+             } } }",
+        );
+        assert!(permutation_is_legal(&r, &[2, 0, 1]));
+        assert!(permutation_is_legal(&r, &[0, 2, 1]));
+    }
+
+    #[test]
+    fn rotation_illegal_when_it_reverses_flow() {
+        // (<, >): moving level 1 outermost puts `>` first.
+        let r = report(
+            "for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j + 1]; } }",
+        );
+        assert!(!permutation_is_legal(&r, &[1, 0]));
+    }
+
+    #[test]
+    fn vectorization_width_gate() {
+        // Distance 4 innermost: vectorizable at width ≤ 4, not at 8.
+        let r = report("for i = 1 to 64 { a[i + 4] = a[i]; }");
+        assert!(innermost_vectorizable(&r, 4));
+        assert!(!innermost_vectorizable(&r, 8));
+        // Distance 1: never vectorizable beyond width 1.
+        let r = report("for i = 1 to 64 { a[i + 1] = a[i]; }");
+        assert!(innermost_vectorizable(&r, 1));
+        assert!(!innermost_vectorizable(&r, 2));
+    }
+
+    #[test]
+    fn vectorization_blocked_by_unknown_dependence() {
+        let r = report("for i = 1 to 64 { a[b[i]] = a[i]; }");
+        assert!(!innermost_vectorizable(&r, 2));
+    }
+
+    #[test]
+    fn independent_program_fully_transformable() {
+        let r = report(
+            "for i = 1 to 8 { for j = 1 to 8 { a[i][j] = c[j][i]; } }",
+        );
+        assert!(interchange_is_legal(&r, 0, 1));
+        assert!(innermost_vectorizable(&r, 16));
+    }
+}

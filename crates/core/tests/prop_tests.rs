@@ -1,0 +1,163 @@
+//! Property-based tests: the exact tests against brute-force enumeration
+//! on randomly generated constraint systems.
+//!
+//! Each system is small enough (≤ 3 variables, coefficients ≤ 4 in
+//! magnitude, right-hand sides ≤ 12) that any feasible instance has a
+//! witness inside a modest box, so "no solution in the box plus a
+//! bounding argument" gives ground truth. Every generated system includes
+//! explicit box bounds, which makes brute force complete.
+
+use dda_core::cascade::run_cascade;
+use dda_core::fourier_motzkin::{fourier_motzkin, FmOutcome};
+use dda_core::svpc::{svpc, SvpcOutcome};
+use dda_core::system::{Constraint, System};
+use dda_core::Answer;
+use proptest::prelude::*;
+
+const BOX: i64 = 8;
+
+/// A random constraint over `n` vars (plus implicit box bounds added by
+/// the caller).
+fn arb_constraint(n: usize) -> impl Strategy<Value = Constraint> {
+    (
+        proptest::collection::vec(-4i64..=4, n),
+        -12i64..=12,
+    )
+        .prop_map(|(coeffs, rhs)| Constraint::new(coeffs, rhs))
+}
+
+/// A system of 0..=4 random constraints over 1..=3 vars, each variable
+/// boxed to [-BOX, BOX] so brute force is complete.
+fn arb_system() -> impl Strategy<Value = System> {
+    (1usize..=3)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(arb_constraint(n), 0..=4)
+                .prop_map(move |cs| (n, cs))
+        })
+        .prop_map(|(n, cs)| {
+            let mut s = System::new(n);
+            for c in cs {
+                s.push(c);
+            }
+            for v in 0..n {
+                let mut up = vec![0i64; n];
+                up[v] = 1;
+                s.push(Constraint::new(up.clone(), BOX));
+                up[v] = -1;
+                s.push(Constraint::new(up, BOX));
+            }
+            s
+        })
+}
+
+/// Exhaustive search over the box.
+#[allow(unreachable_code)] // the odometer loop exits via `return`
+fn brute_force(s: &System) -> Option<Vec<i64>> {
+    let n = s.num_vars;
+    let mut t = vec![-BOX; n];
+    loop {
+        if s.is_satisfied_by(&t) == Some(true) {
+            return Some(t);
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return None;
+            }
+            t[k] += 1;
+            if t[k] <= BOX {
+                break;
+            }
+            t[k] = -BOX;
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// The cascade agrees with brute force on every boxed system.
+    #[test]
+    fn cascade_matches_brute_force(s in arb_system()) {
+        let truth = brute_force(&s);
+        let out = run_cascade(&s);
+        match out.answer {
+            Answer::Independent => {
+                prop_assert!(truth.is_none(),
+                    "cascade says independent, brute force found {truth:?}\n{s}");
+            }
+            Answer::Dependent(witness) => {
+                prop_assert!(truth.is_some(),
+                    "cascade says dependent, brute force found nothing\n{s}");
+                if let Some(w) = witness {
+                    prop_assert_eq!(s.is_satisfied_by(&w), Some(true),
+                        "witness invalid\n{}", s);
+                }
+            }
+            Answer::Unknown => {
+                // Allowed (inexact), but on these tiny systems it should
+                // never happen — matching the paper's experience.
+                prop_assert!(false, "cascade returned unknown on\n{s}");
+            }
+        }
+    }
+
+    /// Fourier–Motzkin alone is exact on every boxed system.
+    #[test]
+    fn fourier_motzkin_matches_brute_force(s in arb_system()) {
+        let truth = brute_force(&s);
+        match fourier_motzkin(s.num_vars, &s.constraints) {
+            FmOutcome::Infeasible => prop_assert!(truth.is_none(), "{s}"),
+            FmOutcome::Sample(w) => {
+                prop_assert!(truth.is_some(), "{s}");
+                prop_assert_eq!(s.is_satisfied_by(&w), Some(true), "{}", s);
+            }
+            FmOutcome::Unknown => prop_assert!(false, "unknown on\n{s}"),
+        }
+    }
+
+    /// SVPC never lies: Infeasible means brute force finds nothing;
+    /// Complete witnesses check out.
+    #[test]
+    fn svpc_sound(s in arb_system()) {
+        match svpc(&s) {
+            SvpcOutcome::Infeasible => {
+                prop_assert!(brute_force(&s).is_none(), "{s}");
+            }
+            SvpcOutcome::Complete { sample } => {
+                prop_assert_eq!(s.is_satisfied_by(&sample), Some(true), "{}", s);
+            }
+            SvpcOutcome::Partial { .. } => {}
+        }
+    }
+
+    /// gcd-row normalization preserves the integer solution set.
+    #[test]
+    fn normalization_preserves_integer_points(s in arb_system()) {
+        let mut normalized = s.clone();
+        normalized.normalize();
+        let n = s.num_vars;
+        let mut t = vec![-BOX; n];
+        'grid: loop {
+            prop_assert_eq!(
+                s.is_satisfied_by(&t),
+                normalized.is_satisfied_by(&t),
+                "normalization changed satisfaction at {:?}\n{}", t, s
+            );
+            let mut k = 0;
+            loop {
+                if k == n {
+                    break 'grid;
+                }
+                t[k] += 1;
+                if t[k] <= BOX {
+                    break;
+                }
+                t[k] = -BOX;
+                k += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Extraction of array accesses and candidate reference pairs.
+//!
+//! Dependence testing operates on *pairs of array references* together with
+//! their enclosing loop context. This module walks a [`Program`], lowers
+//! every subscript and loop bound to affine form (or marks it non-affine),
+//! classifies free scalars as symbolic constants, and enumerates the pairs
+//! the analyzer must test.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ast::{Program, Stmt};
+use crate::expr::{AffineExpr, ArrayRef, Expr};
+
+/// A loop bound in affine form, or a marker that it could not be lowered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// An affine function of outer loop variables and symbolic constants.
+    Affine(AffineExpr),
+    /// Not analyzable (non-linear, or uses a mutated scalar).
+    NonAffine,
+}
+
+impl Bound {
+    /// The affine payload, if any.
+    #[must_use]
+    pub fn as_affine(&self) -> Option<&AffineExpr> {
+        match self {
+            Bound::Affine(e) => Some(e),
+            Bound::NonAffine => None,
+        }
+    }
+}
+
+/// One enclosing loop of an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Unique id of this loop instance within the program walk. Two
+    /// accesses share an enclosing loop exactly when the ids match.
+    pub id: usize,
+    /// The induction variable name.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lower: Bound,
+    /// Inclusive upper bound.
+    pub upper: Bound,
+}
+
+/// A subscript in affine form, or a marker that it could not be lowered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Subscript {
+    /// Affine in loop variables and symbolic constants.
+    Affine(AffineExpr),
+    /// Not analyzable.
+    NonAffine,
+}
+
+impl Subscript {
+    /// The affine payload, if any.
+    #[must_use]
+    pub fn as_affine(&self) -> Option<&AffineExpr> {
+        match self {
+            Subscript::Affine(e) => Some(e),
+            Subscript::NonAffine => None,
+        }
+    }
+}
+
+/// A single array access (read or write) with its loop context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Unique id within the extraction.
+    pub id: usize,
+    /// The array's name.
+    pub array: String,
+    /// Lowered subscripts, one per dimension.
+    pub subscripts: Vec<Subscript>,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopInfo>,
+    /// Whether this access writes the element.
+    pub is_write: bool,
+    /// Index of the owning statement in a pre-order statement numbering.
+    pub stmt_index: usize,
+    /// Whether the access sits under an `if`: it may not execute on every
+    /// iteration, so "dependent" answers are may-dependences for it.
+    pub conditional: bool,
+}
+
+impl Access {
+    /// Whether every subscript is affine.
+    #[must_use]
+    pub fn is_affine(&self) -> bool {
+        self.subscripts
+            .iter()
+            .all(|s| matches!(s, Subscript::Affine(_)))
+    }
+
+    /// Loop nesting depth of the access.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        for s in &self.subscripts {
+            match s {
+                Subscript::Affine(e) => write!(f, "[{e}]")?,
+                Subscript::NonAffine => write!(f, "[?]")?,
+            }
+        }
+        write!(f, " ({})", if self.is_write { "write" } else { "read" })
+    }
+}
+
+/// All accesses of a program, plus the symbolic constants in scope.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessSet {
+    /// Extracted accesses in program order.
+    pub accesses: Vec<Access>,
+    /// Scalars treated as loop-invariant unknowns (declared with `read(x);`
+    /// or never assigned).
+    pub symbolics: BTreeSet<String>,
+}
+
+/// A candidate pair of accesses to the same array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefPair<'a> {
+    /// First access (earlier in program order).
+    pub a: &'a Access,
+    /// Second access.
+    pub b: &'a Access,
+    /// Number of loops enclosing *both* accesses (shared prefix length).
+    pub common: usize,
+}
+
+struct Extractor {
+    accesses: Vec<Access>,
+    loop_stack: Vec<LoopInfo>,
+    assigned_scalars: BTreeSet<String>,
+    declared_symbolics: BTreeSet<String>,
+    used_scalars: BTreeSet<String>,
+    next_loop_id: usize,
+    stmt_index: usize,
+    cond_depth: usize,
+}
+
+impl Extractor {
+    fn loop_vars(&self) -> BTreeSet<&str> {
+        self.loop_stack.iter().map(|l| l.var.as_str()).collect()
+    }
+
+    /// Lowers `e` to affine form valid in the current loop context: every
+    /// variable must be a loop variable in scope or an immutable scalar.
+    fn lower(&self, e: &Expr) -> Option<AffineExpr> {
+        let affine = AffineExpr::from_expr(e)?;
+        let loop_vars = self.loop_vars();
+        for v in affine.vars() {
+            if !loop_vars.contains(v) && self.assigned_scalars.contains(v) {
+                return None; // mutated scalar: not a symbolic constant
+            }
+        }
+        Some(affine)
+    }
+
+    fn lower_subscript(&self, e: &Expr) -> Subscript {
+        match self.lower(e) {
+            Some(a) => Subscript::Affine(a),
+            None => Subscript::NonAffine,
+        }
+    }
+
+    fn lower_bound(&self, e: &Expr) -> Bound {
+        match self.lower(e) {
+            Some(a) => Bound::Affine(a),
+            None => Bound::NonAffine,
+        }
+    }
+
+    fn note_symbolic_uses(&mut self, a: &AffineExpr) {
+        let loop_vars: BTreeSet<String> =
+            self.loop_stack.iter().map(|l| l.var.clone()).collect();
+        for v in a.vars() {
+            if !loop_vars.contains(v) {
+                self.used_scalars.insert(v.to_owned());
+            }
+        }
+    }
+
+    fn record(&mut self, r: &ArrayRef, is_write: bool) {
+        let subscripts: Vec<Subscript> =
+            r.subscripts.iter().map(|s| self.lower_subscript(s)).collect();
+        for s in &subscripts {
+            if let Subscript::Affine(a) = s {
+                let a = a.clone();
+                self.note_symbolic_uses(&a);
+            }
+        }
+        self.accesses.push(Access {
+            id: self.accesses.len(),
+            array: r.array.clone(),
+            subscripts,
+            loops: self.loop_stack.clone(),
+            is_write,
+            stmt_index: self.stmt_index,
+            conditional: self.cond_depth > 0,
+        });
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt_index += 1;
+            match s {
+                Stmt::Read(n) => {
+                    self.declared_symbolics.insert(n.clone());
+                }
+                Stmt::ScalarAssign(a) => {
+                    // Already noted in the pre-scan; reads inside count too.
+                    for r in a.value.array_reads() {
+                        self.record(r, false);
+                    }
+                }
+                Stmt::ArrayAssign(a) => {
+                    self.record(&a.target, true);
+                    for r in a.value.array_reads() {
+                        self.record(r, false);
+                    }
+                    // Array refs nested inside subscripts count as reads.
+                    for sub in &a.target.subscripts {
+                        for r in sub.array_reads() {
+                            self.record(r, false);
+                        }
+                    }
+                }
+                Stmt::If(i) => {
+                    // Condition reads always execute; branch accesses are
+                    // conditional.
+                    for r in i.lhs.array_reads() {
+                        self.record(r, false);
+                    }
+                    for r in i.rhs.array_reads() {
+                        self.record(r, false);
+                    }
+                    self.cond_depth += 1;
+                    self.walk(&i.then_body);
+                    self.walk(&i.else_body);
+                    self.cond_depth -= 1;
+                }
+                Stmt::For(l) => {
+                    let lower = self.lower_bound(&l.lower);
+                    let upper = self.lower_bound(&l.upper);
+                    if let Bound::Affine(a) = &lower {
+                        let a = a.clone();
+                        self.note_symbolic_uses(&a);
+                    }
+                    if let Bound::Affine(a) = &upper {
+                        let a = a.clone();
+                        self.note_symbolic_uses(&a);
+                    }
+                    self.loop_stack.push(LoopInfo {
+                        id: self.next_loop_id,
+                        var: l.var.clone(),
+                        lower,
+                        upper,
+                    });
+                    self.next_loop_id += 1;
+                    self.walk(&l.body);
+                    self.loop_stack.pop();
+                }
+            }
+        }
+    }
+}
+
+fn collect_assigned_scalars(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::ScalarAssign(a) => {
+                out.insert(a.name.clone());
+            }
+            Stmt::For(l) => {
+                out.insert(l.var.clone());
+                collect_assigned_scalars(&l.body, out);
+            }
+            Stmt::If(i) => {
+                collect_assigned_scalars(&i.then_body, out);
+                collect_assigned_scalars(&i.else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts every array access of `program` with lowered subscripts, loop
+/// contexts, and the set of symbolic constants.
+///
+/// Run the normalization passes first (see [`crate::passes`]) so that
+/// scalar temporaries and induction variables have been substituted away —
+/// exactly the prepass the paper relies on.
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::{parse_program, extract_accesses};
+///
+/// let p = parse_program("read(n); for i = 1 to n { a[i + n] = a[i] + 1; }")?;
+/// let set = extract_accesses(&p);
+/// assert_eq!(set.accesses.len(), 2);
+/// assert!(set.symbolics.contains("n"));
+/// assert!(set.accesses.iter().all(|a| a.is_affine()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn extract_accesses(program: &Program) -> AccessSet {
+    let mut assigned = BTreeSet::new();
+    collect_assigned_scalars(&program.stmts, &mut assigned);
+    let mut ex = Extractor {
+        accesses: Vec::new(),
+        loop_stack: Vec::new(),
+        assigned_scalars: assigned,
+        declared_symbolics: BTreeSet::new(),
+        used_scalars: BTreeSet::new(),
+        next_loop_id: 0,
+        stmt_index: 0,
+        cond_depth: 0,
+    };
+    ex.walk(&program.stmts);
+
+    // Symbolics: declared via read(), plus any used scalar that is never
+    // assigned (a free parameter).
+    let mut symbolics = ex.declared_symbolics;
+    for v in &ex.used_scalars {
+        if !ex.assigned_scalars.contains(v) {
+            symbolics.insert(v.clone());
+        }
+    }
+    AccessSet {
+        accesses: ex.accesses,
+        symbolics,
+    }
+}
+
+/// Enumerates the reference pairs a dependence analyzer must test: pairs of
+/// distinct accesses to the same array where at least one is a write (set
+/// `include_input_deps` to also get read–read pairs).
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::{parse_program, extract_accesses, reference_pairs};
+///
+/// let p = parse_program("for i = 1 to 10 { a[i + 1] = a[i] + b[i]; }")?;
+/// let set = extract_accesses(&p);
+/// let pairs = reference_pairs(&set, false);
+/// assert_eq!(pairs.len(), 1); // a[i+1] vs a[i]; b has no write
+/// assert_eq!(pairs[0].common, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn reference_pairs(set: &AccessSet, include_input_deps: bool) -> Vec<RefPair<'_>> {
+    // Group by array first: programs with many arrays would otherwise pay
+    // a quadratic scan over unrelated accesses.
+    let mut by_array: BTreeMap<&str, Vec<&Access>> = BTreeMap::new();
+    for a in &set.accesses {
+        by_array.entry(a.array.as_str()).or_default().push(a);
+    }
+    let mut pairs = Vec::new();
+    for group in by_array.values() {
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                if !include_input_deps && !a.is_write && !b.is_write {
+                    continue;
+                }
+                let common = a
+                    .loops
+                    .iter()
+                    .zip(&b.loops)
+                    .take_while(|(x, y)| x.id == y.id)
+                    .count();
+                pairs.push(RefPair { a, b, common });
+            }
+        }
+    }
+    // Keep the historical (id-ordered) enumeration order.
+    pairs.sort_by_key(|p| (p.a.id, p.b.id));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn extracts_writes_and_reads() {
+        let p = parse_program("for i = 1 to 10 { a[i] = a[i + 10] + 3; }").unwrap();
+        let set = extract_accesses(&p);
+        assert_eq!(set.accesses.len(), 2);
+        assert!(set.accesses[0].is_write);
+        assert!(!set.accesses[1].is_write);
+        assert_eq!(set.accesses[0].loops.len(), 1);
+    }
+
+    #[test]
+    fn mutated_scalar_is_not_symbolic() {
+        let p = parse_program("k = 5; for i = 1 to 10 { a[i + k] = a[i]; k = k + 1; }").unwrap();
+        let set = extract_accesses(&p);
+        // k is assigned, so a[i+k] is non-affine without forward subst.
+        assert!(!set.accesses[0].is_affine());
+        assert!(set.symbolics.is_empty());
+    }
+
+    #[test]
+    fn free_scalar_is_symbolic() {
+        let p = parse_program("for i = 1 to m { a[i + n] = a[i]; }").unwrap();
+        let set = extract_accesses(&p);
+        assert!(set.symbolics.contains("n"));
+        assert!(set.symbolics.contains("m"));
+        assert!(set.accesses[0].is_affine());
+    }
+
+    #[test]
+    fn loop_ids_distinguish_sibling_loops() {
+        let p = parse_program(
+            "for i = 1 to 10 { a[i] = 1; } for i = 1 to 10 { a[i] = a[i] + 2; }",
+        )
+        .unwrap();
+        let set = extract_accesses(&p);
+        let pairs = reference_pairs(&set, false);
+        // Three pairs among {w1, w2, r2}; only (w2, r2) shares its loop.
+        assert_eq!(pairs.len(), 3);
+        let commons: Vec<usize> = pairs.iter().map(|p| p.common).collect();
+        assert_eq!(commons.iter().filter(|&&c| c == 0).count(), 2);
+        assert_eq!(commons.iter().filter(|&&c| c == 1).count(), 1);
+    }
+
+    #[test]
+    fn read_read_pairs_opt_in() {
+        let p = parse_program("for i = 1 to 10 { b[i] = a[i] + a[i + 1]; }").unwrap();
+        let set = extract_accesses(&p);
+        assert_eq!(reference_pairs(&set, false).len(), 0);
+        assert_eq!(reference_pairs(&set, true).len(), 1);
+    }
+
+    #[test]
+    fn triangular_bounds_lowered() {
+        let p = parse_program("for i = 1 to 10 { for j = i to 10 { a[i][j] = a[j][i]; } }")
+            .unwrap();
+        let set = extract_accesses(&p);
+        let inner = &set.accesses[0].loops[1];
+        let lower = inner.lower.as_affine().unwrap();
+        assert_eq!(lower.coeff("i"), 1);
+    }
+
+    #[test]
+    fn nonlinear_subscript_marked() {
+        let p = parse_program("for i = 1 to 10 { a[i * i] = 0; }").unwrap();
+        let set = extract_accesses(&p);
+        assert_eq!(set.accesses[0].subscripts[0], Subscript::NonAffine);
+    }
+
+    #[test]
+    fn subscript_of_subscript_counts_as_read() {
+        let p = parse_program("for i = 1 to 10 { a[b[i]] = 0; }").unwrap();
+        let set = extract_accesses(&p);
+        assert_eq!(set.accesses.len(), 2);
+        assert_eq!(set.accesses[0].array, "a");
+        assert!(!set.accesses[0].is_affine());
+        assert_eq!(set.accesses[1].array, "b");
+        assert!(!set.accesses[1].is_write);
+    }
+}

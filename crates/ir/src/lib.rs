@@ -1,0 +1,57 @@
+//! Loop-nest intermediate representation for dependence analysis.
+//!
+//! This crate is the "SUIF front end" substrate of the PLDI 1991
+//! reproduction: a small Fortran-like language, its parser, the
+//! normalization prepasses the paper assumes (constant propagation,
+//! forward substitution, induction-variable substitution, loop
+//! normalization), and the extraction of array-reference pairs that the
+//! dependence tests consume.
+//!
+//! # Pipeline
+//!
+//! 1. [`parse_program`] — text to AST.
+//! 2. [`passes::normalize`] — runs the prepasses until fixpoint.
+//! 3. [`extract_accesses`] — lowers subscripts and bounds to
+//!    [`AffineExpr`], identifies symbolic constants.
+//! 4. [`reference_pairs`] — enumerates the pairs to test.
+//!
+//! # Examples
+//!
+//! The paper's Section 8 example, after normalization:
+//!
+//! ```
+//! use dda_ir::{parse_program, passes, extract_accesses};
+//!
+//! let mut p = parse_program(
+//!     "n = 100;
+//!      iz = 0;
+//!      for i = 1 to 10 {
+//!          iz = iz + 2;
+//!          a[iz + n] = a[iz + 2 * n + 1] + 3;
+//!      }",
+//! )?;
+//! passes::normalize(&mut p);
+//! let set = extract_accesses(&p);
+//! // All subscripts became affine functions of i: 2i + 100 and 2i + 201.
+//! assert!(set.accesses.iter().all(|a| a.is_affine()));
+//! # Ok::<(), dda_ir::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod access;
+mod ast;
+mod expr;
+pub mod interp;
+mod lexer;
+mod parser;
+pub mod passes;
+
+pub use access::{
+    extract_accesses, reference_pairs, Access, AccessSet, Bound, LoopInfo, RefPair, Subscript,
+};
+pub use ast::{ArrayAssign, ForLoop, IfStmt, Program, RelOp, ScalarAssign, Stmt};
+pub use expr::{AffineExpr, ArrayRef, Expr};
+pub use lexer::{tokenize, SpannedToken, Token};
+pub use parser::{parse_expr, parse_program, ParseError, Span};

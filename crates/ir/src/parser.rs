@@ -1,0 +1,521 @@
+//! Recursive-descent parser for the Fortran-like DSL.
+//!
+//! The grammar (loops, conditionals, multi-dimensional array assignments,
+//! scalar assignments, `read(n)` declarations) covers every example
+//! program in the PLDI 1991 paper:
+//!
+//! ```text
+//! read(n);
+//! for i = 1 to 10 {
+//!     for j = 1 to n {
+//!         a[i][j] = a[j + 10][i + 9] + 3;
+//!     }
+//! }
+//! ```
+//!
+//! Subscripts may be written `a[i][j]` or `a[i, j]`.
+
+use std::fmt;
+
+use crate::ast::{ArrayAssign, ForLoop, IfStmt, Program, RelOp, ScalarAssign, Stmt};
+use crate::expr::{ArrayRef, Expr};
+use crate::lexer::{tokenize, SpannedToken, Token};
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Computes the 1-based `(line, column)` of the span start.
+    #[must_use]
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// A parse (or lex) error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Renders the error with a line/column position and a source excerpt.
+    #[must_use]
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        format!(
+            "parse error at {line}:{col}: {}\n  | {line_text}\n  | {}^",
+            self.message,
+            " ".repeat(col.saturating_sub(1))
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> SpannedToken {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            span: self.peek_span(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<SpannedToken, ParseError> {
+        if self.peek() == want {
+            Ok(self.bump())
+        } else {
+            self.error(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut stmts = Vec::new();
+        while *self.peek() != Token::Eof {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Program { stmts })
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Token::For => self.parse_for(),
+            Token::Read => self.parse_read(),
+            Token::If => self.parse_if(),
+            Token::Ident(_) => self.parse_assign(),
+            other => self.error(format!(
+                "expected a statement (`for`, `if`, `read`, or an assignment), found {other}"
+            )),
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut body = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if *self.peek() == Token::Eof {
+                return self.error("unterminated block (missing `}`)");
+            }
+            body.push(self.parse_stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(body)
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::If)?;
+        self.expect(&Token::LParen)?;
+        let lhs = self.parse_expr()?;
+        let op = match self.peek() {
+            Token::Lt => RelOp::Lt,
+            Token::Le => RelOp::Le,
+            Token::Gt => RelOp::Gt,
+            Token::Ge => RelOp::Ge,
+            Token::EqEq => RelOp::Eq,
+            Token::NotEq => RelOp::Ne,
+            other => {
+                return self.error(format!("expected a comparison operator, found {other}"))
+            }
+        };
+        self.bump();
+        let rhs = self.parse_expr()?;
+        self.expect(&Token::RParen)?;
+        let then_body = self.parse_block()?;
+        let else_body = if *self.peek() == Token::Else {
+            self.bump();
+            self.parse_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(IfStmt {
+            lhs,
+            op,
+            rhs,
+            then_body,
+            else_body,
+        }))
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::For)?;
+        let var = self.expect_ident()?;
+        self.expect(&Token::Assign)?;
+        let lower = self.parse_expr()?;
+        self.expect(&Token::To)?;
+        let upper = self.parse_expr()?;
+        let step = if *self.peek() == Token::Step {
+            self.bump();
+            let negative = if *self.peek() == Token::Minus {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            match self.peek().clone() {
+                Token::Int(v) => {
+                    self.bump();
+                    let s = if negative { -v } else { v };
+                    if s == 0 {
+                        return self.error("loop step must be non-zero");
+                    }
+                    s
+                }
+                other => return self.error(format!("expected integer step, found {other}")),
+            }
+        } else {
+            1
+        };
+        self.expect(&Token::LBrace)?;
+        let mut body = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if *self.peek() == Token::Eof {
+                return self.error("unterminated loop body (missing `}`)");
+            }
+            body.push(self.parse_stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Stmt::For(ForLoop {
+            var,
+            lower,
+            upper,
+            step,
+            body,
+        }))
+    }
+
+    fn parse_read(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::Read)?;
+        self.expect(&Token::LParen)?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Semi)?;
+        Ok(Stmt::Read(name))
+    }
+
+    fn parse_assign(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.expect_ident()?;
+        if *self.peek() == Token::LBracket {
+            let subscripts = self.parse_subscripts()?;
+            self.expect(&Token::Assign)?;
+            let value = self.parse_expr()?;
+            self.expect(&Token::Semi)?;
+            Ok(Stmt::ArrayAssign(ArrayAssign {
+                target: ArrayRef {
+                    array: name,
+                    subscripts,
+                },
+                value,
+            }))
+        } else {
+            self.expect(&Token::Assign)?;
+            let value = self.parse_expr()?;
+            self.expect(&Token::Semi)?;
+            Ok(Stmt::ScalarAssign(ScalarAssign { name, value }))
+        }
+    }
+
+    /// Parses `[e][e]…` or `[e, e, …]` (or a mixture).
+    fn parse_subscripts(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut subs = Vec::new();
+        while *self.peek() == Token::LBracket {
+            self.bump();
+            loop {
+                subs.push(self.parse_expr()?);
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RBracket)?;
+        }
+        Ok(subs)
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Token::Minus => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        while *self.peek() == Token::Star {
+            self.bump();
+            let rhs = self.parse_factor()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            Token::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_factor()?)))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if *self.peek() == Token::LBracket {
+                    let subscripts = self.parse_subscripts()?;
+                    Ok(Expr::ArrayRead(ArrayRef {
+                        array: name,
+                        subscripts,
+                    }))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.error(format!("expected an expression, found {other}")),
+        }
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with span information on malformed input; use
+/// [`ParseError::render`] for a friendly message.
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::parse_program;
+///
+/// let p = parse_program("for i = 1 to 10 { a[i + 1] = a[i] + 3; }")?;
+/// assert_eq!(p.max_depth(), 1);
+/// # Ok::<(), dda_ir::ParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.parse_program()
+}
+
+/// Parses a single expression (useful in tests and examples).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let e = parser.parse_expr()?;
+    if *parser.peek() != Token::Eof {
+        return parser.error(format!("unexpected {} after expression", parser.peek()));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_first_example() {
+        let p = parse_program("for i = 1 to 10 { a[i] = a[i + 10] + 3; }").unwrap();
+        assert_eq!(p.stmts.len(), 1);
+        let Stmt::For(l) = &p.stmts[0] else {
+            panic!("expected loop")
+        };
+        assert_eq!(l.var, "i");
+        assert_eq!(l.step, 1);
+        assert_eq!(l.body.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_and_2d_refs() {
+        let p = parse_program(
+            "for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }",
+        )
+        .unwrap();
+        assert_eq!(p.max_depth(), 2);
+    }
+
+    #[test]
+    fn comma_subscripts_equivalent_to_brackets() {
+        let p1 = parse_program("a[i, j] = 0;").unwrap();
+        let p2 = parse_program("a[i][j] = 0;").unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn read_and_scalar_assign() {
+        let p = parse_program("read(n); k = 2 * n + 1; a[k] = 0;").unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        assert!(matches!(&p.stmts[0], Stmt::Read(n) if n == "n"));
+        assert!(matches!(&p.stmts[1], Stmt::ScalarAssign(_)));
+    }
+
+    #[test]
+    fn step_clauses() {
+        let p = parse_program("for i = 10 to 1 step -2 { a[i] = 0; }").unwrap();
+        let Stmt::For(l) = &p.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(l.step, -2);
+        assert!(parse_program("for i = 1 to 2 step 0 { }").is_err());
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("1 + 2 * i - 3").unwrap();
+        // (1 + (2*i)) - 3
+        assert_eq!(
+            e,
+            Expr::Sub(
+                Box::new(Expr::Add(
+                    Box::new(Expr::Const(1)),
+                    Box::new(Expr::Mul(
+                        Box::new(Expr::Const(2)),
+                        Box::new(Expr::var("i"))
+                    ))
+                )),
+                Box::new(Expr::Const(3))
+            )
+        );
+    }
+
+    #[test]
+    fn parens_and_negation() {
+        let e = parse_expr("-(i + 1) * 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::Mul(
+                Box::new(Expr::Neg(Box::new(Expr::Add(
+                    Box::new(Expr::var("i")),
+                    Box::new(Expr::Const(1))
+                )))),
+                Box::new(Expr::Const(2))
+            )
+        );
+    }
+
+    #[test]
+    fn errors_have_spans() {
+        let err = parse_program("for i = 1 to 10 { a[i] = ; }").unwrap_err();
+        assert!(err.message.contains("expected an expression"));
+        let rendered = err.render("for i = 1 to 10 { a[i] = ; }");
+        assert!(rendered.contains("1:26"), "rendered: {rendered}");
+    }
+
+    #[test]
+    fn unterminated_body() {
+        let err = parse_program("for i = 1 to 10 { a[i] = 0;").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = "read(n);\nfor i = 1 to n {\n    a[i][i] = a[i - 1][i] + 1;\n}\n";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn display_fixpoint_on_tricky_shapes() {
+        // Negative constants and nested arithmetic: display must reach a
+        // fixpoint after one reparse (ASTs may differ once, e.g.
+        // Const(-2) vs Neg(Const(2)), but never twice).
+        for src in [
+            "a[i - (j + 1)] = -(i + 1) * 2 - 3;",
+            "a[2 * (i - 3)] = (1 - i) - (2 - j);",
+            "a[-i] = -(-(i));",
+        ] {
+            let p1 = parse_program(src).unwrap();
+            let p2 = parse_program(&p1.to_string()).unwrap();
+            let p3 = parse_program(&p2.to_string()).unwrap();
+            assert_eq!(p2, p3, "fixpoint for {src}");
+        }
+    }
+}

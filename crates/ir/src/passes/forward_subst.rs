@@ -1,0 +1,225 @@
+//! Forward substitution (subsumes constant propagation).
+//!
+//! A scalar definition `k = E;` whose right-hand side is pure (no array
+//! reads) is substituted into subsequent uses of `k`, as long as neither
+//! `k` nor any variable `E` depends on has been reassigned in between.
+//! Because constants are just the degenerate case `k = 5;`, this pass also
+//! performs constant propagation (folding happens in
+//! [`super::fold_program`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Program, Stmt};
+use crate::expr::Expr;
+use crate::passes::rewrite::subst_scalar;
+
+fn is_pure(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::ArrayRead(_) => false,
+        Expr::Neg(x) => is_pure(x),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => is_pure(a) && is_pure(b),
+    }
+}
+
+/// Scalars assigned anywhere within `stmts` (including loop variables).
+fn assigned_in(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::ScalarAssign(a) => {
+                out.insert(a.name.clone());
+            }
+            Stmt::For(l) => {
+                out.insert(l.var.clone());
+                assigned_in(&l.body, out);
+            }
+            Stmt::If(i) => {
+                assigned_in(&i.then_body, out);
+                assigned_in(&i.else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+type Defs = BTreeMap<String, Expr>;
+
+fn apply_defs(e: &Expr, defs: &Defs) -> Expr {
+    let mut out = e.clone();
+    // Definitions are already closed (their RHS never mentions a scalar
+    // that itself has a live definition), so one substitution round per
+    // variable suffices.
+    for (name, replacement) in defs {
+        out = subst_scalar(&out, name, replacement);
+    }
+    out
+}
+
+/// Removes definitions invalidated by an assignment to `name`.
+fn kill(defs: &mut Defs, name: &str) {
+    defs.remove(name);
+    defs.retain(|_, rhs| !rhs.scalar_vars().contains(&name));
+}
+
+fn walk(stmts: &mut [Stmt], defs: &mut Defs) {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::Read(n) => {
+                let n = n.clone();
+                kill(defs, &n);
+            }
+            Stmt::ScalarAssign(a) => {
+                a.value = apply_defs(&a.value, defs);
+                let name = a.name.clone();
+                let value = a.value.clone();
+                kill(defs, &name);
+                // Record the definition if pure and not self-referential
+                // (self-reference means an induction update like k = k + 1,
+                // which the induction pass handles).
+                if is_pure(&value) && !value.scalar_vars().contains(&name.as_str()) {
+                    defs.insert(name, value);
+                }
+            }
+            Stmt::ArrayAssign(a) => {
+                for sub in &mut a.target.subscripts {
+                    *sub = apply_defs(sub, defs);
+                }
+                a.value = apply_defs(&a.value, defs);
+            }
+            Stmt::If(i) => {
+                i.lhs = apply_defs(&i.lhs, defs);
+                i.rhs = apply_defs(&i.rhs, defs);
+                // Definitions valid here hold at entry to both branches;
+                // anything either branch assigns is unknown afterwards.
+                let mut then_defs = defs.clone();
+                walk(&mut i.then_body, &mut then_defs);
+                let mut else_defs = defs.clone();
+                walk(&mut i.else_body, &mut else_defs);
+                let mut killed = BTreeSet::new();
+                assigned_in(&i.then_body, &mut killed);
+                assigned_in(&i.else_body, &mut killed);
+                for k in &killed {
+                    kill(defs, k);
+                }
+            }
+            Stmt::For(l) => {
+                l.lower = apply_defs(&l.lower, defs);
+                l.upper = apply_defs(&l.upper, defs);
+                // Definitions invalidated inside the loop must not flow in:
+                // a use in iteration 2 would see the *new* value.
+                let mut killed = BTreeSet::new();
+                assigned_in(&l.body, &mut killed);
+                killed.insert(l.var.clone());
+                let mut inner: Defs = defs.clone();
+                loop {
+                    let before = inner.len();
+                    inner.retain(|k, rhs| {
+                        !killed.contains(k)
+                            && !rhs.scalar_vars().iter().any(|v| killed.contains(*v))
+                    });
+                    if inner.len() == before {
+                        break;
+                    }
+                }
+                walk(&mut l.body, &mut inner);
+                // After the loop, anything assigned inside is unknown.
+                for k in &killed {
+                    kill(defs, k);
+                }
+            }
+        }
+    }
+}
+
+/// Runs forward substitution over the whole program, in place.
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::{parse_program, passes::forward_substitute};
+///
+/// let mut p = parse_program("k = n + 1; for i = 1 to 10 { a[k + i] = 0; }")?;
+/// forward_substitute(&mut p);
+/// assert!(p.to_string().contains("a[n + 1 + i]"), "{p}");
+/// # Ok::<(), dda_ir::ParseError>(())
+/// ```
+pub fn forward_substitute(program: &mut Program) {
+    let mut defs = Defs::new();
+    walk(&mut program.stmts, &mut defs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn normalize_text(src: &str) -> String {
+        let mut p = parse_program(src).unwrap();
+        forward_substitute(&mut p);
+        crate::passes::rewrite::fold_program(&mut p);
+        p.to_string()
+    }
+
+    #[test]
+    fn constant_propagation() {
+        let out = normalize_text("n = 100; for i = 1 to n { a[i + n] = 0; }");
+        assert!(out.contains("for i = 1 to 100"), "{out}");
+        assert!(out.contains("a[i + 100]"), "{out}");
+    }
+
+    #[test]
+    fn chained_definitions() {
+        let out = normalize_text("k = 2; m = k + 1; a[m] = 0;");
+        assert!(out.contains("a[3]"), "{out}");
+    }
+
+    #[test]
+    fn reassignment_kills_definition() {
+        let out = normalize_text("k = 1; a[k] = 0; k = 2; a[k] = 0;");
+        assert!(out.contains("a[1]") && out.contains("a[2]"), "{out}");
+    }
+
+    #[test]
+    fn loop_mutated_scalar_not_propagated_into_loop() {
+        let out = normalize_text("k = 0; for i = 1 to 10 { a[k] = 0; k = k + 1; }");
+        // k is an induction variable; forward substitution alone must NOT
+        // replace the use of k with 0.
+        assert!(out.contains("a[k]"), "{out}");
+    }
+
+    #[test]
+    fn closure_at_insertion_survives_reassignment() {
+        // m's definition is closed over k's value (2) at insertion time,
+        // so reassigning k afterwards does not change what m means.
+        let out = normalize_text("k = 1; m = k + 1; k = 5; a[m] = 0;");
+        assert!(out.contains("a[2]"), "{out}");
+    }
+
+    #[test]
+    fn kill_of_open_definition() {
+        // m's definition references the *unknown* scalar n; once n is
+        // assigned, the stale definition of m must die.
+        let out = normalize_text("m = n + 1; n = 5; a[m] = 0;");
+        assert!(out.contains("a[m]"), "{out}");
+    }
+
+    #[test]
+    fn impure_rhs_not_substituted() {
+        let out = normalize_text("k = b[3]; a[k] = 0;");
+        assert!(out.contains("a[k]"), "{out}");
+    }
+
+    #[test]
+    fn definition_survives_into_unrelated_loop() {
+        let out = normalize_text("k = 7; for i = 1 to 10 { a[i + k] = 0; }");
+        assert!(out.contains("a[i + 7]"), "{out}");
+    }
+
+    #[test]
+    fn value_after_loop_unknown() {
+        let out = normalize_text(
+            "k = 0; for i = 1 to 10 { k = k + 1; } a[k] = 0;",
+        );
+        assert!(out.contains("a[k]"), "{out}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Loop normalization: rewrite every loop to step 1, lower bound
+//! preserved in the subscripts.
+//!
+//! The paper's problem statement assumes "normalized (we normalize the step
+//! size to 1)" loops. A loop `for i = L to U step s` becomes
+//! `for i' = 0 to T` with every use of `i` replaced by `L + s·i'`, where
+//! `T = ⌊(U − L) / s⌋` when the bounds are constants. For symbolic bounds
+//! the trip count is a fresh never-assigned scalar, which the access
+//! extractor then treats as a symbolic constant — a sound over-approximation
+//! of the iteration space.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Program, Stmt};
+use crate::expr::Expr;
+use crate::passes::rewrite::{fold, rewrite_exprs, subst_scalar};
+
+fn collect_names(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::For(l) => {
+                out.insert(l.var.clone());
+                collect_names(&l.body, out);
+            }
+            Stmt::ScalarAssign(a) => {
+                out.insert(a.name.clone());
+            }
+            Stmt::Read(n) => {
+                out.insert(n.clone());
+            }
+            Stmt::If(i) => {
+                collect_names(&i.then_body, out);
+                collect_names(&i.else_body, out);
+            }
+            Stmt::ArrayAssign(_) => {}
+        }
+    }
+}
+
+struct Normalizer {
+    taken: BTreeSet<String>,
+    counter: usize,
+}
+
+impl Normalizer {
+    fn fresh(&mut self, stem: &str) -> String {
+        loop {
+            let name = format!("_{stem}{}", self.counter);
+            self.counter += 1;
+            if self.taken.insert(name.clone()) {
+                return name;
+            }
+        }
+    }
+
+    fn walk(&mut self, stmts: &mut [Stmt]) {
+        for s in stmts {
+            if let Stmt::If(i) = s {
+                self.walk(&mut i.then_body);
+                self.walk(&mut i.else_body);
+                continue;
+            }
+            if let Stmt::For(l) = s {
+                if l.step != 1 {
+                    let step = l.step;
+                    let lower = l.lower.clone();
+                    let upper = l.upper.clone();
+                    // i := L + s * i'  (reusing the same variable name keeps
+                    // the program readable; the *meaning* of the name
+                    // changes to the normalized counter).
+                    let mapped = fold(&Expr::Add(
+                        Box::new(lower.clone()),
+                        Box::new(Expr::Mul(
+                            Box::new(Expr::Const(step)),
+                            Box::new(Expr::var(&l.var)),
+                        )),
+                    ));
+                    let var = l.var.clone();
+                    rewrite_exprs(&mut l.body, &mut |e| {
+                        fold(&subst_scalar(e, &var, &mapped))
+                    });
+                    l.lower = Expr::Const(0);
+                    l.upper = match (fold(&lower), fold(&upper)) {
+                        (Expr::Const(lo), Expr::Const(up)) => {
+                            Expr::Const(dda_linalg::num::div_floor(up - lo, step))
+                        }
+                        _ => Expr::var(&self.fresh("trip")),
+                    };
+                    l.step = 1;
+                }
+                self.walk(&mut l.body);
+            }
+        }
+    }
+}
+
+/// Rewrites every loop to a normalized step of 1, in place.
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::{parse_program, extract_accesses, passes::normalize_loops};
+///
+/// let mut p = parse_program("for i = 1 to 9 step 2 { a[i] = 0; }")?;
+/// normalize_loops(&mut p);
+/// // Now: for i = 0 to 4 { a[1 + 2*i] = 0; }
+/// let set = extract_accesses(&p);
+/// let sub = set.accesses[0].subscripts[0].as_affine().expect("affine");
+/// assert_eq!(sub.coeff("i"), 2);
+/// assert_eq!(sub.constant_part(), 1);
+/// # Ok::<(), dda_ir::ParseError>(())
+/// ```
+pub fn normalize_loops(program: &mut Program) {
+    let mut taken = BTreeSet::new();
+    collect_names(&program.stmts, &mut taken);
+    let mut n = Normalizer { taken, counter: 0 };
+    n.walk(&mut program.stmts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::extract_accesses;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn constant_bounds_get_exact_trip_count() {
+        let mut p = parse_program("for i = 1 to 10 step 3 { a[i] = 0; }").unwrap();
+        normalize_loops(&mut p);
+        let Stmt::For(l) = &p.stmts[0] else { panic!() };
+        assert_eq!(l.step, 1);
+        assert_eq!(l.lower, Expr::Const(0));
+        assert_eq!(l.upper, Expr::Const(3)); // iterations 1, 4, 7, 10
+        let set = extract_accesses(&p);
+        let sub = set.accesses[0].subscripts[0].as_affine().unwrap();
+        assert_eq!(sub.coeff("i"), 3);
+        assert_eq!(sub.constant_part(), 1);
+    }
+
+    #[test]
+    fn negative_step_descends() {
+        let mut p = parse_program("for i = 10 to 1 step -1 { a[i] = 0; }").unwrap();
+        normalize_loops(&mut p);
+        let Stmt::For(l) = &p.stmts[0] else { panic!() };
+        assert_eq!(l.upper, Expr::Const(9));
+        let set = extract_accesses(&p);
+        let sub = set.accesses[0].subscripts[0].as_affine().unwrap();
+        assert_eq!(sub.coeff("i"), -1);
+        assert_eq!(sub.constant_part(), 10);
+    }
+
+    #[test]
+    fn symbolic_bounds_get_fresh_trip_symbol() {
+        let mut p = parse_program("for i = 1 to n step 2 { a[i] = 0; }").unwrap();
+        normalize_loops(&mut p);
+        let Stmt::For(l) = &p.stmts[0] else { panic!() };
+        assert!(matches!(&l.upper, Expr::Var(v) if v.starts_with("_trip")));
+        let set = extract_accesses(&p);
+        // The fresh trip symbol is never assigned, so it is symbolic.
+        assert!(set.symbolics.iter().any(|s| s.starts_with("_trip")));
+    }
+
+    #[test]
+    fn empty_constant_range() {
+        let mut p = parse_program("for i = 10 to 1 step 2 { a[i] = 0; }").unwrap();
+        normalize_loops(&mut p);
+        let Stmt::For(l) = &p.stmts[0] else { panic!() };
+        // Trip count floor((1-10)/2) = -5: an empty normalized range.
+        assert_eq!(l.upper, Expr::Const(-5));
+    }
+
+    #[test]
+    fn unit_step_untouched() {
+        let src = "for i = 1 to 10 { a[i] = 0; }";
+        let mut p = parse_program(src).unwrap();
+        let orig = p.clone();
+        normalize_loops(&mut p);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn nested_strided_loops() {
+        let mut p = parse_program(
+            "for i = 0 to 20 step 2 { for j = 0 to 20 step 5 { a[i + j] = 0; } }",
+        )
+        .unwrap();
+        normalize_loops(&mut p);
+        let set = extract_accesses(&p);
+        let sub = set.accesses[0].subscripts[0].as_affine().unwrap();
+        assert_eq!(sub.coeff("i"), 2);
+        assert_eq!(sub.coeff("j"), 5);
+    }
+
+    #[test]
+    fn inner_bound_using_outer_strided_var() {
+        let mut p = parse_program(
+            "for i = 1 to 9 step 2 { for j = i to 10 { a[j] = 0; } }",
+        )
+        .unwrap();
+        normalize_loops(&mut p);
+        let set = extract_accesses(&p);
+        let inner = &set.accesses[0].loops[1];
+        let lo = inner.lower.as_affine().unwrap();
+        // j's lower bound i became 1 + 2*i.
+        assert_eq!(lo.coeff("i"), 2);
+        assert_eq!(lo.constant_part(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Normalization prepasses.
+//!
+//! The paper (Sections 2 and 8) assumes subscripts and bounds are integral
+//! linear functions of loop variables, and notes that "optimization
+//! techniques (constant propagation, induction variable and forward
+//! substitution)" are used to make programs meet the conditions. These are
+//! those passes, plus loop normalization (step → 1), run to a fixpoint by
+//! [`normalize`].
+
+mod forward_subst;
+mod induction;
+mod loop_normalize;
+mod rewrite;
+
+pub use forward_subst::forward_substitute;
+pub use induction::substitute_induction_variables;
+pub use loop_normalize::normalize_loops;
+pub use rewrite::fold_program;
+
+use crate::ast::Program;
+
+/// Runs every normalization pass repeatedly until the program stops
+/// changing (bounded at a small fixed number of rounds).
+///
+/// After this, `extract_accesses` will see affine subscripts whenever the
+/// paper's model can express them.
+///
+/// # Examples
+///
+/// ```
+/// use dda_ir::{parse_program, extract_accesses, passes::normalize};
+///
+/// let mut p = parse_program(
+///     "k = 3; for i = 1 to 10 { a[k + i] = a[i] + 1; }",
+/// )?;
+/// normalize(&mut p);
+/// let set = extract_accesses(&p);
+/// let sub = set.accesses[0].subscripts[0].as_affine().expect("affine");
+/// assert_eq!(sub.coeff("i"), 1);
+/// assert_eq!(sub.constant_part(), 3);
+/// # Ok::<(), dda_ir::ParseError>(())
+/// ```
+pub fn normalize(program: &mut Program) {
+    for _ in 0..10 {
+        let before = program.clone();
+        fold_program(program);
+        forward_substitute(program);
+        // Steps must be 1 before induction-variable substitution (its
+        // closed form counts one increment per iteration).
+        normalize_loops(program);
+        substitute_induction_variables(program);
+        fold_program(program);
+        if *program == before {
+            break;
+        }
+    }
+}

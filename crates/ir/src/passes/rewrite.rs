@@ -1,0 +1,167 @@
+//! Shared expression rewriting: substitution and constant folding.
+
+use crate::ast::{Program, Stmt};
+use crate::expr::{ArrayRef, Expr};
+
+/// Replaces every occurrence of scalar `name` in `e` with `replacement`.
+#[must_use]
+pub fn subst_scalar(e: &Expr, name: &str, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) => e.clone(),
+        Expr::Var(v) => {
+            if v == name {
+                replacement.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::ArrayRead(r) => Expr::ArrayRead(ArrayRef {
+            array: r.array.clone(),
+            subscripts: r
+                .subscripts
+                .iter()
+                .map(|s| subst_scalar(s, name, replacement))
+                .collect(),
+        }),
+        Expr::Neg(x) => Expr::Neg(Box::new(subst_scalar(x, name, replacement))),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(subst_scalar(a, name, replacement)),
+            Box::new(subst_scalar(b, name, replacement)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(subst_scalar(a, name, replacement)),
+            Box::new(subst_scalar(b, name, replacement)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(subst_scalar(a, name, replacement)),
+            Box::new(subst_scalar(b, name, replacement)),
+        ),
+    }
+}
+
+/// Constant-folds an expression: `Const ⊕ Const` collapses, and additive /
+/// multiplicative identities simplify (`x + 0`, `x * 1`, `x * 0`, `--x`).
+///
+/// Folding uses checked arithmetic; an overflowing fold is left unfolded.
+#[must_use]
+pub fn fold(e: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::ArrayRead(r) => Expr::ArrayRead(ArrayRef {
+            array: r.array.clone(),
+            subscripts: r.subscripts.iter().map(fold).collect(),
+        }),
+        Expr::Neg(x) => match fold(x) {
+            Expr::Const(c) => c.checked_neg().map_or_else(
+                || Expr::Neg(Box::new(Expr::Const(c))),
+                Expr::Const,
+            ),
+            Expr::Neg(inner) => *inner,
+            other => Expr::Neg(Box::new(other)),
+        },
+        Expr::Add(a, b) => {
+            let (fa, fb) = (fold(a), fold(b));
+            match (&fa, &fb) {
+                (Expr::Const(x), Expr::Const(y)) => x
+                    .checked_add(*y)
+                    .map_or_else(|| Expr::Add(Box::new(fa.clone()), Box::new(fb.clone())), Expr::Const),
+                (Expr::Const(0), _) => fb,
+                (_, Expr::Const(0)) => fa,
+                _ => Expr::Add(Box::new(fa), Box::new(fb)),
+            }
+        }
+        Expr::Sub(a, b) => {
+            let (fa, fb) = (fold(a), fold(b));
+            match (&fa, &fb) {
+                (Expr::Const(x), Expr::Const(y)) => x
+                    .checked_sub(*y)
+                    .map_or_else(|| Expr::Sub(Box::new(fa.clone()), Box::new(fb.clone())), Expr::Const),
+                (_, Expr::Const(0)) => fa,
+                _ => Expr::Sub(Box::new(fa), Box::new(fb)),
+            }
+        }
+        Expr::Mul(a, b) => {
+            let (fa, fb) = (fold(a), fold(b));
+            match (&fa, &fb) {
+                (Expr::Const(x), Expr::Const(y)) => x
+                    .checked_mul(*y)
+                    .map_or_else(|| Expr::Mul(Box::new(fa.clone()), Box::new(fb.clone())), Expr::Const),
+                (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
+                (Expr::Const(1), _) => fb,
+                (_, Expr::Const(1)) => fa,
+                _ => Expr::Mul(Box::new(fa), Box::new(fb)),
+            }
+        }
+    }
+}
+
+/// Applies `f` to every expression in the program (subscripts, right-hand
+/// sides, loop bounds), in place.
+pub fn rewrite_exprs(stmts: &mut [Stmt], f: &mut dyn FnMut(&Expr) -> Expr) {
+    for s in stmts {
+        match s {
+            Stmt::For(l) => {
+                l.lower = f(&l.lower);
+                l.upper = f(&l.upper);
+                rewrite_exprs(&mut l.body, f);
+            }
+            Stmt::ArrayAssign(a) => {
+                for sub in &mut a.target.subscripts {
+                    *sub = f(sub);
+                }
+                a.value = f(&a.value);
+            }
+            Stmt::ScalarAssign(a) => {
+                a.value = f(&a.value);
+            }
+            Stmt::If(i) => {
+                i.lhs = f(&i.lhs);
+                i.rhs = f(&i.rhs);
+                rewrite_exprs(&mut i.then_body, f);
+                rewrite_exprs(&mut i.else_body, f);
+            }
+            Stmt::Read(_) => {}
+        }
+    }
+}
+
+/// Constant-folds every expression in the program, in place.
+pub fn fold_program(program: &mut Program) {
+    rewrite_exprs(&mut program.stmts, &mut fold);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn fold_collapses_constants() {
+        let e = parse_expr("2 * 3 + 4 - 1").unwrap();
+        assert_eq!(fold(&e), Expr::Const(9));
+    }
+
+    #[test]
+    fn fold_identities() {
+        assert_eq!(fold(&parse_expr("i + 0").unwrap()), Expr::var("i"));
+        assert_eq!(fold(&parse_expr("1 * i").unwrap()), Expr::var("i"));
+        assert_eq!(fold(&parse_expr("0 * i").unwrap()), Expr::Const(0));
+        assert_eq!(fold(&parse_expr("-(-(i))").unwrap()), Expr::var("i"));
+    }
+
+    #[test]
+    fn fold_overflow_left_intact() {
+        let e = Expr::Add(
+            Box::new(Expr::Const(i64::MAX)),
+            Box::new(Expr::Const(1)),
+        );
+        assert_eq!(fold(&e), e);
+    }
+
+    #[test]
+    fn subst_reaches_subscripts() {
+        let e = parse_expr("a[k + 1] + k").unwrap();
+        let s = subst_scalar(&e, "k", &Expr::var("i"));
+        assert_eq!(s, parse_expr("a[i + 1] + i").unwrap());
+    }
+}

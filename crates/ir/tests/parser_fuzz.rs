@@ -1,0 +1,51 @@
+//! Parser robustness: arbitrary input must produce a located error or a
+//! program, never a panic — and valid programs survive mutation without
+//! crashing downstream phases.
+
+use dda_ir::{extract_accesses, parse_program, passes, reference_pairs};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// Totally arbitrary byte soup: never panic.
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC{0,120}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Token soup drawn from the language's own vocabulary: much more
+    /// likely to reach deep parser states; still never panics, and when
+    /// it parses, the whole pipeline downstream must hold up.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop::sample::select(vec![
+                "for", "to", "step", "if", "else", "read", "i", "j", "a",
+                "n", "=", "==", "!=", "<", "<=", ">", "+", "-", "*", "(",
+                ")", "[", "]", "{", "}", ";", ",", "1", "2", "10",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        if let Ok(mut program) = parse_program(&src) {
+            passes::normalize(&mut program);
+            let set = extract_accesses(&program);
+            let _ = reference_pairs(&set, true);
+            // Display must reparse.
+            let printed = program.to_string();
+            prop_assert!(parse_program(&printed).is_ok(), "display broke: {printed}");
+        }
+    }
+
+    /// Parse errors carry spans inside (or at the end of) the source.
+    #[test]
+    fn errors_have_valid_spans(src in "\\PC{0,80}") {
+        if let Err(e) = parse_program(&src) {
+            prop_assert!(e.span.start <= src.len() + 1, "span {:?}", e.span);
+            // Rendering must not panic either.
+            let _ = e.render(&src);
+        }
+    }
+}

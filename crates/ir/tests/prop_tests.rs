@@ -1,0 +1,128 @@
+//! Property-based tests for the IR: parsing round-trips and — the
+//! important one — semantic preservation of the normalization passes,
+//! checked by executing programs before and after with the reference
+//! interpreter and comparing the full access streams.
+
+use std::collections::BTreeMap;
+
+use dda_ir::interp::execute;
+use dda_ir::{parse_program, passes};
+use proptest::prelude::*;
+
+/// The observable behaviour of a program: every array touch in execution
+/// order, without the access ids (passes may renumber nothing, but ids
+/// are an analysis artifact, not semantics).
+fn behaviour(src: &str, normalize: bool) -> Vec<(String, Vec<i64>, bool)> {
+    let mut p = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+    if normalize {
+        passes::normalize(&mut p);
+    }
+    execute(&p, &BTreeMap::new(), 4_000_000)
+        .unwrap_or_else(|e| panic!("exec: {e}\n{p}"))
+        .into_iter()
+        .map(|t| (t.array, t.element, t.is_write))
+        .collect()
+}
+
+/// A random affine subscript over loop vars v0..v_depth plus scalar k.
+fn arb_subscript(depth: usize, with_scalar: bool) -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(-2i64..=2, depth),
+        -5i64..=5,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(coeffs, c, use_k)| {
+            let mut s = String::new();
+            for (k, a) in coeffs.iter().enumerate() {
+                if *a != 0 {
+                    s.push_str(&format!(" + {a} * v{k}"));
+                }
+            }
+            if with_scalar && use_k {
+                s.push_str(" + k");
+            }
+            format!("{c}{s}")
+        })
+}
+
+/// A random program exercising the normalization passes: a scalar
+/// definition, an optional induction increment, strided loops, and a few
+/// array statements.
+fn arb_program() -> impl Strategy<Value = String> {
+    (
+        1usize..=2,                                  // depth
+        proptest::collection::vec((1i64..=3, 3i64..=7, prop::sample::select(vec![1i64, 1, 2, 3, -1])), 2),
+        -10i64..=10,                                 // scalar init
+        0i64..=3,                                    // induction step (0 = none)
+        proptest::collection::vec((any::<bool>(),), 1..=2),
+    )
+        .prop_flat_map(|(depth, bounds, init, istep, stmts)| {
+            let subs = proptest::collection::vec(arb_subscript(depth, true), stmts.len() * 2);
+            (Just(depth), Just(bounds), Just(init), Just(istep), subs)
+        })
+        .prop_map(|(depth, bounds, init, istep, subs)| {
+            let mut src = format!("k = {init};\n");
+            for (lvl, (lo, hi, step)) in bounds.iter().take(depth).enumerate() {
+                if *step == 1 {
+                    src.push_str(&format!("for v{lvl} = {lo} to {hi} {{\n"));
+                } else if *step < 0 {
+                    src.push_str(&format!("for v{lvl} = {hi} to {lo} step {step} {{\n"));
+                } else {
+                    src.push_str(&format!("for v{lvl} = {lo} to {hi} step {step} {{\n"));
+                }
+            }
+            if istep > 0 {
+                src.push_str(&format!("k = k + {istep};\n"));
+            }
+            for pair in subs.chunks(2) {
+                src.push_str(&format!("arr[{}] = arr[{}] + 1;\n", pair[0], pair[1]));
+            }
+            for _ in 0..depth {
+                src.push_str("}\n");
+            }
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Normalization must not change which elements are read and written,
+    /// in which order.
+    #[test]
+    fn normalization_preserves_behaviour(src in arb_program()) {
+        let before = behaviour(&src, false);
+        let after = behaviour(&src, true);
+        prop_assert_eq!(before, after, "behaviour changed for\n{}", src);
+    }
+
+    /// Display output reparses to a display fixpoint.
+    #[test]
+    fn display_reaches_fixpoint(src in arb_program()) {
+        let p1 = parse_program(&src).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        let p3 = parse_program(&p2.to_string()).unwrap();
+        prop_assert_eq!(&p2, &p3, "not a fixpoint:\n{}", p2);
+    }
+
+    /// Normalized programs still display/reparse cleanly.
+    #[test]
+    fn normalized_display_round_trips(src in arb_program()) {
+        let mut p = parse_program(&src).unwrap();
+        passes::normalize(&mut p);
+        let q = parse_program(&p.to_string())
+            .unwrap_or_else(|e| panic!("reparse: {e}\n{p}"));
+        let r = parse_program(&q.to_string()).unwrap();
+        prop_assert_eq!(q, r);
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_idempotent(src in arb_program()) {
+        let mut once = parse_program(&src).unwrap();
+        passes::normalize(&mut once);
+        let mut twice = once.clone();
+        passes::normalize(&mut twice);
+        prop_assert_eq!(&once, &twice, "not idempotent for\n{}", src);
+    }
+}

@@ -1,0 +1,249 @@
+//! Integral solution of linear systems `A x = b`.
+//!
+//! The extended GCD test asks: ignoring loop bounds, does the subscript
+//! equality system have *any* integer solution? [`solve`] answers that and,
+//! when the answer is yes, returns the full solution lattice
+//! `x = x₀ + U_free · t` so the caller can re-express the bound constraints
+//! in terms of the free variables `t` — the variable change at the heart of
+//! the paper's preprocessing step.
+
+use crate::factor::{factorize, Factorization};
+use crate::{num, Error, Matrix, Result};
+
+/// The complete integral solution set of `A x = b`.
+///
+/// Every integer solution is `particular + basis · t` for exactly one
+/// integer vector `t` of length [`num_free`](Solution::num_free), and every
+/// such `t` yields a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    particular: Vec<i64>,
+    /// Columns of `U` corresponding to free `t` variables, as an
+    /// `n × num_free` matrix.
+    basis: Matrix,
+    factorization: Factorization,
+    fixed_t: Vec<i64>,
+}
+
+impl Solution {
+    /// A particular integer solution `x₀`.
+    #[must_use]
+    pub fn particular(&self) -> &[i64] {
+        &self.particular
+    }
+
+    /// The lattice basis: an `n × num_free` matrix whose columns span the
+    /// solution set's direction space.
+    #[must_use]
+    pub fn basis(&self) -> &Matrix {
+        &self.basis
+    }
+
+    /// Number of free variables (degrees of freedom).
+    #[must_use]
+    pub fn num_free(&self) -> usize {
+        self.basis.cols()
+    }
+
+    /// The underlying unimodular/echelon factorization.
+    #[must_use]
+    pub fn factorization(&self) -> &Factorization {
+        &self.factorization
+    }
+
+    /// The determined `t` values for the pivot variables.
+    #[must_use]
+    pub fn fixed_t(&self) -> &[i64] {
+        &self.fixed_t
+    }
+
+    /// Evaluates the solution at a free-variable assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `t.len() != self.num_free()` and
+    /// [`Error::Overflow`] on overflow.
+    pub fn at(&self, t: &[i64]) -> Result<Vec<i64>> {
+        let offset = self.basis.mul_vec(t)?;
+        self.particular
+            .iter()
+            .zip(&offset)
+            .map(|(&p, &o)| num::add(p, o))
+            .collect()
+    }
+}
+
+/// Solves `a · x = b` over the integers.
+///
+/// Returns `Ok(None)` when the system has no integer solution (the
+/// references are independent regardless of loop bounds), and
+/// `Ok(Some(solution))` otherwise.
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] if intermediate arithmetic overflows and
+/// [`Error::ShapeMismatch`] if `b.len() != a.rows()`.
+///
+/// # Examples
+///
+/// The paper's first example, `i = i' + 10` with no solution inside the
+/// bounds but infinitely many without:
+///
+/// ```
+/// use dda_linalg::{Matrix, diophantine::solve};
+///
+/// let a = Matrix::from_rows(&[vec![1, -1]]); // i - i' = -10
+/// let sol = solve(&a, &[-10])?.expect("integral solutions exist");
+/// assert_eq!(sol.num_free(), 1);
+/// let x = sol.at(&[5])?;
+/// assert_eq!(x[0] - x[1], -10);
+/// # Ok::<(), dda_linalg::Error>(())
+/// ```
+pub fn solve(a: &Matrix, b: &[i64]) -> Result<Option<Solution>> {
+    if b.len() != a.rows() {
+        return Err(Error::ShapeMismatch {
+            expected: format!("rhs of len {}", a.rows()),
+            found: format!("len {}", b.len()),
+        });
+    }
+    let f = factorize(a)?;
+    let n = a.cols();
+    let rank = f.rank();
+
+    // Forward-substitute E t = b. Pivot columns 0..rank get fixed values;
+    // non-pivot rows must have zero residual.
+    let mut fixed_t = vec![0i64; rank];
+    let mut next_pivot = 0usize;
+    #[allow(clippy::needless_range_loop)] // r/j index three matrices at once
+    for r in 0..a.rows() {
+        let is_pivot_row = next_pivot < rank && f.pivot_rows[next_pivot] == r;
+        let upto = if is_pivot_row { next_pivot } else { rank };
+        let mut resid = b[r];
+        for j in 0..upto {
+            resid = num::sub(resid, num::mul(f.echelon[(r, j)], fixed_t[j])?)?;
+        }
+        if is_pivot_row {
+            let pivot = f.echelon[(r, next_pivot)];
+            if resid % pivot != 0 {
+                return Ok(None); // gcd does not divide: no integer solution
+            }
+            fixed_t[next_pivot] = resid / pivot;
+            next_pivot += 1;
+        } else if resid != 0 {
+            return Ok(None); // inconsistent equation
+        }
+    }
+
+    // particular x0 = U[:, 0..rank] * fixed_t ; basis = U[:, rank..n].
+    let mut particular = vec![0i64; n];
+    for (i, p) in particular.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for (j, &t) in fixed_t.iter().enumerate() {
+            acc = num::add(acc, num::mul(f.u[(i, j)], t)?)?;
+        }
+        *p = acc;
+    }
+    let mut basis = Matrix::zeros(n, n - rank);
+    for i in 0..n {
+        for j in rank..n {
+            basis[(i, j - rank)] = f.u[(i, j)];
+        }
+    }
+
+    Ok(Some(Solution {
+        particular,
+        basis,
+        factorization: f,
+        fixed_t,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(a: &Matrix, b: &[i64], sol: &Solution) {
+        // particular is a solution
+        assert_eq!(a.mul_vec(sol.particular()).unwrap(), b);
+        // each basis column is in the nullspace
+        for c in 0..sol.num_free() {
+            let col = sol.basis().col(c);
+            let img = a.mul_vec(&col).unwrap();
+            assert!(img.iter().all(|&v| v == 0), "basis column in nullspace");
+        }
+    }
+
+    #[test]
+    fn gcd_divisibility_gate() {
+        // 2x + 4y = 7 has no integer solution.
+        let a = Matrix::from_rows(&[vec![2, 4]]);
+        assert_eq!(solve(&a, &[7]).unwrap(), None);
+        // 2x + 4y = 6 does.
+        let sol = solve(&a, &[6]).unwrap().unwrap();
+        verify(&a, &[6], &sol);
+        assert_eq!(sol.num_free(), 1);
+    }
+
+    #[test]
+    fn inconsistent_rows() {
+        // x + y = 1 and 2x + 2y = 3: inconsistent.
+        let a = Matrix::from_rows(&[vec![1, 1], vec![2, 2]]);
+        assert_eq!(solve(&a, &[1, 3]).unwrap(), None);
+        // ... but = 2 is consistent (rank 1, one free var).
+        let sol = solve(&a, &[1, 2]).unwrap().unwrap();
+        verify(&a, &[1, 2], &sol);
+        assert_eq!(sol.num_free(), 1);
+    }
+
+    #[test]
+    fn full_rank_unique_solution() {
+        let a = Matrix::from_rows(&[vec![1, 0], vec![0, 1]]);
+        let sol = solve(&a, &[3, -4]).unwrap().unwrap();
+        assert_eq!(sol.particular(), &[3, -4]);
+        assert_eq!(sol.num_free(), 0);
+    }
+
+    #[test]
+    fn paper_coupled_subscripts() {
+        // a[i1][i2] = a[i2+10][i1+9]: i1 = i2' + 10, i2 = i1' + 9
+        // vars (i1, i2, i1', i2'):
+        let a = Matrix::from_rows(&[vec![1, 0, 0, -1], vec![0, 1, -1, 0]]);
+        let sol = solve(&a, &[10, 9]).unwrap().unwrap();
+        verify(&a, &[10, 9], &sol);
+        assert_eq!(sol.num_free(), 2);
+    }
+
+    #[test]
+    fn at_evaluates_lattice_points() {
+        let a = Matrix::from_rows(&[vec![3, 5]]);
+        let sol = solve(&a, &[1]).unwrap().unwrap();
+        for t in -5..5 {
+            let x = sol.at(&[t]).unwrap();
+            assert_eq!(3 * x[0] + 5 * x[1], 1);
+        }
+    }
+
+    #[test]
+    fn empty_system_all_free() {
+        let a = Matrix::zeros(0, 3);
+        let sol = solve(&a, &[]).unwrap().unwrap();
+        assert_eq!(sol.num_free(), 3);
+        assert_eq!(sol.particular(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_rows_consistent_or_not() {
+        let a = Matrix::zeros(1, 2);
+        assert!(solve(&a, &[0]).unwrap().is_some());
+        assert_eq!(solve(&a, &[1]).unwrap(), None);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Matrix::from_rows(&[vec![1, 2]]);
+        assert!(matches!(
+            solve(&a, &[1, 2]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+}

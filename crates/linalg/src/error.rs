@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Errors produced by exact linear algebra routines.
+///
+/// The dependence analyzer treats any error as "give up and assume
+/// dependence", which is always sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An intermediate integer computation overflowed the checked range.
+    Overflow,
+    /// A division by zero was attempted (e.g. a rational with zero
+    /// denominator).
+    DivisionByZero,
+    /// Operand shapes do not match (matrix × vector, row lengths, …).
+    ShapeMismatch {
+        /// Shape the operation expected.
+        expected: String,
+        /// Shape it actually received.
+        found: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Overflow => write!(f, "integer overflow in exact arithmetic"),
+            Error::DivisionByZero => write!(f, "division by zero"),
+            Error::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,195 @@
+//! Unimodular × echelon factorization by extended Gaussian elimination.
+//!
+//! Banerjee's extended GCD test rests on factoring an integer matrix `A`
+//! (one row per equation) into `A · U = E` where `U` is unimodular
+//! (determinant ±1, so `x = U t` ranges over *all* integer vectors exactly
+//! when `t` does) and `E` is in column-echelon form, making `E t = b`
+//! solvable by simple forward substitution.
+
+use crate::{num, Matrix, Result};
+
+/// The result of factoring `A · U = E`.
+///
+/// `U` is unimodular and `E` is column-echelon: for the `k`-th pivot row
+/// `r_k`, `E[r_k][k] > 0` and `E[r_k][j] == 0` for all `j > k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factorization {
+    /// The unimodular transform (`n × n` for an `m × n` input).
+    pub u: Matrix,
+    /// The column-echelon image `E = A · U`.
+    pub echelon: Matrix,
+    /// For each pivot column `k`, the row holding its pivot, in column
+    /// order. `pivot_rows.len()` is the rank of `A`.
+    pub pivot_rows: Vec<usize>,
+}
+
+impl Factorization {
+    /// The rank of the factored matrix.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.pivot_rows.len()
+    }
+}
+
+/// Factors `a` into a unimodular `U` and a column-echelon `E` with
+/// `a · U = E`.
+///
+/// This is the "extension to Gaussian elimination" of the paper: within
+/// each row, column operations (each unimodular) run the Euclidean
+/// algorithm across the active columns until a single non-zero entry — the
+/// gcd of the originals — remains in the pivot column.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::Overflow`] if an intermediate value overflows
+/// `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::{Matrix, factor::factorize};
+///
+/// // A single equation 2x + 4y: the pivot becomes gcd(2, 4) = 2.
+/// let a = Matrix::from_rows(&[vec![2, 4]]);
+/// let f = factorize(&a)?;
+/// assert_eq!(f.echelon[(0, 0)], 2);
+/// assert_eq!(f.echelon[(0, 1)], 0);
+/// assert_eq!(a.mul_mat(&f.u)?, f.echelon);
+/// # Ok::<(), dda_linalg::Error>(())
+/// ```
+pub fn factorize(a: &Matrix) -> Result<Factorization> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut e = a.clone();
+    let mut u = Matrix::identity(n);
+    let mut pivot_rows = Vec::new();
+    let mut p = 0; // next pivot column
+
+    for r in 0..m {
+        if p >= n {
+            break;
+        }
+        if (p..n).all(|j| e[(r, j)] == 0) {
+            continue; // no pivot in this row
+        }
+        // Euclidean reduction across columns p..n until only the pivot
+        // column is non-zero in row r.
+        loop {
+            // Move the smallest non-zero |entry| into the pivot column.
+            let jmin = (p..n)
+                .filter(|&j| e[(r, j)] != 0)
+                .min_by_key(|&j| e[(r, j)].unsigned_abs())
+                .expect("at least one non-zero entry");
+            if jmin != p {
+                e.swap_cols(p, jmin);
+                u.swap_cols(p, jmin);
+            }
+            if e[(r, p)] < 0 {
+                e.negate_col(p)?;
+                u.negate_col(p)?;
+            }
+            let pivot = e[(r, p)];
+            let mut clean = true;
+            for j in (p + 1)..n {
+                if e[(r, j)] != 0 {
+                    let q = num::div_floor(e[(r, j)], pivot);
+                    if q != 0 {
+                        e.add_col_multiple(j, p, num::neg(q)?)?;
+                        u.add_col_multiple(j, p, num::neg(q)?)?;
+                    }
+                    if e[(r, j)] != 0 {
+                        clean = false;
+                    }
+                }
+            }
+            if clean {
+                break;
+            }
+        }
+        pivot_rows.push(r);
+        p += 1;
+    }
+
+    Ok(Factorization {
+        u,
+        echelon: e,
+        pivot_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(a: &Matrix) {
+        let f = factorize(a).unwrap();
+        // A * U == E
+        assert_eq!(a.mul_mat(&f.u).unwrap(), f.echelon, "A*U == E for {a}");
+        // Echelon shape: pivot k in (pivot_rows[k], k) positive, zeros right.
+        for (k, &r) in f.pivot_rows.iter().enumerate() {
+            assert!(f.echelon[(r, k)] > 0, "pivot positive");
+            for j in (k + 1)..a.cols() {
+                assert_eq!(f.echelon[(r, j)], 0, "zeros right of pivot");
+            }
+        }
+        // Pivot rows strictly increase.
+        assert!(f.pivot_rows.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn single_equation_gcd() {
+        let a = Matrix::from_rows(&[vec![6, 10, 15]]);
+        let f = factorize(&a).unwrap();
+        assert_eq!(f.echelon[(0, 0)], 1); // gcd(6,10,15) = 1
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn paper_example_i_equals_i_plus_10() {
+        // i - i' = -10, i.e. coefficients [1, -1].
+        let a = Matrix::from_rows(&[vec![1, -1]]);
+        let f = factorize(&a).unwrap();
+        assert_eq!(f.rank(), 1);
+        assert_eq!(f.echelon[(0, 0)], 1);
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        let a = Matrix::zeros(2, 3);
+        let f = factorize(&a).unwrap();
+        assert_eq!(f.rank(), 0);
+        assert_eq!(f.u, Matrix::identity(3));
+    }
+
+    #[test]
+    fn full_rank_square() {
+        let a = Matrix::from_rows(&[vec![2, 1], vec![1, 1]]);
+        let f = factorize(&a).unwrap();
+        assert_eq!(f.rank(), 2);
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn rank_deficient_rows() {
+        // Second row is a multiple of the first.
+        let a = Matrix::from_rows(&[vec![1, 2, 3], vec![2, 4, 6]]);
+        let f = factorize(&a).unwrap();
+        assert_eq!(f.rank(), 1);
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn wide_and_tall() {
+        check_invariants(&Matrix::from_rows(&[vec![3, 5, 7, 9]]));
+        check_invariants(&Matrix::from_rows(&[
+            vec![2, 3],
+            vec![5, 7],
+            vec![11, 13],
+        ]));
+    }
+
+    #[test]
+    fn negative_entries() {
+        check_invariants(&Matrix::from_rows(&[vec![-4, 6], vec![8, -10]]));
+    }
+}

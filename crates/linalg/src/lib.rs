@@ -1,0 +1,51 @@
+//! Exact integer and rational linear algebra for data dependence analysis.
+//!
+//! This crate provides the numeric substrate for the cascaded exact
+//! dependence tests of Maydan, Hennessy and Lam (PLDI 1991):
+//!
+//! - [`num`]: checked integer helpers (`gcd`, extended gcd, floor/ceiling
+//!   division) over `i64`.
+//! - [`Rational`]: an exact rational number used by the Fourier–Motzkin
+//!   backup test.
+//! - [`Matrix`]: a small dense integer matrix.
+//! - [`factor`]: the unimodular × echelon factorization (`A · U = E`)
+//!   computed by an extension of Gaussian elimination, the engine behind
+//!   Banerjee's extended GCD test.
+//! - [`diophantine`]: integral solution of linear systems `A x = b`,
+//!   returning a particular solution plus a lattice basis for the free
+//!   variables.
+//!
+//! All arithmetic is checked: operations that could overflow return
+//! [`Error::Overflow`] instead of wrapping, so callers can fall back to a
+//! conservative "assume dependent" answer.
+//!
+//! # Examples
+//!
+//! Solving `3x + 5y = 7` over the integers:
+//!
+//! ```
+//! use dda_linalg::{Matrix, diophantine::solve};
+//!
+//! let a = Matrix::from_rows(&[vec![3, 5]]);
+//! let sol = solve(&a, &[7]).expect("no overflow").expect("solvable");
+//! let x = sol.particular();
+//! assert_eq!(3 * x[0] + 5 * x[1], 7);
+//! assert_eq!(sol.num_free(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diophantine;
+mod error;
+pub mod factor;
+mod matrix;
+pub mod num;
+mod rational;
+
+pub use error::Error;
+pub use matrix::Matrix;
+pub use rational::Rational;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,272 @@
+//! A small dense integer matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{num, Error, Result};
+
+/// A dense row-major matrix of `i64` values.
+///
+/// Dependence systems are tiny (a handful of rows and columns), so this
+/// type favours clarity and checked arithmetic over performance tricks.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+/// assert_eq!(m[(1, 0)], 3);
+/// assert_eq!(m.mul_vec(&[1, 1])?, vec![3, 7]);
+/// # Ok::<(), dda_linalg::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Creates a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<i64>]) -> Matrix {
+        let ncols = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "all rows must have the same length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[i64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` collected into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    #[must_use]
+    pub fn col(&self, c: usize) -> Vec<i64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Swaps columns `a` and `b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        assert!(a < self.cols && b < self.cols, "column index out of range");
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + a, r * self.cols + b);
+        }
+    }
+
+    /// Negates column `c` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] when an entry is `i64::MIN`.
+    pub fn negate_col(&mut self, c: usize) -> Result<()> {
+        for r in 0..self.rows {
+            self[(r, c)] = num::neg(self[(r, c)])?;
+        }
+        Ok(())
+    }
+
+    /// Adds `factor * column a` to column `b` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] on overflow.
+    pub fn add_col_multiple(&mut self, b: usize, a: usize, factor: i64) -> Result<()> {
+        for r in 0..self.rows {
+            let delta = num::mul(self[(r, a)], factor)?;
+            self[(r, b)] = num::add(self[(r, b)], delta)?;
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `v.len() != self.cols()` and
+    /// [`Error::Overflow`] on overflow.
+    pub fn mul_vec(&self, v: &[i64]) -> Result<Vec<i64>> {
+        if v.len() != self.cols {
+            return Err(Error::ShapeMismatch {
+                expected: format!("vector of len {}", self.cols),
+                found: format!("len {}", v.len()),
+            });
+        }
+        (0..self.rows).map(|r| num::dot(self.row(r), v)).collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the inner dimensions differ and
+    /// [`Error::Overflow`] on overflow.
+    pub fn mul_mat(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                expected: format!("{} rows", self.cols),
+                found: format!("{} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = 0i64;
+                for k in 0..self.cols {
+                    acc = num::add(acc, num::mul(self[(r, k)], rhs[(k, c)])?)?;
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether every entry is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = i64;
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 2)], 3);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(m.col(1), vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.mul_mat(&i).unwrap(), m);
+        assert_eq!(i.mul_mat(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn column_operations() {
+        let mut m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        m.swap_cols(0, 1);
+        assert_eq!(m.row(0), &[2, 1]);
+        m.negate_col(0).unwrap();
+        assert_eq!(m.row(0), &[-2, 1]);
+        m.add_col_multiple(1, 0, 2).unwrap();
+        assert_eq!(m.row(0), &[-2, -3]);
+        assert_eq!(m.row(1), &[-4, -5]);
+    }
+
+    #[test]
+    fn mul_vec_shapes() {
+        let m = Matrix::from_rows(&[vec![1, 0, 2]]);
+        assert_eq!(m.mul_vec(&[5, 7, 1]).unwrap(), vec![7]);
+        assert!(m.mul_vec(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn zero_sized() {
+        let m = Matrix::zeros(0, 3);
+        assert!(m.is_zero());
+        assert_eq!(m.mul_vec(&[1, 2, 3]).unwrap(), Vec::<i64>::new());
+    }
+}

@@ -1,0 +1,291 @@
+//! Checked integer helpers: gcd, extended gcd, floor/ceiling division.
+//!
+//! Everything here operates on `i64` and either cannot overflow (gcd-family
+//! functions, which only shrink magnitudes) or returns [`Error::Overflow`]
+//! through the [`crate::Result`] alias.
+
+use crate::{Error, Result};
+
+/// Greatest common divisor of two integers, always non-negative.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::gcd;
+/// assert_eq!(gcd(12, -18), 6);
+/// assert_eq!(gcd(0, 7), 7);
+/// assert_eq!(gcd(0, 0), 0);
+/// ```
+#[must_use]
+pub fn gcd(a: i64, b: i64) -> i64 {
+    // unsigned_abs avoids overflow on i64::MIN.
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    // A gcd of two i64 magnitudes fits in i64 unless both inputs were
+    // i64::MIN; saturate in that pathological case.
+    i64::try_from(a).unwrap_or(i64::MAX)
+}
+
+/// Greatest common divisor of a slice, always non-negative.
+///
+/// Returns `0` for an empty slice or an all-zero slice.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::gcd_slice;
+/// assert_eq!(gcd_slice(&[4, -6, 10]), 2);
+/// assert_eq!(gcd_slice(&[]), 0);
+/// ```
+#[must_use]
+pub fn gcd_slice(values: &[i64]) -> i64 {
+    values.iter().fold(0, |g, &v| gcd(g, v))
+}
+
+/// Least common multiple, always non-negative.
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] if the result does not fit in `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::lcm;
+/// assert_eq!(lcm(4, 6).unwrap(), 12);
+/// assert_eq!(lcm(0, 5).unwrap(), 0);
+/// ```
+pub fn lcm(a: i64, b: i64) -> Result<i64> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd(a, b);
+    (a / g)
+        .checked_mul(b)
+        .map(i64::abs)
+        .ok_or(Error::Overflow)
+}
+
+/// Result of the extended Euclidean algorithm: `a*x + b*y == g` with
+/// `g == gcd(a, b) >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtendedGcd {
+    /// The (non-negative) greatest common divisor.
+    pub g: i64,
+    /// Bézout coefficient for the first argument.
+    pub x: i64,
+    /// Bézout coefficient for the second argument.
+    pub y: i64,
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `ExtendedGcd { g, x, y }` such that `a*x + b*y == g` and
+/// `g == gcd(a, b)`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::extended_gcd;
+/// let e = extended_gcd(240, 46);
+/// assert_eq!(e.g, 2);
+/// assert_eq!(240 * e.x + 46 * e.y, 2);
+/// ```
+#[must_use]
+pub fn extended_gcd(a: i64, b: i64) -> ExtendedGcd {
+    // Classic iterative algorithm; the Bézout coefficients are bounded by
+    // max(|a|, |b|), so no overflow is possible for inputs > i64::MIN.
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_x, mut x) = (1i64, 0i64);
+    let (mut old_y, mut y) = (0i64, 1i64);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_x, x) = (x, old_x - q * x);
+        (old_y, y) = (y, old_y - q * y);
+    }
+    if old_r < 0 {
+        old_r = -old_r;
+        old_x = -old_x;
+        old_y = -old_y;
+    }
+    ExtendedGcd {
+        g: old_r,
+        x: old_x,
+        y: old_y,
+    }
+}
+
+/// Floor division: the largest integer `q` with `q * b <= a`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::div_floor;
+/// assert_eq!(div_floor(7, 2), 3);
+/// assert_eq!(div_floor(-7, 2), -4);
+/// assert_eq!(div_floor(7, -2), -4);
+/// ```
+#[must_use]
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    let r = a % b;
+    if r != 0 && ((r < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division: the smallest integer `q` with `q * b >= a` (for
+/// `b > 0`).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::div_ceil;
+/// assert_eq!(div_ceil(7, 2), 4);
+/// assert_eq!(div_ceil(-7, 2), -3);
+/// ```
+#[must_use]
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    let r = a % b;
+    if r != 0 && ((r < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Checked addition lifted to [`crate::Result`].
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] on overflow.
+pub fn add(a: i64, b: i64) -> Result<i64> {
+    a.checked_add(b).ok_or(Error::Overflow)
+}
+
+/// Checked subtraction lifted to [`crate::Result`].
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] on overflow.
+pub fn sub(a: i64, b: i64) -> Result<i64> {
+    a.checked_sub(b).ok_or(Error::Overflow)
+}
+
+/// Checked multiplication lifted to [`crate::Result`].
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] on overflow.
+pub fn mul(a: i64, b: i64) -> Result<i64> {
+    a.checked_mul(b).ok_or(Error::Overflow)
+}
+
+/// Checked negation lifted to [`crate::Result`].
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] when negating `i64::MIN`.
+pub fn neg(a: i64) -> Result<i64> {
+    a.checked_neg().ok_or(Error::Overflow)
+}
+
+/// Checked dot product of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`Error::Overflow`] on overflow and [`Error::ShapeMismatch`] if
+/// the slices have different lengths.
+pub fn dot(a: &[i64], b: &[i64]) -> Result<i64> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            expected: format!("len {}", a.len()),
+            found: format!("len {}", b.len()),
+        });
+    }
+    let mut acc = 0i64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = add(acc, mul(x, y)?)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(-4, 6), 2);
+        assert_eq!(gcd(6, -4), 2);
+        assert_eq!(gcd(i64::MIN, i64::MIN), i64::MAX); // saturated pathological case
+        assert_eq!(gcd(i64::MIN, 1), 1);
+    }
+
+    #[test]
+    fn gcd_slice_basic() {
+        assert_eq!(gcd_slice(&[9, 6, 3]), 3);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert_eq!(gcd_slice(&[5]), 5);
+        assert_eq!(gcd_slice(&[-5]), 5);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+        assert_eq!(lcm(-4, 6).unwrap(), 12);
+        assert_eq!(lcm(0, 0).unwrap(), 0);
+        assert!(lcm(i64::MAX, i64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for (a, b) in [(240, 46), (-240, 46), (0, 5), (5, 0), (0, 0), (7, 7)] {
+            let e = extended_gcd(a, b);
+            assert_eq!(e.g, gcd(a, b), "gcd for {a},{b}");
+            assert_eq!(a * e.x + b * e.y, e.g, "bezout for {a},{b}");
+        }
+    }
+
+    #[test]
+    fn floor_ceil_division() {
+        for a in -20..=20i64 {
+            for b in [-7, -3, -1, 1, 2, 5] {
+                let expect_floor = (f64::from(a as i32) / f64::from(b as i32)).floor() as i64;
+                let expect_ceil = (f64::from(a as i32) / f64::from(b as i32)).ceil() as i64;
+                assert_eq!(div_floor(a, b), expect_floor, "floor {a}/{b}");
+                assert_eq!(div_ceil(a, b), expect_ceil, "ceil {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_checks_shape_and_overflow() {
+        assert_eq!(dot(&[1, 2], &[3, 4]).unwrap(), 11);
+        assert!(matches!(
+            dot(&[1], &[1, 2]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        assert_eq!(dot(&[i64::MAX, 1], &[2, 0]), Err(Error::Overflow));
+    }
+}

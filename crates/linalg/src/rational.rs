@@ -1,0 +1,303 @@
+//! Exact rational arithmetic for the Fourier–Motzkin elimination.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{Error, Result};
+
+/// An exact rational number with an `i128` numerator and denominator.
+///
+/// Invariants: the denominator is always positive and the fraction is always
+/// in lowest terms. Arithmetic is checked; operations that would overflow
+/// `i128` return [`Error::Overflow`] (the `std::ops` operators panic instead,
+/// see the per-method docs).
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::Rational;
+///
+/// let a = Rational::new(1, 2)?;
+/// let b = Rational::new(1, 3)?;
+/// assert_eq!((a + b), Rational::new(5, 6)?);
+/// assert_eq!(a.floor(), 0);
+/// assert_eq!(a.ceil(), 1);
+/// # Ok::<(), dda_linalg::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a as i128
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational `num / den` in lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] when `den == 0`.
+    pub fn new(num: i128, den: i128) -> Result<Rational> {
+        if den == 0 {
+            return Err(Error::DivisionByZero);
+        }
+        let g = gcd128(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Ok(Rational { num, den })
+    }
+
+    /// Creates a rational from an integer.
+    #[must_use]
+    pub fn from_int(v: i64) -> Rational {
+        Rational {
+            num: i128::from(v),
+            den: 1,
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    #[must_use]
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    #[must_use]
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this rational is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The largest integer `<= self`.
+    #[must_use]
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The smallest integer `>= self`.
+    #[must_use]
+    pub fn ceil(&self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] if an intermediate product overflows.
+    pub fn try_add(&self, rhs: &Rational) -> Result<Rational> {
+        let n1 = self.num.checked_mul(rhs.den).ok_or(Error::Overflow)?;
+        let n2 = rhs.num.checked_mul(self.den).ok_or(Error::Overflow)?;
+        let num = n1.checked_add(n2).ok_or(Error::Overflow)?;
+        let den = self.den.checked_mul(rhs.den).ok_or(Error::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] if an intermediate product overflows.
+    pub fn try_sub(&self, rhs: &Rational) -> Result<Rational> {
+        self.try_add(&rhs.try_neg()?)
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] if an intermediate product overflows.
+    pub fn try_mul(&self, rhs: &Rational) -> Result<Rational> {
+        let num = self.num.checked_mul(rhs.num).ok_or(Error::Overflow)?;
+        let den = self.den.checked_mul(rhs.den).ok_or(Error::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] if `rhs` is zero, or
+    /// [`Error::Overflow`] on overflow.
+    pub fn try_div(&self, rhs: &Rational) -> Result<Rational> {
+        if rhs.num == 0 {
+            return Err(Error::DivisionByZero);
+        }
+        let num = self.num.checked_mul(rhs.den).ok_or(Error::Overflow)?;
+        let den = self.den.checked_mul(rhs.num).ok_or(Error::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] when negating `i128::MIN`.
+    pub fn try_neg(&self) -> Result<Rational> {
+        Ok(Rational {
+            num: self.num.checked_neg().ok_or(Error::Overflow)?,
+            den: self.den,
+        })
+    }
+
+    /// The integer nearest to `self`, rounding halves up.
+    ///
+    /// Used by the Fourier–Motzkin back-substitution heuristic, which picks
+    /// the integer at the middle of the allowed range.
+    #[must_use]
+    pub fn round_nearest(&self) -> i128 {
+        // floor(self + 1/2)
+        let doubled = Rational {
+            num: self.num * 2 + self.den,
+            den: self.den * 2,
+        };
+        doubled.floor()
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare via cross-multiplication; denominators are positive.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl std::ops::Add for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow; use [`Rational::try_add`] for a checked
+    /// variant.
+    fn add(self, rhs: Rational) -> Rational {
+        self.try_add(&rhs).expect("rational addition overflowed")
+    }
+}
+
+impl std::ops::Sub for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow; use [`Rational::try_sub`] for a checked
+    /// variant.
+    fn sub(self, rhs: Rational) -> Rational {
+        self.try_sub(&rhs).expect("rational subtraction overflowed")
+    }
+}
+
+impl std::ops::Mul for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow; use [`Rational::try_mul`] for a checked
+    /// variant.
+    fn mul(self, rhs: Rational) -> Rational {
+        self.try_mul(&rhs).expect("rational multiplication overflowed")
+    }
+}
+
+impl std::ops::Neg for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics when negating the most negative representable rational.
+    fn neg(self) -> Rational {
+        self.try_neg().expect("rational negation overflowed")
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational::from_int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        let r = Rational::new(4, -6).unwrap();
+        assert_eq!(r.numer(), -2);
+        assert_eq!(r.denom(), 3);
+        assert_eq!(Rational::new(0, -5).unwrap(), Rational::ZERO);
+        assert!(Rational::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2).unwrap();
+        let b = Rational::new(1, 3).unwrap();
+        assert_eq!(a + b, Rational::new(5, 6).unwrap());
+        assert_eq!(a - b, Rational::new(1, 6).unwrap());
+        assert_eq!(a * b, Rational::new(1, 6).unwrap());
+        assert_eq!(a.try_div(&b).unwrap(), Rational::new(3, 2).unwrap());
+        assert!(a.try_div(&Rational::ZERO).is_err());
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        let r = Rational::new(-7, 2).unwrap();
+        assert_eq!(r.floor(), -4);
+        assert_eq!(r.ceil(), -3);
+        assert_eq!(Rational::new(7, 2).unwrap().floor(), 3);
+        assert_eq!(Rational::new(7, 2).unwrap().ceil(), 4);
+        assert_eq!(Rational::new(5, 2).unwrap().round_nearest(), 3); // halves round up
+        assert_eq!(Rational::new(-5, 2).unwrap().round_nearest(), -2);
+        assert_eq!(Rational::new(1, 3).unwrap().round_nearest(), 0);
+        assert_eq!(Rational::new(2, 3).unwrap().round_nearest(), 1);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Rational::new(-1, 2).unwrap() < Rational::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).unwrap().to_string(), "3");
+        assert_eq!(Rational::new(-1, 2).unwrap().to_string(), "-1/2");
+    }
+}

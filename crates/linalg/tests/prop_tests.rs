@@ -1,0 +1,181 @@
+//! Property-based tests for the exact linear algebra substrate.
+
+use dda_linalg::diophantine::solve;
+use dda_linalg::factor::factorize;
+use dda_linalg::num::{div_ceil, div_floor, extended_gcd, gcd, gcd_slice};
+use dda_linalg::{Matrix, Rational};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=4, 1usize..=4).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(-9i64..=9, n), m)
+            .prop_map(|rows| Matrix::from_rows(&rows))
+    })
+}
+
+/// Determinant by cofactor expansion (tiny matrices only).
+fn det(m: &Matrix) -> i128 {
+    let n = m.rows();
+    assert_eq!(n, m.cols());
+    if n == 0 {
+        return 1;
+    }
+    if n == 1 {
+        return i128::from(m[(0, 0)]);
+    }
+    let mut acc = 0i128;
+    for j in 0..n {
+        let mut minor_rows = Vec::with_capacity(n - 1);
+        for r in 1..n {
+            let mut row = Vec::with_capacity(n - 1);
+            for c in 0..n {
+                if c != j {
+                    row.push(m[(r, c)]);
+                }
+            }
+            minor_rows.push(row);
+        }
+        let minor = Matrix::from_rows(&minor_rows);
+        let sign = if j % 2 == 0 { 1 } else { -1 };
+        acc += sign * i128::from(m[(0, j)]) * det(&minor);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    /// gcd laws.
+    #[test]
+    fn gcd_divides_and_is_greatest(a in -1000i64..1000, b in -1000i64..1000) {
+        let g = gcd(a, b);
+        if a != 0 || b != 0 {
+            prop_assert!(g > 0);
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+            // Any common divisor divides g.
+            for d in 1..=20i64 {
+                if a % d == 0 && b % d == 0 {
+                    prop_assert_eq!(g % d, 0);
+                }
+            }
+        }
+        prop_assert_eq!(g, gcd(b, a));
+    }
+
+    /// Bézout identity.
+    #[test]
+    fn extended_gcd_identity(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let e = extended_gcd(a, b);
+        prop_assert_eq!(e.g, gcd(a, b));
+        prop_assert_eq!(a.checked_mul(e.x).unwrap() + b.checked_mul(e.y).unwrap(), e.g);
+    }
+
+    /// Floor/ceiling division against the mathematical definition.
+    #[test]
+    fn floor_ceil_definitions(a in -10_000i64..10_000, b in -100i64..100) {
+        prop_assume!(b != 0);
+        let f = div_floor(a, b);
+        let c = div_ceil(a, b);
+        // f = max { q : q*b ≤ a } for b > 0, min otherwise — check both
+        // via the universal characterization f ≤ a/b < f+1.
+        let lhs = i128::from(f) * i128::from(b);
+        let rhs = i128::from(a);
+        if b > 0 {
+            prop_assert!(lhs <= rhs && lhs + i128::from(b) > rhs);
+        } else {
+            prop_assert!(lhs >= rhs && lhs + i128::from(b) < rhs);
+        }
+        prop_assert!(c >= f && c - f <= 1);
+        prop_assert_eq!(c == f, a % b == 0);
+    }
+
+    /// Factorization invariants: A·U = E, U unimodular, E echelon.
+    #[test]
+    fn factorization_invariants(a in arb_matrix()) {
+        let f = factorize(&a).expect("small inputs never overflow");
+        prop_assert_eq!(a.mul_mat(&f.u).unwrap(), f.echelon.clone());
+        prop_assert_eq!(det(&f.u).abs(), 1, "U must be unimodular");
+        for (k, &r) in f.pivot_rows.iter().enumerate() {
+            prop_assert!(f.echelon[(r, k)] > 0);
+            for j in (k + 1)..a.cols() {
+                prop_assert_eq!(f.echelon[(r, j)], 0);
+            }
+        }
+    }
+
+    /// Diophantine: returned solutions really solve; "no solution" is
+    /// confirmed by a brute-force search over a small box.
+    #[test]
+    fn diophantine_against_brute_force(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-4i64..=4, 2), 1..=2),
+        b in proptest::collection::vec(-8i64..=8, 2),
+    ) {
+        let m = rows.len();
+        let a = Matrix::from_rows(&rows);
+        let rhs = &b[..m];
+
+        // Brute force over [-40, 40]^2: coefficients ≤ 4 and |rhs| ≤ 8
+        // mean any solvable system has a solution with small entries
+        // (Bézout coefficients are bounded by the inputs).
+        let mut brute = None;
+        'outer: for x in -40i64..=40 {
+            for y in -40i64..=40 {
+                if rows.iter().zip(rhs).all(|(r, &c)| r[0] * x + r[1] * y == c) {
+                    brute = Some(vec![x, y]);
+                    break 'outer;
+                }
+            }
+        }
+
+        match solve(&a, rhs).expect("no overflow") {
+            None => prop_assert!(brute.is_none(),
+                "solver says none, brute force found {brute:?}"),
+            Some(sol) => {
+                prop_assert_eq!(a.mul_vec(sol.particular()).unwrap(), rhs.to_vec());
+                // Lattice points are solutions too.
+                for t0 in -3i64..=3 {
+                    let t: Vec<i64> = std::iter::once(t0)
+                        .chain(std::iter::repeat(-t0))
+                        .take(sol.num_free())
+                        .collect();
+                    let x = sol.at(&t).unwrap();
+                    prop_assert_eq!(a.mul_vec(&x).unwrap(), rhs.to_vec());
+                }
+            }
+        }
+    }
+
+    /// Rational arithmetic: ring laws and ordering consistency on a
+    /// bounded domain.
+    #[test]
+    fn rational_laws(
+        (an, ad) in (-50i128..=50, 1i128..=20),
+        (bn, bd) in (-50i128..=50, 1i128..=20),
+        (cn, cd) in (-50i128..=50, 1i128..=20),
+    ) {
+        let a = Rational::new(an, ad).unwrap();
+        let b = Rational::new(bn, bd).unwrap();
+        let c = Rational::new(cn, cd).unwrap();
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        // floor/ceil bracket the value.
+        let fl = Rational::from_int(i64::try_from(a.floor()).unwrap());
+        let ce = Rational::from_int(i64::try_from(a.ceil()).unwrap());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert_eq!(a.is_integer(), fl == ce);
+        // Ordering is total and consistent with subtraction.
+        prop_assert_eq!(a < b, (a - b).numer() < 0);
+    }
+
+    /// gcd_slice equals folding gcd.
+    #[test]
+    fn gcd_slice_fold(v in proptest::collection::vec(-500i64..=500, 0..6)) {
+        let folded = v.iter().fold(0i64, |g, &x| gcd(g, x));
+        prop_assert_eq!(gcd_slice(&v), folded);
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-program calibration targets, transcribed from the paper's tables.
+//!
+//! Table 1 gives, for each of the 13 PERFECT Club programs, how many
+//! reference pairs each dependence test resolved; Table 2 gives the
+//! fraction of unique cases under memoization. The synthetic generator
+//! reproduces those *distributions* — the real Fortran sources are not
+//! reproducible, but the evaluation only depends on the pattern mix.
+
+/// Calibration targets for one synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramSpec {
+    /// Program acronym from the PERFECT Club.
+    pub name: &'static str,
+    /// Source lines of the original Fortran program (reported, not
+    /// generated).
+    pub lines: u32,
+    /// Pairs with constant subscripts (Table 1 "Constant").
+    pub constant: u32,
+    /// Pairs proven independent by the extended GCD test alone.
+    pub gcd: u32,
+    /// Pairs resolved by the SVPC test.
+    pub svpc: u32,
+    /// Pairs resolved by the Acyclic test.
+    pub acyclic: u32,
+    /// Pairs resolved by the Loop Residue test.
+    pub loop_residue: u32,
+    /// Pairs resolved by Fourier–Motzkin.
+    pub fourier_motzkin: u32,
+    /// Extra pairs exercising symbolic (Section 8) terms; approximated
+    /// from the Table 5 → Table 7 growth.
+    pub symbolic: u32,
+    /// Percentage of unique cases with bounds under the improved
+    /// memoization scheme (Table 2).
+    pub unique_pct: f64,
+}
+
+impl ProgramSpec {
+    /// Total dependence-test pairs (everything except constants and GCD).
+    #[must_use]
+    pub fn test_pairs(&self) -> u32 {
+        self.svpc + self.acyclic + self.loop_residue + self.fourier_motzkin
+    }
+
+    /// Total reference pairs of all kinds.
+    #[must_use]
+    pub fn total_pairs(&self) -> u32 {
+        self.constant + self.gcd + self.test_pairs() + self.symbolic
+    }
+}
+
+/// The 13 PERFECT Club programs, calibrated from Tables 1, 2 and 7.
+pub const SPECS: [ProgramSpec; 13] = [
+    ProgramSpec { name: "AP", lines: 6104, constant: 229, gcd: 91, svpc: 613, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 8, unique_pct: 4.4 },
+    ProgramSpec { name: "CS", lines: 18520, constant: 50, gcd: 0, svpc: 127, acyclic: 15, loop_residue: 0, fourier_motzkin: 0, symbolic: 6, unique_pct: 14.1 },
+    ProgramSpec { name: "LG", lines: 2327, constant: 6961, gcd: 0, svpc: 73, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 2, unique_pct: 31.5 },
+    ProgramSpec { name: "LW", lines: 1237, constant: 54, gcd: 0, svpc: 34, acyclic: 43, loop_residue: 0, fourier_motzkin: 0, symbolic: 0, unique_pct: 22.1 },
+    ProgramSpec { name: "MT", lines: 3785, constant: 49, gcd: 0, svpc: 326, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 2, unique_pct: 4.3 },
+    ProgramSpec { name: "NA", lines: 3976, constant: 45, gcd: 0, svpc: 679, acyclic: 202, loop_residue: 1, fourier_motzkin: 2, symbolic: 20, unique_pct: 6.9 },
+    ProgramSpec { name: "OC", lines: 2739, constant: 2, gcd: 7, svpc: 36, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 1, unique_pct: 13.9 },
+    ProgramSpec { name: "SD", lines: 7607, constant: 949, gcd: 0, svpc: 526, acyclic: 17, loop_residue: 5, fourier_motzkin: 12, symbolic: 0, unique_pct: 8.8 },
+    ProgramSpec { name: "SM", lines: 2759, constant: 1004, gcd: 98, svpc: 264, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 0, unique_pct: 3.0 },
+    ProgramSpec { name: "SR", lines: 3970, constant: 1679, gcd: 0, svpc: 1290, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 3, unique_pct: 1.1 },
+    ProgramSpec { name: "TF", lines: 2020, constant: 801, gcd: 6, svpc: 826, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 6, unique_pct: 2.4 },
+    ProgramSpec { name: "TI", lines: 484, constant: 0, gcd: 0, svpc: 4, acyclic: 42, loop_residue: 0, fourier_motzkin: 0, symbolic: 0, unique_pct: 23.9 },
+    ProgramSpec { name: "WS", lines: 3884, constant: 36, gcd: 182, svpc: 378, acyclic: 4, loop_residue: 0, fourier_motzkin: 160, symbolic: 2, unique_pct: 11.6 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table1() {
+        let lines: u32 = SPECS.iter().map(|s| s.lines).sum();
+        assert_eq!(lines, 59_412);
+        let constant: u32 = SPECS.iter().map(|s| s.constant).sum();
+        assert_eq!(constant, 11_859);
+        let gcd: u32 = SPECS.iter().map(|s| s.gcd).sum();
+        assert_eq!(gcd, 384);
+        let svpc: u32 = SPECS.iter().map(|s| s.svpc).sum();
+        assert_eq!(svpc, 5_176);
+        let acyclic: u32 = SPECS.iter().map(|s| s.acyclic).sum();
+        assert_eq!(acyclic, 323);
+        let lr: u32 = SPECS.iter().map(|s| s.loop_residue).sum();
+        assert_eq!(lr, 6);
+        let fm: u32 = SPECS.iter().map(|s| s.fourier_motzkin).sum();
+        assert_eq!(fm, 174);
+        // Test-pair total matches the paper's 5,679.
+        let tests: u32 = SPECS.iter().map(ProgramSpec::test_pairs).sum();
+        assert_eq!(tests, 5_679);
+    }
+
+    #[test]
+    fn unique_percentages_in_range() {
+        for s in &SPECS {
+            assert!(s.unique_pct > 0.0 && s.unique_pct < 100.0, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Section 2.1 made concrete: data dependence testing and integer
+//! programming are mutually reducible.
+//!
+//! The paper encodes the IP feasibility problem `∃x ≥ 0. A x = b` as a
+//! dependence question by writing `A` into array subscripts. This example
+//! solves small integer programs with the dependence analyzer — including
+//! reading back the witness — and shows the reverse reduction cost
+//! intuition: dependence *is* IP, which is why the special-case exact
+//! cascade matters.
+//!
+//! ```text
+//! cargo run --example ip_reduction
+//! ```
+
+use dda::core::DependenceAnalyzer;
+use dda::ir::parse_program;
+
+/// Solves `∃ x, y ∈ [0, bound]. c1·x + c2·y = target` via the paper's
+/// encoding, returning a witness.
+fn solve_ip(
+    c1: i64,
+    c2: i64,
+    target: i64,
+    bound: i64,
+) -> Result<Option<(i64, i64)>, Box<dyn std::error::Error>> {
+    // The paper's Section 2.1 program shape:
+    //   for x = 0 to unknown { for y = 0 to unknown {
+    //       a[c1*x + c2*y] = a[target]
+    //   } }
+    let src = format!(
+        "for x = 0 to {bound} {{ for y = 0 to {bound} {{
+             a[{c1} * x + {c2} * y] = a[{target}];
+         }} }}"
+    );
+    let program = parse_program(&src)?;
+    let mut analyzer = DependenceAnalyzer::new();
+    let report = analyzer.analyze_program(&program);
+    let pair = &report.pairs()[0];
+    if !pair.result.answer.is_dependent() {
+        return Ok(None);
+    }
+    // The witness lists (x, y, x', y'); the writing iteration is the
+    // solution.
+    let w = pair.witness.as_ref().expect("dependent pairs carry witnesses");
+    Ok(Some((w[0], w[1])))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Integer programming via dependence testing (Section 2.1)\n");
+    let instances = [
+        (3, 5, 22, 10),  // 3x + 5y = 22
+        (3, 5, 7, 10),   // 3x + 5y = 7 with x,y >= 0: only (4, -1)/(−1,2): infeasible in the box
+        (3, 6, 22, 10),  // gcd(3,6) does not divide 22: infeasible outright
+        (7, 11, 100, 20) // 7x + 11y = 100
+    ];
+    for (c1, c2, target, bound) in instances {
+        match solve_ip(c1, c2, target, bound)? {
+            Some((x, y)) => {
+                assert_eq!(c1 * x + c2 * y, target);
+                println!(
+                    "{c1}x + {c2}y = {target}, 0 <= x,y <= {bound}:  \
+                     solvable, e.g. x = {x}, y = {y}"
+                );
+            }
+            None => println!(
+                "{c1}x + {c2}y = {target}, 0 <= x,y <= {bound}:  infeasible (exact)"
+            ),
+        }
+    }
+
+    println!(
+        "\nThis is why dependence testing is NP-hard in general — and why the\n\
+         paper's cascade of special-case exact tests (rather than a general\n\
+         IP solver) is the practical answer."
+    );
+    Ok(())
+}

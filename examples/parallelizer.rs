@@ -1,0 +1,134 @@
+//! A mini auto-parallelizer: the paper's motivating application.
+//!
+//! Normalizes a small scientific kernel, runs exact dependence analysis,
+//! and annotates each loop as `parallel` or `sequential` based on whether
+//! any dependence is carried at its level — demonstrating why exactness
+//! matters: an inexact "assume dependent" would serialize the outer loop.
+//!
+//! ```text
+//! cargo run --example parallelizer
+//! ```
+
+use std::collections::BTreeSet;
+
+use dda::core::DependenceAnalyzer;
+use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
+
+/// Prints the program with a parallelism annotation per loop, using the
+/// same pre-order loop numbering as access extraction.
+fn print_annotated(program: &Program, carried: &BTreeSet<usize>) {
+    fn go(stmts: &[Stmt], depth: usize, next_id: &mut usize, carried: &BTreeSet<usize>) {
+        for s in stmts {
+            match s {
+                Stmt::For(ForLoop {
+                    var,
+                    lower,
+                    upper,
+                    body,
+                    ..
+                }) => {
+                    let id = *next_id;
+                    *next_id += 1;
+                    let tag = if carried.contains(&id) {
+                        "sequential"
+                    } else {
+                        "parallel"
+                    };
+                    println!(
+                        "{:indent$}for {var} = {lower} to {upper} {{   // {tag}",
+                        "",
+                        indent = depth * 4
+                    );
+                    go(body, depth + 1, next_id, carried);
+                    println!("{:indent$}}}", "", indent = depth * 4);
+                }
+                Stmt::If(i) => {
+                    println!(
+                        "{:indent$}if ({} {} {}) {{ ... }}",
+                        "",
+                        i.lhs,
+                        i.op.as_str(),
+                        i.rhs,
+                        indent = depth * 4
+                    );
+                    go(&i.then_body, depth + 1, next_id, carried);
+                    go(&i.else_body, depth + 1, next_id, carried);
+                }
+                other_stmt => {
+                    let text = match other_stmt {
+                        Stmt::ArrayAssign(a) => format!("{} = {};", a.target, a.value),
+                        Stmt::ScalarAssign(a) => format!("{} = {};", a.name, a.value),
+                        Stmt::Read(n) => format!("read({n});"),
+                        Stmt::For(_) | Stmt::If(_) => unreachable!(),
+                    };
+                    println!("{:indent$}{text}", "", indent = depth * 4);
+                }
+            }
+        }
+    }
+    let mut next_id = 0;
+    go(&program.stmts, 0, &mut next_id, carried);
+}
+
+fn analyze(label: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {label} ===");
+    let mut program = parse_program(src)?;
+    passes::normalize(&mut program);
+    let mut analyzer = DependenceAnalyzer::new();
+    let report = analyzer.analyze_program(&program);
+    let carried = report.carried_dependence_loops();
+    print_annotated(&program, &carried);
+    println!(
+        "({} pairs, {} independent)\n",
+        report.pairs().len(),
+        report.independent_count()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A stencil update: the j-loop carries a distance-1 dependence, the
+    // i-loop carries nothing — outer-loop parallelism survives.
+    analyze(
+        "2-D stencil",
+        "for i = 1 to 100 {
+             for j = 1 to 100 {
+                 a[i][j + 1] = a[i][j] + b[i][j];
+             }
+         }",
+    )?;
+
+    // A transposed copy touches each element once: fully parallel.
+    analyze(
+        "transpose copy",
+        "for i = 1 to 100 {
+             for j = 1 to 100 {
+                 c[i][j] = d[j][i];
+             }
+         }",
+    )?;
+
+    // Wavefront recurrence: both loops carry dependences.
+    analyze(
+        "wavefront",
+        "for i = 2 to 100 {
+             for j = 2 to 100 {
+                 a[i][j] = a[i - 1][j] + a[i][j - 1];
+             }
+         }",
+    )?;
+
+    // The paper's Section 8 shape: an induction variable plus a symbolic
+    // stride — the prepasses rewrite it, symbolic analysis proves the
+    // write and read streams never collide.
+    analyze(
+        "induction + symbolic",
+        "read(n);
+         iz = 0;
+         for i = 1 to 10 {
+             iz = iz + 2;
+             a[iz + n] = a[iz + 2 * n + 1] + 3;
+         }",
+    )?;
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Survey of the synthetic PERFECT Club suite: per-program pair counts,
+//! resolving tests, memoization effectiveness, and exactness — a compact
+//! rendition of the paper's whole evaluation.
+//!
+//! ```text
+//! cargo run --release --example perfect_survey          # full scale
+//! DDA_SCALE=0.1 cargo run --example perfect_survey      # 10% scale
+//! ```
+
+use dda::core::{DependenceAnalyzer, TestKind};
+use dda::perfect::perfect_suite;
+
+fn main() {
+    let scale: f64 = std::env::var("DDA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!("Synthetic PERFECT Club at scale {scale}\n");
+    println!(
+        "{:<8} {:>7} {:>8} {:>6} {:>6} {:>8} {:>8} {:>7} {:>8}",
+        "Program", "pairs", "indep", "const", "gcd", "tests", "unique%", "dirvecs", "exact"
+    );
+
+    let mut analyzer = DependenceAnalyzer::new();
+    let mut total_pairs = 0;
+    for prog in perfect_suite(scale) {
+        let report = analyzer.analyze_program(&prog.program);
+        let s = &report.stats;
+        let unique = if s.memo_queries == 0 {
+            100.0
+        } else {
+            100.0 * (s.memo_queries - s.memo_hits) as f64 / s.memo_queries as f64
+        };
+        let exact = report
+            .pairs()
+            .iter()
+            .filter(|p| p.result.answer.is_exact())
+            .count();
+        println!(
+            "{:<8} {:>7} {:>8} {:>6} {:>6} {:>8} {:>7.1}% {:>7} {:>5}/{}",
+            prog.name(),
+            s.pairs,
+            s.independent_pairs,
+            s.constant,
+            s.gcd_independent,
+            s.base_tests.total(),
+            unique,
+            s.direction_vectors_found,
+            exact,
+            s.pairs,
+        );
+        total_pairs += s.pairs;
+    }
+
+    let s = analyzer.stats();
+    println!("\nCumulative over the suite ({total_pairs} pairs):");
+    for kind in TestKind::ALL {
+        println!(
+            "  {kind:<16} {:>6} calls, {:>5} independent",
+            s.base_tests.calls_for(kind),
+            s.base_tests.independent[kind.index()],
+        );
+    }
+    println!(
+        "  memo: {} queries, {} hits ({:.1}% unique)",
+        s.memo_queries,
+        s.memo_hits,
+        s.unique_case_percentage()
+    );
+    println!(
+        "  every answer exact: {}",
+        s.assumed == 0
+    );
+}

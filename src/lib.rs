@@ -1,0 +1,38 @@
+//! # dda — Efficient and Exact Data Dependence Analysis
+//!
+//! Facade crate re-exporting the full reproduction of Maydan, Hennessy and
+//! Lam, *Efficient and Exact Data Dependence Analysis* (PLDI 1991).
+//!
+//! - [`linalg`]: exact integer/rational linear algebra (extended GCD,
+//!   unimodular/echelon factorization, Diophantine solving).
+//! - [`ir`]: loop-nest IR, the Fortran-like DSL parser, and the
+//!   normalization prepasses (constant propagation, forward substitution,
+//!   induction variables).
+//! - [`core`]: the cascaded exact tests (SVPC, Acyclic, Loop Residue,
+//!   Fourier–Motzkin), memoization, direction/distance vectors, symbolic
+//!   terms, and the whole-program analyzer.
+//! - [`baselines`]: the inexact comparators from Section 7 (simple GCD,
+//!   Banerjee inequalities, Wolfe's direction-vector extension).
+//! - [`perfect`]: the synthetic PERFECT Club workload suite used by the
+//!   benchmark harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dda::ir::parse_program;
+//! use dda::core::DependenceAnalyzer;
+//!
+//! let program = parse_program(
+//!     "for i = 1 to 10 { a[i] = a[i + 10] + 3; }",
+//! )?;
+//! let mut analyzer = DependenceAnalyzer::new();
+//! let report = analyzer.analyze_program(&program);
+//! assert!(report.pairs().iter().all(|p| p.result.is_independent()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use dda_baselines as baselines;
+pub use dda_core as core;
+pub use dda_ir as ir;
+pub use dda_linalg as linalg;
+pub use dda_perfect as perfect;

@@ -1,0 +1,341 @@
+//! `dda` — command-line exact data dependence analysis.
+//!
+//! ```text
+//! dda analyze kernel.loop            # per-pair verdicts + vectors
+//! dda parallel kernel.loop           # loop-level parallelism annotation
+//! echo 'for i = 1 to 9 { a[i+1] = a[i]; }' | dda analyze -
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use dda::core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
+use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
+
+const USAGE: &str = "\
+dda — efficient and exact data dependence analysis (PLDI 1991)
+
+USAGE:
+    dda <COMMAND> <FILE|-> [OPTIONS]
+
+COMMANDS:
+    analyze     report every reference pair: verdict, resolving test,
+                direction and distance vectors
+    parallel    print the program with each loop marked parallel/sequential
+    graph       print the oriented dependence graph in Graphviz DOT format
+    help        show this message
+
+OPTIONS:
+    --no-directions      skip direction/distance vectors
+    --no-symbolic        assume dependence for pairs with symbolic terms
+    --no-normalize       skip the normalization prepasses
+    --memo <MODE>        off | simple | improved   (default improved)
+    --symmetric          enable symmetric-pair memoization
+    --separable          enable dimension-by-dimension direction vectors
+    --input-deps         also test read-read pairs
+    --explain            narrate each pair's analysis step by step
+    --memo-load <FILE>   import a persisted memo table before analyzing
+    --memo-save <FILE>   export the memo table afterwards
+    --stats              print analysis statistics
+";
+
+struct Options {
+    command: String,
+    file: String,
+    config: AnalyzerConfig,
+    normalize: bool,
+    memo_load: Option<String>,
+    memo_save: Option<String>,
+    stats: bool,
+    explain: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| "missing command".to_owned())?
+        .clone();
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(Options {
+            command: "help".into(),
+            file: String::new(),
+            config: AnalyzerConfig::default(),
+            normalize: true,
+            memo_load: None,
+            memo_save: None,
+            stats: false,
+            explain: false,
+        });
+    }
+    if command != "analyze" && command != "parallel" && command != "graph" {
+        return Err(format!("unknown command `{command}`"));
+    }
+    let file = it
+        .next()
+        .ok_or_else(|| "missing input file (use `-` for stdin)".to_owned())?
+        .clone();
+
+    let mut config = AnalyzerConfig::default();
+    let mut normalize = true;
+    let mut memo_load = None;
+    let mut memo_save = None;
+    let mut stats = false;
+    let mut explain = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--no-directions" => config.compute_directions = false,
+            "--no-symbolic" => config.symbolic = false,
+            "--no-normalize" => normalize = false,
+            "--symmetric" => config.memo_symmetry = true,
+            "--separable" => config.separable_directions = true,
+            "--input-deps" => config.include_input_deps = true,
+            "--stats" => stats = true,
+            "--explain" => explain = true,
+            "--memo" => {
+                let mode = it.next().ok_or("--memo needs a mode")?;
+                config.memo = match mode.as_str() {
+                    "off" => MemoMode::Off,
+                    "simple" => MemoMode::Simple,
+                    "improved" => MemoMode::Improved,
+                    other => return Err(format!("bad memo mode `{other}`")),
+                };
+            }
+            "--memo-load" => {
+                memo_load = Some(it.next().ok_or("--memo-load needs a path")?.clone());
+            }
+            "--memo-save" => {
+                memo_save = Some(it.next().ok_or("--memo-save needs a path")?.clone());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Options {
+        command,
+        file,
+        config,
+        normalize,
+        memo_load,
+        memo_save,
+        stats,
+        explain,
+    })
+}
+
+fn read_source(file: &str) -> std::io::Result<String> {
+    if file == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(file)
+    }
+}
+
+fn print_annotated(program: &Program, carried: &std::collections::BTreeSet<usize>) {
+    fn go(
+        stmts: &[Stmt],
+        depth: usize,
+        next_id: &mut usize,
+        carried: &std::collections::BTreeSet<usize>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::For(ForLoop {
+                    var,
+                    lower,
+                    upper,
+                    body,
+                    ..
+                }) => {
+                    let id = *next_id;
+                    *next_id += 1;
+                    let tag = if carried.contains(&id) {
+                        "sequential"
+                    } else {
+                        "parallel"
+                    };
+                    println!(
+                        "{:indent$}for {var} = {lower} to {upper} {{   // {tag}",
+                        "",
+                        indent = depth * 4
+                    );
+                    go(body, depth + 1, next_id, carried);
+                    println!("{:indent$}}}", "", indent = depth * 4);
+                }
+                Stmt::ArrayAssign(a) => println!(
+                    "{:indent$}{} = {};",
+                    "",
+                    a.target,
+                    a.value,
+                    indent = depth * 4
+                ),
+                Stmt::ScalarAssign(a) => {
+                    println!("{:indent$}{} = {};", "", a.name, a.value, indent = depth * 4)
+                }
+                Stmt::Read(n) => println!("{:indent$}read({n});", "", indent = depth * 4),
+                Stmt::If(i) => {
+                    println!(
+                        "{:indent$}if ({} {} {}) {{",
+                        "",
+                        i.lhs,
+                        i.op.as_str(),
+                        i.rhs,
+                        indent = depth * 4
+                    );
+                    go(&i.then_body, depth + 1, next_id, carried);
+                    if !i.else_body.is_empty() {
+                        println!("{:indent$}}} else {{", "", indent = depth * 4);
+                        go(&i.else_body, depth + 1, next_id, carried);
+                    }
+                    println!("{:indent$}}}", "", indent = depth * 4);
+                }
+            }
+        }
+    }
+    let mut next_id = 0;
+    go(&program.stmts, 0, &mut next_id, carried);
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let source = read_source(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+    let mut program =
+        parse_program(&source).map_err(|e| e.render(&source))?;
+    if opts.normalize {
+        passes::normalize(&mut program);
+    }
+
+    let mut analyzer = DependenceAnalyzer::with_config(opts.config);
+    if let Some(path) = &opts.memo_load {
+        analyzer
+            .load_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let report = analyzer.analyze_program(&program);
+
+    match opts.command.as_str() {
+        "analyze" if opts.explain => {
+            let set = dda::ir::extract_accesses(&program);
+            let pairs = dda::ir::reference_pairs(&set, opts.config.include_input_deps);
+            for p in &pairs {
+                print!(
+                    "{}",
+                    dda::core::explain::explain_pair(
+                        p.a,
+                        p.b,
+                        p.common,
+                        opts.config.symbolic
+                    )
+                );
+                println!();
+            }
+        }
+        "analyze" => {
+            if report.pairs().is_empty() {
+                println!("no reference pairs to test");
+            }
+            for pair in report.pairs() {
+                let cache = if pair.from_cache { " [cached]" } else { "" };
+                println!(
+                    "{} #{} vs #{}: {:?} (by {}){}",
+                    pair.array,
+                    pair.a_access,
+                    pair.b_access,
+                    pair.result.answer,
+                    pair.result.resolved_by,
+                    cache
+                );
+                if !pair.direction_vectors.is_empty() {
+                    let vecs: Vec<String> = pair
+                        .direction_vectors
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect();
+                    println!(
+                        "    directions: {}   distance: {}",
+                        vecs.join(" "),
+                        pair.distance
+                    );
+                }
+            }
+        }
+        "parallel" => {
+            let carried = report.carried_dependence_loops();
+            print_annotated(&program, &carried);
+        }
+        "graph" => {
+            let set = dda::ir::extract_accesses(&program);
+            let edges = dda::core::graph::dependence_graph(&report, &set);
+            println!("digraph dependences {{");
+            println!("    rankdir=LR;");
+            let mut nodes = std::collections::BTreeSet::new();
+            for e in &edges {
+                nodes.insert(e.source);
+                nodes.insert(e.sink);
+            }
+            for n in nodes {
+                let acc = &set.accesses[n];
+                println!(
+                    "    n{n} [label=\"#{n} {acc}\" shape={}];",
+                    if acc.is_write { "box" } else { "ellipse" }
+                );
+            }
+            for e in &edges {
+                let style = if e.is_loop_carried() { "solid" } else { "dashed" };
+                let level = e
+                    .carrying_level
+                    .map_or(String::new(), |l| format!(" @L{l}"));
+                println!(
+                    "    n{} -> n{} [label=\"{} {}{level}\" style={style}];",
+                    e.source, e.sink, e.kind, e.vector
+                );
+            }
+            println!("}}");
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+
+    if opts.stats {
+        let s = &report.stats;
+        println!(
+            "\nstats: {} pairs | constant {} | gcd-independent {} | assumed {}",
+            s.pairs, s.constant, s.gcd_independent, s.assumed
+        );
+        println!(
+            "tests: {} base + {} direction | memo {}/{} hits | {} direction vectors",
+            s.base_tests.total(),
+            s.direction_tests.total(),
+            s.memo_hits,
+            s.memo_queries,
+            s.direction_vectors_found
+        );
+    }
+
+    if let Some(path) = &opts.memo_save {
+        analyzer
+            .save_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) if opts.command == "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `dda` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dda"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_reports_pairs() {
+    let (stdout, _, ok) = run_cli(
+        &["analyze", "-", "--stats"],
+        "for i = 1 to 9 { a[i + 1] = a[i]; }",
+    );
+    assert!(ok);
+    assert!(stdout.contains("Dependent"), "{stdout}");
+    assert!(stdout.contains("(<)"), "{stdout}");
+    assert!(stdout.contains("distance: (1)"), "{stdout}");
+    assert!(stdout.contains("stats:"), "{stdout}");
+}
+
+#[test]
+fn parallel_annotates_loops() {
+    let (stdout, _, ok) = run_cli(
+        &["parallel", "-"],
+        "for i = 1 to 9 { for j = 1 to 9 { a[i][j + 1] = a[i][j]; } }",
+    );
+    assert!(ok);
+    assert!(stdout.contains("// parallel"), "{stdout}");
+    assert!(stdout.contains("// sequential"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_are_rendered_with_location() {
+    let (_, stderr, ok) = run_cli(&["analyze", "-"], "for i = 1 to { }");
+    assert!(!ok);
+    assert!(stderr.contains("parse error at 1:"), "{stderr}");
+}
+
+#[test]
+fn unknown_flags_rejected_with_usage() {
+    let (_, stderr, ok) = run_cli(&["analyze", "-", "--bogus"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run_cli(&["help"], "");
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn memo_save_and_load_round_trip() {
+    let dir = std::env::temp_dir().join("dda_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let memo = dir.join("memo.txt");
+    let memo_str = memo.to_str().unwrap();
+
+    let (_, _, ok) = run_cli(
+        &["analyze", "-", "--memo-save", memo_str],
+        "for i = 1 to 9 { a[i + 1] = a[i]; }",
+    );
+    assert!(ok);
+    assert!(memo.exists());
+
+    // Warm start: the same pattern (different array) hits the cache.
+    let (stdout, _, ok) = run_cli(
+        &["analyze", "-", "--memo-load", memo_str, "--stats"],
+        "for i = 1 to 9 { z[i + 1] = z[i]; }",
+    );
+    assert!(ok);
+    assert!(stdout.contains("[cached]"), "{stdout}");
+    std::fs::remove_file(&memo).ok();
+}
+
+#[test]
+fn graph_emits_dot() {
+    let (stdout, _, ok) = run_cli(
+        &["graph", "-"],
+        "for i = 1 to 9 { a[i + 1] = a[i]; }",
+    );
+    assert!(ok);
+    assert!(stdout.contains("digraph dependences"), "{stdout}");
+    assert!(stdout.contains("flow (<) @L0"), "{stdout}");
+    assert!(stdout.contains("shape=box"), "{stdout}");
+}
+
+#[test]
+fn conditional_programs_analyze() {
+    let (stdout, _, ok) = run_cli(
+        &["analyze", "-"],
+        "for i = 1 to 9 { if (i != 5) { a[i] = a[i + 20]; } }",
+    );
+    assert!(ok);
+    assert!(stdout.contains("Independent"), "{stdout}");
+}
