@@ -167,10 +167,7 @@ mod tests {
             let exact = DependenceAnalyzer::new().analyze_program(&p);
             for (bp, ep) in base.pairs.iter().zip(exact.pairs()) {
                 if bp.independent {
-                    assert!(
-                        ep.result.is_independent(),
-                        "baseline unsound on {src}"
-                    );
+                    assert!(ep.result.is_independent(), "baseline unsound on {src}");
                 }
             }
         }
@@ -187,8 +184,11 @@ mod tests {
             let p = parse_program(src).unwrap();
             let base = analyze_with_baselines(&p, true);
             let exact = DependenceAnalyzer::new().analyze_program(&p);
-            let exact_total: usize =
-                exact.pairs().iter().map(|r| r.direction_vectors.len()).sum();
+            let exact_total: usize = exact
+                .pairs()
+                .iter()
+                .map(|r| r.direction_vectors.len())
+                .sum();
             assert!(
                 base.direction_vector_count() >= exact_total,
                 "baseline must over- or equally report on {src}"

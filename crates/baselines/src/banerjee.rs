@@ -60,22 +60,24 @@ fn term_bounds(a: i64, b: i64, range: Interval, dir: Dir) -> Option<Interval> {
             // (lo, lo+1), (lo, hi), (hi−1, hi).
             let verts_lt = [(lo, lo + 1), (lo, hi), (hi - 1, hi)];
             let value = |(x, y): (i64, i64)| {
-                a.checked_mul(x)?.checked_add(b.checked_neg()?.checked_mul(y)?)
+                a.checked_mul(x)?
+                    .checked_add(b.checked_neg()?.checked_mul(y)?)
             };
             let mut min: Option<i64> = None;
             let mut max: Option<i64> = None;
             for v in verts_lt {
-                let v = if matches!(dir, Dir::Gt) { (v.1, v.0) } else { v };
+                let v = if matches!(dir, Dir::Gt) {
+                    (v.1, v.0)
+                } else {
+                    v
+                };
                 let Some(t) = value(v) else {
                     return Some(Interval::UNBOUNDED);
                 };
                 min = Some(min.map_or(t, |m| m.min(t)));
                 max = Some(max.map_or(t, |m| m.max(t)));
             }
-            Some(Interval {
-                lo: min,
-                hi: max,
-            })
+            Some(Interval { lo: min, hi: max })
         }
     }
 }

@@ -124,7 +124,13 @@ mod tests {
             lo: Some(0),
             hi: None,
         };
-        assert_eq!(u.scale(-1), Interval { lo: None, hi: Some(0) });
+        assert_eq!(
+            u.scale(-1),
+            Interval {
+                lo: None,
+                hi: Some(0)
+            }
+        );
         assert_eq!(a.add(&u).lo, Some(1));
         assert_eq!(a.add(&u).hi, None);
     }

@@ -214,9 +214,7 @@ mod tests {
 
     #[test]
     fn extra_loops_become_interval_terms() {
-        let m = model(
-            "for i = 1 to 10 { a[i] = 1; } for j = 1 to 5 { a[j + 7] = 2; }",
-        );
+        let m = model("for i = 1 to 10 { a[i] = 1; } for j = 1 to 5 { a[j + 7] = 2; }");
         assert_eq!(m.num_common, 0);
         assert_eq!(m.dims[0].common.len(), 0);
         assert_eq!(m.dims[0].extra.len(), 2);

@@ -120,9 +120,7 @@ mod tests {
     fn inexact_coupled_case_over_reports() {
         // Exact answer: (<, >), (=, =), (>, <). The per-dimension
         // baseline cannot couple i with j, so it reports extra vectors.
-        let vs = vectors(
-            "for i = 1 to 4 { for j = 1 to 4 { a[i][j] = a[j][i] + 1; } }",
-        );
+        let vs = vectors("for i = 1 to 4 { for j = 1 to 4 { a[i][j] = a[j][i] + 1; } }");
         assert!(vs.contains(&"(=, =)".to_owned()));
         assert!(
             vs.len() > 3,

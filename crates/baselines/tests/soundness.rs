@@ -4,7 +4,7 @@
 //! the exact set.
 
 use dda_baselines::{analyze_with_baselines, banerjee, gcd_simple, model};
-use dda_core::{Direction, DependenceAnalyzer};
+use dda_core::{DependenceAnalyzer, Direction};
 use dda_ir::{extract_accesses, parse_program, reference_pairs};
 use proptest::prelude::*;
 

@@ -55,10 +55,7 @@ fn bench_cascade_vs_fm(c: &mut Criterion) {
     group.bench_function("fm_only", |b| {
         b.iter(|| {
             for r in &reduced {
-                std::hint::black_box(fourier_motzkin(
-                    r.system.num_vars,
-                    &r.system.constraints,
-                ));
+                std::hint::black_box(fourier_motzkin(r.system.num_vars, &r.system.constraints));
             }
         })
     });

@@ -1,0 +1,69 @@
+//! Batch-engine scaling: the 13-program synthetic PERFECT suite analyzed
+//! by `dda-engine` at 1/2/4/8 workers, plus the serial analyzer as the
+//! reference point. Output is deterministic and identical across worker
+//! counts (tested in `crates/engine`); this measures only throughput.
+//!
+//! Scale with `DDA_SCALE` (default 0.1 here): larger programs amortize
+//! the serial assembly wave and show the parallel section more clearly.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dda_core::DependenceAnalyzer;
+use dda_engine::{Engine, EngineConfig};
+use dda_ir::Program;
+
+fn scale() -> f64 {
+    std::env::var("DDA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let programs: Vec<Program> = dda_perfect::perfect_suite(scale())
+        .into_iter()
+        .map(|p| p.program)
+        .collect();
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.bench_function("serial_analyzer", |b| {
+        b.iter(|| {
+            let mut an = DependenceAnalyzer::new();
+            for p in &programs {
+                std::hint::black_box(an.analyze_program(p));
+            }
+        })
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut engine = Engine::with_config(EngineConfig {
+                        workers,
+                        ..EngineConfig::default()
+                    });
+                    std::hint::black_box(engine.analyze_programs(&programs))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -55,9 +55,8 @@ fn bench_cascade(c: &mut Criterion) {
 }
 
 fn bench_gcd(c: &mut Criterion) {
-    let coupled = problem_for(
-        "for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }",
-    );
+    let coupled =
+        problem_for("for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }");
     let simple = problem_for("for i = 1 to 10 { a[i + 3] = a[i]; }");
     let mut group = c.benchmark_group("gcd_preprocess");
     group.bench_function("one_equation", |b| {
@@ -70,9 +69,7 @@ fn bench_gcd(c: &mut Criterion) {
 }
 
 fn bench_memo_keys(c: &mut Criterion) {
-    let problem = problem_for(
-        "for i = 1 to 10 { for j = 1 to 10 { a[i][j + 2] = a[i][j] + 1; } }",
-    );
+    let problem = problem_for("for i = 1 to 10 { for j = 1 to 10 { a[i][j + 2] = a[i][j] + 1; } }");
     let mut group = c.benchmark_group("memo");
     group.bench_function("nobounds_key", |b| {
         b.iter(|| std::hint::black_box(nobounds_key(&problem, true)))

@@ -91,7 +91,11 @@ fn main() {
         });
         let report = an.analyze_program(&program);
         let p = &report.pairs()[0];
-        let vecs: Vec<String> = p.direction_vectors.iter().map(ToString::to_string).collect();
+        let vecs: Vec<String> = p
+            .direction_vectors
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         println!(
             "{name:10} resolved_by={:<16} answer={:?} dir_tests=[{}] vectors={:?}",
             p.result.resolved_by.to_string(),

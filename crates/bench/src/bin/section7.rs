@@ -85,5 +85,8 @@ fn main() {
          paper: +22% = 8,314 vs 6,828).",
         100.0 * (base_vecs as f64 - exact_vecs as f64) / exact_vecs.max(1) as f64
     );
-    assert_eq!(unsound, 0, "baseline claimed independence on a dependent pair");
+    assert_eq!(
+        unsound, 0,
+        "baseline claimed independence on a dependent pair"
+    );
 }

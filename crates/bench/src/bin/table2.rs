@@ -39,14 +39,7 @@ fn main() {
     println!("Table 2: percentage of unique cases under memoization\n");
     println!(
         "{:<8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
-        "",
-        "----- no",
-        "bounds (GCD)",
-        "-----",
-        "-------",
-        "with",
-        "bounds",
-        "-------"
+        "", "----- no", "bounds (GCD)", "-----", "-------", "with", "bounds", "-------"
     );
     println!(
         "{:<8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",

@@ -65,9 +65,7 @@ fn main() {
         );
     }
     let grand = total(&runs, |r| combined(r).total());
-    println!(
-        "\nTOTAL tests: {grand} (paper: 12,582 = 4,187 + 2,161 + 6,077 + 157)."
-    );
+    println!("\nTOTAL tests: {grand} (paper: 12,582 = 4,187 + 2,161 + 6,077 + 157).");
     println!(
         "Direction vectors found: {}",
         total(&runs, |r| r.stats.direction_vectors_found)

@@ -43,9 +43,7 @@ fn main() {
         (35, 15, 0, 106),
     ];
 
-    println!(
-        "Table 5: direction-vector tests with unused-variable and distance pruning\n"
-    );
+    println!("Table 5: direction-vector tests with unused-variable and distance pruning\n");
     println!(
         "{:<8} {:>14} {:>14} {:>14} {:>12}",
         "Program", "SVPC", "Acyclic", "LoopRes", "FM"

@@ -16,7 +16,7 @@ use dda_core::cascade::run_cascade;
 use dda_core::gcd::{gcd_preprocess, GcdOutcome};
 use dda_core::problem::build_problem;
 use dda_core::{AnalyzerConfig, MemoMode, TestKind};
-use dda_ir::{extract_accesses, parse_program, reference_pairs, passes};
+use dda_ir::{extract_accesses, parse_program, passes, reference_pairs};
 
 /// Measures the average latency of a cascade that resolves via `kind`,
 /// using a calibrated representative pattern.
@@ -24,9 +24,7 @@ fn time_test(kind: TestKind) -> Duration {
     let src = match kind {
         TestKind::Svpc => "for i = 1 to 10 { a[i + 3] = a[i] + 1; }",
         TestKind::Acyclic => "for i = 1 to 10 { for j = i to 10 { a[j + 2] = a[j] + 1; } }",
-        TestKind::LoopResidue => {
-            "for i = 1 to 10 { for j = i to i + 3 { a[j] = a[j + 1] + 1; } }"
-        }
+        TestKind::LoopResidue => "for i = 1 to 10 { for j = i to i + 3 { a[j] = a[j + 1] + 1; } }",
         TestKind::FourierMotzkin => {
             "for i = 1 to 10 { for j = 1 to 10 { a[2 * i + j] = a[i + 2 * j + 1] + 1; } }"
         }
@@ -34,10 +32,9 @@ fn time_test(kind: TestKind) -> Duration {
     let program = parse_program(src).expect("pattern parses");
     let set = extract_accesses(&program);
     let pairs = reference_pairs(&set, false);
-    let problem = build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true)
-        .expect("pattern is affine");
-    let GcdOutcome::Reduced(reduced) = gcd_preprocess(&problem).expect("no overflow")
-    else {
+    let problem =
+        build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).expect("pattern is affine");
+    let GcdOutcome::Reduced(reduced) = gcd_preprocess(&problem).expect("no overflow") else {
         panic!("pattern must reach the cascade");
     };
     // Warm up, then measure.

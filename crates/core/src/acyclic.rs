@@ -403,11 +403,7 @@ mod tests {
     fn infeasible_after_substitution() {
         // t1 + t2 ≤ 0 with t1 ≥ 5, t2 ≥ 5: setting both to their lower
         // bounds exposes 10 ≤ 0.
-        let rows: &[(&[i64], i64)] = &[
-            (&[1, 1], 0),
-            (&[-1, 0], -5),
-            (&[0, -1], -5),
-        ];
+        let rows: &[(&[i64], i64)] = &[(&[1, 1], 0), (&[-1, 0], -5), (&[0, -1], -5)];
         assert_eq!(run(rows), AcyclicOutcome::Infeasible);
     }
 
@@ -415,11 +411,7 @@ mod tests {
     fn deferred_low_variable_without_lower_bound() {
         // t0 only upper-bounded (t0 ≤ t1) and no scalar lb: discard, then
         // t1 free in [1, 3].
-        let rows: &[(&[i64], i64)] = &[
-            (&[1, -1], 0),
-            (&[0, -1], -1),
-            (&[0, 1], 3),
-        ];
+        let rows: &[(&[i64], i64)] = &[(&[1, -1], 0), (&[0, -1], -1), (&[0, 1], 3)];
         let out = run(rows);
         assert_sample_satisfies(rows, &out);
     }
@@ -427,11 +419,7 @@ mod tests {
     #[test]
     fn deferred_high_variable_without_upper_bound() {
         // t0 ≥ t1 + 2 with t1 ∈ [0, 5]: t0 deferred high.
-        let rows: &[(&[i64], i64)] = &[
-            (&[-1, 1], -2),
-            (&[0, -1], 0),
-            (&[0, 1], 5),
-        ];
+        let rows: &[(&[i64], i64)] = &[(&[-1, 1], -2), (&[0, -1], 0), (&[0, 1], 5)];
         let out = run(rows);
         assert_sample_satisfies(rows, &out);
     }
@@ -450,11 +438,7 @@ mod tests {
     fn stuck_still_simplifies_outside_cycle() {
         // A cycle between t0, t1 plus a chained t2 that can be eliminated:
         // t2 ≤ t0 (one direction only).
-        let rows: &[(&[i64], i64)] = &[
-            (&[1, -1, 0], 0),
-            (&[-1, 1, 0], 0),
-            (&[-1, 0, 1], 0),
-        ];
+        let rows: &[(&[i64], i64)] = &[(&[1, -1, 0], 0), (&[-1, 1, 0], 0), (&[-1, 0, 1], 0)];
         let AcyclicOutcome::Stuck {
             residual, trace, ..
         } = run(rows)
@@ -493,19 +477,11 @@ mod tests {
     #[test]
     fn scaled_coefficients() {
         // 2t0 + 3t1 ≤ 12, t0 ≥ 1, t1 ≥ 2: fix t0=1, t1=2: 8 ≤ 12 ok.
-        let rows: &[(&[i64], i64)] = &[
-            (&[2, 3], 12),
-            (&[-1, 0], -1),
-            (&[0, -1], -2),
-        ];
+        let rows: &[(&[i64], i64)] = &[(&[2, 3], 12), (&[-1, 0], -1), (&[0, -1], -2)];
         let out = run(rows);
         assert_sample_satisfies(rows, &out);
         // Tighten: t1 ≥ 4 makes 2+12 > 12: infeasible.
-        let rows2: &[(&[i64], i64)] = &[
-            (&[2, 3], 12),
-            (&[-1, 0], -1),
-            (&[0, -1], -4),
-        ];
+        let rows2: &[(&[i64], i64)] = &[(&[2, 3], 12), (&[-1, 0], -1), (&[0, -1], -4)];
         assert_eq!(run(rows2), AcyclicOutcome::Infeasible);
     }
 
@@ -514,12 +490,7 @@ mod tests {
         // t0 ≤ t1 and t0 ≤ -t1 + 3 (t0 positive in both), no lb on t0.
         // t1 bounded [2, 2]. After deferring t0 and fixing t1 = 2, the
         // witness must satisfy t0 ≤ 2 and t0 ≤ 1 → t0 = 1.
-        let rows: &[(&[i64], i64)] = &[
-            (&[1, -1], 0),
-            (&[1, 1], 3),
-            (&[0, -1], -2),
-            (&[0, 1], 2),
-        ];
+        let rows: &[(&[i64], i64)] = &[(&[1, -1], 0), (&[1, 1], 3), (&[0, -1], -2), (&[0, 1], 2)];
         let out = run(rows);
         let AcyclicOutcome::Complete { sample } = &out else {
             panic!("expected complete: {out:?}");

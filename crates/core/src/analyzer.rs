@@ -10,20 +10,13 @@ use std::collections::BTreeSet;
 
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
 
-use crate::cascade::{run_cascade_with, CascadeOutcome};
-use crate::direction::{analyze_directions, DirectionAnalysis, DirectionConfig};
 use crate::fourier_motzkin::FmLimits;
-use crate::gcd::{
-    expand_lattice, reduce_with_lattice, solve_equalities, solve_equalities_restricted,
-    EqOutcome, Lattice,
-};
-use crate::memo::{bounds_key, nobounds_key, CanonicalKey, MemoTable};
-use crate::problem::{build_problem, constant_compare, DependenceProblem};
-use crate::result::{
-    Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy,
-};
-use crate::stats::{AnalysisStats, TestCounts};
-use crate::symmetry;
+use crate::gcd::{expand_lattice, solve_equalities, solve_equalities_restricted, EqOutcome};
+use crate::memo::{nobounds_key, CanonicalKey, MemoTable};
+use crate::problem::DependenceProblem;
+use crate::result::{DependenceResult, Direction, DirectionVector, DistanceVector};
+use crate::stats::AnalysisStats;
+use crate::steps::{self, Classified, ReduceEffects};
 
 /// Memoization flavour (Section 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +108,14 @@ pub struct ProgramReport {
 }
 
 impl ProgramReport {
+    /// Assembles a report from per-pair reports (in enumeration order)
+    /// and the program's statistics delta. Used by the batch engine,
+    /// which reconstructs both outside the serial analyzer.
+    #[must_use]
+    pub fn from_parts(pairs: Vec<PairReport>, stats: AnalysisStats) -> ProgramReport {
+        ProgramReport { pairs, stats }
+    }
+
     /// The per-pair reports, in enumeration order.
     #[must_use]
     pub fn pairs(&self) -> &[PairReport] {
@@ -124,7 +125,10 @@ impl ProgramReport {
     /// Pairs proven independent.
     #[must_use]
     pub fn independent_count(&self) -> usize {
-        self.pairs.iter().filter(|p| p.result.is_independent()).count()
+        self.pairs
+            .iter()
+            .filter(|p| p.result.is_independent())
+            .count()
     }
 
     /// Loop ids that (conservatively) carry a dependence: a loop cannot
@@ -167,58 +171,15 @@ impl ProgramReport {
 /// key — e.g. the same reference pattern under a different number of
 /// irrelevant enclosing loops.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct CachedOutcome {
-    pub(crate) result: DependenceResult,
-    pub(crate) witness: Option<Vec<i64>>,
-    pub(crate) direction_vectors: Vec<DirectionVector>,
-    pub(crate) distance: DistanceVector,
-}
-
-/// Restricts full-length vectors to the kept levels, deduplicating.
-fn restrict_vectors(
-    vectors: &[DirectionVector],
-    kept_levels: &[usize],
-) -> Vec<DirectionVector> {
-    let mut out: Vec<DirectionVector> = Vec::new();
-    for v in vectors {
-        let restricted =
-            DirectionVector(kept_levels.iter().map(|&k| v.0[k]).collect());
-        if !out.contains(&restricted) {
-            out.push(restricted);
-        }
-    }
-    out
-}
-
-/// Expands canonical vectors back to `common` levels, filling dropped
-/// (unused) levels with `*`.
-fn expand_vectors(
-    vectors: &[DirectionVector],
-    kept_levels: &[usize],
-    common: usize,
-) -> Vec<DirectionVector> {
-    vectors
-        .iter()
-        .map(|v| {
-            let mut full = vec![Direction::Any; common];
-            for (ci, &k) in kept_levels.iter().enumerate() {
-                full[k] = v.0[ci];
-            }
-            DirectionVector(full)
-        })
-        .collect()
-}
-
-fn restrict_distance(d: &DistanceVector, kept_levels: &[usize]) -> DistanceVector {
-    DistanceVector(kept_levels.iter().map(|&k| d.0[k]).collect())
-}
-
-fn expand_distance(d: &DistanceVector, kept_levels: &[usize], common: usize) -> DistanceVector {
-    let mut full = vec![None; common];
-    for (ci, &k) in kept_levels.iter().enumerate() {
-        full[k] = d.0[ci];
-    }
-    DistanceVector(full)
+pub struct CachedOutcome {
+    /// The verdict and what produced it.
+    pub result: DependenceResult,
+    /// A witness assignment, when one transfers (identical problems only).
+    pub witness: Option<Vec<i64>>,
+    /// Direction vectors in canonical (kept-levels) space.
+    pub direction_vectors: Vec<DirectionVector>,
+    /// Distances in canonical space.
+    pub distance: DistanceVector,
 }
 
 /// The paper's dependence analyzer.
@@ -319,54 +280,24 @@ impl DependenceAnalyzer {
     /// Analyzes a single pair of accesses sharing `common` loops.
     pub fn analyze_pair(&mut self, a: &Access, b: &Access, common: usize) -> PairReport {
         self.stats.pairs += 1;
-        let common_loop_ids: Vec<usize> =
-            a.loops.iter().take(common).map(|l| l.id).collect();
-        let template = PairReport {
-            array: a.array.clone(),
-            a_access: a.id,
-            b_access: b.id,
-            common_loop_ids,
-            result: DependenceResult {
-                answer: Answer::Unknown,
-                resolved_by: ResolvedBy::Assumed,
-            },
-            witness: None,
-            direction_vectors: Vec::new(),
-            distance: DistanceVector(vec![None; common]),
-            from_cache: false,
-        };
+        let template = steps::pair_template(a, b, common);
 
-        // Constant subscripts: no dependence testing at all.
-        if let Some(dependent) = constant_compare(a, b) {
-            self.stats.constant += 1;
-            let mut report = template;
-            report.result = DependenceResult {
-                answer: if dependent {
-                    Answer::Dependent(None)
-                } else {
-                    Answer::Independent
-                },
-                resolved_by: ResolvedBy::Constant,
-            };
-            if dependent && self.config.compute_directions {
-                report.direction_vectors = vec![DirectionVector::any(common)];
-            }
-            self.note_outcome(&report);
-            return report;
-        }
-
-        // Build the integer system.
-        let problem = match build_problem(a, b, common, self.config.symbolic) {
-            Ok(p) => p,
-            Err(_) => {
-                self.stats.assumed += 1;
-                let mut report = template;
-                if self.config.compute_directions {
-                    report.direction_vectors = vec![DirectionVector::any(common)];
-                }
+        let problem = match steps::classify_pair(a, b, common, self.config.symbolic) {
+            // Constant subscripts: no dependence testing at all.
+            Classified::Constant { dependent } => {
+                self.stats.constant += 1;
+                let report =
+                    steps::constant_report(template, dependent, self.config.compute_directions);
                 self.note_outcome(&report);
                 return report;
             }
+            Classified::Unbuildable => {
+                self.stats.assumed += 1;
+                let report = steps::assumed_report(template, self.config.compute_directions);
+                self.note_outcome(&report);
+                return report;
+            }
+            Classified::Problem(p) => p,
         };
 
         // Extended GCD through the no-bounds memo — consulted for every
@@ -381,88 +312,34 @@ impl DependenceAnalyzer {
             }
             Some(EqOutcome::Independent) => {
                 self.stats.gcd_independent += 1;
-                let mut report = template;
-                report.result = DependenceResult {
-                    answer: Answer::Independent,
-                    resolved_by: ResolvedBy::Gcd,
-                };
+                let report = steps::gcd_independent_report(template);
                 self.note_outcome(&report);
                 return report;
             }
             Some(EqOutcome::Lattice(l)) => l,
         };
 
-        // Full-result memo. With symmetric canonicalization enabled, a
-        // pair and its mirror share the lexicographically smaller key;
-        // `flipped` records whether *this* problem is the mirror of what
-        // the table stores.
-        let full_key: Option<(CanonicalKey, bool)> = if self.config.memo == MemoMode::Off
-        {
-            None
-        } else {
-            let improved = self.config.memo == MemoMode::Improved;
-            let own = bounds_key(&problem, improved);
-            if self.config.memo_symmetry && symmetry::swappable(&problem) {
-                let mirror = bounds_key(&symmetry::swap_problem(&problem), improved);
-                if mirror.key < own.key {
-                    Some((mirror, true))
-                } else {
-                    Some((own, false))
-                }
-            } else {
-                Some((own, false))
-            }
-        };
+        // Full-result memo (see `steps::full_key` for the symmetric
+        // canonicalization contract).
+        let full_key: Option<(CanonicalKey, bool)> = steps::full_key(&self.config, &problem);
         if let Some((ck, flipped)) = &full_key {
             self.stats.memo_queries += 1;
             if let Some(cached) = self.full_memo.get(&ck.key) {
                 self.stats.memo_hits += 1;
                 let cached = cached.clone();
-                let mut report = template;
-                report.result = cached.result;
-                // Witnesses only transfer when the problems are literally
-                // identical; under the improved scheme (or a mirror hit)
-                // they may not be, so drop them.
-                report.witness = if self.config.memo == MemoMode::Improved || *flipped {
-                    None
-                } else {
-                    cached.witness
-                };
-                let (vectors, distance) = if *flipped {
-                    (
-                        symmetry::flip_vectors(&cached.direction_vectors),
-                        symmetry::flip_distance(&cached.distance),
-                    )
-                } else {
-                    (cached.direction_vectors, cached.distance)
-                };
-                report.direction_vectors =
-                    expand_vectors(&vectors, &ck.kept_levels, common);
-                report.distance = expand_distance(&distance, &ck.kept_levels, common);
-                report.from_cache = true;
+                let report = steps::rehydrate_hit(self.config.memo, cached, ck, *flipped, template);
                 self.note_outcome(&report);
                 return report;
             }
         }
 
-        let report = self.analyze_reduced(&problem, &lattice, template);
+        let mut fx = ReduceEffects::default();
+        let report = steps::analyze_reduced(&self.config, &problem, &lattice, template, &mut fx);
+        fx.apply_to(&mut self.stats);
         if let Some((ck, flipped)) = full_key {
-            let (vectors, distance) = if flipped {
-                (
-                    symmetry::flip_vectors(&report.direction_vectors),
-                    symmetry::flip_distance(&report.distance),
-                )
-            } else {
-                (report.direction_vectors.clone(), report.distance.clone())
-            };
             self.full_memo.insert(
-                ck.key,
-                CachedOutcome {
-                    result: report.result.clone(),
-                    witness: if flipped { None } else { report.witness.clone() },
-                    direction_vectors: restrict_vectors(&vectors, &ck.kept_levels),
-                    distance: restrict_distance(&distance, &ck.kept_levels),
-                },
+                ck.key.clone(),
+                steps::canonical_outcome(&report, &ck, flipped),
             );
         }
         self.note_outcome(&report);
@@ -482,11 +359,8 @@ impl DependenceAnalyzer {
             self.stats.gcd_memo_hits += 1;
             Some(hit.clone())
         } else {
-            let computed = solve_equalities_restricted(
-                &problem.eq_coeffs,
-                &problem.eq_rhs,
-                &nk.kept_vars,
-            );
+            let computed =
+                solve_equalities_restricted(&problem.eq_coeffs, &problem.eq_rhs, &nk.kept_vars);
             if let Some(v) = &computed {
                 self.gcd_memo.insert(nk.key.clone(), v.clone());
             }
@@ -494,96 +368,21 @@ impl DependenceAnalyzer {
         };
         canonical.map(|eq| match eq {
             EqOutcome::Independent => EqOutcome::Independent,
-            EqOutcome::Lattice(l) => EqOutcome::Lattice(expand_lattice(
-                &l,
-                &nk.kept_vars,
-                problem.num_vars(),
-            )),
+            EqOutcome::Lattice(l) => {
+                EqOutcome::Lattice(expand_lattice(&l, &nk.kept_vars, problem.num_vars()))
+            }
         })
     }
 
-    fn analyze_reduced(
-        &mut self,
-        problem: &DependenceProblem,
-        lattice: &Lattice,
-        mut report: PairReport,
-    ) -> PairReport {
-        let Some(reduced) = reduce_with_lattice(problem, lattice) else {
-            self.stats.assumed += 1;
-            return report;
-        };
-
-        // Base (star-vector) cascade.
-        let base: CascadeOutcome = run_cascade_with(&reduced.system, self.config.fm_limits);
-        self.stats
-            .base_tests
-            .record(base.used, base.answer.is_independent());
-        report.result = DependenceResult {
-            answer: match &base.answer {
-                Answer::Dependent(_) => Answer::Dependent(None),
-                other => other.clone(),
-            },
-            resolved_by: ResolvedBy::Test(base.used),
-        };
-        if let Answer::Dependent(Some(t)) = &base.answer {
-            report.witness = reduced.x_at(t);
-            debug_assert!(
-                report
-                    .witness
-                    .as_ref()
-                    .is_none_or(|w| problem.is_witness(w)),
-                "cascade witness must satisfy the original problem"
-            );
-        }
-        if base.answer.is_independent() {
-            return report;
-        }
-
-        // Direction vectors.
-        if self.config.compute_directions {
-            let mut counts = TestCounts::default();
-            let DirectionAnalysis {
-                vectors,
-                distance,
-                exact,
-            } = analyze_directions(
-                problem,
-                &reduced,
-                DirectionConfig {
-                    prune_unused: self.config.prune_unused,
-                    prune_distance: self.config.prune_distance,
-                    separable: self.config.separable_directions,
-                    fm_limits: self.config.fm_limits,
-                },
-                &mut counts,
-            );
-            self.stats.direction_tests.add(&counts);
-            report.distance = distance;
-            if vectors.is_empty() && exact {
-                // The paper's implicit branch and bound: every direction
-                // proved independent even though the `*` query could not.
-                report.result.answer = Answer::Independent;
-            } else {
-                report.direction_vectors = vectors;
-            }
-        }
-        report
-    }
-
     fn note_outcome(&mut self, report: &PairReport) {
-        if report.result.is_independent() {
-            self.stats.independent_pairs += 1;
-        } else {
-            self.stats.dependent_pairs += 1;
-        }
-        self.stats.direction_vectors_found += report.direction_vectors.len() as u64;
+        steps::note_outcome(&mut self.stats, report);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::result::TestKind;
+    use crate::result::{ResolvedBy, TestKind};
     use dda_ir::parse_program;
 
     fn analyze(src: &str) -> ProgramReport {
@@ -676,7 +475,7 @@ mod tests {
     }
 
     #[test]
-    fn symbolic_support_toggles(){
+    fn symbolic_support_toggles() {
         let src = "read(n); for i = 1 to 10 { a[i + n] = a[i + 2 * n + 1] + 3; }";
         let program = parse_program(src).unwrap();
         let mut with = DependenceAnalyzer::new();

@@ -283,7 +283,7 @@ mod tests {
         let s = sys(&[
             (&[1, -1, 0], 0),
             (&[-1, 1, 0], 0),
-            (&[0, 0, 1], 0), // keep t2's bound single-var: t2 ≤ 0
+            (&[0, 0, 1], 0),  // keep t2's bound single-var: t2 ≤ 0
             (&[1, 0, -1], 5), // hmm t0 - t2 ≤ 5: two-var, t2 appears once
             (&[-1, 0, 0], -1),
             (&[1, 0, 0], 10),

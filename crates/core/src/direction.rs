@@ -86,11 +86,7 @@ fn distance_expr(
     let ib = problem.var_index(&XVar::CommonB(level))?;
     let (ca, ka) = reduced.x_as_t(ia);
     let (cb, kb) = reduced.x_as_t(ib);
-    let coeffs: Option<Vec<i64>> = cb
-        .iter()
-        .zip(&ca)
-        .map(|(b, a)| b.checked_sub(*a))
-        .collect();
+    let coeffs: Option<Vec<i64>> = cb.iter().zip(&ca).map(|(b, a)| b.checked_sub(*a)).collect();
     Some((coeffs?, kb.checked_sub(ka)?))
 }
 
@@ -123,11 +119,7 @@ fn level_unused(problem: &DependenceProblem, level: usize) -> bool {
 ///
 /// With `D(t) = i′ − i`: `<` means `D ≥ 1`, `=` means `D = 0`, `>` means
 /// `D ≤ −1`.
-fn direction_constraints(
-    coeffs: &[i64],
-    constant: i64,
-    dir: Direction,
-) -> Option<Vec<Constraint>> {
+fn direction_constraints(coeffs: &[i64], constant: i64, dir: Direction) -> Option<Vec<Constraint>> {
     let neg: Option<Vec<i64>> = coeffs.iter().map(|c| c.checked_neg()).collect();
     let neg = neg?;
     match dir {
@@ -396,8 +388,7 @@ impl Refiner<'_> {
                         sys.push(cst.clone());
                     }
                     let out = run_cascade_with(&sys, self.config.fm_limits);
-                    self.counts
-                        .record(out.used, out.answer.is_independent());
+                    self.counts.record(out.used, out.answer.is_independent());
                     match out.answer {
                         Answer::Independent => {}
                         Answer::Dependent(_) => {
@@ -429,8 +420,7 @@ mod tests {
         let set = extract_accesses(&p);
         let pairs = reference_pairs(&set, false);
         assert_eq!(pairs.len(), 1);
-        let problem =
-            build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).unwrap();
+        let problem = build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).unwrap();
         let GcdOutcome::Reduced(reduced) = gcd_preprocess(&problem).unwrap() else {
             panic!("GCD-independent: no directions to analyze");
         };
@@ -450,8 +440,10 @@ mod tests {
     #[test]
     fn forward_flow_dependence() {
         // a[i+1] = a[i]: i + 1 = i′ ⇒ distance 1, direction (<).
-        let (out, counts) =
-            directions("for i = 1 to 10 { a[i + 1] = a[i] + 7; }", DirectionConfig::default());
+        let (out, counts) = directions(
+            "for i = 1 to 10 { a[i + 1] = a[i] + 7; }",
+            DirectionConfig::default(),
+        );
         assert_eq!(vecs(&out), vec!["(<)"]);
         assert_eq!(out.distance.0, vec![Some(1)]);
         // Distance pruning: no tests at all.
@@ -461,8 +453,10 @@ mod tests {
 
     #[test]
     fn same_iteration_dependence() {
-        let (out, _) =
-            directions("for i = 1 to 10 { a[i] = a[i] + 7; }", DirectionConfig::default());
+        let (out, _) = directions(
+            "for i = 1 to 10 { a[i] = a[i] + 7; }",
+            DirectionConfig::default(),
+        );
         assert_eq!(vecs(&out), vec!["(=)"]);
         assert_eq!(out.distance.0, vec![Some(0)]);
     }
@@ -589,8 +583,7 @@ mod tests {
         let p = parse_program("for i = 1 to 10 { a[i] = a[i + 20] + 1; }").unwrap();
         let set = extract_accesses(&p);
         let pairs = reference_pairs(&set, false);
-        let problem =
-            build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).unwrap();
+        let problem = build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).unwrap();
         let GcdOutcome::Reduced(reduced) = gcd_preprocess(&problem).unwrap() else {
             panic!("reaches the cascade");
         };

@@ -171,12 +171,7 @@ pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> St
     }
 
     let mut counts = TestCounts::default();
-    let analysis = analyze_directions(
-        &problem,
-        &reduced,
-        DirectionConfig::default(),
-        &mut counts,
-    );
+    let analysis = analyze_directions(&problem, &reduced, DirectionConfig::default(), &mut counts);
     let _ = writeln!(w, "distance vector: {}", analysis.distance);
     if analysis.vectors.is_empty() {
         let _ = writeln!(
@@ -238,9 +233,8 @@ mod tests {
 
     #[test]
     fn shows_equations_with_variable_names() {
-        let text = explain(
-            "for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }",
-        );
+        let text =
+            explain("for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }");
         assert!(text.contains("i0 - i1' = 10"), "{text}");
         assert!(text.contains("i1 - i0' = 9"), "{text}");
     }

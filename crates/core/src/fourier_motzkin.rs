@@ -93,12 +93,7 @@ pub fn fourier_motzkin_with(
     solve(num_vars, constraints, limits, 0)
 }
 
-fn solve(
-    num_vars: usize,
-    constraints: &[Constraint],
-    limits: FmLimits,
-    depth: usize,
-) -> FmOutcome {
+fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: usize) -> FmOutcome {
     let mut rows: Vec<Constraint> = Vec::with_capacity(constraints.len());
     for c in constraints {
         let mut c = c.clone();
@@ -147,7 +142,11 @@ fn solve(
                 }
             }
         }
-        steps.push(Step { var: v, lowers, uppers });
+        steps.push(Step {
+            var: v,
+            lowers,
+            uppers,
+        });
         rows = rest;
     }
     debug_assert!(rows.is_empty() || rows.iter().all(Constraint::is_trivial));
@@ -230,9 +229,7 @@ fn combine(lo: &Constraint, up: &Constraint, v: usize) -> Option<Constraint> {
     let m_up = -a_lo; // and the upper row by |lower coefficient|
     let mut coeffs = Vec::with_capacity(lo.coeffs.len());
     for (l, u) in lo.coeffs.iter().zip(&up.coeffs) {
-        let term = l
-            .checked_mul(m_lo)?
-            .checked_add(u.checked_mul(m_up)?)?;
+        let term = l.checked_mul(m_lo)?.checked_add(u.checked_mul(m_up)?)?;
         coeffs.push(term);
     }
     debug_assert_eq!(coeffs[v], 0);
@@ -266,7 +263,11 @@ fn tightest(
                 // this row are necessarily zero. Assigned ones contribute.
                 debug_assert!(assigned[j] || sample[j] == 0);
                 rest = rest
-                    .checked_sub(i128::from(aj).checked_mul(i128::from(sample[j])).ok_or(())?)
+                    .checked_sub(
+                        i128::from(aj)
+                            .checked_mul(i128::from(sample[j]))
+                            .ok_or(())?,
+                    )
                     .ok_or(())?;
             }
         }
@@ -462,12 +463,7 @@ mod tests {
             max_branch_depth: 0,
         };
         // A system that must generate a few rows.
-        let (n, cs) = sys(&[
-            (&[1, 1], 3),
-            (&[1, -1], 0),
-            (&[-1, 1], 0),
-            (&[-1, -1], -1),
-        ]);
+        let (n, cs) = sys(&[(&[1, 1], 3), (&[1, -1], 0), (&[-1, 1], 0), (&[-1, -1], -1)]);
         let out = fourier_motzkin_with(n, &cs, limits);
         assert!(matches!(out, FmOutcome::Unknown | FmOutcome::Sample(_)));
     }

@@ -239,9 +239,9 @@ pub fn reduce_with_lattice(problem: &DependenceProblem, lattice: &Lattice) -> Op
 pub fn gcd_preprocess(problem: &DependenceProblem) -> Option<GcdOutcome> {
     match solve_equalities(problem)? {
         EqOutcome::Independent => Some(GcdOutcome::Independent),
-        EqOutcome::Lattice(lattice) => Some(GcdOutcome::Reduced(reduce_with_lattice(
-            problem, &lattice,
-        )?)),
+        EqOutcome::Lattice(lattice) => {
+            Some(GcdOutcome::Reduced(reduce_with_lattice(problem, &lattice)?))
+        }
     }
 }
 
@@ -271,8 +271,7 @@ mod tests {
 
     #[test]
     fn divisible_case_reduces() {
-        let GcdOutcome::Reduced(r) = reduce("for i = 1 to 10 { a[2 * i] = a[2 * i + 4]; }")
-        else {
+        let GcdOutcome::Reduced(r) = reduce("for i = 1 to 10 { a[2 * i] = a[2 * i + 4]; }") else {
             panic!("expected reduced");
         };
         // One equation over two variables: one free variable.
@@ -289,8 +288,7 @@ mod tests {
     fn paper_example_constraints_become_single_variable() {
         // for i = 1 to 10: a[i+10] = a[i]; the paper notes all transformed
         // constraints contain one variable.
-        let GcdOutcome::Reduced(r) = reduce("for i = 1 to 10 { a[i + 10] = a[i]; }")
-        else {
+        let GcdOutcome::Reduced(r) = reduce("for i = 1 to 10 { a[i + 10] = a[i]; }") else {
             panic!();
         };
         assert_eq!(r.num_t(), 1);
@@ -301,9 +299,9 @@ mod tests {
 
     #[test]
     fn x_as_t_matches_x_at() {
-        let GcdOutcome::Reduced(r) = reduce(
-            "for i = 1 to 10 { for j = 1 to 10 { a[i + j] = a[i + j + 3]; } }",
-        ) else {
+        let GcdOutcome::Reduced(r) =
+            reduce("for i = 1 to 10 { for j = 1 to 10 { a[i + j] = a[i + j + 3]; } }")
+        else {
             panic!();
         };
         for xi in 0..r.num_x() {
@@ -317,8 +315,7 @@ mod tests {
 
     #[test]
     fn x_constraint_round_trip() {
-        let GcdOutcome::Reduced(r) = reduce("for i = 1 to 10 { a[i] = a[i + 1]; }")
-        else {
+        let GcdOutcome::Reduced(r) = reduce("for i = 1 to 10 { a[i] = a[i + 1]; }") else {
             panic!();
         };
         // x0 - x1 ≤ -1 in x-space.

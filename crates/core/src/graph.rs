@@ -102,21 +102,18 @@ pub fn dependence_graph(report: &ProgramReport, set: &AccessSet) -> Vec<Dependen
         let vectors: &[DirectionVector] = &pair.direction_vectors;
         let a = pair.a_access;
         let b = pair.b_access;
-        let push =
-            |edges: &mut Vec<DependenceEdge>, src: usize, dst: usize, v: DirectionVector| {
-                let kind = DependenceKind::classify(
-                    set.accesses[src].is_write,
-                    set.accesses[dst].is_write,
-                );
-                let carrying_level = carrying_level(&v);
-                edges.push(DependenceEdge {
-                    source: src,
-                    sink: dst,
-                    kind,
-                    vector: v,
-                    carrying_level,
-                });
-            };
+        let push = |edges: &mut Vec<DependenceEdge>, src: usize, dst: usize, v: DirectionVector| {
+            let kind =
+                DependenceKind::classify(set.accesses[src].is_write, set.accesses[dst].is_write);
+            let carrying_level = carrying_level(&v);
+            edges.push(DependenceEdge {
+                source: src,
+                sink: dst,
+                kind,
+                vector: v,
+                carrying_level,
+            });
+        };
         if vectors.is_empty() {
             // Unrefined (assumed) dependence: conservative both ways.
             let n = pair.common_loop_ids.len();
@@ -207,9 +204,7 @@ mod tests {
 
     #[test]
     fn output_dependence_between_statements() {
-        let (edges, _) = graph(
-            "for i = 1 to 10 { a[i + 1] = 1; a[i] = 2; }",
-        );
+        let (edges, _) = graph("for i = 1 to 10 { a[i + 1] = 1; a[i] = 2; }");
         // Write a[i+1] at i meets write a[i'] at i′ = i + 1: carried WAW
         // (source: first statement) — vector (<) from access 0 to 1.
         assert_eq!(edges.len(), 1);
@@ -222,9 +217,7 @@ mod tests {
     #[test]
     fn star_leading_vector_goes_both_ways() {
         // Unused outer loop: vector (*, <) is ambiguous at level 0.
-        let (edges, _) = graph(
-            "for i = 1 to 10 { for j = 1 to 10 { a[j + 2] = a[j]; } }",
-        );
+        let (edges, _) = graph("for i = 1 to 10 { for j = 1 to 10 { a[j + 2] = a[j]; } }");
         assert_eq!(edges.len(), 2);
         assert_eq!(edges[0].source, 0);
         assert_eq!(edges[1].source, 1);

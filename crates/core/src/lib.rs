@@ -58,12 +58,16 @@ pub mod persist;
 pub mod problem;
 pub mod result;
 pub mod stats;
+pub mod steps;
 pub mod svpc;
 pub mod symmetry;
 pub mod system;
 pub mod transform;
 
-pub use analyzer::{AnalyzerConfig, DependenceAnalyzer, MemoMode, PairReport, ProgramReport};
+pub use analyzer::{
+    AnalyzerConfig, CachedOutcome, DependenceAnalyzer, MemoMode, PairReport, ProgramReport,
+};
+pub use memo::{ShardedMemoTable, SharedMemo};
 pub use result::{
     Answer, DependenceKind, DependenceResult, Direction, DirectionVector, DistanceVector,
     ResolvedBy, TestKind,

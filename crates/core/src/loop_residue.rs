@@ -82,7 +82,11 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
             return LoopResidueOutcome::NotApplicable;
         }
         // Orient as a(t_pos - t_neg) ≤ rhs with a > 0.
-        let (pos, neg, a) = if *ai > 0 { (*i, *j, *ai) } else { (*j, *i, *aj) };
+        let (pos, neg, a) = if *ai > 0 {
+            (*i, *j, *ai)
+        } else {
+            (*j, *i, *aj)
+        };
         edges.push(Edge {
             from: pos,
             to: neg,
@@ -205,8 +209,7 @@ mod tests {
         let mut bounds2 = VarBounds::unbounded(2);
         bounds2.tighten_lb(0, 5);
         bounds2.tighten_ub(1, 5);
-        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds2, &residual)
-        else {
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds2, &residual) else {
             panic!("expected feasible");
         };
         check_feasible(&bounds2, &residual, &sample);
@@ -250,8 +253,7 @@ mod tests {
             Constraint::new(vec![1, -1], 0),
             Constraint::new(vec![-1, 1], 0),
         ];
-        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual)
-        else {
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual) else {
             panic!();
         };
         assert_eq!(sample[0], sample[1]);
@@ -275,8 +277,7 @@ mod tests {
             Constraint::new(vec![1, -1], 0),
             Constraint::new(vec![-1, 1], 0),
         ];
-        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual)
-        else {
+        let LoopResidueOutcome::Feasible(sample) = loop_residue(&bounds, &residual) else {
             panic!();
         };
         check_feasible(&bounds, &residual, &sample);

@@ -21,6 +21,8 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::problem::DependenceProblem;
 
@@ -57,6 +59,53 @@ impl Hasher for PaperHasher {
     fn write_usize(&mut self, v: usize) {
         // size(x) contributes directly.
         self.state = self.state.wrapping_add(v as u64);
+    }
+
+    // The remaining integer methods default to `write(&v.to_ne_bytes())`,
+    // which folds bytes in *native* order — the same value would hash
+    // differently on little- and big-endian targets. Shard selection and
+    // persisted-key identity must be platform-stable, so every integer
+    // width is routed through the endian-independent `write_i64` fold.
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_i64(i64::from(v));
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write_i64(i64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_i64(i64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_i64(v as i64);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write_i64(v as i64);
+        self.write_i64((v >> 64) as i64);
+    }
+
+    fn write_i8(&mut self, v: i8) {
+        self.write_i64(i64::from(v));
+    }
+
+    fn write_i16(&mut self, v: i16) {
+        self.write_i64(i64::from(v));
+    }
+
+    fn write_i32(&mut self, v: i32) {
+        self.write_i64(i64::from(v));
+    }
+
+    fn write_i128(&mut self, v: i128) {
+        self.write_u128(v as u128);
+    }
+
+    fn write_isize(&mut self, v: isize) {
+        self.write_i64(v as i64);
     }
 }
 
@@ -117,11 +166,7 @@ fn used_mask(problem: &DependenceProblem) -> Vec<bool> {
     loop {
         let mut changed = false;
         for c in &problem.bounds {
-            let touches_used = c
-                .coeffs
-                .iter()
-                .enumerate()
-                .any(|(v, &a)| a != 0 && used[v]);
+            let touches_used = c.coeffs.iter().enumerate().any(|(v, &a)| a != 0 && used[v]);
             if touches_used {
                 for (v, &a) in c.coeffs.iter().enumerate() {
                     if a != 0 && !used[v] {
@@ -343,6 +388,173 @@ impl<V> MemoTable<V> {
     }
 }
 
+/// A concurrent memo table: `N` mutex-guarded shards, with the shard
+/// chosen by the paper's own hash of the key.
+///
+/// This is the substrate behind `dda-engine`'s batch parallelism: worker
+/// threads insert leader results and read cached outcomes through `&self`,
+/// so the table can be shared across a `std::thread::scope` without a
+/// global lock. Query/hit counters are atomic and count *table traffic*
+/// (one consult per distinct key per batch in the engine), which is a
+/// different notion from the serial-equivalent per-pair accounting in
+/// [`AnalysisStats`](crate::stats::AnalysisStats).
+#[derive(Debug)]
+pub struct ShardedMemoTable<V> {
+    shards: Vec<Mutex<HashMap<MemoKey, V, PaperHashBuilder>>>,
+    queries: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<V> ShardedMemoTable<V> {
+    /// Creates a table with `shards` shards (clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> ShardedMemoTable<V> {
+        let n = shards.max(1);
+        ShardedMemoTable {
+            shards: (0..n)
+                .map(|_| Mutex::new(HashMap::with_hasher(PaperHashBuilder)))
+                .collect(),
+            queries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index for a key: the paper hash, finalized through an
+    /// avalanche mix so the low bits used by the modulo are influenced by
+    /// every element (the raw `h(x) = size + Σ 2ⁱ·xᵢ` concentrates
+    /// low-index elements in the low bits).
+    fn shard_of(&self, key: &MemoKey) -> usize {
+        let mut h = PaperHashBuilder.hash_one(key);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard(
+        &self,
+        key: &MemoKey,
+    ) -> std::sync::MutexGuard<'_, HashMap<MemoKey, V, PaperHashBuilder>> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("memo shard poisoned")
+    }
+
+    /// Looks up a key, counting the query (and the hit) atomically.
+    pub fn get(&self, key: &MemoKey) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let hit = self.shard(key).get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts a computed result (last writer wins on collision; values
+    /// for equal keys are identical by construction, so order is moot).
+    pub fn insert(&self, key: MemoKey, value: V) {
+        self.shard(&key).insert(key, value);
+    }
+
+    /// Number of distinct entries across all shards.
+    #[must_use]
+    pub fn unique_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.unique_entries() == 0
+    }
+
+    /// Lookups performed (table traffic, not per-pair accounting).
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that hit.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Clears contents and counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("memo shard poisoned").clear();
+        }
+        self.queries.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// A sorted snapshot of every entry — the deterministic basis for
+    /// persistence (see `persist`).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(MemoKey, V)>
+    where
+        V: Clone,
+    {
+        let mut out: Vec<(MemoKey, V)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("memo shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+}
+
+/// Both sharded tables of the batch engine: the no-bounds (GCD) table and
+/// the with-bounds full-result table — the concurrent counterpart of the
+/// pair of [`MemoTable`]s inside
+/// [`DependenceAnalyzer`](crate::analyzer::DependenceAnalyzer). Persists
+/// in the same `dda-memo v1` format (see `persist`), so serial and batch
+/// runs can warm-start each other.
+#[derive(Debug)]
+pub struct SharedMemo {
+    /// With-bounds full-result table.
+    pub full: ShardedMemoTable<crate::analyzer::CachedOutcome>,
+    /// No-bounds (extended GCD) table.
+    pub gcd: ShardedMemoTable<crate::gcd::EqOutcome>,
+}
+
+impl SharedMemo {
+    /// Creates empty tables with `shards` shards each.
+    #[must_use]
+    pub fn new(shards: usize) -> SharedMemo {
+        SharedMemo {
+            full: ShardedMemoTable::new(shards),
+            gcd: ShardedMemoTable::new(shards),
+        }
+    }
+
+    /// Clears both tables.
+    pub fn clear(&self) {
+        self.full.clear();
+        self.gcd.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +581,129 @@ mod tests {
             .wrapping_add((-1i64 as u64).wrapping_shl(1))
             .wrapping_add(4u64.wrapping_shl(2));
         assert_eq!(h.finish(), expect);
+    }
+
+    #[test]
+    fn shift_wraps_at_sixty_one() {
+        // Why `% 61` and not `% 64`: `wrapping_shl` masks its argument
+        // mod 64, so a shift of exactly 64 would silently become 0 and
+        // the behavior would hinge on that masking. Reducing mod 61 keeps
+        // every shift strictly below the word size (explicit, not an
+        // artifact of masking) and cycles the 2^i weights with period 61 —
+        // a prime, so rotated keys fall out of phase with the weights
+        // instead of systematically colliding.
+        let hash = |k: &MemoKey| {
+            let mut h = PaperHasher::default();
+            k.hash(&mut h);
+            h.finish()
+        };
+        let spike = |at: usize| {
+            let mut v = vec![0i64; 65];
+            v[at] = 1;
+            MemoKey(v)
+        };
+        // Weights repeat with period 61: index 0 and index 61 share 2^0.
+        assert_eq!(hash(&spike(0)), hash(&spike(61)));
+        // Index 64 gets weight 2^(64 % 61) = 8, not the 2^0 that a
+        // masked 64-bit shift would produce.
+        assert_eq!(
+            hash(&spike(64)).wrapping_sub(hash(&MemoKey(vec![0i64; 65]))),
+            1u64 << 3
+        );
+    }
+
+    #[test]
+    fn integer_writes_are_endian_independent() {
+        // The default `Hasher` integer methods forward to
+        // `write(&v.to_ne_bytes())`, which differs between little- and
+        // big-endian targets. Every width must instead go through the
+        // endian-independent weighted fold: one value, one weight.
+        fn state_after(f: impl FnOnce(&mut PaperHasher)) -> u64 {
+            let mut h = PaperHasher::default();
+            f(&mut h);
+            h.finish()
+        }
+        // A single write of 5 at index 0 contributes 5 · 2^0 = 5 for
+        // every width. (Under the byte-fold fallback, big-endian u32
+        // would have produced 5 · 2^3 = 40.)
+        assert_eq!(state_after(|h| h.write_u8(5)), 5);
+        assert_eq!(state_after(|h| h.write_u16(5)), 5);
+        assert_eq!(state_after(|h| h.write_u32(5)), 5);
+        assert_eq!(state_after(|h| h.write_u64(5)), 5);
+        assert_eq!(state_after(|h| h.write_i8(5)), 5);
+        assert_eq!(state_after(|h| h.write_i16(5)), 5);
+        assert_eq!(state_after(|h| h.write_i32(5)), 5);
+        assert_eq!(state_after(|h| h.write_isize(5)), 5);
+        // 128-bit values fold as two 64-bit limbs (low first).
+        assert_eq!(
+            state_after(|h| h.write_u128((7u128 << 64) | 5)),
+            5u64.wrapping_add(7u64 << 1)
+        );
+        // Consecutive writes advance the weight exactly once per value.
+        assert_eq!(
+            state_after(|h| {
+                h.write_u32(1);
+                h.write_u32(1);
+                h.write_u32(1);
+            }),
+            1 + 2 + 4
+        );
+    }
+
+    #[test]
+    fn sharded_table_basic_ops() {
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::new(4);
+        assert_eq!(t.shard_count(), 4);
+        let keys: Vec<MemoKey> = (0..64).map(|i| MemoKey(vec![i, i * 3 - 7, 2])).collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(t.get(k).is_none());
+            t.insert(k.clone(), i as u32);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u32));
+        }
+        assert_eq!(t.unique_entries(), 64);
+        assert_eq!(t.queries(), 128);
+        assert_eq!(t.hits(), 64);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 64);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "snapshot sorted");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.queries(), 0);
+    }
+
+    #[test]
+    fn sharded_table_zero_shards_clamped() {
+        let t: ShardedMemoTable<u8> = ShardedMemoTable::new(0);
+        assert_eq!(t.shard_count(), 1);
+        t.insert(MemoKey(vec![1]), 9);
+        assert_eq!(t.get(&MemoKey(vec![1])), Some(9));
+    }
+
+    #[test]
+    fn sharded_table_concurrent_inserts_and_reads() {
+        let t: ShardedMemoTable<i64> = ShardedMemoTable::new(8);
+        std::thread::scope(|s| {
+            for w in 0..4i64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let key = MemoKey(vec![i % 50, (i * 7) % 31]);
+                        // Values for equal keys agree by construction, as
+                        // in the engine's leader-election protocol.
+                        t.insert(key.clone(), (i % 50) * 1000 + (i * 7) % 31);
+                        let _ = t.get(&key);
+                        let _ = w;
+                    }
+                });
+            }
+        });
+        assert!(t.unique_entries() <= 200);
+        for i in 0..200i64 {
+            let key = MemoKey(vec![i % 50, (i * 7) % 31]);
+            assert_eq!(t.get(&key), Some((i % 50) * 1000 + (i * 7) % 31));
+        }
     }
 
     #[test]
@@ -406,12 +741,8 @@ mod tests {
     fn improved_scheme_collapses_unused_loops() {
         // The paper's Section 5 example: both two-loop programs collapse
         // to the single-loop one under the improved scheme.
-        let two_a = problem(
-            "for i = 1 to 10 { for j = 1 to 10 { a[i + 10] = a[i] + 3; } }",
-        );
-        let two_b = problem(
-            "for i = 1 to 10 { for j = 1 to 10 { a[j + 10] = a[j] + 3; } }",
-        );
+        let two_a = problem("for i = 1 to 10 { for j = 1 to 10 { a[i + 10] = a[i] + 3; } }");
+        let two_b = problem("for i = 1 to 10 { for j = 1 to 10 { a[j + 10] = a[j] + 3; } }");
         let one = problem("for i = 1 to 10 { a[i + 10] = a[i] + 3; }");
         assert_ne!(bounds_key(&two_a, false).key, bounds_key(&one, false).key);
         // two_a uses i (outer), two_b uses j (inner): simple keys differ.
@@ -425,9 +756,7 @@ mod tests {
     fn triangular_coupling_keeps_variables() {
         // j's bound references i, and j is used, so i must stay even
         // though it appears in no subscript.
-        let p = problem(
-            "for i = 1 to 10 { for j = i to 10 { a[j + 5] = a[j]; } }",
-        );
+        let p = problem("for i = 1 to 10 { for j = i to 10 { a[j + 5] = a[j]; } }");
         let flat = problem("for j = 1 to 10 { a[j + 5] = a[j]; }");
         assert_ne!(bounds_key(&p, true).key, bounds_key(&flat, true).key);
     }

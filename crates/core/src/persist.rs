@@ -19,7 +19,7 @@ use dda_linalg::Matrix;
 
 use crate::analyzer::{CachedOutcome, DependenceAnalyzer};
 use crate::gcd::{EqOutcome, Lattice};
-use crate::memo::MemoKey;
+use crate::memo::{MemoKey, SharedMemo};
 use crate::result::{
     Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy, TestKind,
 };
@@ -129,11 +129,10 @@ impl<'a> Fields<'a> {
 
     fn next_i64(&mut self) -> Result<i64, PersistError> {
         let s = self.next_str()?;
-        s.parse()
-            .map_err(|_| PersistError {
-                line: self.line,
-                message: format!("bad integer `{s}`"),
-            })
+        s.parse().map_err(|_| PersistError {
+            line: self.line,
+            message: format!("bad integer `{s}`"),
+        })
     }
 
     fn next_usize(&mut self) -> Result<usize, PersistError> {
@@ -220,7 +219,10 @@ fn encode_full(key: &MemoKey, value: &CachedOutcome, out: &mut String) {
         Answer::Dependent(_) => "D",
         Answer::Unknown => "U",
     };
-    out.push_str(&format!(" {answer} {} ", encode_resolved(value.result.resolved_by)));
+    out.push_str(&format!(
+        " {answer} {} ",
+        encode_resolved(value.result.resolved_by)
+    ));
     match &value.witness {
         Some(w) => {
             out.push_str(&format!("w {} ", w.len()));
@@ -401,6 +403,85 @@ impl DependenceAnalyzer {
     }
 }
 
+impl SharedMemo {
+    /// Serializes both sharded tables to the same `dda-memo v1` format as
+    /// [`DependenceAnalyzer::export_memo`], in sorted key order — so a
+    /// batch run can warm-start a serial analyzer and vice versa.
+    #[must_use]
+    pub fn export_memo(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (k, v) in self.gcd.snapshot() {
+            encode_gcd(&k, &v, &mut out);
+        }
+        for (k, v) in self.full.snapshot() {
+            encode_full(&k, &v, &mut out);
+        }
+        out
+    }
+
+    /// Loads entries from a previously exported table (from either a
+    /// serial analyzer or another shared table). Existing entries are
+    /// kept; imported keys overwrite colliding ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a located [`PersistError`] on malformed content; the
+    /// tables may then be partially updated.
+    pub fn import_memo(&self, text: &str) -> Result<(), PersistError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => {}
+            Some((_, h)) => return err(1, format!("bad header `{h}`")),
+            None => return err(1, "empty file"),
+        }
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut f = Fields::new(trimmed, line_no);
+            match f.next_str()? {
+                "gcd" => {
+                    let (k, v) = decode_gcd(&mut f)?;
+                    f.finish()?;
+                    self.gcd.insert(k, v);
+                }
+                "full" => {
+                    let (k, v) = decode_full(&mut f)?;
+                    f.finish()?;
+                    self.full.insert(k, v);
+                }
+                other => return err(line_no, format!("unknown record `{other}`")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes [`export_memo`](Self::export_memo) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        fs::write(path, self.export_memo())
+    }
+
+    /// Reads a file into the sharded tables (see
+    /// [`import_memo`](Self::import_memo)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; format errors are wrapped as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let text = fs::read_to_string(path)?;
+        self.import_memo(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,8 +520,7 @@ mod tests {
         let trained = trained_analyzer();
         let text = trained.export_memo();
 
-        let program =
-            parse_program("for i = 1 to 10 { z[i + 1] = z[i]; }").unwrap();
+        let program = parse_program("for i = 1 to 10 { z[i + 1] = z[i]; }").unwrap();
         // Without the import: one test.
         let mut cold = DependenceAnalyzer::new();
         let r = cold.analyze_program(&program);
@@ -471,15 +551,11 @@ mod tests {
         let bad_header = an.import_memo("nope\n").unwrap_err();
         assert_eq!(bad_header.line, 1);
 
-        let bad_record = an
-            .import_memo("dda-memo v1\nbogus 1 2 3\n")
-            .unwrap_err();
+        let bad_record = an.import_memo("dda-memo v1\nbogus 1 2 3\n").unwrap_err();
         assert_eq!(bad_record.line, 2);
         assert!(bad_record.message.contains("bogus"));
 
-        let truncated = an
-            .import_memo("dda-memo v1\ngcd 3 1 2\n")
-            .unwrap_err();
+        let truncated = an.import_memo("dda-memo v1\ngcd 3 1 2\n").unwrap_err();
         assert_eq!(truncated.line, 2);
 
         let trailing = an
@@ -494,6 +570,35 @@ mod tests {
         an.import_memo("dda-memo v1\n\n# a comment\ngcd 1 7 I\n")
             .unwrap();
         assert_eq!(an.gcd_memo_entries(), 1);
+    }
+
+    #[test]
+    fn shared_memo_round_trips_with_analyzer() {
+        let trained = trained_analyzer();
+        let text = trained.export_memo();
+
+        // Analyzer export → shared import preserves every entry.
+        let shared = SharedMemo::new(8);
+        shared.import_memo(&text).unwrap();
+        assert_eq!(shared.gcd.unique_entries(), trained.gcd_memo_entries());
+        assert_eq!(shared.full.unique_entries(), trained.memo_entries());
+
+        // Shared export is byte-identical (same sorted-key format), so
+        // serial and batch runs can warm-start each other transparently.
+        assert_eq!(shared.export_memo(), text);
+        let mut fresh = DependenceAnalyzer::new();
+        fresh.import_memo(&shared.export_memo()).unwrap();
+        assert_eq!(fresh.export_memo(), text);
+    }
+
+    #[test]
+    fn shared_memo_export_independent_of_shard_count() {
+        let text = trained_analyzer().export_memo();
+        let a = SharedMemo::new(1);
+        a.import_memo(&text).unwrap();
+        let b = SharedMemo::new(64);
+        b.import_memo(&text).unwrap();
+        assert_eq!(a.export_memo(), b.export_memo());
     }
 
     #[test]

@@ -247,7 +247,11 @@ pub fn build_problem(
     // Per-side name → variable index maps (innermost shadowing outermost).
     let mut map_a: BTreeMap<&str, usize> = BTreeMap::new();
     for (k, l) in a.loops.iter().enumerate() {
-        let idx = if k < common { k } else { 2 * common + (k - common) };
+        let idx = if k < common {
+            k
+        } else {
+            2 * common + (k - common)
+        };
         map_a.insert(l.var.as_str(), idx);
     }
     let mut map_b: BTreeMap<&str, usize> = BTreeMap::new();
@@ -280,9 +284,7 @@ pub fn build_problem(
 
     // Bounds: L ≤ i and i ≤ U for every loop instance on each side.
     let mut bounds = Vec::new();
-    let mut add_bounds = |acc: &Access,
-                          map: &BTreeMap<&str, usize>|
-     -> Result<(), BuildError> {
+    let mut add_bounds = |acc: &Access, map: &BTreeMap<&str, usize>| -> Result<(), BuildError> {
         for (k, l) in acc.loops.iter().enumerate() {
             let var_idx = map[l.var.as_str()];
             let _ = k;
@@ -401,9 +403,7 @@ mod tests {
 
     #[test]
     fn triangular_bounds_reference_outer_var() {
-        let p = problem_for(
-            "for i = 1 to 10 { for j = i to 10 { a[i][j] = a[i - 1][j]; } }",
-        );
+        let p = problem_for("for i = 1 to 10 { for j = i to 10 { a[i][j] = a[i - 1][j]; } }");
         // j's lower bound i ≤ j: row has +1 on i and −1 on j.
         let idx_i = p.var_index(&XVar::CommonA(0)).unwrap();
         let idx_j = p.var_index(&XVar::CommonA(1)).unwrap();

@@ -293,6 +293,9 @@ mod tests {
     #[test]
     fn test_kind_display_ordering() {
         let names: Vec<String> = TestKind::ALL.iter().map(ToString::to_string).collect();
-        assert_eq!(names, ["SVPC", "Acyclic", "Loop Residue", "Fourier-Motzkin"]);
+        assert_eq!(
+            names,
+            ["SVPC", "Acyclic", "Loop Residue", "Fourier-Motzkin"]
+        );
     }
 }

@@ -134,9 +134,26 @@ impl AnalysisStats {
             gcd_memo_hits: self.gcd_memo_hits - earlier.gcd_memo_hits,
             independent_pairs: self.independent_pairs - earlier.independent_pairs,
             dependent_pairs: self.dependent_pairs - earlier.dependent_pairs,
-            direction_vectors_found: self.direction_vectors_found
-                - earlier.direction_vectors_found,
+            direction_vectors_found: self.direction_vectors_found - earlier.direction_vectors_found,
         }
+    }
+
+    /// Adds another accumulator into this one (for summing per-worker or
+    /// per-program partials into batch totals).
+    pub fn add(&mut self, other: &AnalysisStats) {
+        self.pairs += other.pairs;
+        self.constant += other.constant;
+        self.gcd_independent += other.gcd_independent;
+        self.assumed += other.assumed;
+        self.base_tests.add(&other.base_tests);
+        self.direction_tests.add(&other.direction_tests);
+        self.memo_queries += other.memo_queries;
+        self.memo_hits += other.memo_hits;
+        self.gcd_memo_queries += other.gcd_memo_queries;
+        self.gcd_memo_hits += other.gcd_memo_hits;
+        self.independent_pairs += other.independent_pairs;
+        self.dependent_pairs += other.dependent_pairs;
+        self.direction_vectors_found += other.direction_vectors_found;
     }
 
     /// Fraction of memo queries that were unique (missed), as a

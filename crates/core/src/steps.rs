@@ -1,0 +1,357 @@
+//! Single-pair analysis steps, factored out of the serial analyzer.
+//!
+//! [`DependenceAnalyzer`](crate::analyzer::DependenceAnalyzer) and the
+//! batch engine (`dda-engine`) must produce bit-identical reports, so the
+//! per-pair logic lives here as pure functions over explicit inputs: the
+//! serial analyzer threads its own memo tables and statistics through
+//! them, while the engine replays the same steps across worker threads
+//! and reconstructs the statistics in enumeration order.
+//!
+//! Every function is deterministic: same inputs, same output, no hidden
+//! state. That property is what makes the engine's leader-election
+//! parallelism sound — any thread may compute a key's result and every
+//! other pair with that key can reuse it verbatim.
+
+use dda_ir::Access;
+
+use crate::analyzer::{AnalyzerConfig, CachedOutcome, MemoMode, PairReport};
+use crate::cascade::{run_cascade_with, CascadeOutcome};
+use crate::direction::{analyze_directions, DirectionAnalysis, DirectionConfig};
+use crate::gcd::{reduce_with_lattice, Lattice};
+use crate::memo::{bounds_key, CanonicalKey};
+use crate::problem::{build_problem, constant_compare, DependenceProblem};
+use crate::result::{
+    Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy, TestKind,
+};
+use crate::stats::{AnalysisStats, TestCounts};
+use crate::symmetry;
+
+/// How a pair classifies before any dependence testing.
+#[derive(Debug, Clone)]
+pub enum Classified {
+    /// All subscripts constant: the verdict is a comparison.
+    Constant {
+        /// Whether the constant subscripts coincide (dependent).
+        dependent: bool,
+    },
+    /// The integer system could not be built (non-affine subscript, or a
+    /// symbolic term with symbolic support off): dependence is assumed.
+    Unbuildable,
+    /// A well-formed integer dependence problem, ready for testing.
+    Problem(Box<DependenceProblem>),
+}
+
+impl Classified {
+    /// The problem, when one was built.
+    #[must_use]
+    pub fn problem(&self) -> Option<&DependenceProblem> {
+        match self {
+            Classified::Problem(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Classifies one pair: constant short-circuit, then system construction.
+#[must_use]
+pub fn classify_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> Classified {
+    if let Some(dependent) = constant_compare(a, b) {
+        return Classified::Constant { dependent };
+    }
+    match build_problem(a, b, common, symbolic) {
+        Ok(p) => Classified::Problem(Box::new(p)),
+        Err(_) => Classified::Unbuildable,
+    }
+}
+
+/// The blank report every step fills in: identity fields set, verdict
+/// still "assumed dependent".
+#[must_use]
+pub fn pair_template(a: &Access, b: &Access, common: usize) -> PairReport {
+    PairReport {
+        array: a.array.clone(),
+        a_access: a.id,
+        b_access: b.id,
+        common_loop_ids: a.loops.iter().take(common).map(|l| l.id).collect(),
+        result: DependenceResult {
+            answer: Answer::Unknown,
+            resolved_by: ResolvedBy::Assumed,
+        },
+        witness: None,
+        direction_vectors: Vec::new(),
+        distance: DistanceVector(vec![None; common]),
+        from_cache: false,
+    }
+}
+
+/// Finishes a constant-subscript pair.
+#[must_use]
+pub fn constant_report(
+    mut template: PairReport,
+    dependent: bool,
+    compute_directions: bool,
+) -> PairReport {
+    let common = template.distance.0.len();
+    template.result = DependenceResult {
+        answer: if dependent {
+            Answer::Dependent(None)
+        } else {
+            Answer::Independent
+        },
+        resolved_by: ResolvedBy::Constant,
+    };
+    if dependent && compute_directions {
+        template.direction_vectors = vec![DirectionVector::any(common)];
+    }
+    template
+}
+
+/// Finishes an unbuildable pair (assumed dependent under any vector).
+#[must_use]
+pub fn assumed_report(mut template: PairReport, compute_directions: bool) -> PairReport {
+    let common = template.distance.0.len();
+    if compute_directions {
+        template.direction_vectors = vec![DirectionVector::any(common)];
+    }
+    template
+}
+
+/// Finishes a pair the extended GCD test proved independent.
+#[must_use]
+pub fn gcd_independent_report(mut template: PairReport) -> PairReport {
+    template.result = DependenceResult {
+        answer: Answer::Independent,
+        resolved_by: ResolvedBy::Gcd,
+    };
+    template
+}
+
+/// The full-result memo key for a problem, or `None` when memoization is
+/// off. With symmetric canonicalization enabled, a pair and its mirror
+/// share the lexicographically smaller key; the returned flag records
+/// whether *this* problem is the mirror of what the table stores.
+#[must_use]
+pub fn full_key(
+    config: &AnalyzerConfig,
+    problem: &DependenceProblem,
+) -> Option<(CanonicalKey, bool)> {
+    if config.memo == MemoMode::Off {
+        return None;
+    }
+    let improved = config.memo == MemoMode::Improved;
+    let own = bounds_key(problem, improved);
+    if config.memo_symmetry && symmetry::swappable(problem) {
+        let mirror = bounds_key(&symmetry::swap_problem(problem), improved);
+        if mirror.key < own.key {
+            return Some((mirror, true));
+        }
+    }
+    Some((own, false))
+}
+
+/// Restricts full-length vectors to the kept levels, deduplicating.
+fn restrict_vectors(vectors: &[DirectionVector], kept_levels: &[usize]) -> Vec<DirectionVector> {
+    let mut out: Vec<DirectionVector> = Vec::new();
+    for v in vectors {
+        let restricted = DirectionVector(kept_levels.iter().map(|&k| v.0[k]).collect());
+        if !out.contains(&restricted) {
+            out.push(restricted);
+        }
+    }
+    out
+}
+
+/// Expands canonical vectors back to `common` levels, filling dropped
+/// (unused) levels with `*`.
+fn expand_vectors(
+    vectors: &[DirectionVector],
+    kept_levels: &[usize],
+    common: usize,
+) -> Vec<DirectionVector> {
+    vectors
+        .iter()
+        .map(|v| {
+            let mut full = vec![Direction::Any; common];
+            for (ci, &k) in kept_levels.iter().enumerate() {
+                full[k] = v.0[ci];
+            }
+            DirectionVector(full)
+        })
+        .collect()
+}
+
+fn restrict_distance(d: &DistanceVector, kept_levels: &[usize]) -> DistanceVector {
+    DistanceVector(kept_levels.iter().map(|&k| d.0[k]).collect())
+}
+
+fn expand_distance(d: &DistanceVector, kept_levels: &[usize], common: usize) -> DistanceVector {
+    let mut full = vec![None; common];
+    for (ci, &k) in kept_levels.iter().enumerate() {
+        full[k] = d.0[ci];
+    }
+    DistanceVector(full)
+}
+
+/// Rehydrates a full-memo hit into a concrete report for this pair.
+#[must_use]
+pub fn rehydrate_hit(
+    memo: MemoMode,
+    cached: CachedOutcome,
+    ck: &CanonicalKey,
+    flipped: bool,
+    mut template: PairReport,
+) -> PairReport {
+    let common = template.distance.0.len();
+    template.result = cached.result;
+    // Witnesses only transfer when the problems are literally identical;
+    // under the improved scheme (or a mirror hit) they may not be.
+    template.witness = if memo == MemoMode::Improved || flipped {
+        None
+    } else {
+        cached.witness
+    };
+    let (vectors, distance) = if flipped {
+        (
+            symmetry::flip_vectors(&cached.direction_vectors),
+            symmetry::flip_distance(&cached.distance),
+        )
+    } else {
+        (cached.direction_vectors, cached.distance)
+    };
+    template.direction_vectors = expand_vectors(&vectors, &ck.kept_levels, common);
+    template.distance = expand_distance(&distance, &ck.kept_levels, common);
+    template.from_cache = true;
+    template
+}
+
+/// What to insert into the full-result table for a freshly computed
+/// report: restricted to canonical space, mirrored when the key was.
+#[must_use]
+pub fn canonical_outcome(report: &PairReport, ck: &CanonicalKey, flipped: bool) -> CachedOutcome {
+    let (vectors, distance) = if flipped {
+        (
+            symmetry::flip_vectors(&report.direction_vectors),
+            symmetry::flip_distance(&report.distance),
+        )
+    } else {
+        (report.direction_vectors.clone(), report.distance.clone())
+    };
+    CachedOutcome {
+        result: report.result.clone(),
+        witness: if flipped {
+            None
+        } else {
+            report.witness.clone()
+        },
+        direction_vectors: restrict_vectors(&vectors, &ck.kept_levels),
+        distance: restrict_distance(&distance, &ck.kept_levels),
+    }
+}
+
+/// Statistics side-effects of [`analyze_reduced`], captured explicitly so
+/// callers can attribute them wherever the pair lives (the serial
+/// analyzer applies them immediately; the engine applies them to the
+/// leader pair's program during in-order assembly).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReduceEffects {
+    /// The lattice substitution overflowed: dependence assumed.
+    pub assumed: bool,
+    /// The base (`*`-vector) cascade resolution, when one ran.
+    pub base_test: Option<(TestKind, bool)>,
+    /// Cascade invocations made while refining direction vectors.
+    pub direction_tests: TestCounts,
+}
+
+impl ReduceEffects {
+    /// Folds these effects into an accumulator.
+    pub fn apply_to(&self, stats: &mut AnalysisStats) {
+        if self.assumed {
+            stats.assumed += 1;
+        }
+        if let Some((kind, independent)) = self.base_test {
+            stats.base_tests.record(kind, independent);
+        }
+        stats.direction_tests.add(&self.direction_tests);
+    }
+}
+
+/// The compute path of a memo miss: reduce through the GCD lattice, run
+/// the cascade, refine direction vectors. Pure; side-effects land in
+/// `fx`.
+#[must_use]
+pub fn analyze_reduced(
+    config: &AnalyzerConfig,
+    problem: &DependenceProblem,
+    lattice: &Lattice,
+    mut report: PairReport,
+    fx: &mut ReduceEffects,
+) -> PairReport {
+    let Some(reduced) = reduce_with_lattice(problem, lattice) else {
+        fx.assumed = true;
+        return report;
+    };
+
+    // Base (star-vector) cascade.
+    let base: CascadeOutcome = run_cascade_with(&reduced.system, config.fm_limits);
+    fx.base_test = Some((base.used, base.answer.is_independent()));
+    report.result = DependenceResult {
+        answer: match &base.answer {
+            Answer::Dependent(_) => Answer::Dependent(None),
+            other => other.clone(),
+        },
+        resolved_by: ResolvedBy::Test(base.used),
+    };
+    if let Answer::Dependent(Some(t)) = &base.answer {
+        report.witness = reduced.x_at(t);
+        debug_assert!(
+            report
+                .witness
+                .as_ref()
+                .is_none_or(|w| problem.is_witness(w)),
+            "cascade witness must satisfy the original problem"
+        );
+    }
+    if base.answer.is_independent() {
+        return report;
+    }
+
+    // Direction vectors.
+    if config.compute_directions {
+        let mut counts = TestCounts::default();
+        let DirectionAnalysis {
+            vectors,
+            distance,
+            exact,
+        } = analyze_directions(
+            problem,
+            &reduced,
+            DirectionConfig {
+                prune_unused: config.prune_unused,
+                prune_distance: config.prune_distance,
+                separable: config.separable_directions,
+                fm_limits: config.fm_limits,
+            },
+            &mut counts,
+        );
+        fx.direction_tests.add(&counts);
+        report.distance = distance;
+        if vectors.is_empty() && exact {
+            // The paper's implicit branch and bound: every direction
+            // proved independent even though the `*` query could not.
+            report.result.answer = Answer::Independent;
+        } else {
+            report.direction_vectors = vectors;
+        }
+    }
+    report
+}
+
+/// Tallies a finished pair into the outcome counters.
+pub fn note_outcome(stats: &mut AnalysisStats, report: &PairReport) {
+    if report.result.is_independent() {
+        stats.independent_pairs += 1;
+    } else {
+        stats.dependent_pairs += 1;
+    }
+    stats.direction_vectors_found += report.direction_vectors.len() as u64;
+}

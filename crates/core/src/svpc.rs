@@ -118,8 +118,8 @@ mod tests {
         let s = sys(&[
             (&[-1], -1),
             (&[1], 10),
-            (&[-1], 9),   // 1 ≤ t + 10  ⇔  -t ≤ 9
-            (&[1], 0),    // t + 10 ≤ 10 ⇔  t ≤ 0
+            (&[-1], 9), // 1 ≤ t + 10  ⇔  -t ≤ 9
+            (&[1], 0),  // t + 10 ≤ 10 ⇔  t ≤ 0
         ]);
         // Wait: with bounds -9 ≤ t ≤ 0 and 1 ≤ t ≤ 10 → 1 ≤ t ≤ 0: empty.
         assert_eq!(svpc(&s), SvpcOutcome::Infeasible);

@@ -41,9 +41,7 @@ pub fn swap_problem(p: &DependenceProblem) -> DependenceProblem {
         );
     }
 
-    let permute = |row: &[i64]| -> Vec<i64> {
-        permutation.iter().map(|&src| row[src]).collect()
-    };
+    let permute = |row: &[i64]| -> Vec<i64> { permutation.iter().map(|&src| row[src]).collect() };
 
     let eq_coeffs: Vec<Vec<i64>> = p
         .eq_coeffs

@@ -31,10 +31,7 @@ pub fn may_be_lexicographically_negative(v: &DirectionVector) -> bool {
 /// common-loop levels in the given order. Pairs whose common nest does not
 /// cover all requested levels are skipped (the transformation does not
 /// touch them).
-fn permuted_vectors(
-    report: &ProgramReport,
-    permutation: &[usize],
-) -> Vec<DirectionVector> {
+fn permuted_vectors(report: &ProgramReport, permutation: &[usize]) -> Vec<DirectionVector> {
     let mut out = Vec::new();
     for pair in report.pairs() {
         if pair.result.is_independent() {
@@ -128,12 +125,7 @@ pub fn innermost_vectorizable(report: &ProgramReport, vector_width: i64) -> bool
             return false; // assumed dependence: no information
         }
         for v in &pair.direction_vectors {
-            if !v.carried_by(depth)
-                && !v
-                    .0
-                    .get(depth)
-                    .is_some_and(|d| *d == Direction::Any)
-            {
+            if !v.carried_by(depth) && v.0.get(depth).is_none_or(|d| *d != Direction::Any) {
                 continue; // not carried innermost
             }
             match pair.distance.0.get(depth) {
@@ -159,25 +151,19 @@ mod tests {
 
     #[test]
     fn interchange_legal_for_inner_carried() {
-        let r = report(
-            "for i = 1 to 8 { for j = 1 to 8 { a[i][j + 1] = a[i][j]; } }",
-        );
+        let r = report("for i = 1 to 8 { for j = 1 to 8 { a[i][j + 1] = a[i][j]; } }");
         assert!(interchange_is_legal(&r, 0, 1));
     }
 
     #[test]
     fn interchange_illegal_for_skewed_recurrence() {
-        let r = report(
-            "for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j + 1]; } }",
-        );
+        let r = report("for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j + 1]; } }");
         assert!(!interchange_is_legal(&r, 0, 1));
     }
 
     #[test]
     fn interchange_legal_for_diagonal() {
-        let r = report(
-            "for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j - 1]; } }",
-        );
+        let r = report("for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j - 1]; } }");
         assert!(interchange_is_legal(&r, 0, 1));
     }
 
@@ -198,9 +184,7 @@ mod tests {
     #[test]
     fn rotation_illegal_when_it_reverses_flow() {
         // (<, >): moving level 1 outermost puts `>` first.
-        let r = report(
-            "for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j + 1]; } }",
-        );
+        let r = report("for i = 2 to 8 { for j = 2 to 8 { a[i][j] = a[i - 1][j + 1]; } }");
         assert!(!permutation_is_legal(&r, &[1, 0]));
     }
 
@@ -224,9 +208,7 @@ mod tests {
 
     #[test]
     fn independent_program_fully_transformable() {
-        let r = report(
-            "for i = 1 to 8 { for j = 1 to 8 { a[i][j] = c[j][i]; } }",
-        );
+        let r = report("for i = 1 to 8 { for j = 1 to 8 { a[i][j] = c[j][i]; } }");
         assert!(interchange_is_legal(&r, 0, 1));
         assert!(innermost_vectorizable(&r, 16));
     }

@@ -19,10 +19,7 @@ const BOX: i64 = 8;
 /// A random constraint over `n` vars (plus implicit box bounds added by
 /// the caller).
 fn arb_constraint(n: usize) -> impl Strategy<Value = Constraint> {
-    (
-        proptest::collection::vec(-4i64..=4, n),
-        -12i64..=12,
-    )
+    (proptest::collection::vec(-4i64..=4, n), -12i64..=12)
         .prop_map(|(coeffs, rhs)| Constraint::new(coeffs, rhs))
 }
 
@@ -31,8 +28,7 @@ fn arb_constraint(n: usize) -> impl Strategy<Value = Constraint> {
 fn arb_system() -> impl Strategy<Value = System> {
     (1usize..=3)
         .prop_flat_map(|n| {
-            proptest::collection::vec(arb_constraint(n), 0..=4)
-                .prop_map(move |cs| (n, cs))
+            proptest::collection::vec(arb_constraint(n), 0..=4).prop_map(move |cs| (n, cs))
         })
         .prop_map(|(n, cs)| {
             let mut s = System::new(n);

@@ -1,0 +1,779 @@
+//! Parallel batch dependence-analysis engine.
+//!
+//! [`Engine`] analyzes a batch of programs by fanning their reference
+//! pairs across scoped worker threads, sharing work through the sharded
+//! concurrent memo tables of [`dda_core::SharedMemo`] — and still
+//! produces output *bit-identical* to running a single serial
+//! [`DependenceAnalyzer`](dda_core::DependenceAnalyzer) over the same
+//! programs in order: the same [`PairReport`]s, the same per-program
+//! [`AnalysisStats`], regardless of worker count.
+//!
+//! # How determinism survives parallelism
+//!
+//! Every per-pair step (classification, key construction, the extended
+//! GCD solve, the cascade) is a pure function in [`dda_core::steps`], so
+//! results depend only on inputs, never on schedule. The engine runs in
+//! waves:
+//!
+//! 1. **Classify** every pair in parallel (constant short-circuit or
+//!    integer-problem construction).
+//! 2. **Extended GCD**: compute no-bounds memo keys in parallel, then
+//!    elect — serially, in global enumeration order — a *leader* per
+//!    distinct key (the first pair that would reach the table in a
+//!    serial run). Leaders solve in parallel; every other pair with the
+//!    same key reuses the leader's result, exactly as a serial run would
+//!    have found it in the table.
+//! 3. **Full analysis**: the same election over full-result keys;
+//!    leaders run the test cascade and direction refinement in parallel.
+//! 4. **Assemble** serially, in enumeration order: rebuild each
+//!    program's statistics delta by replaying the serial analyzer's
+//!    counting discipline over the precomputed outcomes.
+//!
+//! Because a leader is always the *first* occurrence in enumeration
+//! order, the hit/miss pattern — and therefore every statistics counter —
+//! matches the serial analyzer's exactly. An unresolvable GCD solve
+//! (overflow, `None`) is never inserted into the table, and since the
+//! solve is deterministic per key, later pairs with that key are counted
+//! as misses that recompute the identical `None` — again matching the
+//! serial analyzer.
+//!
+//! # Example
+//!
+//! ```
+//! use dda_engine::{Engine, EngineConfig};
+//! use dda_ir::parse_program;
+//!
+//! let programs = vec![
+//!     parse_program("for i = 1 to 10 { a[i] = a[i + 10] + 3; }")?,
+//!     parse_program("for i = 1 to 10 { a[i + 1] = a[i] + 3; }")?,
+//! ];
+//! let mut engine = Engine::with_config(EngineConfig {
+//!     workers: 4,
+//!     ..EngineConfig::default()
+//! });
+//! let reports = engine.analyze_programs(&programs);
+//! assert!(reports[0].pairs()[0].result.is_independent());
+//! assert!(reports[1].pairs()[0].result.answer.is_dependent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pool;
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use dda_core::gcd::{
+    expand_lattice, solve_equalities, solve_equalities_restricted, EqOutcome, Lattice,
+};
+use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey, ShardedMemoTable};
+use dda_core::persist::PersistError;
+use dda_core::stats::AnalysisStats;
+use dda_core::steps::{self, Classified, ReduceEffects};
+use dda_core::{AnalyzerConfig, CachedOutcome, MemoMode, PairReport, ProgramReport, SharedMemo};
+use dda_ir::{extract_accesses, reference_pairs, Access, Program};
+
+use pool::par_map;
+
+/// Batch-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Shard count for the concurrent memo tables (contention knob only —
+    /// never affects results).
+    pub shards: usize,
+    /// Memoization flavour. Overrides `analyzer.memo`, which would
+    /// otherwise silently disagree with the shared tables.
+    pub memo_mode: MemoMode,
+    /// Per-pair analysis options (directions, pruning, symbolics, …).
+    pub analyzer: AnalyzerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 0,
+            shards: 16,
+            memo_mode: MemoMode::Improved,
+            analyzer: AnalyzerConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The analyzer configuration the engine actually runs with:
+    /// [`analyzer`](Self::analyzer) with its memo flavour replaced by
+    /// [`memo_mode`](Self::memo_mode). A serial
+    /// [`DependenceAnalyzer`](dda_core::DependenceAnalyzer) built from
+    /// this is the engine's reference semantics.
+    #[must_use]
+    pub fn effective_analyzer_config(&self) -> AnalyzerConfig {
+        AnalyzerConfig {
+            memo: self.memo_mode,
+            ..self.analyzer
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// The parallel batch analyzer.
+///
+/// Like [`DependenceAnalyzer`](dda_core::DependenceAnalyzer), an engine
+/// owns its memo tables, so one instance reused across batches models the
+/// paper's "store the hash table across compilations" extension — and its
+/// tables can be saved/loaded in the same `dda-memo v1` format.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    memo: SharedMemo,
+    stats: AnalysisStats,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+}
+
+/// One reference pair queued for analysis.
+struct Job<'a> {
+    a: &'a Access,
+    b: &'a Access,
+    common: usize,
+}
+
+/// Where a memoizable job's value comes from, decided serially in
+/// enumeration order (see [`elect_leaders`]).
+enum Src<V> {
+    /// The shared table already had it (warm start / earlier batch).
+    Warm(V),
+    /// First occurrence of the key: this job computes.
+    Leader,
+    /// Reuse the result of the leader job at this index.
+    Share(usize),
+}
+
+/// Outcome of the extended-GCD wave for one job.
+enum GcdRes {
+    /// Constant or unbuildable pair: the GCD phase never ran.
+    Skip,
+    /// The solve overflowed; dependence is assumed.
+    Overflow,
+    /// Proven independent. `hit` mirrors the serial analyzer's
+    /// `gcd_memo_hits` increment for this pair.
+    Independent {
+        /// Whether a serial run would count this as a no-bounds memo hit.
+        hit: bool,
+    },
+    /// A solution lattice (expanded to all problem variables).
+    Lattice {
+        /// The expanded lattice.
+        lattice: Lattice,
+        /// Whether a serial run would count this as a no-bounds memo hit.
+        hit: bool,
+    },
+}
+
+/// Outcome of the full-analysis wave for one job.
+enum FullRes {
+    /// The job never reached the full phase (no lattice).
+    NotReached,
+    /// Freshly computed (leader, or memoization off).
+    Computed {
+        report: PairReport,
+        fx: ReduceEffects,
+    },
+    /// Served from the memo (warm hit or a leader's freshly inserted
+    /// entry); rehydrated during assembly.
+    Cached {
+        cached: CachedOutcome,
+        ck: dda_core::memo::CanonicalKey,
+        flipped: bool,
+    },
+}
+
+/// For each job's (optional) memo key, decide — serially, in enumeration
+/// order — whether the value comes from the shared table, from this job
+/// as the elected leader, or from an earlier leader. The shared table is
+/// consulted exactly once per distinct key, so its own traffic counters
+/// track *table* load, not per-pair accounting.
+fn elect_leaders<V: Clone>(
+    keys: &[Option<&MemoKey>],
+    table: &ShardedMemoTable<V>,
+) -> Vec<Option<Src<V>>> {
+    let mut seen: HashMap<&MemoKey, Src<V>> = HashMap::new();
+    let mut plan = Vec::with_capacity(keys.len());
+    for (i, key) in keys.iter().enumerate() {
+        let Some(k) = key else {
+            plan.push(None);
+            continue;
+        };
+        if let Some(prior) = seen.get(k) {
+            plan.push(Some(match prior {
+                Src::Warm(v) => Src::Warm(v.clone()),
+                Src::Share(j) => Src::Share(*j),
+                Src::Leader => unreachable!("leaders are recorded as Share"),
+            }));
+        } else if let Some(v) = table.get(k) {
+            seen.insert(k, Src::Warm(v.clone()));
+            plan.push(Some(Src::Warm(v)));
+        } else {
+            seen.insert(k, Src::Share(i));
+            plan.push(Some(Src::Leader));
+        }
+    }
+    plan
+}
+
+impl Engine {
+    /// Creates an engine with the default configuration.
+    #[must_use]
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Creates an engine with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: EngineConfig) -> Engine {
+        Engine {
+            memo: SharedMemo::new(config.shards),
+            stats: AnalysisStats::default(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics since construction (or the last
+    /// [`reset`](Self::reset)), summed in program enumeration order.
+    #[must_use]
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    /// The shared memo tables (e.g. for persistence).
+    #[must_use]
+    pub fn memo(&self) -> &SharedMemo {
+        &self.memo
+    }
+
+    /// Number of distinct entries in the full-result memo table.
+    #[must_use]
+    pub fn memo_entries(&self) -> usize {
+        self.memo.full.unique_entries()
+    }
+
+    /// Number of distinct entries in the no-bounds (GCD) memo table.
+    #[must_use]
+    pub fn gcd_memo_entries(&self) -> usize {
+        self.memo.gcd.unique_entries()
+    }
+
+    /// Clears memo tables and statistics.
+    pub fn reset(&mut self) {
+        self.memo.clear();
+        self.stats = AnalysisStats::default();
+    }
+
+    /// Serializes the memo tables (`dda-memo v1`, interchangeable with
+    /// the serial analyzer's).
+    #[must_use]
+    pub fn export_memo(&self) -> String {
+        self.memo.export_memo()
+    }
+
+    /// Warm-starts the memo tables from exported text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a located [`PersistError`] on malformed content.
+    pub fn import_memo(&self, text: &str) -> Result<(), PersistError> {
+        self.memo.import_memo(text)
+    }
+
+    /// Writes the memo tables to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.memo.save_memo_file(path)
+    }
+
+    /// Warm-starts the memo tables from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; format errors surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.memo.load_memo_file(path)
+    }
+
+    /// Analyzes one program (a batch of one).
+    pub fn analyze_program(&mut self, program: &Program) -> ProgramReport {
+        self.analyze_programs(std::slice::from_ref(program))
+            .pop()
+            .expect("one program in, one report out")
+    }
+
+    /// Analyzes a batch of programs and returns one report per program,
+    /// in input order — bit-identical to looping a serial
+    /// [`DependenceAnalyzer`](dda_core::DependenceAnalyzer) (with
+    /// [`EngineConfig::effective_analyzer_config`] and the same warm
+    /// state) over the batch, for any worker or shard count.
+    pub fn analyze_programs(&mut self, programs: &[Program]) -> Vec<ProgramReport> {
+        let cfg = self.config.effective_analyzer_config();
+        let workers = self.config.effective_workers();
+        let memo_on = cfg.memo != MemoMode::Off;
+
+        // Flatten the batch into one global job list; each program owns a
+        // contiguous range, so enumeration order is (program, pair).
+        let sets: Vec<_> = programs.iter().map(extract_accesses).collect();
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut ranges = Vec::with_capacity(programs.len());
+        for set in &sets {
+            let start = jobs.len();
+            for pair in reference_pairs(set, cfg.include_input_deps) {
+                jobs.push(Job {
+                    a: pair.a,
+                    b: pair.b,
+                    common: pair.common,
+                });
+            }
+            ranges.push(start..jobs.len());
+        }
+
+        // Wave 1: classify every pair (pure).
+        let classified = par_map(workers, &jobs, |_, j| {
+            steps::classify_pair(j.a, j.b, j.common, cfg.symbolic)
+        });
+
+        // Wave 2: extended GCD.
+        let gcd = if memo_on {
+            self.gcd_wave_memo(&cfg, workers, &jobs, &classified)
+        } else {
+            gcd_wave_off(workers, &jobs, &classified)
+        };
+
+        // Wave 3: full analysis of the surviving (lattice) jobs.
+        let full = if memo_on {
+            self.full_wave_memo(&cfg, workers, &jobs, &classified, &gcd)
+        } else {
+            full_wave_off(&cfg, workers, &jobs, &classified, &gcd)
+        };
+
+        // Wave 4: serial in-order assembly, replaying the serial
+        // analyzer's counting discipline per program.
+        let mut out = Vec::with_capacity(programs.len());
+        let mut gcd_it = gcd.into_iter();
+        let mut full_it = full.into_iter();
+        for range in ranges {
+            let mut delta = AnalysisStats::default();
+            let mut pair_reports = Vec::with_capacity(range.len());
+            for i in range {
+                let job = &jobs[i];
+                let g = gcd_it.next().expect("one GCD outcome per job");
+                let f = full_it.next().expect("one full outcome per job");
+                delta.pairs += 1;
+                let template = steps::pair_template(job.a, job.b, job.common);
+                let report = match &classified[i] {
+                    Classified::Constant { dependent } => {
+                        delta.constant += 1;
+                        steps::constant_report(template, *dependent, cfg.compute_directions)
+                    }
+                    Classified::Unbuildable => {
+                        delta.assumed += 1;
+                        steps::assumed_report(template, cfg.compute_directions)
+                    }
+                    Classified::Problem(_) => {
+                        if memo_on {
+                            delta.gcd_memo_queries += 1;
+                        }
+                        match g {
+                            GcdRes::Skip => {
+                                unreachable!("problem jobs always run the GCD wave")
+                            }
+                            // Overflows are never cached, so they are
+                            // never hits.
+                            GcdRes::Overflow => {
+                                delta.assumed += 1;
+                                template
+                            }
+                            GcdRes::Independent { hit } => {
+                                if hit {
+                                    delta.gcd_memo_hits += 1;
+                                }
+                                delta.gcd_independent += 1;
+                                steps::gcd_independent_report(template)
+                            }
+                            GcdRes::Lattice { hit, .. } => {
+                                if hit {
+                                    delta.gcd_memo_hits += 1;
+                                }
+                                if memo_on {
+                                    delta.memo_queries += 1;
+                                }
+                                match f {
+                                    FullRes::NotReached => {
+                                        unreachable!("lattice jobs always run the full wave")
+                                    }
+                                    FullRes::Computed { report, fx } => {
+                                        fx.apply_to(&mut delta);
+                                        report
+                                    }
+                                    FullRes::Cached {
+                                        cached,
+                                        ck,
+                                        flipped,
+                                    } => {
+                                        delta.memo_hits += 1;
+                                        steps::rehydrate_hit(
+                                            cfg.memo, cached, &ck, flipped, template,
+                                        )
+                                    }
+                                }
+                            }
+                        }
+                    }
+                };
+                steps::note_outcome(&mut delta, &report);
+                pair_reports.push(report);
+            }
+            self.stats.add(&delta);
+            out.push(ProgramReport::from_parts(pair_reports, delta));
+        }
+        out
+    }
+
+    /// The memoized GCD wave: parallel key construction, serial leader
+    /// election, parallel leader solves, parallel per-job resolution.
+    fn gcd_wave_memo(
+        &self,
+        cfg: &AnalyzerConfig,
+        workers: usize,
+        jobs: &[Job<'_>],
+        classified: &[Classified],
+    ) -> Vec<GcdRes> {
+        let improved = cfg.memo == MemoMode::Improved;
+        let nkeys: Vec<Option<NoBoundsKey>> = par_map(workers, jobs, |i, _| {
+            classified[i].problem().map(|p| nobounds_key(p, improved))
+        });
+        let key_refs: Vec<Option<&MemoKey>> = nkeys
+            .iter()
+            .map(|nk| nk.as_ref().map(|nk| &nk.key))
+            .collect();
+        let plan = elect_leaders(&key_refs, &self.memo.gcd);
+
+        let leader_jobs: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
+            .collect();
+        let solved: Vec<Option<EqOutcome>> = par_map(workers, &leader_jobs, |_, &i| {
+            let p = classified[i].problem().expect("leaders have a problem");
+            let nk = nkeys[i].as_ref().expect("leaders have a key");
+            solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars)
+        });
+        let mut leader_out: HashMap<usize, Option<EqOutcome>> =
+            HashMap::with_capacity(leader_jobs.len());
+        for (v, &i) in solved.into_iter().zip(&leader_jobs) {
+            if let Some(v) = &v {
+                // Matches the serial analyzer: overflows are not cached.
+                self.memo.gcd.insert(
+                    nkeys[i].as_ref().expect("leaders have a key").key.clone(),
+                    v.clone(),
+                );
+            }
+            leader_out.insert(i, v);
+        }
+
+        par_map(workers, jobs, |i, _| {
+            let Some(src) = &plan[i] else {
+                return GcdRes::Skip;
+            };
+            let (canonical, hit) = match src {
+                Src::Warm(v) => (Some(v.clone()), true),
+                Src::Leader => (leader_out[&i].clone(), false),
+                Src::Share(j) => {
+                    let v = leader_out[j].clone();
+                    // The leader's overflow was not inserted, so a serial
+                    // run would miss here and recompute the identical
+                    // `None`; anything cached is a hit.
+                    let hit = v.is_some();
+                    (v, hit)
+                }
+            };
+            match canonical {
+                None => GcdRes::Overflow,
+                Some(EqOutcome::Independent) => GcdRes::Independent { hit },
+                Some(EqOutcome::Lattice(l)) => {
+                    let p = classified[i].problem().expect("lattice implies a problem");
+                    let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
+                    GcdRes::Lattice {
+                        lattice: expand_lattice(&l, &nk.kept_vars, p.num_vars()),
+                        hit,
+                    }
+                }
+            }
+        })
+    }
+
+    /// The memoized full-analysis wave over lattice jobs.
+    fn full_wave_memo(
+        &self,
+        cfg: &AnalyzerConfig,
+        workers: usize,
+        jobs: &[Job<'_>],
+        classified: &[Classified],
+        gcd: &[GcdRes],
+    ) -> Vec<FullRes> {
+        let fkeys = par_map(workers, jobs, |i, _| {
+            if !matches!(gcd[i], GcdRes::Lattice { .. }) {
+                return None;
+            }
+            steps::full_key(
+                cfg,
+                classified[i].problem().expect("lattice implies a problem"),
+            )
+        });
+        let key_refs: Vec<Option<&MemoKey>> = fkeys
+            .iter()
+            .map(|f| f.as_ref().map(|(ck, _)| &ck.key))
+            .collect();
+        let plan = elect_leaders(&key_refs, &self.memo.full);
+
+        let leader_jobs: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
+            .collect();
+        let computed: Vec<(PairReport, ReduceEffects, CachedOutcome)> =
+            par_map(workers, &leader_jobs, |_, &i| {
+                let job = &jobs[i];
+                let p = classified[i].problem().expect("leaders have a problem");
+                let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
+                    unreachable!("full-wave leaders have a lattice")
+                };
+                let template = steps::pair_template(job.a, job.b, job.common);
+                let mut fx = ReduceEffects::default();
+                let report = steps::analyze_reduced(cfg, p, lattice, template, &mut fx);
+                let (ck, flipped) = fkeys[i].as_ref().expect("leaders have a key");
+                let cached = steps::canonical_outcome(&report, ck, *flipped);
+                (report, fx, cached)
+            });
+
+        let mut leader_reports: HashMap<usize, (PairReport, ReduceEffects)> =
+            HashMap::with_capacity(leader_jobs.len());
+        let mut leader_cached: HashMap<usize, CachedOutcome> =
+            HashMap::with_capacity(leader_jobs.len());
+        for ((report, fx, cached), &i) in computed.into_iter().zip(&leader_jobs) {
+            let (ck, _) = fkeys[i].as_ref().expect("leaders have a key");
+            self.memo.full.insert(ck.key.clone(), cached.clone());
+            leader_reports.insert(i, (report, fx));
+            leader_cached.insert(i, cached);
+        }
+
+        plan.iter()
+            .zip(fkeys)
+            .enumerate()
+            .map(|(i, (src, fk))| match src {
+                None => FullRes::NotReached,
+                Some(Src::Warm(c)) => {
+                    let (ck, flipped) = fk.expect("planned jobs have a key");
+                    FullRes::Cached {
+                        cached: c.clone(),
+                        ck,
+                        flipped,
+                    }
+                }
+                Some(Src::Leader) => {
+                    let (report, fx) = leader_reports
+                        .remove(&i)
+                        .expect("leader computed exactly once");
+                    FullRes::Computed { report, fx }
+                }
+                Some(Src::Share(j)) => {
+                    let (ck, flipped) = fk.expect("planned jobs have a key");
+                    FullRes::Cached {
+                        cached: leader_cached[j].clone(),
+                        ck,
+                        flipped,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The GCD wave without memoization: every problem job solves its own
+/// full equality system, exactly like the serial `MemoMode::Off` path.
+fn gcd_wave_off(workers: usize, jobs: &[Job<'_>], classified: &[Classified]) -> Vec<GcdRes> {
+    par_map(workers, jobs, |i, _| match classified[i].problem() {
+        None => GcdRes::Skip,
+        Some(p) => match solve_equalities(p) {
+            None => GcdRes::Overflow,
+            Some(EqOutcome::Independent) => GcdRes::Independent { hit: false },
+            Some(EqOutcome::Lattice(l)) => GcdRes::Lattice {
+                lattice: l,
+                hit: false,
+            },
+        },
+    })
+}
+
+/// The full-analysis wave without memoization: every lattice job runs the
+/// cascade itself.
+fn full_wave_off(
+    cfg: &AnalyzerConfig,
+    workers: usize,
+    jobs: &[Job<'_>],
+    classified: &[Classified],
+    gcd: &[GcdRes],
+) -> Vec<FullRes> {
+    par_map(workers, jobs, |i, job| {
+        let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
+            return FullRes::NotReached;
+        };
+        let p = classified[i].problem().expect("lattice implies a problem");
+        let template = steps::pair_template(job.a, job.b, job.common);
+        let mut fx = ReduceEffects::default();
+        let report = steps::analyze_reduced(cfg, p, lattice, template, &mut fx);
+        FullRes::Computed { report, fx }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_core::DependenceAnalyzer;
+    use dda_ir::parse_program;
+
+    const SOURCES: &[&str] = &[
+        "for i = 1 to 10 { a[i] = a[i + 10] + 3; }",
+        "for i = 1 to 10 { a[i + 1] = a[i] + 3; }",
+        "for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9] + 1; } }",
+        "for i = 1 to 10 { a[3] = a[4] + a[3]; }",
+        "for i = 1 to 8 { for j = 1 to 8 { b[i][j] = b[i - 1][j + 1] + 1; } }",
+        "for i = 1 to 10 { a[2 * i] = a[2 * i + 1] + 1; }",
+        "for i = 1 to 10 { a[i + 1] = a[i] + 3; }",
+    ];
+
+    fn batch() -> Vec<Program> {
+        SOURCES.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    fn serial_reports(cfg: AnalyzerConfig, programs: &[Program]) -> Vec<ProgramReport> {
+        let mut analyzer = DependenceAnalyzer::with_config(cfg);
+        programs
+            .iter()
+            .map(|p| analyzer.analyze_program(p))
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_analyzer_for_every_memo_mode() {
+        let programs = batch();
+        for memo_mode in [MemoMode::Off, MemoMode::Simple, MemoMode::Improved] {
+            for workers in [1, 3] {
+                let config = EngineConfig {
+                    workers,
+                    shards: 4,
+                    memo_mode,
+                    analyzer: AnalyzerConfig::default(),
+                };
+                let mut engine = Engine::with_config(config);
+                let got = engine.analyze_programs(&programs);
+                let want = serial_reports(config.effective_analyzer_config(), &programs);
+                assert_eq!(got, want, "memo={memo_mode:?} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_stats_match_serial() {
+        let programs = batch();
+        let config = EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::with_config(config);
+        engine.analyze_programs(&programs);
+        let mut analyzer = DependenceAnalyzer::with_config(config.effective_analyzer_config());
+        for p in &programs {
+            analyzer.analyze_program(p);
+        }
+        assert_eq!(engine.stats(), analyzer.stats());
+        assert_eq!(engine.memo_entries(), analyzer.memo_entries());
+        assert_eq!(engine.gcd_memo_entries(), analyzer.gcd_memo_entries());
+    }
+
+    #[test]
+    fn warm_start_round_trips_with_serial_analyzer() {
+        let programs = batch();
+        let config = EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        let mut cold = Engine::with_config(config);
+        cold.analyze_programs(&programs);
+        let exported = cold.export_memo();
+
+        // A warm engine replays with hits everywhere a serial warm
+        // analyzer would hit.
+        let mut warm = Engine::with_config(config);
+        warm.import_memo(&exported).unwrap();
+        let got = warm.analyze_programs(&programs);
+        let mut analyzer = DependenceAnalyzer::with_config(config.effective_analyzer_config());
+        analyzer.import_memo(&exported).unwrap();
+        let want: Vec<ProgramReport> = programs
+            .iter()
+            .map(|p| analyzer.analyze_program(p))
+            .collect();
+        assert_eq!(got, want);
+        assert!(got.iter().any(|r| r.pairs().iter().any(|p| p.from_cache)));
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let programs = batch();
+        let mut reference: Option<Vec<ProgramReport>> = None;
+        for shards in [1, 2, 64] {
+            let mut engine = Engine::with_config(EngineConfig {
+                workers: 3,
+                shards,
+                ..EngineConfig::default()
+            });
+            let got = engine.analyze_programs(&programs);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "shards={shards}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_program() {
+        let mut engine = Engine::new();
+        assert!(engine.analyze_programs(&[]).is_empty());
+        let trivial = parse_program("for i = 1 to 10 { a[i] = 1; }").unwrap();
+        let report = engine.analyze_program(&trivial);
+        assert_eq!(report.stats.pairs, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! A minimal scoped-thread fork/join helper.
+//!
+//! The engine's waves are all embarrassingly parallel maps over job
+//! slices, so a work-stealing pool would be overkill: scoped threads with
+//! an atomic bump index balance load perfectly well when per-item cost
+//! varies, and results are merged back *by index*, which is what keeps
+//! the engine's output order (and therefore its statistics) identical to
+//! the serial analyzer's.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Applies `f` to every item, spreading work across up to `workers`
+/// threads, and returns the results in item order. Falls back to a plain
+/// serial map when a single worker (or a trivial slice) makes threads
+/// pointless.
+pub(crate) fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let threads = workers.min(items.len());
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(out[i].is_none(), "index {i} mapped twice");
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index mapped exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = par_map(workers, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_slices() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let items = [1u64, 2, 3];
+        assert_eq!(par_map(64, &items, |_, &x| x * x), vec![1, 4, 9]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests: the engine is bit-identical to the serial analyzer.
+//!
+//! For random batches of random programs — spanning constant subscripts,
+//! non-affine subscripts (assumed dependence), symbolic terms,
+//! triangular nests and coupled dimensions — the engine must reproduce a
+//! serial [`DependenceAnalyzer`] run exactly: same [`ProgramReport`]s
+//! (per-pair verdicts, vectors, distances, cache flags *and* per-program
+//! statistics, since `ProgramReport: PartialEq` covers them all), same
+//! cumulative statistics, same memo-table population — for every memo
+//! mode, with and without symmetric canonicalization, at 1, 2 and 8
+//! workers.
+
+use dda_core::{AnalyzerConfig, DependenceAnalyzer, MemoMode, ProgramReport};
+use dda_engine::{Engine, EngineConfig};
+use dda_ir::{parse_program, passes, Program};
+use proptest::prelude::*;
+
+/// A subscript over up to `depth` loop variables: usually affine, but
+/// sometimes symbolic (`n`) and sometimes non-affine (`b[v0 + 1]`), so
+/// every classification path gets exercised. Symbolic terms are gated to
+/// shallow nests — a symbolic unknown inside a deep coupled triangular
+/// nest can push one Fourier–Motzkin query into seconds, which is a
+/// property of the analyzer (shared by the engine), not of this test.
+fn arb_subscript(depth: usize, allow_symbolic: bool) -> impl Strategy<Value = String> {
+    let coeffs = proptest::collection::vec(-2i64..=2, depth);
+    (coeffs, -6i64..=6, 0u8..=11).prop_map(move |(coeffs, c, kind)| {
+        if kind == 0 {
+            return "b[v0 + 1]".to_owned();
+        }
+        let mut s = String::new();
+        for (k, a) in coeffs.iter().enumerate() {
+            if *a != 0 {
+                if !s.is_empty() {
+                    s.push_str(" + ");
+                }
+                s.push_str(&format!("{a} * v{k}"));
+            }
+        }
+        if kind == 1 && allow_symbolic {
+            if !s.is_empty() {
+                s.push_str(" + ");
+            }
+            s.push('n');
+        }
+        if s.is_empty() {
+            format!("{c}")
+        } else {
+            format!("{s} + {c}")
+        }
+    })
+}
+
+/// One random program: a nest of 1–3 loops (possibly triangular) around
+/// 1–2 statements of 1–2-D references to a shared array.
+fn arb_program() -> impl Strategy<Value = String> {
+    (1usize..=3)
+        .prop_flat_map(|depth| {
+            let allow_symbolic = depth <= 2;
+            let bounds = proptest::collection::vec((0i64..=2, 2i64..=5, prop::bool::ANY), depth);
+            let dims = 1usize..=2;
+            let stmts = proptest::collection::vec(
+                (
+                    proptest::collection::vec(arb_subscript(depth, allow_symbolic), 2),
+                    proptest::collection::vec(arb_subscript(depth, allow_symbolic), 2),
+                ),
+                1..=2,
+            );
+            (Just(depth), bounds, dims, stmts)
+        })
+        .prop_map(|(depth, bounds, dims, stmts)| {
+            let mut src = String::new();
+            for (k, (lo, hi, triangular)) in bounds.iter().enumerate() {
+                let lower = if *triangular && k > 0 {
+                    format!("v{}", k - 1)
+                } else {
+                    lo.to_string()
+                };
+                src.push_str(&format!("for v{k} = {lower} to {hi} {{ "));
+            }
+            for (wsubs, rsubs) in &stmts {
+                let w: Vec<String> = wsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
+                let r: Vec<String> = rsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
+                src.push_str(&format!("a{} = a{} + 1; ", w.concat(), r.concat()));
+            }
+            for _ in 0..depth {
+                src.push_str("} ");
+            }
+            // The symbolic term needs its declaration.
+            if src.contains('n') {
+                format!("read(n); {src}")
+            } else {
+                src
+            }
+        })
+}
+
+fn arb_batch() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_program(), 1..=3)
+}
+
+fn parse_batch(sources: &[String]) -> Vec<Program> {
+    sources
+        .iter()
+        .map(|s| {
+            let mut p = parse_program(s).expect("generated programs parse");
+            passes::normalize(&mut p);
+            p
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold-start equivalence across every memo mode, symmetry setting
+    /// and worker count.
+    #[test]
+    fn engine_matches_serial_analyzer(sources in arb_batch()) {
+        let programs = parse_batch(&sources);
+        for memo in [MemoMode::Off, MemoMode::Simple, MemoMode::Improved] {
+            for memo_symmetry in [false, true] {
+                if memo == MemoMode::Off && memo_symmetry {
+                    // Symmetry only shapes full-memo keys; with
+                    // memoization off it is a no-op.
+                    continue;
+                }
+                let analyzer_cfg = AnalyzerConfig {
+                    memo,
+                    memo_symmetry,
+                    ..AnalyzerConfig::default()
+                };
+                let mut analyzer = DependenceAnalyzer::with_config(analyzer_cfg);
+                let want: Vec<ProgramReport> =
+                    programs.iter().map(|p| analyzer.analyze_program(p)).collect();
+                for workers in [1usize, 2, 8] {
+                    let mut engine = Engine::with_config(EngineConfig {
+                        workers,
+                        shards: 4,
+                        memo_mode: memo,
+                        analyzer: analyzer_cfg,
+                    });
+                    let got = engine.analyze_programs(&programs);
+                    let ctx = format!(
+                        "memo={memo:?} symmetry={memo_symmetry} workers={workers}\n\
+                         sources: {sources:#?}"
+                    );
+                    assert_eq!(got, want, "reports diverge: {ctx}");
+                    assert_eq!(engine.stats(), analyzer.stats(), "stats diverge: {ctx}");
+                    assert_eq!(
+                        engine.memo_entries(),
+                        analyzer.memo_entries(),
+                        "full-table population diverges: {ctx}"
+                    );
+                    assert_eq!(
+                        engine.gcd_memo_entries(),
+                        analyzer.gcd_memo_entries(),
+                        "gcd-table population diverges: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Warm-start equivalence: a table exported by the engine warms a
+    /// serial analyzer and a fresh engine into the same replay.
+    #[test]
+    fn warm_start_matches_serial_analyzer(sources in arb_batch()) {
+        let programs = parse_batch(&sources);
+        let config = EngineConfig {
+            workers: 4,
+            shards: 2,
+            ..EngineConfig::default()
+        };
+        let mut cold = Engine::with_config(config);
+        cold.analyze_programs(&programs);
+        let exported = cold.export_memo();
+
+        let mut analyzer =
+            DependenceAnalyzer::with_config(config.effective_analyzer_config());
+        analyzer.import_memo(&exported).expect("exported tables import");
+        let want: Vec<ProgramReport> =
+            programs.iter().map(|p| analyzer.analyze_program(p)).collect();
+
+        let mut warm = Engine::with_config(config);
+        warm.import_memo(&exported).expect("exported tables import");
+        let got = warm.analyze_programs(&programs);
+        assert_eq!(got, want, "warm replay diverges\nsources: {sources:#?}");
+        assert_eq!(warm.stats(), analyzer.stats());
+        // The warm run discovered nothing new: both ends re-export the
+        // same bytes.
+        assert_eq!(warm.export_memo(), exported);
+        assert_eq!(analyzer.export_memo(), exported);
+    }
+
+    /// Batching is invisible: one engine over the whole batch equals one
+    /// engine call per program (state carries across calls).
+    #[test]
+    fn batch_equals_sequential_calls(sources in arb_batch()) {
+        let programs = parse_batch(&sources);
+        let config = EngineConfig { workers: 3, ..EngineConfig::default() };
+        let mut batched = Engine::with_config(config);
+        let want = batched.analyze_programs(&programs);
+        let mut one_by_one = Engine::with_config(config);
+        let got: Vec<ProgramReport> =
+            programs.iter().map(|p| one_by_one.analyze_program(p)).collect();
+        assert_eq!(got, want, "sources: {sources:#?}");
+        assert_eq!(one_by_one.stats(), batched.stats());
+    }
+}

@@ -180,8 +180,7 @@ impl Extractor {
     }
 
     fn note_symbolic_uses(&mut self, a: &AffineExpr) {
-        let loop_vars: BTreeSet<String> =
-            self.loop_stack.iter().map(|l| l.var.clone()).collect();
+        let loop_vars: BTreeSet<String> = self.loop_stack.iter().map(|l| l.var.clone()).collect();
         for v in a.vars() {
             if !loop_vars.contains(v) {
                 self.used_scalars.insert(v.to_owned());
@@ -190,8 +189,11 @@ impl Extractor {
     }
 
     fn record(&mut self, r: &ArrayRef, is_write: bool) {
-        let subscripts: Vec<Subscript> =
-            r.subscripts.iter().map(|s| self.lower_subscript(s)).collect();
+        let subscripts: Vec<Subscript> = r
+            .subscripts
+            .iter()
+            .map(|s| self.lower_subscript(s))
+            .collect();
         for s in &subscripts {
             if let Subscript::Affine(a) = s {
                 let a = a.clone();
@@ -423,10 +425,8 @@ mod tests {
 
     #[test]
     fn loop_ids_distinguish_sibling_loops() {
-        let p = parse_program(
-            "for i = 1 to 10 { a[i] = 1; } for i = 1 to 10 { a[i] = a[i] + 2; }",
-        )
-        .unwrap();
+        let p = parse_program("for i = 1 to 10 { a[i] = 1; } for i = 1 to 10 { a[i] = a[i] + 2; }")
+            .unwrap();
         let set = extract_accesses(&p);
         let pairs = reference_pairs(&set, false);
         // Three pairs among {w1, w2, r2}; only (w2, r2) shares its loop.
@@ -446,8 +446,8 @@ mod tests {
 
     #[test]
     fn triangular_bounds_lowered() {
-        let p = parse_program("for i = 1 to 10 { for j = i to 10 { a[i][j] = a[j][i]; } }")
-            .unwrap();
+        let p =
+            parse_program("for i = 1 to 10 { for j = i to 10 { a[i][j] = a[j][i]; } }").unwrap();
         let set = extract_accesses(&p);
         let inner = &set.accesses[0].loops[1];
         let lower = inner.lower.as_affine().unwrap();

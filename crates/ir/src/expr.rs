@@ -110,10 +110,7 @@ impl Expr {
 
 impl Expr {
     fn is_atom(&self) -> bool {
-        matches!(
-            self,
-            Expr::Var(_) | Expr::ArrayRead(_) | Expr::Const(0..)
-        )
+        matches!(self, Expr::Var(_) | Expr::ArrayRead(_) | Expr::Const(0..))
     }
 
     fn fmt_factor(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -365,12 +362,8 @@ impl AffineExpr {
             Expr::Var(v) => Some(AffineExpr::var(v)),
             Expr::ArrayRead(_) => None,
             Expr::Neg(inner) => Some(AffineExpr::from_expr(inner)?.scale(-1)),
-            Expr::Add(a, b) => {
-                Some(AffineExpr::from_expr(a)?.add(&AffineExpr::from_expr(b)?))
-            }
-            Expr::Sub(a, b) => {
-                Some(AffineExpr::from_expr(a)?.sub(&AffineExpr::from_expr(b)?))
-            }
+            Expr::Add(a, b) => Some(AffineExpr::from_expr(a)?.add(&AffineExpr::from_expr(b)?)),
+            Expr::Sub(a, b) => Some(AffineExpr::from_expr(a)?.sub(&AffineExpr::from_expr(b)?)),
             Expr::Mul(a, b) => {
                 let la = AffineExpr::from_expr(a)?;
                 let lb = AffineExpr::from_expr(b)?;
@@ -477,7 +470,10 @@ mod tests {
         let e = Expr::Add(
             Box::new(Expr::Neg(Box::new(Expr::Mul(
                 Box::new(Expr::Const(2)),
-                Box::new(Expr::Sub(Box::new(Expr::var("i")), Box::new(Expr::Const(3)))),
+                Box::new(Expr::Sub(
+                    Box::new(Expr::var("i")),
+                    Box::new(Expr::Const(3)),
+                )),
             )))),
             Box::new(Expr::var("j")),
         );

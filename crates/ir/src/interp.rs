@@ -298,13 +298,7 @@ impl Interp {
 fn count_reads(e: &Expr) -> usize {
     e.array_reads()
         .iter()
-        .map(|r| {
-            1 + r
-                .subscripts
-                .iter()
-                .map(count_reads)
-                .sum::<usize>()
-        })
+        .map(|r| 1 + r.subscripts.iter().map(count_reads).sum::<usize>())
         .sum()
 }
 

@@ -169,14 +169,20 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, ParseError> {
             b'=' if bytes.get(i + 1) == Some(&b'=') => {
                 out.push(SpannedToken {
                     token: Token::EqEq,
-                    span: Span { start: i, end: i + 2 },
+                    span: Span {
+                        start: i,
+                        end: i + 2,
+                    },
                 });
                 i += 2;
             }
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
                 out.push(SpannedToken {
                     token: Token::NotEq,
-                    span: Span { start: i, end: i + 2 },
+                    span: Span {
+                        start: i,
+                        end: i + 2,
+                    },
                 });
                 i += 2;
             }
@@ -188,7 +194,10 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 };
                 out.push(SpannedToken {
                     token,
-                    span: Span { start: i, end: i + len },
+                    span: Span {
+                        start: i,
+                        end: i + len,
+                    },
                 });
                 i += len;
             }
@@ -200,7 +209,10 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 };
                 out.push(SpannedToken {
                     token,
-                    span: Span { start: i, end: i + len },
+                    span: Span {
+                        start: i,
+                        end: i + len,
+                    },
                 });
                 i += len;
             }
@@ -221,13 +233,19 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     other => {
                         return Err(ParseError {
                             message: format!("unexpected character `{}`", other as char),
-                            span: Span { start: i, end: i + 1 },
+                            span: Span {
+                                start: i,
+                                end: i + 1,
+                            },
                         })
                     }
                 };
                 out.push(SpannedToken {
                     token,
-                    span: Span { start: i, end: i + 1 },
+                    span: Span {
+                        start: i,
+                        end: i + 1,
+                    },
                 });
                 i += 1;
             }
@@ -248,7 +266,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -302,10 +324,7 @@ mod tests {
     #[test]
     fn primed_identifiers_allowed() {
         // Convenient for writing i' in documentation-style tests.
-        assert_eq!(
-            kinds("i'"),
-            vec![Token::Ident("i'".into()), Token::Eof]
-        );
+        assert_eq!(kinds("i'"), vec![Token::Ident("i'".into()), Token::Eof]);
     }
 
     #[test]

@@ -177,9 +177,7 @@ impl Parser {
             Token::Ge => RelOp::Ge,
             Token::EqEq => RelOp::Eq,
             Token::NotEq => RelOp::Ne,
-            other => {
-                return self.error(format!("expected a comparison operator, found {other}"))
-            }
+            other => return self.error(format!("expected a comparison operator, found {other}")),
         };
         self.bump();
         let rhs = self.parse_expr()?;
@@ -439,9 +437,7 @@ mod tests {
     #[test]
     fn step_clauses() {
         let p = parse_program("for i = 10 to 1 step -2 { a[i] = 0; }").unwrap();
-        let Stmt::For(l) = &p.stmts[0] else {
-            panic!()
-        };
+        let Stmt::For(l) = &p.stmts[0] else { panic!() };
         assert_eq!(l.step, -2);
         assert!(parse_program("for i = 1 to 2 step 0 { }").is_err());
     }

@@ -217,9 +217,7 @@ mod tests {
 
     #[test]
     fn value_after_loop_unknown() {
-        let out = normalize_text(
-            "k = 0; for i = 1 to 10 { k = k + 1; } a[k] = 0;",
-        );
+        let out = normalize_text("k = 0; for i = 1 to 10 { k = k + 1; } a[k] = 0;");
         assert!(out.contains("a[k]"), "{out}");
     }
 }

@@ -43,12 +43,9 @@ fn count_assignments(stmts: &[Stmt], name: &str) -> usize {
         .iter()
         .map(|s| match s {
             Stmt::ScalarAssign(a) if a.name == name => 1,
-            Stmt::For(l) => {
-                usize::from(l.var == name) + count_assignments(&l.body, name)
-            }
+            Stmt::For(l) => usize::from(l.var == name) + count_assignments(&l.body, name),
             Stmt::If(i) => {
-                count_assignments(&i.then_body, name)
-                    + count_assignments(&i.else_body, name)
+                count_assignments(&i.then_body, name) + count_assignments(&i.else_body, name)
             }
             _ => 0,
         })
@@ -308,14 +305,16 @@ mod tests {
 
     #[test]
     fn doubly_assigned_not_rewritten() {
-        let sub = run("k = 0; for i = 1 to 10 { k = k + 1; a[k] = 0; k = k + 2; }", 0);
+        let sub = run(
+            "k = 0; for i = 1 to 10 { k = k + 1; a[k] = 0; k = k + 2; }",
+            0,
+        );
         assert!(sub.is_none());
     }
 
     #[test]
     fn increment_statement_survives() {
-        let mut p =
-            parse_program("k = 0; for i = 1 to 10 { k = k + 1; a[k] = 0; }").unwrap();
+        let mut p = parse_program("k = 0; for i = 1 to 10 { k = k + 1; a[k] = 0; }").unwrap();
         substitute_induction_variables(&mut p);
         assert!(p.to_string().contains("k = k + 1;"), "{p}");
     }

@@ -76,9 +76,7 @@ impl Normalizer {
                         )),
                     ));
                     let var = l.var.clone();
-                    rewrite_exprs(&mut l.body, &mut |e| {
-                        fold(&subst_scalar(e, &var, &mapped))
-                    });
+                    rewrite_exprs(&mut l.body, &mut |e| fold(&subst_scalar(e, &var, &mapped)));
                     l.lower = Expr::Const(0);
                     l.upper = match (fold(&lower), fold(&upper)) {
                         (Expr::Const(lo), Expr::Const(up)) => {
@@ -180,10 +178,9 @@ mod tests {
 
     #[test]
     fn nested_strided_loops() {
-        let mut p = parse_program(
-            "for i = 0 to 20 step 2 { for j = 0 to 20 step 5 { a[i + j] = 0; } }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("for i = 0 to 20 step 2 { for j = 0 to 20 step 5 { a[i + j] = 0; } }")
+                .unwrap();
         normalize_loops(&mut p);
         let set = extract_accesses(&p);
         let sub = set.accesses[0].subscripts[0].as_affine().unwrap();
@@ -193,10 +190,8 @@ mod tests {
 
     #[test]
     fn inner_bound_using_outer_strided_var() {
-        let mut p = parse_program(
-            "for i = 1 to 9 step 2 { for j = i to 10 { a[j] = 0; } }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("for i = 1 to 9 step 2 { for j = i to 10 { a[j] = 0; } }").unwrap();
         normalize_loops(&mut p);
         let set = extract_accesses(&p);
         let inner = &set.accesses[0].loops[1];

@@ -52,19 +52,19 @@ pub fn fold(e: &Expr) -> Expr {
             subscripts: r.subscripts.iter().map(fold).collect(),
         }),
         Expr::Neg(x) => match fold(x) {
-            Expr::Const(c) => c.checked_neg().map_or_else(
-                || Expr::Neg(Box::new(Expr::Const(c))),
-                Expr::Const,
-            ),
+            Expr::Const(c) => c
+                .checked_neg()
+                .map_or_else(|| Expr::Neg(Box::new(Expr::Const(c))), Expr::Const),
             Expr::Neg(inner) => *inner,
             other => Expr::Neg(Box::new(other)),
         },
         Expr::Add(a, b) => {
             let (fa, fb) = (fold(a), fold(b));
             match (&fa, &fb) {
-                (Expr::Const(x), Expr::Const(y)) => x
-                    .checked_add(*y)
-                    .map_or_else(|| Expr::Add(Box::new(fa.clone()), Box::new(fb.clone())), Expr::Const),
+                (Expr::Const(x), Expr::Const(y)) => x.checked_add(*y).map_or_else(
+                    || Expr::Add(Box::new(fa.clone()), Box::new(fb.clone())),
+                    Expr::Const,
+                ),
                 (Expr::Const(0), _) => fb,
                 (_, Expr::Const(0)) => fa,
                 _ => Expr::Add(Box::new(fa), Box::new(fb)),
@@ -73,9 +73,10 @@ pub fn fold(e: &Expr) -> Expr {
         Expr::Sub(a, b) => {
             let (fa, fb) = (fold(a), fold(b));
             match (&fa, &fb) {
-                (Expr::Const(x), Expr::Const(y)) => x
-                    .checked_sub(*y)
-                    .map_or_else(|| Expr::Sub(Box::new(fa.clone()), Box::new(fb.clone())), Expr::Const),
+                (Expr::Const(x), Expr::Const(y)) => x.checked_sub(*y).map_or_else(
+                    || Expr::Sub(Box::new(fa.clone()), Box::new(fb.clone())),
+                    Expr::Const,
+                ),
                 (_, Expr::Const(0)) => fa,
                 _ => Expr::Sub(Box::new(fa), Box::new(fb)),
             }
@@ -83,9 +84,10 @@ pub fn fold(e: &Expr) -> Expr {
         Expr::Mul(a, b) => {
             let (fa, fb) = (fold(a), fold(b));
             match (&fa, &fb) {
-                (Expr::Const(x), Expr::Const(y)) => x
-                    .checked_mul(*y)
-                    .map_or_else(|| Expr::Mul(Box::new(fa.clone()), Box::new(fb.clone())), Expr::Const),
+                (Expr::Const(x), Expr::Const(y)) => x.checked_mul(*y).map_or_else(
+                    || Expr::Mul(Box::new(fa.clone()), Box::new(fb.clone())),
+                    Expr::Const,
+                ),
                 (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
                 (Expr::Const(1), _) => fb,
                 (_, Expr::Const(1)) => fa,
@@ -151,10 +153,7 @@ mod tests {
 
     #[test]
     fn fold_overflow_left_intact() {
-        let e = Expr::Add(
-            Box::new(Expr::Const(i64::MAX)),
-            Box::new(Expr::Const(1)),
-        );
+        let e = Expr::Add(Box::new(Expr::Const(i64::MAX)), Box::new(Expr::Const(1)));
         assert_eq!(fold(&e), e);
     }
 

@@ -67,10 +67,7 @@ fn branch_accesses_marked_conditional() {
 
 #[test]
 fn condition_reads_are_unconditional_accesses() {
-    let p = parse_program(
-        "for i = 1 to 10 { if (c[i] > 0) { a[i] = 0; } }",
-    )
-    .unwrap();
+    let p = parse_program("for i = 1 to 10 { if (c[i] > 0) { a[i] = 0; } }").unwrap();
     let set = extract_accesses(&p);
     let c = set.accesses.iter().find(|a| a.array == "c").unwrap();
     assert!(!c.is_write);

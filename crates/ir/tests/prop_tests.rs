@@ -50,10 +50,17 @@ fn arb_subscript(depth: usize, with_scalar: bool) -> impl Strategy<Value = Strin
 /// array statements.
 fn arb_program() -> impl Strategy<Value = String> {
     (
-        1usize..=2,                                  // depth
-        proptest::collection::vec((1i64..=3, 3i64..=7, prop::sample::select(vec![1i64, 1, 2, 3, -1])), 2),
-        -10i64..=10,                                 // scalar init
-        0i64..=3,                                    // induction step (0 = none)
+        1usize..=2, // depth
+        proptest::collection::vec(
+            (
+                1i64..=3,
+                3i64..=7,
+                prop::sample::select(vec![1i64, 1, 2, 3, -1]),
+            ),
+            2,
+        ),
+        -10i64..=10, // scalar init
+        0i64..=3,    // induction step (0 = none)
         proptest::collection::vec((any::<bool>(),), 1..=2),
     )
         .prop_flat_map(|(depth, bounds, init, istep, stmts)| {

@@ -181,11 +181,7 @@ mod tests {
     #[test]
     fn wide_and_tall() {
         check_invariants(&Matrix::from_rows(&[vec![3, 5, 7, 9]]));
-        check_invariants(&Matrix::from_rows(&[
-            vec![2, 3],
-            vec![5, 7],
-            vec![11, 13],
-        ]));
+        check_invariants(&Matrix::from_rows(&[vec![2, 3], vec![5, 7], vec![11, 13]]));
     }
 
     #[test]

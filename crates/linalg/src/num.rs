@@ -66,10 +66,7 @@ pub fn lcm(a: i64, b: i64) -> Result<i64> {
         return Ok(0);
     }
     let g = gcd(a, b);
-    (a / g)
-        .checked_mul(b)
-        .map(i64::abs)
-        .ok_or(Error::Overflow)
+    (a / g).checked_mul(b).map(i64::abs).ok_or(Error::Overflow)
 }
 
 /// Result of the extended Euclidean algorithm: `a*x + b*y == g` with

@@ -230,7 +230,8 @@ impl std::ops::Mul for Rational {
     /// Panics on `i128` overflow; use [`Rational::try_mul`] for a checked
     /// variant.
     fn mul(self, rhs: Rational) -> Rational {
-        self.try_mul(&rhs).expect("rational multiplication overflowed")
+        self.try_mul(&rhs)
+            .expect("rational multiplication overflowed")
     }
 }
 

@@ -76,9 +76,7 @@ pub fn generate(spec: &ProgramSpec, scale: f64) -> SyntheticProgram {
         if total == 0 {
             continue;
         }
-        let unique = ((total as f64) * spec.unique_pct / 100.0)
-            .round()
-            .max(1.0) as usize;
+        let unique = ((total as f64) * spec.unique_pct / 100.0).round().max(1.0) as usize;
         let unique = unique.min(total);
 
         // Draw unique templates. Parameters are random, so collisions are
@@ -111,10 +109,7 @@ pub fn generate(spec: &ProgramSpec, scale: f64) -> SyntheticProgram {
                         body.trim_end()
                     ));
                 } else {
-                    source.push_str(&format!(
-                        "for w = 1 to {wu} {{ {} }}\n",
-                        body.trim_end()
-                    ));
+                    source.push_str(&format!("for w = 1 to {wu} {{ {} }}\n", body.trim_end()));
                 }
             } else {
                 source.push_str(&body);
@@ -170,7 +165,13 @@ mod tests {
                 spec.symbolic,
             ]
             .iter()
-            .map(|&c| if c == 0 { 0 } else { ((f64::from(c) * scale).round() as usize).max(1) })
+            .map(|&c| {
+                if c == 0 {
+                    0
+                } else {
+                    ((f64::from(c) * scale).round() as usize).max(1)
+                }
+            })
             .sum();
             assert_eq!(report.stats.pairs as usize, expected, "{}", spec.name);
         }
@@ -190,10 +191,21 @@ mod tests {
         });
         let report = an.analyze_program(&sp.program);
         let s = &report.stats;
-        assert_eq!(s.constant, u64::from((f64::from(spec.constant) * 0.1).round() as u32));
+        assert_eq!(
+            s.constant,
+            u64::from((f64::from(spec.constant) * 0.1).round() as u32)
+        );
         // SVPC dominates; acyclic nontrivial; symbolic pairs add tests on top.
-        assert!(s.base_tests.calls[0] >= 60, "svpc {}", s.base_tests.calls[0]);
-        assert!(s.base_tests.calls[1] >= 15, "acyclic {}", s.base_tests.calls[1]);
+        assert!(
+            s.base_tests.calls[0] >= 60,
+            "svpc {}",
+            s.base_tests.calls[0]
+        );
+        assert!(
+            s.base_tests.calls[1] >= 15,
+            "acyclic {}",
+            s.base_tests.calls[1]
+        );
         assert_eq!(s.assumed, 0);
     }
 

@@ -54,7 +54,10 @@ pub fn emit(category: Category, arr: &str, rng: &mut StdRng) -> String {
                 // Output self-dependence on a constant location.
                 format!("for i = 1 to {u} {{ {arr}[{c}] = {arr}[{c}] + 1; }}\n")
             } else {
-                format!("for i = 1 to {u} {{ {arr}[{c}] = {arr}[{}] + 1; }}\n", c + 1)
+                format!(
+                    "for i = 1 to {u} {{ {arr}[{c}] = {arr}[{}] + 1; }}\n",
+                    c + 1
+                )
             }
         }
         Category::Gcd => {
@@ -64,15 +67,11 @@ pub fn emit(category: Category, arr: &str, rng: &mut StdRng) -> String {
                 // Only a *simultaneous* (extended-GCD) view catches this;
                 // the per-dimension baselines of Section 7 cannot.
                 let d = rng.gen_range(1..=5);
-                format!(
-                    "for i = 1 to {u} {{ {arr}[i][i] = {arr}[i][i + {d}] + 1; }}\n"
-                )
+                format!("for i = 1 to {u} {{ {arr}[i][i] = {arr}[i][i + {d}] + 1; }}\n")
             } else {
                 let s = rng.gen_range(2..=5);
                 let r = rng.gen_range(1..s);
-                format!(
-                    "for i = 1 to {u} {{ {arr}[{s} * i] = {arr}[{s} * i + {r}] + 1; }}\n"
-                )
+                format!("for i = 1 to {u} {{ {arr}[{s} * i] = {arr}[{s} * i + {r}] + 1; }}\n")
             }
         }
         Category::Svpc => {
@@ -89,9 +88,7 @@ pub fn emit(category: Category, arr: &str, rng: &mut StdRng) -> String {
                 1..=2 | 11..=12 => {
                     // Non-constant distance: direction refinement must test.
                     let d = rng.gen_range(1..=5);
-                    format!(
-                        "for i = 1 to {u} {{ {arr}[i] = {arr}[2 * i + {d}] + 1; }}\n"
-                    )
+                    format!("for i = 1 to {u} {{ {arr}[i] = {arr}[2 * i + {d}] + 1; }}\n")
                 }
                 3 | 13 => {
                     // Coupled 2-D independent (the paper's showpiece).
@@ -121,9 +118,7 @@ pub fn emit(category: Category, arr: &str, rng: &mut StdRng) -> String {
 
                 _ => {
                     let d = rng.gen_range(1..=8.min(u - 1));
-                    format!(
-                        "for i = 1 to {u} {{ {arr}[i + {d}] = {arr}[i] + 1; }}\n"
-                    )
+                    format!("for i = 1 to {u} {{ {arr}[i + {d}] = {arr}[i] + 1; }}\n")
                 }
             }
         }
@@ -197,9 +192,7 @@ pub fn emit(category: Category, arr: &str, rng: &mut StdRng) -> String {
                     "read(n{arr}); for i = 1 to {u} {{ \
                      {arr}[i + n{arr}] = {arr}[i + 2 * n{arr} + {d}] + 1; }}\n"
                 ),
-                1 => format!(
-                    "for i = 1 to n{arr} {{ {arr}[i + {d}] = {arr}[i] + 1; }}\n"
-                ),
+                1 => format!("for i = 1 to n{arr} {{ {arr}[i + {d}] = {arr}[i] + 1; }}\n"),
                 _ => format!(
                     "read(n{arr}); for i = 1 to {u} {{ \
                      {arr}[i + n{arr}] = {arr}[i + n{arr} + {d}] + 1; }}\n"
@@ -236,12 +229,8 @@ mod tests {
                     Category::Constant => resolved == ResolvedBy::Constant,
                     Category::Gcd => resolved == ResolvedBy::Gcd,
                     Category::Svpc => resolved == ResolvedBy::Test(TestKind::Svpc),
-                    Category::Acyclic => {
-                        resolved == ResolvedBy::Test(TestKind::Acyclic)
-                    }
-                    Category::LoopResidue => {
-                        resolved == ResolvedBy::Test(TestKind::LoopResidue)
-                    }
+                    Category::Acyclic => resolved == ResolvedBy::Test(TestKind::Acyclic),
+                    Category::LoopResidue => resolved == ResolvedBy::Test(TestKind::LoopResidue),
                     Category::FourierMotzkin => {
                         resolved == ResolvedBy::Test(TestKind::FourierMotzkin)
                     }

@@ -50,19 +50,162 @@ impl ProgramSpec {
 
 /// The 13 PERFECT Club programs, calibrated from Tables 1, 2 and 7.
 pub const SPECS: [ProgramSpec; 13] = [
-    ProgramSpec { name: "AP", lines: 6104, constant: 229, gcd: 91, svpc: 613, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 8, unique_pct: 4.4 },
-    ProgramSpec { name: "CS", lines: 18520, constant: 50, gcd: 0, svpc: 127, acyclic: 15, loop_residue: 0, fourier_motzkin: 0, symbolic: 6, unique_pct: 14.1 },
-    ProgramSpec { name: "LG", lines: 2327, constant: 6961, gcd: 0, svpc: 73, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 2, unique_pct: 31.5 },
-    ProgramSpec { name: "LW", lines: 1237, constant: 54, gcd: 0, svpc: 34, acyclic: 43, loop_residue: 0, fourier_motzkin: 0, symbolic: 0, unique_pct: 22.1 },
-    ProgramSpec { name: "MT", lines: 3785, constant: 49, gcd: 0, svpc: 326, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 2, unique_pct: 4.3 },
-    ProgramSpec { name: "NA", lines: 3976, constant: 45, gcd: 0, svpc: 679, acyclic: 202, loop_residue: 1, fourier_motzkin: 2, symbolic: 20, unique_pct: 6.9 },
-    ProgramSpec { name: "OC", lines: 2739, constant: 2, gcd: 7, svpc: 36, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 1, unique_pct: 13.9 },
-    ProgramSpec { name: "SD", lines: 7607, constant: 949, gcd: 0, svpc: 526, acyclic: 17, loop_residue: 5, fourier_motzkin: 12, symbolic: 0, unique_pct: 8.8 },
-    ProgramSpec { name: "SM", lines: 2759, constant: 1004, gcd: 98, svpc: 264, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 0, unique_pct: 3.0 },
-    ProgramSpec { name: "SR", lines: 3970, constant: 1679, gcd: 0, svpc: 1290, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 3, unique_pct: 1.1 },
-    ProgramSpec { name: "TF", lines: 2020, constant: 801, gcd: 6, svpc: 826, acyclic: 0, loop_residue: 0, fourier_motzkin: 0, symbolic: 6, unique_pct: 2.4 },
-    ProgramSpec { name: "TI", lines: 484, constant: 0, gcd: 0, svpc: 4, acyclic: 42, loop_residue: 0, fourier_motzkin: 0, symbolic: 0, unique_pct: 23.9 },
-    ProgramSpec { name: "WS", lines: 3884, constant: 36, gcd: 182, svpc: 378, acyclic: 4, loop_residue: 0, fourier_motzkin: 160, symbolic: 2, unique_pct: 11.6 },
+    ProgramSpec {
+        name: "AP",
+        lines: 6104,
+        constant: 229,
+        gcd: 91,
+        svpc: 613,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 8,
+        unique_pct: 4.4,
+    },
+    ProgramSpec {
+        name: "CS",
+        lines: 18520,
+        constant: 50,
+        gcd: 0,
+        svpc: 127,
+        acyclic: 15,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 6,
+        unique_pct: 14.1,
+    },
+    ProgramSpec {
+        name: "LG",
+        lines: 2327,
+        constant: 6961,
+        gcd: 0,
+        svpc: 73,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 2,
+        unique_pct: 31.5,
+    },
+    ProgramSpec {
+        name: "LW",
+        lines: 1237,
+        constant: 54,
+        gcd: 0,
+        svpc: 34,
+        acyclic: 43,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 0,
+        unique_pct: 22.1,
+    },
+    ProgramSpec {
+        name: "MT",
+        lines: 3785,
+        constant: 49,
+        gcd: 0,
+        svpc: 326,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 2,
+        unique_pct: 4.3,
+    },
+    ProgramSpec {
+        name: "NA",
+        lines: 3976,
+        constant: 45,
+        gcd: 0,
+        svpc: 679,
+        acyclic: 202,
+        loop_residue: 1,
+        fourier_motzkin: 2,
+        symbolic: 20,
+        unique_pct: 6.9,
+    },
+    ProgramSpec {
+        name: "OC",
+        lines: 2739,
+        constant: 2,
+        gcd: 7,
+        svpc: 36,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 1,
+        unique_pct: 13.9,
+    },
+    ProgramSpec {
+        name: "SD",
+        lines: 7607,
+        constant: 949,
+        gcd: 0,
+        svpc: 526,
+        acyclic: 17,
+        loop_residue: 5,
+        fourier_motzkin: 12,
+        symbolic: 0,
+        unique_pct: 8.8,
+    },
+    ProgramSpec {
+        name: "SM",
+        lines: 2759,
+        constant: 1004,
+        gcd: 98,
+        svpc: 264,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 0,
+        unique_pct: 3.0,
+    },
+    ProgramSpec {
+        name: "SR",
+        lines: 3970,
+        constant: 1679,
+        gcd: 0,
+        svpc: 1290,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 3,
+        unique_pct: 1.1,
+    },
+    ProgramSpec {
+        name: "TF",
+        lines: 2020,
+        constant: 801,
+        gcd: 6,
+        svpc: 826,
+        acyclic: 0,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 6,
+        unique_pct: 2.4,
+    },
+    ProgramSpec {
+        name: "TI",
+        lines: 484,
+        constant: 0,
+        gcd: 0,
+        svpc: 4,
+        acyclic: 42,
+        loop_residue: 0,
+        fourier_motzkin: 0,
+        symbolic: 0,
+        unique_pct: 23.9,
+    },
+    ProgramSpec {
+        name: "WS",
+        lines: 3884,
+        constant: 36,
+        gcd: 182,
+        svpc: 378,
+        acyclic: 4,
+        loop_residue: 0,
+        fourier_motzkin: 160,
+        symbolic: 2,
+        unique_pct: 11.6,
+    },
 ];
 
 #[cfg(test)]

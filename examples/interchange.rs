@@ -39,7 +39,11 @@ fn check(label: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  {}: {v} -> {swapped}{}",
                 pair.array,
-                if bad { "   ILLEGAL (lexicographically negative)" } else { "" }
+                if bad {
+                    "   ILLEGAL (lexicographically negative)"
+                } else {
+                    ""
+                }
             );
         }
     }

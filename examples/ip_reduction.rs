@@ -41,17 +41,20 @@ fn solve_ip(
     }
     // The witness lists (x, y, x', y'); the writing iteration is the
     // solution.
-    let w = pair.witness.as_ref().expect("dependent pairs carry witnesses");
+    let w = pair
+        .witness
+        .as_ref()
+        .expect("dependent pairs carry witnesses");
     Ok(Some((w[0], w[1])))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Integer programming via dependence testing (Section 2.1)\n");
     let instances = [
-        (3, 5, 22, 10),  // 3x + 5y = 22
-        (3, 5, 7, 10),   // 3x + 5y = 7 with x,y >= 0: only (4, -1)/(−1,2): infeasible in the box
-        (3, 6, 22, 10),  // gcd(3,6) does not divide 22: infeasible outright
-        (7, 11, 100, 20) // 7x + 11y = 100
+        (3, 5, 22, 10),   // 3x + 5y = 22
+        (3, 5, 7, 10),    // 3x + 5y = 7 with x,y >= 0: only (4, -1)/(−1,2): infeasible in the box
+        (3, 6, 22, 10),   // gcd(3,6) does not divide 22: infeasible outright
+        (7, 11, 100, 20), // 7x + 11y = 100
     ];
     for (c1, c2, target, bound) in instances {
         match solve_ip(c1, c2, target, bound)? {
@@ -62,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                      solvable, e.g. x = {x}, y = {y}"
                 );
             }
-            None => println!(
-                "{c1}x + {c2}y = {target}, 0 <= x,y <= {bound}:  infeasible (exact)"
-            ),
+            None => println!("{c1}x + {c2}y = {target}, 0 <= x,y <= {bound}:  infeasible (exact)"),
         }
     }
 

@@ -24,7 +24,14 @@ fn show(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
     let pair = &pairs[0];
     let problem = build_problem(pair.a, pair.b, pair.common, true)?;
 
-    println!("  variables: {:?}", problem.vars.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "  variables: {:?}",
+        problem
+            .vars
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
     match gcd_preprocess(&problem).expect("no overflow") {
         GcdOutcome::Independent => {
             println!("  extended GCD: no integer solution -> INDEPENDENT\n");
@@ -40,7 +47,10 @@ fn show(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
                 println!("    {c}");
             }
             let outcome = run_cascade(&reduced.system);
-            println!("  cascade: resolved by {} -> {:?}", outcome.used, outcome.answer);
+            println!(
+                "  cascade: resolved by {} -> {:?}",
+                outcome.used, outcome.answer
+            );
         }
     }
 
@@ -48,8 +58,16 @@ fn show(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
     let report = analyzer.analyze_program(&program);
     let p = &report.pairs()[0];
     if !p.direction_vectors.is_empty() {
-        let vecs: Vec<String> = p.direction_vectors.iter().map(ToString::to_string).collect();
-        println!("  direction vectors: {}  distance: {}", vecs.join(" "), p.distance);
+        let vecs: Vec<String> = p
+            .direction_vectors
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        println!(
+            "  direction vectors: {}  distance: {}",
+            vecs.join(" "),
+            p.distance
+        );
     }
     println!();
     Ok(())

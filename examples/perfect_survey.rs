@@ -67,8 +67,5 @@ fn main() {
         s.memo_hits,
         s.unique_case_percentage()
     );
-    println!(
-        "  every answer exact: {}",
-        s.assumed == 0
-    );
+    println!("  every answer exact: {}", s.assumed == 0);
 }

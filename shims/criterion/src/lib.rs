@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim re-implements the benchmarking API the in-tree benches consume:
+//! [`Criterion`] with `sample_size` / `warm_up_time` / `measurement_time`,
+//! [`BenchmarkGroup`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is real: each benchmark is warmed up for the configured
+//! warm-up time, the per-batch iteration count is calibrated so one batch
+//! takes roughly `measurement_time / sample_size`, and `sample_size`
+//! timed batches are collected. Mean and median per-iteration times are
+//! printed to stdout. There are no HTML reports, plots, or
+//! change-detection statistics.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they want; the
+/// in-tree benches use `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark is run untimed before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, routine);
+        self
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, routine);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op beyond upstream-API parity.)
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark as `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing harness handed to each benchmark routine.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_batch: u64,
+    /// Elapsed time of the last completed batch.
+    last_batch: Duration,
+}
+
+enum Mode {
+    /// Calibration/warm-up: run a fixed small batch and record the time.
+    Probe,
+    /// Measurement: run `iters_per_batch` iterations and record the time.
+    Sample,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch size chosen by the harness and records the
+    /// elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = match self.mode {
+            Mode::Probe => self.iters_per_batch.max(1),
+            Mode::Sample => self.iters_per_batch,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_batch = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, mut routine: F) {
+    // Warm-up + calibration: run growing batches until the warm-up budget
+    // is spent, tracking the observed per-iteration cost.
+    let mut bencher = Bencher {
+        mode: Mode::Probe,
+        iters_per_batch: 1,
+        last_batch: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < config.warm_up_time {
+        routine(&mut bencher);
+        per_iter = bencher.last_batch / u32::try_from(bencher.iters_per_batch).unwrap_or(u32::MAX);
+        if per_iter.is_zero() {
+            per_iter = Duration::from_nanos(1);
+        }
+        // Grow batches so timer overhead stops dominating fast routines.
+        if bencher.last_batch < Duration::from_millis(1) {
+            bencher.iters_per_batch = bencher.iters_per_batch.saturating_mul(4);
+        }
+    }
+
+    // Pick a batch size such that sample_size batches fit the budget.
+    let per_sample = config.measurement_time / u32::try_from(config.sample_size).unwrap_or(1);
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u128::from(u64::MAX));
+    bencher.mode = Mode::Sample;
+    bencher.iters_per_batch = iters as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        routine(&mut bencher);
+        samples.push(bencher.last_batch.as_secs_f64() / bencher.iters_per_batch as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label:<48} time: [mean {} median {}]  ({} samples x {} iters)",
+        fmt_time(mean),
+        fmt_time(median),
+        config.sample_size,
+        bencher.iters_per_batch,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// configuration, mirroring upstream's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates the `main` function running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0, "routine never executed");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let data = vec![1u64, 2, 3];
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", "v3"), &data, |b, d| {
+            b.iter(|| total = d.iter().sum())
+        });
+        group.finish();
+        assert_eq!(total, 6);
+    }
+}

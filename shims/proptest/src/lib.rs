@@ -1,0 +1,455 @@
+//! Offline stand-in for the subset of `proptest` 1.x used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim re-implements the API surface the in-tree property tests consume:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range
+//! and tuple strategies, [`collection::vec`], [`sample::select`],
+//! [`bool::ANY`], [`arbitrary::any`], string strategies of the form
+//! `"\\PC{lo,hi}"`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (failures print the case seed
+//! instead of a minimized input), and generation streams differ. Neither
+//! affects the in-tree tests, which assert universally quantified
+//! properties.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly among `options` (which must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() as usize) % self.options.len();
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// Strategy form of [`Arbitrary`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    /// The whole-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The runner: configuration, error plumbing, and the deterministic RNG.
+pub mod test_runner {
+    /// Test-run configuration (the subset the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` accepted cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property failed; the payload is the assertion message.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` and is not counted.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An assumption rejection.
+        #[must_use]
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject("prop_assume! rejected".into())
+        }
+    }
+
+    /// Deterministic xorshift* generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds a generator (splitmix-scrambled so small seeds work).
+        #[must_use]
+        pub fn seed(seed: u64) -> TestRng {
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            TestRng { state: z | 1 }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn base_seed(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        // FNV-1a over the test name: deterministic, per-test streams.
+        name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
+    }
+
+    /// Drives one property: generates cases, skips rejections, panics on
+    /// the first failure with enough context to reproduce it.
+    pub fn run_proptest<F>(config: &Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut seeder = TestRng::seed(base_seed(name));
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(16).max(4096);
+        while accepted < config.cases {
+            let case_seed = seeder.next_u64();
+            let mut rng = TestRng::seed(case_seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "{name}: too many prop_assume! rejections \
+                         ({rejected} rejected, {accepted} accepted)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property `{name}` failed at case {accepted} \
+                     (case seed {case_seed:#018x}):\n{msg}"
+                ),
+            }
+        }
+    }
+}
+
+/// String strategies: a `&str` is interpreted as a (tiny) regex subset.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    // The in-tree tests only use `\PC{lo,hi}`: "lo..=hi printable
+    // non-control characters". A few multibyte characters are mixed in so
+    // span arithmetic downstream sees non-ASCII widths.
+    const EXOTIC: &[char] = &['λ', 'é', '中', '€', '≤', '𝕏', '¿', 'ß'];
+
+    fn parse_pc(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix("\\PC{")?;
+        let rest = rest.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_pc(self).unwrap_or_else(|| {
+                panic!(
+                    "proptest shim: unsupported string pattern `{self}` \
+                     (only `\\PC{{lo,hi}}` is implemented)"
+                )
+            });
+            let len = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            (0..len)
+                .map(|_| {
+                    let roll = rng.next_u64();
+                    if roll.is_multiple_of(20) {
+                        EXOTIC[(roll >> 8) as usize % EXOTIC.len()]
+                    } else {
+                        // Printable ASCII 0x20..=0x7E.
+                        char::from(0x20 + ((roll >> 8) % 0x5F) as u8)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// expands to a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(
+                &__config,
+                stringify!($name),
+                |__rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __rng);
+                    )+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __a, __b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            __a, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}

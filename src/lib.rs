@@ -11,6 +11,9 @@
 //! - [`core`]: the cascaded exact tests (SVPC, Acyclic, Loop Residue,
 //!   Fourier–Motzkin), memoization, direction/distance vectors, symbolic
 //!   terms, and the whole-program analyzer.
+//! - [`engine`]: the parallel batch analysis engine — scoped worker
+//!   threads over a sharded concurrent memo table, with deterministic
+//!   serial-identical output.
 //! - [`baselines`]: the inexact comparators from Section 7 (simple GCD,
 //!   Banerjee inequalities, Wolfe's direction-vector extension).
 //! - [`perfect`]: the synthetic PERFECT Club workload suite used by the
@@ -33,6 +36,7 @@
 
 pub use dda_baselines as baselines;
 pub use dda_core as core;
+pub use dda_engine as engine;
 pub use dda_ir as ir;
 pub use dda_linalg as linalg;
 pub use dda_perfect as perfect;

@@ -10,6 +10,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use dda::core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
+use dda::engine::{Engine, EngineConfig};
 use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
 
 const USAGE: &str = "\
@@ -23,9 +24,15 @@ COMMANDS:
                 direction and distance vectors
     parallel    print the program with each loop marked parallel/sequential
     graph       print the oriented dependence graph in Graphviz DOT format
+    batch       analyze every program listed in a manifest file (one DSL
+                path per line; `#` comments and blanks skipped) with the
+                parallel engine, emitting one JSON report per line.
+                Output is byte-identical for any --workers/--shards.
     help        show this message
 
 OPTIONS:
+    --workers <N>        batch worker threads (0 = one per core; default 0)
+    --shards <N>         batch memo-table shards (default 16)
     --no-directions      skip direction/distance vectors
     --no-symbolic        assume dependence for pairs with symbolic terms
     --no-normalize       skip the normalization prepasses
@@ -48,6 +55,8 @@ struct Options {
     memo_save: Option<String>,
     stats: bool,
     explain: bool,
+    workers: usize,
+    shards: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -66,9 +75,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             memo_save: None,
             stats: false,
             explain: false,
+            workers: 0,
+            shards: 16,
         });
     }
-    if command != "analyze" && command != "parallel" && command != "graph" {
+    if command != "analyze" && command != "parallel" && command != "graph" && command != "batch" {
         return Err(format!("unknown command `{command}`"));
     }
     let file = it
@@ -82,6 +93,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut memo_save = None;
     let mut stats = false;
     let mut explain = false;
+    let mut workers = 0;
+    let mut shards = 16;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--no-directions" => config.compute_directions = false,
@@ -107,6 +120,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--memo-save" => {
                 memo_save = Some(it.next().ok_or("--memo-save needs a path")?.clone());
             }
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+            }
+            "--shards" => {
+                let n = it.next().ok_or("--shards needs a count")?;
+                shards = n.parse().map_err(|_| format!("bad shard count `{n}`"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -119,6 +140,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         memo_save,
         stats,
         explain,
+        workers,
+        shards,
     })
 }
 
@@ -171,7 +194,13 @@ fn print_annotated(program: &Program, carried: &std::collections::BTreeSet<usize
                     indent = depth * 4
                 ),
                 Stmt::ScalarAssign(a) => {
-                    println!("{:indent$}{} = {};", "", a.name, a.value, indent = depth * 4)
+                    println!(
+                        "{:indent$}{} = {};",
+                        "",
+                        a.name,
+                        a.value,
+                        indent = depth * 4
+                    )
                 }
                 Stmt::Read(n) => println!("{:indent$}read({n});", "", indent = depth * 4),
                 Stmt::If(i) => {
@@ -197,10 +226,173 @@ fn print_annotated(program: &Program, carried: &std::collections::BTreeSet<usize
     go(&program.stmts, 0, &mut next_id, carried);
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSONL record for a program's report.
+fn batch_json_line(file: &str, report: &dda::core::ProgramReport) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!("{{\"file\":\"{}\",\"pairs\":[", json_escape(file));
+    for (i, pair) in report.pairs().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let answer = if pair.result.answer.is_independent() {
+            "independent"
+        } else if pair.result.answer.is_dependent() {
+            "dependent"
+        } else {
+            "unknown"
+        };
+        let directions: Vec<String> = pair
+            .direction_vectors
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape(&v.to_string())))
+            .collect();
+        let _ = write!(
+            line,
+            "{{\"array\":\"{}\",\"a\":{},\"b\":{},\"answer\":\"{answer}\",\
+             \"by\":\"{}\",\"cached\":{},\"directions\":[{}],\"distance\":\"{}\"}}",
+            json_escape(&pair.array),
+            pair.a_access,
+            pair.b_access,
+            json_escape(&pair.result.resolved_by.to_string()),
+            pair.from_cache,
+            directions.join(","),
+            json_escape(&pair.distance.to_string()),
+        );
+    }
+    let s = &report.stats;
+    let _ = write!(
+        line,
+        "],\"stats\":{{\"pairs\":{},\"constant\":{},\"gcd_independent\":{},\
+         \"assumed\":{},\"base_tests\":{},\"direction_tests\":{},\
+         \"memo_queries\":{},\"memo_hits\":{},\"gcd_memo_queries\":{},\
+         \"gcd_memo_hits\":{},\"independent_pairs\":{},\"dependent_pairs\":{},\
+         \"direction_vectors_found\":{}}}}}",
+        s.pairs,
+        s.constant,
+        s.gcd_independent,
+        s.assumed,
+        s.base_tests.total(),
+        s.direction_tests.total(),
+        s.memo_queries,
+        s.memo_hits,
+        s.gcd_memo_queries,
+        s.gcd_memo_hits,
+        s.independent_pairs,
+        s.dependent_pairs,
+        s.direction_vectors_found,
+    );
+    line
+}
+
+/// `dda batch`: analyze every program in the manifest with the parallel
+/// engine and emit one JSON report per line, in manifest order.
+fn run_batch(opts: &Options) -> Result<(), String> {
+    let manifest = read_source(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+    // Relative manifest entries resolve against the manifest's directory
+    // (or the working directory when reading from stdin).
+    let base = if opts.file == "-" {
+        std::path::PathBuf::new()
+    } else {
+        std::path::Path::new(&opts.file)
+            .parent()
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_default()
+    };
+    let mut files = Vec::new();
+    let mut programs = Vec::new();
+    for entry in manifest.lines() {
+        let entry = entry.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let path = if std::path::Path::new(entry).is_absolute() {
+            std::path::PathBuf::from(entry)
+        } else {
+            base.join(entry)
+        };
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut program = parse_program(&source)
+            .map_err(|e| format!("{}:\n{}", path.display(), e.render(&source)))?;
+        if opts.normalize {
+            passes::normalize(&mut program);
+        }
+        files.push(entry.to_owned());
+        programs.push(program);
+    }
+
+    let mut engine = Engine::with_config(EngineConfig {
+        workers: opts.workers,
+        shards: opts.shards,
+        memo_mode: opts.config.memo,
+        analyzer: opts.config,
+    });
+    if let Some(path) = &opts.memo_load {
+        engine
+            .load_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let reports = engine.analyze_programs(&programs);
+
+    let mut stdout = String::new();
+    for (file, report) in files.iter().zip(&reports) {
+        stdout.push_str(&batch_json_line(file, report));
+        stdout.push('\n');
+    }
+    print!("{stdout}");
+
+    if opts.stats {
+        let s = engine.stats();
+        eprintln!(
+            "batch: {} programs, {} pairs | constant {} | gcd-independent {} | assumed {}",
+            reports.len(),
+            s.pairs,
+            s.constant,
+            s.gcd_independent,
+            s.assumed
+        );
+        eprintln!(
+            "tests: {} base + {} direction | memo {}/{} hits | gcd memo {}/{} hits",
+            s.base_tests.total(),
+            s.direction_tests.total(),
+            s.memo_hits,
+            s.memo_queries,
+            s.gcd_memo_hits,
+            s.gcd_memo_queries
+        );
+    }
+
+    if let Some(path) = &opts.memo_save {
+        engine
+            .save_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    if opts.command == "batch" {
+        return run_batch(opts);
+    }
     let source = read_source(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
-    let mut program =
-        parse_program(&source).map_err(|e| e.render(&source))?;
+    let mut program = parse_program(&source).map_err(|e| e.render(&source))?;
     if opts.normalize {
         passes::normalize(&mut program);
     }
@@ -220,12 +412,7 @@ fn run(opts: &Options) -> Result<(), String> {
             for p in &pairs {
                 print!(
                     "{}",
-                    dda::core::explain::explain_pair(
-                        p.a,
-                        p.b,
-                        p.common,
-                        opts.config.symbolic
-                    )
+                    dda::core::explain::explain_pair(p.a, p.b, p.common, opts.config.symbolic)
                 );
                 println!();
             }
@@ -281,7 +468,11 @@ fn run(opts: &Options) -> Result<(), String> {
                 );
             }
             for e in &edges {
-                let style = if e.is_loop_carried() { "solid" } else { "dashed" };
+                let style = if e.is_loop_carried() {
+                    "solid"
+                } else {
+                    "dashed"
+                };
                 let level = e
                     .carrying_level
                     .map_or(String::new(), |l| format!(" @L{l}"));

@@ -97,14 +97,101 @@ fn memo_save_and_load_round_trip() {
 
 #[test]
 fn graph_emits_dot() {
-    let (stdout, _, ok) = run_cli(
-        &["graph", "-"],
-        "for i = 1 to 9 { a[i + 1] = a[i]; }",
-    );
+    let (stdout, _, ok) = run_cli(&["graph", "-"], "for i = 1 to 9 { a[i + 1] = a[i]; }");
     assert!(ok);
     assert!(stdout.contains("digraph dependences"), "{stdout}");
     assert!(stdout.contains("flow (<) @L0"), "{stdout}");
     assert!(stdout.contains("shape=box"), "{stdout}");
+}
+
+/// Writes the 13 synthetic PERFECT programs to `dir` and returns a
+/// manifest file listing them.
+fn write_perfect_batch(dir: &std::path::Path, scale: f64) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut manifest = String::from("# synthetic PERFECT suite\n");
+    for prog in dda::perfect::perfect_suite(scale) {
+        let name = format!("{}.loop", prog.name());
+        std::fs::write(dir.join(&name), &prog.source).unwrap();
+        manifest.push_str(&name);
+        manifest.push('\n');
+    }
+    let path = dir.join("manifest.txt");
+    std::fs::write(&path, manifest).unwrap();
+    path
+}
+
+#[test]
+fn batch_output_is_byte_identical_across_worker_counts() {
+    let dir = std::env::temp_dir().join("dda_cli_batch_workers");
+    let manifest = write_perfect_batch(&dir, 0.2);
+    let manifest = manifest.to_str().unwrap();
+
+    let (serial, _, ok) = run_cli(&["batch", manifest, "--workers", "1"], "");
+    assert!(ok);
+    assert_eq!(serial.lines().count(), 13, "one JSONL record per program");
+    assert!(
+        serial.lines().all(|l| l.starts_with("{\"file\":\"")),
+        "{serial}"
+    );
+
+    let (parallel, _, ok) = run_cli(&["batch", manifest, "--workers", "4"], "");
+    assert!(ok);
+    assert_eq!(serial, parallel, "worker count must not change output");
+
+    let (sharded, _, ok) = run_cli(&["batch", manifest, "--workers", "4", "--shards", "3"], "");
+    assert!(ok);
+    assert_eq!(serial, sharded, "shard count must not change output");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_memo_round_trips_and_warm_starts() {
+    let dir = std::env::temp_dir().join("dda_cli_batch_memo");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("p.loop"), "for i = 1 to 9 { a[i + 1] = a[i]; }").unwrap();
+    std::fs::write(dir.join("q.loop"), "for i = 1 to 9 { z[i + 1] = z[i]; }").unwrap();
+    std::fs::write(dir.join("manifest.txt"), "p.loop\nq.loop\n").unwrap();
+    let manifest = dir.join("manifest.txt");
+    let manifest = manifest.to_str().unwrap();
+    let memo = dir.join("memo.txt");
+    let memo_str = memo.to_str().unwrap();
+
+    let (cold, _, ok) = run_cli(&["batch", manifest, "--memo-save", memo_str], "");
+    assert!(ok);
+    assert!(memo.exists());
+    // The second program is the same pattern: an in-batch memo hit.
+    assert!(
+        cold.lines().nth(1).unwrap().contains("\"cached\":true"),
+        "{cold}"
+    );
+
+    let (warm, _, ok) = run_cli(&["batch", manifest, "--memo-load", memo_str], "");
+    assert!(ok);
+    // Warm-started, even the first program hits the cache.
+    assert!(
+        warm.lines().next().unwrap().contains("\"cached\":true"),
+        "{warm}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_reads_manifest_from_stdin() {
+    let dir = std::env::temp_dir().join("dda_cli_batch_stdin");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("p.loop");
+    std::fs::write(&file, "for i = 1 to 9 { a[i] = a[i + 20]; }").unwrap();
+    let (stdout, _, ok) = run_cli(&["batch", "-", "--stats"], &format!("{}\n", file.display()));
+    assert!(ok);
+    assert!(stdout.contains("\"answer\":\"independent\""), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_missing_program_file_fails_with_context() {
+    let (_, stderr, ok) = run_cli(&["batch", "-"], "no_such_file.loop\n");
+    assert!(!ok);
+    assert!(stderr.contains("no_such_file.loop"), "{stderr}");
 }
 
 #[test]

@@ -18,8 +18,11 @@ fn summarize(name: &str) -> String {
     let report = analyzer.analyze_program(&program);
     let mut lines = Vec::new();
     for p in report.pairs() {
-        let mut vecs: Vec<String> =
-            p.direction_vectors.iter().map(ToString::to_string).collect();
+        let mut vecs: Vec<String> = p
+            .direction_vectors
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         vecs.sort();
         lines.push(format!(
             "{} #{}v#{} {:?} by={} dirs=[{}] dist={}",

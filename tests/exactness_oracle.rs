@@ -97,8 +97,8 @@ fn check_program_with(
         let truth = ground_truth(&touches, pair.a_access, pair.b_access, common);
         // Accesses under an `if` may not execute: "dependent" is then a
         // may-dependence and need not be realized by this execution.
-        let conditional = set.accesses[pair.a_access].conditional
-            || set.accesses[pair.b_access].conditional;
+        let conditional =
+            set.accesses[pair.a_access].conditional || set.accesses[pair.b_access].conditional;
 
         // Soundness of "independent": no execution may contradict it.
         if pair.result.is_independent() {
@@ -225,10 +225,8 @@ fn symbolic_independence_holds_for_every_binding() {
 
 #[test]
 fn symbolic_dependence_realized_by_some_binding() {
-    let mut program = parse_program(
-        "read(n); for i = 1 to 10 { a[i + n] = a[i + 2 * n + 1] + 3; }",
-    )
-    .unwrap();
+    let mut program =
+        parse_program("read(n); for i = 1 to 10 { a[i + n] = a[i + 2 * n + 1] + 3; }").unwrap();
     passes::normalize(&mut program);
     let mut analyzer = DependenceAnalyzer::new();
     let report = analyzer.analyze_program(&program);
@@ -301,10 +299,8 @@ fn arb_program() -> impl Strategy<Value = String> {
                 src.push_str(&format!("for v{k} = {lower} to {hi} {{ "));
             }
             for (n, (wsubs, rsubs)) in stmts.iter().enumerate() {
-                let w: Vec<String> =
-                    wsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
-                let r: Vec<String> =
-                    rsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
+                let w: Vec<String> = wsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
+                let r: Vec<String> = rsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
                 let stmt = format!("arr{} = arr{} + 1; ", w.concat(), r.concat());
                 if n == 1 {
                     // Exercise the conditional extension: guard the second

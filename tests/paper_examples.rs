@@ -1,8 +1,7 @@
 //! Every worked example in the paper, end to end.
 
 use dda::core::{
-    AnalyzerConfig, DependenceAnalyzer, Direction, DirectionVector, MemoMode, ResolvedBy,
-    TestKind,
+    AnalyzerConfig, DependenceAnalyzer, Direction, DirectionVector, MemoMode, ResolvedBy, TestKind,
 };
 use dda::ir::{parse_program, passes};
 
