@@ -12,10 +12,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use dda_bench::xspace_system;
 use dda_core::cascade::run_cascade;
-use dda_core::fourier_motzkin::fourier_motzkin;
+use dda_core::fourier_motzkin::{fourier_motzkin, FmLimits};
 use dda_core::gcd::{gcd_preprocess, GcdOutcome};
+use dda_core::pipeline::{run_pipeline, NullProbe, PipelineConfig};
 use dda_core::problem::build_problem;
-use dda_core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
+use dda_core::{AnalyzerConfig, DependenceAnalyzer, MemoMode, TestKind};
 use dda_ir::{extract_accesses, parse_program, reference_pairs};
 use dda_perfect::{generate, SPECS};
 
@@ -44,21 +45,42 @@ fn bench_cascade_vs_fm(c: &mut Criterion) {
         })
         .collect();
 
+    // Every variant runs through run_pipeline — the exact code path the
+    // analyzer uses — so ablations measure configuration, not a parallel
+    // reimplementation.
     let mut group = c.benchmark_group("cascade_order");
-    group.bench_function("cascade", |b| {
-        b.iter(|| {
-            for r in &reduced {
-                std::hint::black_box(run_cascade(&r.system));
-            }
-        })
-    });
-    group.bench_function("fm_only", |b| {
-        b.iter(|| {
-            for r in &reduced {
-                std::hint::black_box(fourier_motzkin(r.system.num_vars, &r.system.constraints));
-            }
-        })
-    });
+    let variants = [
+        ("cascade", PipelineConfig::full()),
+        (
+            "fm_only",
+            PipelineConfig::from_tests(&[TestKind::FourierMotzkin]).expect("valid order"),
+        ),
+        ("no_svpc", PipelineConfig::full().without(TestKind::Svpc)),
+        (
+            "fm_first",
+            PipelineConfig::from_tests(&[
+                TestKind::FourierMotzkin,
+                TestKind::Svpc,
+                TestKind::Acyclic,
+                TestKind::LoopResidue,
+            ])
+            .expect("valid order"),
+        ),
+    ];
+    for (label, cfg) in variants {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for r in &reduced {
+                    std::hint::black_box(run_pipeline(
+                        &r.system,
+                        &cfg,
+                        FmLimits::default(),
+                        &mut NullProbe,
+                    ));
+                }
+            })
+        });
+    }
     group.finish();
 
     let mut group = c.benchmark_group("gcd_preprocessing");

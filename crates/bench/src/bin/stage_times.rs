@@ -1,0 +1,131 @@
+//! Per-stage wall-time table from the instrumented pipeline.
+//!
+//! Two views, both recorded by the [`StatsProbe`] the analyzer itself
+//! threads through its pipeline (no parallel timing harness):
+//!
+//! 1. Suite-wide totals: the PERFECT suite analyzed with memoization off
+//!    so every pair contributes timed samples. Cheap tests also *run*
+//!    (and quickly pass) on systems they cannot decide, so their means
+//!    blend deciding and passing calls.
+//! 2. Resolving latency per test: one calibrated pattern per test (the
+//!    pattern each test resolves), timed through [`run_pipeline`] —
+//!    earlier tests pass, the named test decides, and the whole pipeline
+//!    run is the latency. This is the view comparable to the paper's
+//!    Table 6 and must reproduce its cost ordering:
+//!    SVPC < Acyclic < Loop Residue < Fourier–Motzkin.
+
+use dda_bench::suite_from_env;
+use dda_core::fourier_motzkin::FmLimits;
+use dda_core::gcd::{gcd_preprocess, GcdOutcome};
+use dda_core::pipeline::run_pipeline;
+use dda_core::problem::build_problem;
+use dda_core::{
+    AnalyzerConfig, DependenceAnalyzer, MemoMode, PipelineConfig, StatsProbe, TestKind,
+};
+use dda_ir::{extract_accesses, parse_program, reference_pairs};
+
+/// Mean nanoseconds the pipeline spends resolving `kind`'s calibrated
+/// pattern: the sum of every stage that runs (earlier tests pass first,
+/// then `kind` decides) — the paper's notion of per-test latency.
+fn resolving_mean_nanos(kind: TestKind) -> f64 {
+    let src = match kind {
+        TestKind::Svpc => "for i = 1 to 10 { a[i + 3] = a[i] + 1; }",
+        TestKind::Acyclic => "for i = 1 to 10 { for j = i to 10 { a[j + 2] = a[j] + 1; } }",
+        TestKind::LoopResidue => "for i = 1 to 10 { for j = i to i + 3 { a[j] = a[j + 1] + 1; } }",
+        TestKind::FourierMotzkin => {
+            "for i = 1 to 10 { for j = 1 to 10 { a[2 * i + j] = a[i + 2 * j + 1] + 1; } }"
+        }
+    };
+    let program = parse_program(src).expect("pattern parses");
+    let set = extract_accesses(&program);
+    let pairs = reference_pairs(&set, false);
+    let problem =
+        build_problem(pairs[0].a, pairs[0].b, pairs[0].common, true).expect("pattern is affine");
+    let GcdOutcome::Reduced(reduced) = gcd_preprocess(&problem).expect("no overflow") else {
+        panic!("pattern must reach the cascade");
+    };
+    let config = PipelineConfig::full();
+    let mut probe = StatsProbe::default();
+    for _ in 0..100 {
+        std::hint::black_box(run_pipeline(
+            &reduced.system,
+            &config,
+            FmLimits::default(),
+            &mut StatsProbe::default(),
+        ));
+    }
+    for _ in 0..2_000 {
+        let out = std::hint::black_box(run_pipeline(
+            &reduced.system,
+            &config,
+            FmLimits::default(),
+            &mut probe,
+        ));
+        assert_eq!(out.used, kind, "calibration drift");
+    }
+    probe.timings.nanos.iter().sum::<u64>() as f64 / 2_000.0
+}
+
+fn main() {
+    println!("Per-stage timing (probed pipeline, memoization off)\n");
+    let suite = suite_from_env();
+    let config = AnalyzerConfig {
+        memo: MemoMode::Off,
+        ..AnalyzerConfig::default()
+    };
+
+    let mut probe = StatsProbe::default();
+    for prog in &suite {
+        // Fresh analyzer per program (the paper's per-compilation
+        // setting); the probe accumulates across the whole suite.
+        let mut analyzer = DependenceAnalyzer::with_config(config);
+        std::hint::black_box(analyzer.analyze_program_probed(&prog.program, &mut probe));
+    }
+    let t = &probe.timings;
+
+    println!(
+        "{:<16} {:>9} {:>12} {:>12}",
+        "Stage", "calls", "total (ms)", "mean (us)"
+    );
+    println!(
+        "{:<16} {:>9} {:>12.2} {:>12.3}",
+        "extended GCD",
+        t.gcd_calls,
+        t.gcd_nanos as f64 / 1e6,
+        if t.gcd_calls == 0 {
+            0.0
+        } else {
+            t.gcd_nanos as f64 / t.gcd_calls as f64 / 1e3
+        }
+    );
+    for kind in TestKind::ALL {
+        println!(
+            "{:<16} {:>9} {:>12.2} {:>12.3}",
+            kind.to_string(),
+            t.calls_for(kind),
+            t.nanos_for(kind) as f64 / 1e6,
+            t.mean_nanos(kind) / 1e3
+        );
+    }
+
+    println!(
+        "\n(suite-wide means blend deciding and quick-pass calls; the\n\
+         resolving latency below is the Table 6-comparable view)\n"
+    );
+
+    println!("Pipeline latency per resolving test (calibrated patterns):");
+    println!("{:<16} {:>12}", "Resolved by", "mean (us)");
+    let means: Vec<f64> = TestKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mean = resolving_mean_nanos(kind);
+            println!("{:<16} {:>12.3}", kind.to_string(), mean / 1e3);
+            mean
+        })
+        .collect();
+    let ordered = means.windows(2).all(|w| w[0] <= w[1]);
+    println!(
+        "\ncost ordering SVPC <= Acyclic <= Loop Residue <= Fourier-Motzkin: {}",
+        if ordered { "holds" } else { "VIOLATED" }
+    );
+}

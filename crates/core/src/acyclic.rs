@@ -68,6 +68,19 @@ impl Trace {
             .collect()
     }
 
+    /// Appends the events of `later`, a trace recorded *after* this one
+    /// on the already-simplified system. [`Trace::complete`] walks events
+    /// in reverse, so the later eliminations are (correctly) undone first.
+    pub fn extend(&mut self, later: Trace) {
+        self.events.extend(later.events);
+    }
+
+    /// Whether the trace records no eliminations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Overwrites the eliminated variables of `sample` (in reverse
     /// elimination order) with witness values.
     ///
@@ -178,13 +191,17 @@ fn absorb_simple(bounds: &mut VarBounds, residual: &mut Vec<Constraint>) -> bool
         }
         if let Some(v) = c.single_var() {
             let a = c.coeffs[v];
-            if a > 0 {
-                bounds.tighten_ub(v, num::div_floor(c.rhs, a));
+            let absorbed = if a > 0 {
+                num::checked_div_floor(c.rhs, a).map(|q| bounds.tighten_ub(v, q))
             } else {
-                bounds.tighten_lb(v, num::div_ceil(c.rhs, a));
+                num::checked_div_ceil(c.rhs, a).map(|q| bounds.tighten_lb(v, q))
+            };
+            // On quotient overflow the constraint stays in the residual;
+            // elimination or a later test handles it exactly.
+            if absorbed.is_some() {
+                residual.swap_remove(i);
+                continue;
             }
-            residual.swap_remove(i);
-            continue;
         }
         i += 1;
     }

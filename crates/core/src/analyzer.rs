@@ -7,12 +7,14 @@
 //! Tables 1–5 and 7.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
 
 use crate::fourier_motzkin::FmLimits;
 use crate::gcd::{expand_lattice, solve_equalities, solve_equalities_restricted, EqOutcome};
 use crate::memo::{nobounds_key, CanonicalKey, MemoTable};
+use crate::pipeline::{ClassifiedKind, GcdVerdict, NullProbe, PipelineConfig, Probe, TraceEvent};
 use crate::problem::DependenceProblem;
 use crate::result::{DependenceResult, Direction, DirectionVector, DistanceVector};
 use crate::stats::AnalysisStats;
@@ -58,6 +60,10 @@ pub struct AnalyzerConfig {
     pub separable_directions: bool,
     /// Fourier–Motzkin effort limits.
     pub fm_limits: FmLimits,
+    /// Which exact tests the solve pipeline runs, in order. The default
+    /// full cascade is exact; partial configurations (ablations) may
+    /// assume dependence where a disabled test would have decided.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for AnalyzerConfig {
@@ -72,6 +78,7 @@ impl Default for AnalyzerConfig {
             memo_symmetry: false,
             separable_directions: false,
             fm_limits: FmLimits::default(),
+            pipeline: PipelineConfig::full(),
         }
     }
 }
@@ -264,12 +271,24 @@ impl DependenceAnalyzer {
     /// Analyzes every reference pair of `program` (which should already be
     /// normalized; see `dda_ir::passes::normalize`).
     pub fn analyze_program(&mut self, program: &Program) -> ProgramReport {
+        self.analyze_program_probed(program, &mut NullProbe)
+    }
+
+    /// Analyzes every reference pair of `program`, reporting every step to
+    /// `probe`. With [`NullProbe`] this is exactly
+    /// [`analyze_program`](Self::analyze_program); events never influence
+    /// answers.
+    pub fn analyze_program_probed<P: Probe>(
+        &mut self,
+        program: &Program,
+        probe: &mut P,
+    ) -> ProgramReport {
         let before = self.stats;
         let set = extract_accesses(program);
         let pairs = reference_pairs(&set, self.config.include_input_deps);
         let mut reports = Vec::with_capacity(pairs.len());
         for pair in pairs {
-            reports.push(self.analyze_pair(pair.a, pair.b, pair.common));
+            reports.push(self.analyze_pair_probed(pair.a, pair.b, pair.common, probe));
         }
         ProgramReport {
             pairs: reports,
@@ -279,13 +298,54 @@ impl DependenceAnalyzer {
 
     /// Analyzes a single pair of accesses sharing `common` loops.
     pub fn analyze_pair(&mut self, a: &Access, b: &Access, common: usize) -> PairReport {
+        self.analyze_pair_probed(a, b, common, &mut NullProbe)
+    }
+
+    /// Analyzes a single pair, reporting every step to `probe`.
+    pub fn analyze_pair_probed<P: Probe>(
+        &mut self,
+        a: &Access,
+        b: &Access,
+        common: usize,
+        probe: &mut P,
+    ) -> PairReport {
+        let report = self.pair_inner(a, b, common, probe);
+        if P::ACTIVE {
+            probe.record(TraceEvent::PairFinished {
+                result: report.result.clone(),
+                from_cache: report.from_cache,
+            });
+        }
+        report
+    }
+
+    fn pair_inner<P: Probe>(
+        &mut self,
+        a: &Access,
+        b: &Access,
+        common: usize,
+        probe: &mut P,
+    ) -> PairReport {
         self.stats.pairs += 1;
         let template = steps::pair_template(a, b, common);
+        if P::ACTIVE {
+            probe.record(TraceEvent::PairStarted {
+                array: template.array.clone(),
+                a_access: template.a_access,
+                b_access: template.b_access,
+                common,
+            });
+        }
 
         let problem = match steps::classify_pair(a, b, common, self.config.symbolic) {
             // Constant subscripts: no dependence testing at all.
             Classified::Constant { dependent } => {
                 self.stats.constant += 1;
+                if P::ACTIVE {
+                    probe.record(TraceEvent::Classified {
+                        kind: ClassifiedKind::Constant { dependent },
+                    });
+                }
                 let report =
                     steps::constant_report(template, dependent, self.config.compute_directions);
                 self.note_outcome(&report);
@@ -293,17 +353,51 @@ impl DependenceAnalyzer {
             }
             Classified::Unbuildable => {
                 self.stats.assumed += 1;
+                if P::ACTIVE {
+                    probe.record(TraceEvent::Classified {
+                        kind: ClassifiedKind::Unbuildable,
+                    });
+                }
                 let report = steps::assumed_report(template, self.config.compute_directions);
                 self.note_outcome(&report);
                 return report;
             }
             Classified::Problem(p) => p,
         };
+        if P::ACTIVE {
+            probe.record(TraceEvent::Classified {
+                kind: ClassifiedKind::Problem {
+                    vars: problem.num_vars(),
+                    equations: problem.eq_coeffs.len(),
+                    bounds: problem.bounds.len(),
+                },
+            });
+        }
 
         // Extended GCD through the no-bounds memo — consulted for every
         // non-constant pair, bounds or not, exactly like the paper's
         // Table 2 "without bounds" column.
-        let eq_outcome = self.gcd_phase(&problem);
+        let gcd_start = if P::ACTIVE {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let (eq_outcome, gcd_cached) = self.gcd_phase(&problem);
+        if P::ACTIVE {
+            let nanos = gcd_start.map_or(0, |s| {
+                u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            let verdict = match &eq_outcome {
+                None => GcdVerdict::Overflow,
+                Some(EqOutcome::Independent) => GcdVerdict::Independent,
+                Some(EqOutcome::Lattice(_)) => GcdVerdict::Lattice,
+            };
+            probe.record(TraceEvent::Gcd {
+                verdict,
+                cached: gcd_cached,
+                nanos,
+            });
+        }
         let lattice = match eq_outcome {
             None => {
                 self.stats.assumed += 1;
@@ -326,6 +420,9 @@ impl DependenceAnalyzer {
             self.stats.memo_queries += 1;
             if let Some(cached) = self.full_memo.get(&ck.key) {
                 self.stats.memo_hits += 1;
+                if P::ACTIVE {
+                    probe.record(TraceEvent::CacheHit);
+                }
                 let cached = cached.clone();
                 let report = steps::rehydrate_hit(self.config.memo, cached, ck, *flipped, template);
                 self.note_outcome(&report);
@@ -334,7 +431,14 @@ impl DependenceAnalyzer {
         }
 
         let mut fx = ReduceEffects::default();
-        let report = steps::analyze_reduced(&self.config, &problem, &lattice, template, &mut fx);
+        let report = steps::analyze_reduced_probed(
+            &self.config,
+            &problem,
+            &lattice,
+            template,
+            &mut fx,
+            probe,
+        );
         fx.apply_to(&mut self.stats);
         if let Some((ck, flipped)) = full_key {
             self.full_memo.insert(
@@ -347,16 +451,19 @@ impl DependenceAnalyzer {
     }
 
     /// Runs the extended GCD test through the no-bounds memo table,
-    /// returning a lattice over all problem variables.
-    fn gcd_phase(&mut self, problem: &DependenceProblem) -> Option<EqOutcome> {
+    /// returning a lattice over all problem variables plus whether the
+    /// memo table supplied it.
+    fn gcd_phase(&mut self, problem: &DependenceProblem) -> (Option<EqOutcome>, bool) {
         if self.config.memo == MemoMode::Off {
-            return solve_equalities(problem);
+            return (solve_equalities(problem), false);
         }
         let improved = self.config.memo == MemoMode::Improved;
         let nk = nobounds_key(problem, improved);
         self.stats.gcd_memo_queries += 1;
+        let mut cached = false;
         let canonical = if let Some(hit) = self.gcd_memo.get(&nk.key) {
             self.stats.gcd_memo_hits += 1;
+            cached = true;
             Some(hit.clone())
         } else {
             let computed =
@@ -366,12 +473,13 @@ impl DependenceAnalyzer {
             }
             computed
         };
-        canonical.map(|eq| match eq {
+        let expanded = canonical.map(|eq| match eq {
             EqOutcome::Independent => EqOutcome::Independent,
             EqOutcome::Lattice(l) => {
                 EqOutcome::Lattice(expand_lattice(&l, &nk.kept_vars, problem.num_vars()))
             }
-        })
+        });
+        (expanded, cached)
     }
 
     fn note_outcome(&mut self, report: &PairReport) {

@@ -8,11 +8,10 @@
 //! the Acyclic test eliminates every variable outside the constraint
 //! cycle.
 
-use crate::acyclic::{acyclic, AcyclicOutcome, Trace};
-use crate::fourier_motzkin::{fourier_motzkin_with, FmLimits, FmOutcome};
-use crate::loop_residue::{loop_residue, LoopResidueOutcome};
+use crate::acyclic::Trace;
+use crate::fourier_motzkin::FmLimits;
+use crate::pipeline::{run_pipeline, NullProbe, PipelineConfig};
 use crate::result::{Answer, TestKind};
-use crate::svpc::{svpc, SvpcOutcome};
 use crate::system::{Constraint, System, VarBounds};
 
 /// Result of running the cascade on a `t`-space system.
@@ -46,108 +45,12 @@ pub fn run_cascade(system: &System) -> CascadeOutcome {
 }
 
 /// Runs the cascade with explicit Fourier–Motzkin limits.
+///
+/// A thin wrapper over [`run_pipeline`] with the full default test order
+/// and the zero-cost [`NullProbe`].
 #[must_use]
 pub fn run_cascade_with(system: &System, limits: FmLimits) -> CascadeOutcome {
-    // Step 1: SVPC.
-    let (bounds, residual) = match svpc(system) {
-        SvpcOutcome::Infeasible => {
-            return CascadeOutcome {
-                answer: Answer::Independent,
-                used: TestKind::Svpc,
-            }
-        }
-        SvpcOutcome::Complete { sample } => {
-            return CascadeOutcome {
-                answer: Answer::Dependent(Some(sample)),
-                used: TestKind::Svpc,
-            }
-        }
-        SvpcOutcome::Partial { bounds, residual } => (bounds, residual),
-    };
-
-    // Step 2: Acyclic.
-    let (bounds, residual, trace) = match acyclic(&bounds, &residual) {
-        AcyclicOutcome::Infeasible => {
-            return CascadeOutcome {
-                answer: Answer::Independent,
-                used: TestKind::Acyclic,
-            }
-        }
-        AcyclicOutcome::Complete { sample } => {
-            return CascadeOutcome {
-                answer: Answer::Dependent(Some(sample)),
-                used: TestKind::Acyclic,
-            }
-        }
-        AcyclicOutcome::Stuck {
-            bounds,
-            residual,
-            trace,
-        } => (bounds, residual, trace),
-    };
-
-    // Step 3: Loop Residue on the simplified system.
-    match loop_residue(&bounds, &residual) {
-        LoopResidueOutcome::Infeasible => {
-            return CascadeOutcome {
-                answer: Answer::Independent,
-                used: TestKind::LoopResidue,
-            }
-        }
-        LoopResidueOutcome::Feasible(mut sample) => {
-            let answer = match trace.complete(&mut sample) {
-                Some(()) => Answer::Dependent(Some(sample)),
-                None => Answer::Dependent(None), // overflow rebuilding witness
-            };
-            return CascadeOutcome {
-                answer,
-                used: TestKind::LoopResidue,
-            };
-        }
-        LoopResidueOutcome::NotApplicable => {}
-    }
-
-    // Step 4: Fourier–Motzkin on bounds + residual.
-    let n = bounds.len();
-    let mut constraints = residual;
-    for v in 0..n {
-        if let Some(u) = bounds.ub[v] {
-            let mut row = vec![0i64; n];
-            row[v] = 1;
-            constraints.push(Constraint::new(row, u));
-        }
-        if let Some(l) = bounds.lb[v] {
-            let mut row = vec![0i64; n];
-            row[v] = -1;
-            let Some(neg) = l.checked_neg() else {
-                return CascadeOutcome {
-                    answer: Answer::Unknown,
-                    used: TestKind::FourierMotzkin,
-                };
-            };
-            constraints.push(Constraint::new(row, neg));
-        }
-    }
-    match fourier_motzkin_with(n, &constraints, limits) {
-        FmOutcome::Infeasible => CascadeOutcome {
-            answer: Answer::Independent,
-            used: TestKind::FourierMotzkin,
-        },
-        FmOutcome::Sample(mut sample) => {
-            let answer = match trace.complete(&mut sample) {
-                Some(()) => Answer::Dependent(Some(sample)),
-                None => Answer::Dependent(None),
-            };
-            CascadeOutcome {
-                answer,
-                used: TestKind::FourierMotzkin,
-            }
-        }
-        FmOutcome::Unknown => CascadeOutcome {
-            answer: Answer::Unknown,
-            used: TestKind::FourierMotzkin,
-        },
-    }
+    run_pipeline(system, &PipelineConfig::full(), limits, &mut NullProbe)
 }
 
 /// Re-exported for tests: completes a witness through an elimination

@@ -17,9 +17,9 @@
 //! over the free variables is a constant exactly when the basis rows
 //! cancel.
 
-use crate::cascade::run_cascade_with;
 use crate::fourier_motzkin::FmLimits;
 use crate::gcd::Reduced;
+use crate::pipeline::{run_pipeline, PipelineConfig, Probe};
 use crate::problem::{DependenceProblem, XVar};
 use crate::result::{Answer, Direction, DirectionVector, DistanceVector};
 use crate::stats::TestCounts;
@@ -41,6 +41,8 @@ pub struct DirectionConfig {
     pub separable: bool,
     /// Fourier–Motzkin limits for the refinement cascades.
     pub fm_limits: FmLimits,
+    /// Which tests the refinement cascades run, in order.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for DirectionConfig {
@@ -50,6 +52,7 @@ impl Default for DirectionConfig {
             prune_distance: true,
             separable: false,
             fm_limits: FmLimits::default(),
+            pipeline: PipelineConfig::full(),
         }
     }
 }
@@ -141,13 +144,14 @@ fn direction_constraints(coeffs: &[i64], constant: i64, dir: Direction) -> Optio
 
 /// Runs hierarchical direction-vector refinement for a pair whose base
 /// (`*`-vector) query did not prove independence. Every additional
-/// cascade invocation is recorded in `counts`.
+/// cascade invocation is recorded in `counts` and reported to `probe`.
 #[must_use]
-pub fn analyze_directions(
+pub fn analyze_directions<P: Probe>(
     problem: &DependenceProblem,
     reduced: &Reduced,
     config: DirectionConfig,
     counts: &mut TestCounts,
+    probe: &mut P,
 ) -> DirectionAnalysis {
     let levels = problem.num_common;
     let mut distance = DistanceVector(vec![None; levels]);
@@ -182,9 +186,15 @@ pub fn analyze_directions(
     }
 
     if config.separable {
-        if let Some(analysis) =
-            try_separable(&reduced.system, &plans, &exprs, &distance, config, counts)
-        {
+        if let Some(analysis) = try_separable(
+            &reduced.system,
+            &plans,
+            &exprs,
+            &distance,
+            config,
+            counts,
+            probe,
+        ) {
             return analysis;
         }
     }
@@ -199,6 +209,7 @@ pub fn analyze_directions(
         exprs: &exprs,
         config,
         counts,
+        probe,
         vectors: Vec::new(),
         exact: true,
         current: vec![Direction::Any; levels],
@@ -245,13 +256,15 @@ fn components(system: &System) -> Vec<usize> {
 /// Attempts the dimension-by-dimension computation. Returns `None` when
 /// the refinable levels are coupled (shared components) and the caller
 /// must fall back to hierarchical refinement.
-fn try_separable(
+#[allow(clippy::too_many_arguments)]
+fn try_separable<P: Probe>(
     system: &System,
     plans: &[LevelPlan],
     exprs: &[Option<(Vec<i64>, i64)>],
     distance: &DistanceVector,
     config: DirectionConfig,
     counts: &mut TestCounts,
+    probe: &mut P,
 ) -> Option<DirectionAnalysis> {
     let comp = components(system);
     let refine_levels: Vec<usize> = plans
@@ -296,7 +309,7 @@ fn try_separable(
             for cst in new_cs {
                 sys.push(cst);
             }
-            let out = run_cascade_with(&sys, config.fm_limits);
+            let out = run_pipeline(&sys, &config.pipeline, config.fm_limits, probe);
             counts.record(out.used, out.answer.is_independent());
             match out.answer {
                 Answer::Independent => {}
@@ -345,18 +358,19 @@ fn try_separable(
     })
 }
 
-struct Refiner<'a> {
+struct Refiner<'a, P: Probe> {
     base_system: &'a System,
     plans: &'a [LevelPlan],
     exprs: &'a [Option<(Vec<i64>, i64)>],
     config: DirectionConfig,
     counts: &'a mut TestCounts,
+    probe: &'a mut P,
     vectors: Vec<DirectionVector>,
     exact: bool,
     current: Vec<Direction>,
 }
 
-impl Refiner<'_> {
+impl<P: Probe> Refiner<'_, P> {
     fn refine(&mut self, level: usize, extra: Vec<Constraint>) {
         if level == self.plans.len() {
             self.vectors.push(DirectionVector(self.current.clone()));
@@ -387,7 +401,12 @@ impl Refiner<'_> {
                     for cst in &extended {
                         sys.push(cst.clone());
                     }
-                    let out = run_cascade_with(&sys, self.config.fm_limits);
+                    let out = run_pipeline(
+                        &sys,
+                        &self.config.pipeline,
+                        self.config.fm_limits,
+                        self.probe,
+                    );
                     self.counts.record(out.used, out.answer.is_independent());
                     match out.answer {
                         Answer::Independent => {}
@@ -412,6 +431,7 @@ mod tests {
     use super::*;
     use crate::cascade::run_cascade;
     use crate::gcd::{gcd_preprocess, GcdOutcome};
+    use crate::pipeline::NullProbe;
     use crate::problem::build_problem;
     use dda_ir::{extract_accesses, parse_program, reference_pairs};
 
@@ -427,7 +447,7 @@ mod tests {
         let base = run_cascade(&reduced.system);
         assert!(!base.answer.is_independent(), "base must be dependent");
         let mut counts = TestCounts::default();
-        let out = analyze_directions(&problem, &reduced, config, &mut counts);
+        let out = analyze_directions(&problem, &reduced, config, &mut counts, &mut NullProbe);
         (out, counts)
     }
 
@@ -595,7 +615,7 @@ mod tests {
             prune_unused: false,
             ..DirectionConfig::default()
         };
-        let out = analyze_directions(&problem, &reduced, cfg, &mut counts);
+        let out = analyze_directions(&problem, &reduced, cfg, &mut counts, &mut NullProbe);
         assert!(out.vectors.is_empty());
         assert!(out.exact);
         assert!(counts.total() >= 1, "directions were actually tested");

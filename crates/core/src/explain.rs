@@ -4,20 +4,21 @@
 //! Compiler engineers debugging a surprising serialization need to see
 //! *why*: which equality system was built, what the extended GCD did to
 //! it, which test of the cascade decided, and what the direction
-//! refinement concluded. [`explain_pair`] replays the pipeline and
-//! narrates each step (re-running the cheap tests; nothing here mutates
-//! analyzer state or memo tables).
+//! refinement concluded. [`explain_pair_with`] runs the *same* probed
+//! pipeline the analyzer runs — honoring the caller's
+//! [`AnalyzerConfig`] (Fourier–Motzkin limits, test order) — records the
+//! [`TraceEvent`] stream, and renders it. Nothing here mutates analyzer
+//! state or memo tables.
 
 use std::fmt::Write as _;
 
 use dda_ir::Access;
 
-use crate::cascade::run_cascade;
-use crate::direction::{analyze_directions, DirectionConfig};
-use crate::gcd::{gcd_preprocess, GcdOutcome};
+use crate::analyzer::AnalyzerConfig;
+use crate::gcd::{solve_equalities, EqOutcome};
+use crate::pipeline::{RecordingProbe, StageVerdict, TraceEvent};
 use crate::problem::{build_problem, constant_compare, DependenceProblem};
-use crate::result::Answer;
-use crate::stats::TestCounts;
+use crate::steps::{self, ReduceEffects};
 
 /// Formats one linear row over the problem's variables.
 fn linear(problem: &DependenceProblem, coeffs: &[i64]) -> String {
@@ -52,7 +53,8 @@ fn linear(problem: &DependenceProblem, coeffs: &[i64]) -> String {
     s
 }
 
-/// Produces a step-by-step narration of the analysis of one pair.
+/// Produces a step-by-step narration of the analysis of one pair, with
+/// the default configuration (plus the given symbolic-support flag).
 ///
 /// # Examples
 ///
@@ -70,6 +72,22 @@ fn linear(problem: &DependenceProblem, coeffs: &[i64]) -> String {
 /// ```
 #[must_use]
 pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> String {
+    let config = AnalyzerConfig {
+        symbolic,
+        ..AnalyzerConfig::default()
+    };
+    explain_pair_with(&config, a, b, common)
+}
+
+/// Produces a step-by-step narration of the analysis of one pair under an
+/// explicit configuration.
+///
+/// The narration and the analyzer agree by construction: both run
+/// [`steps::analyze_reduced_probed`] with the same configuration, so an
+/// analyzer that gives up at its Fourier–Motzkin limits is *explained* as
+/// giving up — it does not silently re-run with different limits.
+#[must_use]
+pub fn explain_pair_with(config: &AnalyzerConfig, a: &Access, b: &Access, common: usize) -> String {
     let mut out = String::new();
     let w = &mut out;
     let _ = writeln!(w, "pair: {a}  vs  {b}  ({common} common loop(s))");
@@ -87,7 +105,7 @@ pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> St
         return out;
     }
 
-    let problem = match build_problem(a, b, common, symbolic) {
+    let problem = match build_problem(a, b, common, config.symbolic) {
         Ok(p) => p,
         Err(e) => {
             let _ = writeln!(w, "cannot build an affine system ({e}): ASSUMED dependent");
@@ -114,12 +132,12 @@ pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> St
         let _ = writeln!(w, "    {} <= {}", linear(&problem, &c.coeffs), c.rhs);
     }
 
-    let reduced = match gcd_preprocess(&problem) {
+    let lattice = match solve_equalities(&problem) {
         None => {
             let _ = writeln!(w, "extended GCD: arithmetic overflow -> ASSUMED dependent");
             return out;
         }
-        Some(GcdOutcome::Independent) => {
+        Some(EqOutcome::Independent) => {
             let _ = writeln!(
                 w,
                 "extended GCD: the equality system has no integer solution \
@@ -127,66 +145,100 @@ pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> St
             );
             return out;
         }
-        Some(GcdOutcome::Reduced(r)) => {
-            let _ = writeln!(
-                w,
-                "extended GCD: solutions form a lattice over {} free variable(s); \
-                 bounds become:",
-                r.num_t()
-            );
-            for c in &r.system.constraints {
-                let _ = writeln!(w, "    {c}");
-            }
-            r
-        }
+        Some(EqOutcome::Lattice(l)) => l,
     };
 
-    let outcome = run_cascade(&reduced.system);
-    match &outcome.answer {
-        Answer::Independent => {
-            let _ = writeln!(w, "cascade: {} proves INDEPENDENT", outcome.used);
-            return out;
-        }
-        Answer::Dependent(sample) => {
-            let _ = writeln!(w, "cascade: {} proves DEPENDENT", outcome.used);
-            if let Some(t) = sample {
-                if let Some(x) = reduced.x_at(t) {
-                    let pairs: Vec<String> = problem
-                        .vars
-                        .iter()
-                        .zip(&x)
-                        .map(|(v, val)| format!("{v} = {val}"))
-                        .collect();
-                    let _ = writeln!(w, "    witness: {}", pairs.join(", "));
+    // Run the analyzer's own compute path with a recording probe, then
+    // narrate the event stream.
+    let mut probe = RecordingProbe::default();
+    let mut fx = ReduceEffects::default();
+    let template = steps::pair_template(a, b, common);
+    let _report =
+        steps::analyze_reduced_probed(config, &problem, &lattice, template, &mut fx, &mut probe);
+
+    let mut in_refinement = false;
+    let mut base_decided = false;
+    let mut saw_reduced = false;
+    for event in &probe.events {
+        match event {
+            TraceEvent::ReduceOverflow => {
+                let _ = writeln!(w, "extended GCD: arithmetic overflow -> ASSUMED dependent");
+                return out;
+            }
+            TraceEvent::Reduced { free_vars, system } => {
+                saw_reduced = true;
+                let _ = writeln!(
+                    w,
+                    "extended GCD: solutions form a lattice over {free_vars} free variable(s); \
+                     bounds become:"
+                );
+                for c in &system.constraints {
+                    let _ = writeln!(w, "    {c}");
                 }
             }
-        }
-        Answer::Unknown => {
-            let _ = writeln!(
-                w,
-                "cascade: {} hit its effort limits -> ASSUMED dependent",
-                outcome.used
-            );
+            TraceEvent::Stage { test, verdict, .. } if !in_refinement => match verdict {
+                StageVerdict::Independent => {
+                    base_decided = true;
+                    let _ = writeln!(w, "cascade: {test} proves INDEPENDENT");
+                }
+                StageVerdict::Dependent => {
+                    base_decided = true;
+                    let _ = writeln!(w, "cascade: {test} proves DEPENDENT");
+                }
+                StageVerdict::Unknown => {
+                    base_decided = true;
+                    let _ = writeln!(
+                        w,
+                        "cascade: {test} hit its effort limits -> ASSUMED dependent"
+                    );
+                }
+                StageVerdict::Pass => {}
+            },
+            TraceEvent::Witness { x } => {
+                let pairs: Vec<String> = problem
+                    .vars
+                    .iter()
+                    .zip(x)
+                    .map(|(v, val)| format!("{v} = {val}"))
+                    .collect();
+                let _ = writeln!(w, "    witness: {}", pairs.join(", "));
+            }
+            TraceEvent::RefinementStarted => {
+                if !base_decided {
+                    // Every configured test passed without deciding (or
+                    // none was configured): the base query is assumed.
+                    let _ = writeln!(w, "cascade: no test decided -> ASSUMED dependent");
+                    base_decided = true;
+                }
+                in_refinement = true;
+            }
+            TraceEvent::Directions {
+                vectors,
+                distance,
+                tests,
+                ..
+            } => {
+                let _ = writeln!(w, "distance vector: {distance}");
+                if vectors.is_empty() {
+                    let _ = writeln!(
+                        w,
+                        "direction refinement: every direction independent -> INDEPENDENT \
+                         (implicit branch and bound)"
+                    );
+                } else {
+                    let vecs: Vec<String> = vectors.iter().map(ToString::to_string).collect();
+                    let _ = writeln!(
+                        w,
+                        "direction vectors: {}   ({tests} refinement test(s))",
+                        vecs.join(" ")
+                    );
+                }
+            }
+            _ => {}
         }
     }
-
-    let mut counts = TestCounts::default();
-    let analysis = analyze_directions(&problem, &reduced, DirectionConfig::default(), &mut counts);
-    let _ = writeln!(w, "distance vector: {}", analysis.distance);
-    if analysis.vectors.is_empty() {
-        let _ = writeln!(
-            w,
-            "direction refinement: every direction independent -> INDEPENDENT \
-             (implicit branch and bound)"
-        );
-    } else {
-        let vecs: Vec<String> = analysis.vectors.iter().map(ToString::to_string).collect();
-        let _ = writeln!(
-            w,
-            "direction vectors: {}   ({} refinement test(s))",
-            vecs.join(" "),
-            counts.total()
-        );
+    if saw_reduced && !base_decided {
+        let _ = writeln!(w, "cascade: no test decided -> ASSUMED dependent");
     }
     out
 }
@@ -194,6 +246,9 @@ pub fn explain_pair(a: &Access, b: &Access, common: usize, symbolic: bool) -> St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyzer::DependenceAnalyzer;
+    use crate::fourier_motzkin::FmLimits;
+    use crate::result::Answer;
     use dda_ir::{extract_accesses, parse_program, reference_pairs};
 
     fn explain(src: &str) -> String {
@@ -237,5 +292,42 @@ mod tests {
             explain("for i1 = 1 to 10 { for i2 = 1 to 10 { a[i1][i2] = a[i2 + 10][i1 + 9]; } }");
         assert!(text.contains("i0 - i1' = 10"), "{text}");
         assert!(text.contains("i1 - i0' = 9"), "{text}");
+    }
+
+    /// The regression the refactor fixes: `explain` used to re-run the
+    /// cascade with *default* FM limits, so a pair the analyzer assumed
+    /// (limits hit) was narrated as exactly decided. Now both run the
+    /// same configured pipeline and must agree.
+    #[test]
+    fn explain_agrees_with_analyzer_at_fm_limits() {
+        // Needs FM: coupled unequal-magnitude coefficients survive the
+        // cheap tests; a depth-0 branch limit then forces FM to give up.
+        let src = "for i = 1 to 6 { for j = 1 to 6 {
+            a[2 * i + j] = a[i + 2 * j + 1] + 1;
+        } }";
+        let program = parse_program(src).unwrap();
+        let set = extract_accesses(&program);
+        let pairs = reference_pairs(&set, false);
+        let tight = AnalyzerConfig {
+            fm_limits: FmLimits {
+                max_constraints: 1,
+                max_branch_depth: 0,
+            },
+            ..AnalyzerConfig::default()
+        };
+
+        let mut analyzer = DependenceAnalyzer::with_config(tight);
+        let report = analyzer.analyze_pair(pairs[0].a, pairs[0].b, pairs[0].common);
+        assert_eq!(report.result.answer, Answer::Unknown, "{:?}", report.result);
+
+        let text = explain_pair_with(&tight, pairs[0].a, pairs[0].b, pairs[0].common);
+        assert!(text.contains("hit its effort limits"), "{text}");
+
+        // With default limits both decide exactly — and say so.
+        let default_text = explain_pair(pairs[0].a, pairs[0].b, pairs[0].common, true);
+        assert!(
+            !default_text.contains("hit its effort limits"),
+            "{default_text}"
+        );
     }
 }

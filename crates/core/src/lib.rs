@@ -13,10 +13,13 @@
 //! 2. [`gcd`] runs Banerjee's extended GCD test as preprocessing: either
 //!    proves independence outright or re-expresses the bounds over the
 //!    free variables of the equality system's solution lattice.
-//! 3. [`cascade`] runs the exact tests in cost order — [`svpc`] (single
+//! 3. [`pipeline`] runs the exact tests in cost order — [`svpc`] (single
 //!    variable per constraint), [`acyclic`], [`loop_residue`] — falling
 //!    back to [`fourier_motzkin`] with integral sampling and branch &
-//!    bound.
+//!    bound. The test list is runtime-configurable
+//!    ([`pipeline::PipelineConfig`]) and every stage reports to a
+//!    [`pipeline::Probe`]; [`cascade`] keeps the classic entry points as
+//!    thin wrappers.
 //! 4. [`direction`] layers Burke–Cytron hierarchical direction-vector
 //!    refinement on top, with the paper's two prunings (unused variables,
 //!    known distances), and computes distance vectors from the GCD
@@ -55,6 +58,7 @@ pub mod graph;
 pub mod loop_residue;
 pub mod memo;
 pub mod persist;
+pub mod pipeline;
 pub mod problem;
 pub mod result;
 pub mod stats;
@@ -68,7 +72,11 @@ pub use analyzer::{
     AnalyzerConfig, CachedOutcome, DependenceAnalyzer, MemoMode, PairReport, ProgramReport,
 };
 pub use memo::{ShardedMemoTable, SharedMemo};
+pub use pipeline::{
+    run_pipeline, NullProbe, PipelineConfig, Probe, RecordingProbe, StatsProbe, TraceEvent,
+};
 pub use result::{
     Answer, DependenceKind, DependenceResult, Direction, DirectionVector, DistanceVector,
     ResolvedBy, TestKind,
 };
+pub use stats::StageTimings;

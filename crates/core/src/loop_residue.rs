@@ -87,10 +87,13 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
         } else {
             (*j, *i, *aj)
         };
+        let Some(weight) = num::checked_div_floor(c.rhs, a) else {
+            return LoopResidueOutcome::NotApplicable;
+        };
         edges.push(Edge {
             from: pos,
             to: neg,
-            weight: num::div_floor(c.rhs, a),
+            weight,
         });
     }
 
@@ -104,10 +107,15 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
             });
         }
         if let Some(l) = bounds.lb[v] {
+            // -l overflows for l == i64::MIN; bow out rather than build a
+            // wrong edge.
+            let Some(weight) = l.checked_neg() else {
+                return LoopResidueOutcome::NotApplicable;
+            };
             edges.push(Edge {
                 from: zero_node,
                 to: v,
-                weight: -l,
+                weight,
             });
         }
     }
@@ -213,6 +221,22 @@ mod tests {
             panic!("expected feasible");
         };
         check_feasible(&bounds2, &residual, &sample);
+    }
+
+    #[test]
+    fn extreme_lower_bound_not_applicable() {
+        // lb == i64::MIN cannot become a zero-node edge without overflow;
+        // the test must decline instead of deciding on a wrong weight.
+        let mut bounds = VarBounds::unbounded(2);
+        bounds.tighten_lb(0, i64::MIN);
+        let residual = vec![
+            Constraint::new(vec![1, -1], 0),
+            Constraint::new(vec![-1, 1], 0),
+        ];
+        assert_eq!(
+            loop_residue(&bounds, &residual),
+            LoopResidueOutcome::NotApplicable
+        );
     }
 
     #[test]

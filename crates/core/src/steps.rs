@@ -14,11 +14,14 @@
 
 use dda_ir::Access;
 
+use std::time::Instant;
+
 use crate::analyzer::{AnalyzerConfig, CachedOutcome, MemoMode, PairReport};
-use crate::cascade::{run_cascade_with, CascadeOutcome};
+use crate::cascade::CascadeOutcome;
 use crate::direction::{analyze_directions, DirectionAnalysis, DirectionConfig};
 use crate::gcd::{reduce_with_lattice, Lattice};
 use crate::memo::{bounds_key, CanonicalKey};
+use crate::pipeline::{run_pipeline, NullProbe, Probe, TraceEvent};
 use crate::problem::{build_problem, constant_compare, DependenceProblem};
 use crate::result::{
     Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy, TestKind,
@@ -283,16 +286,41 @@ pub fn analyze_reduced(
     config: &AnalyzerConfig,
     problem: &DependenceProblem,
     lattice: &Lattice,
+    report: PairReport,
+    fx: &mut ReduceEffects,
+) -> PairReport {
+    analyze_reduced_probed(config, problem, lattice, report, fx, &mut NullProbe)
+}
+
+/// [`analyze_reduced`] with an explicit [`Probe`]. The probe observes the
+/// lattice reduction, every pipeline stage of the base query, the
+/// witness, and the direction refinement; it never changes the report.
+#[must_use]
+pub fn analyze_reduced_probed<P: Probe>(
+    config: &AnalyzerConfig,
+    problem: &DependenceProblem,
+    lattice: &Lattice,
     mut report: PairReport,
     fx: &mut ReduceEffects,
+    probe: &mut P,
 ) -> PairReport {
     let Some(reduced) = reduce_with_lattice(problem, lattice) else {
         fx.assumed = true;
+        if P::ACTIVE {
+            probe.record(TraceEvent::ReduceOverflow);
+        }
         return report;
     };
+    if P::ACTIVE {
+        probe.record(TraceEvent::Reduced {
+            free_vars: reduced.num_t(),
+            system: reduced.system.clone(),
+        });
+    }
 
     // Base (star-vector) cascade.
-    let base: CascadeOutcome = run_cascade_with(&reduced.system, config.fm_limits);
+    let base: CascadeOutcome =
+        run_pipeline(&reduced.system, &config.pipeline, config.fm_limits, probe);
     fx.base_test = Some((base.used, base.answer.is_independent()));
     report.result = DependenceResult {
         answer: match &base.answer {
@@ -310,6 +338,11 @@ pub fn analyze_reduced(
                 .is_none_or(|w| problem.is_witness(w)),
             "cascade witness must satisfy the original problem"
         );
+        if P::ACTIVE {
+            if let Some(w) = &report.witness {
+                probe.record(TraceEvent::Witness { x: w.clone() });
+            }
+        }
     }
     if base.answer.is_independent() {
         return report;
@@ -317,6 +350,14 @@ pub fn analyze_reduced(
 
     // Direction vectors.
     if config.compute_directions {
+        if P::ACTIVE {
+            probe.record(TraceEvent::RefinementStarted);
+        }
+        let start = if P::ACTIVE {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut counts = TestCounts::default();
         let DirectionAnalysis {
             vectors,
@@ -330,10 +371,24 @@ pub fn analyze_reduced(
                 prune_distance: config.prune_distance,
                 separable: config.separable_directions,
                 fm_limits: config.fm_limits,
+                pipeline: config.pipeline,
             },
             &mut counts,
+            probe,
         );
         fx.direction_tests.add(&counts);
+        if P::ACTIVE {
+            let nanos = start.map_or(0, |s| {
+                u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            probe.record(TraceEvent::Directions {
+                vectors: vectors.clone(),
+                distance: distance.clone(),
+                tests: counts.total(),
+                exact,
+                nanos,
+            });
+        }
         report.distance = distance;
         if vectors.is_empty() && exact {
             // The paper's implicit branch and bound: every direction

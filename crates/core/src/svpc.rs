@@ -65,23 +65,56 @@ pub enum SvpcOutcome {
 pub fn svpc(system: &System) -> SvpcOutcome {
     let n = system.num_vars;
     let mut bounds = VarBounds::unbounded(n);
-    let mut residual = Vec::new();
+    match svpc_into(&mut bounds, &system.constraints) {
+        SvpcStep::Infeasible => SvpcOutcome::Infeasible,
+        SvpcStep::Done => {
+            let sample = (0..n).map(|v| bounds.pick(v)).collect();
+            SvpcOutcome::Complete { sample }
+        }
+        SvpcStep::Residual(residual) => SvpcOutcome::Partial { bounds, residual },
+    }
+}
 
-    for c in &system.constraints {
+/// Outcome of one absorption pass ([`svpc_into`]), relative to bounds the
+/// caller already holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SvpcStep {
+    /// The merged bounds are empty or a variable-free constraint is
+    /// violated: independent (exact).
+    Infeasible,
+    /// Every constraint was absorbed and the merged bounds are non-empty:
+    /// dependent (exact); pick a sample from the bounds.
+    Done,
+    /// Multi-variable constraints remain.
+    Residual(Vec<Constraint>),
+}
+
+/// Absorbs every single-variable constraint of `constraints` into
+/// `bounds`, the pipeline-stage form of [`svpc`].
+///
+/// A single-variable constraint whose integer tightening `⌊c/a⌋` / `⌈c/a⌉`
+/// overflows `i64` is left in the residual untouched — exactness is
+/// preserved and a later (checked) test decides.
+pub(crate) fn svpc_into(bounds: &mut VarBounds, constraints: &[Constraint]) -> SvpcStep {
+    let mut residual = Vec::new();
+    for c in constraints {
         let mut c = c.clone();
         c.normalize();
         if c.is_trivial() {
             if !c.trivially_satisfied() {
-                return SvpcOutcome::Infeasible;
+                return SvpcStep::Infeasible;
             }
             continue;
         }
         if let Some(v) = c.single_var() {
             let a = c.coeffs[v];
-            if a > 0 {
-                bounds.tighten_ub(v, num::div_floor(c.rhs, a));
+            let absorbed = if a > 0 {
+                num::checked_div_floor(c.rhs, a).map(|q| bounds.tighten_ub(v, q))
             } else {
-                bounds.tighten_lb(v, num::div_ceil(c.rhs, a));
+                num::checked_div_ceil(c.rhs, a).map(|q| bounds.tighten_lb(v, q))
+            };
+            if absorbed.is_none() {
+                residual.push(c);
             }
         } else {
             residual.push(c);
@@ -89,13 +122,12 @@ pub fn svpc(system: &System) -> SvpcOutcome {
     }
 
     if bounds.any_empty() {
-        return SvpcOutcome::Infeasible;
+        return SvpcStep::Infeasible;
     }
     if residual.is_empty() {
-        let sample = (0..n).map(|v| bounds.pick(v)).collect();
-        return SvpcOutcome::Complete { sample };
+        return SvpcStep::Done;
     }
-    SvpcOutcome::Partial { bounds, residual }
+    SvpcStep::Residual(residual)
 }
 
 #[cfg(test)]
@@ -181,6 +213,20 @@ mod tests {
             panic!();
         };
         assert_eq!(sample, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn overflowing_tightening_demotes_to_residual() {
+        // -t ≤ i64::MIN: the tightening ⌈MIN/-1⌉ overflows i64, so the
+        // constraint must stay in the residual instead of being absorbed
+        // with a wrong bound.
+        let s = sys(&[(&[-1], i64::MIN), (&[1], 5)]);
+        let SvpcOutcome::Partial { bounds, residual } = svpc(&s) else {
+            panic!("expected partial");
+        };
+        assert_eq!(residual.len(), 1);
+        assert_eq!(bounds.ub[0], Some(5));
+        assert_eq!(bounds.lb[0], None);
     }
 
     #[test]

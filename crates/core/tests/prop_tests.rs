@@ -7,11 +7,18 @@
 //! bounding argument" gives ground truth. Every generated system includes
 //! explicit box bounds, which makes brute force complete.
 
-use dda_core::cascade::run_cascade;
-use dda_core::fourier_motzkin::{fourier_motzkin, FmOutcome};
+use dda_core::acyclic::{acyclic, AcyclicOutcome};
+use dda_core::cascade::{complete_with_trace, run_cascade, CascadeOutcome};
+use dda_core::fourier_motzkin::{fourier_motzkin, fourier_motzkin_with, FmLimits, FmOutcome};
+use dda_core::loop_residue::{loop_residue, LoopResidueOutcome};
+use dda_core::pipeline::run_pipeline;
 use dda_core::svpc::{svpc, SvpcOutcome};
 use dda_core::system::{Constraint, System};
-use dda_core::Answer;
+use dda_core::{
+    AnalyzerConfig, Answer, DependenceAnalyzer, MemoMode, NullProbe, PipelineConfig,
+    RecordingProbe, TestKind,
+};
+use dda_ir::parse_program;
 use proptest::prelude::*;
 
 const BOX: i64 = 8;
@@ -69,6 +76,126 @@ fn brute_force(s: &System) -> Option<Vec<i64>> {
             k += 1;
         }
     }
+}
+
+/// The pre-refactor cascade driver, copied verbatim (modulo the public
+/// `complete_with_trace` accessor) from the tree before the pipeline
+/// unification. [`run_pipeline`] with the full configuration must agree
+/// with this function bit-for-bit on every input.
+fn legacy_cascade(system: &System, limits: FmLimits) -> CascadeOutcome {
+    let (bounds, residual) = match svpc(system) {
+        SvpcOutcome::Infeasible => {
+            return CascadeOutcome {
+                answer: Answer::Independent,
+                used: TestKind::Svpc,
+            }
+        }
+        SvpcOutcome::Complete { sample } => {
+            return CascadeOutcome {
+                answer: Answer::Dependent(Some(sample)),
+                used: TestKind::Svpc,
+            }
+        }
+        SvpcOutcome::Partial { bounds, residual } => (bounds, residual),
+    };
+
+    let (bounds, residual, trace) = match acyclic(&bounds, &residual) {
+        AcyclicOutcome::Infeasible => {
+            return CascadeOutcome {
+                answer: Answer::Independent,
+                used: TestKind::Acyclic,
+            }
+        }
+        AcyclicOutcome::Complete { sample } => {
+            return CascadeOutcome {
+                answer: Answer::Dependent(Some(sample)),
+                used: TestKind::Acyclic,
+            }
+        }
+        AcyclicOutcome::Stuck {
+            bounds,
+            residual,
+            trace,
+        } => (bounds, residual, trace),
+    };
+
+    match loop_residue(&bounds, &residual) {
+        LoopResidueOutcome::Infeasible => {
+            return CascadeOutcome {
+                answer: Answer::Independent,
+                used: TestKind::LoopResidue,
+            }
+        }
+        LoopResidueOutcome::Feasible(mut sample) => {
+            let answer = match complete_with_trace(&trace, &mut sample) {
+                Some(()) => Answer::Dependent(Some(sample)),
+                None => Answer::Dependent(None),
+            };
+            return CascadeOutcome {
+                answer,
+                used: TestKind::LoopResidue,
+            };
+        }
+        LoopResidueOutcome::NotApplicable => {}
+    }
+
+    let n = bounds.len();
+    let mut constraints = residual;
+    for v in 0..n {
+        if let Some(u) = bounds.ub[v] {
+            let mut row = vec![0i64; n];
+            row[v] = 1;
+            constraints.push(Constraint::new(row, u));
+        }
+        if let Some(l) = bounds.lb[v] {
+            let mut row = vec![0i64; n];
+            row[v] = -1;
+            let Some(neg) = l.checked_neg() else {
+                return CascadeOutcome {
+                    answer: Answer::Unknown,
+                    used: TestKind::FourierMotzkin,
+                };
+            };
+            constraints.push(Constraint::new(row, neg));
+        }
+    }
+    match fourier_motzkin_with(n, &constraints, limits) {
+        FmOutcome::Infeasible => CascadeOutcome {
+            answer: Answer::Independent,
+            used: TestKind::FourierMotzkin,
+        },
+        FmOutcome::Sample(mut sample) => {
+            let answer = match complete_with_trace(&trace, &mut sample) {
+                Some(()) => Answer::Dependent(Some(sample)),
+                None => Answer::Dependent(None),
+            };
+            CascadeOutcome {
+                answer,
+                used: TestKind::FourierMotzkin,
+            }
+        }
+        FmOutcome::Unknown => CascadeOutcome {
+            answer: Answer::Unknown,
+            used: TestKind::FourierMotzkin,
+        },
+    }
+}
+
+/// A small random two-level affine loop nest: coefficients and offsets
+/// chosen so pairs land across the whole cascade (GCD independence, each
+/// cascade test, direction refinement).
+fn arb_program_source() -> impl Strategy<Value = String> {
+    (
+        (2i64..=8, 2i64..=8),              // trip counts
+        (-3i64..=3, -3i64..=3, -5i64..=5), // write: i, j coefficients + offset
+        (-3i64..=3, -3i64..=3, -5i64..=5), // read: i, j coefficients + offset
+    )
+        .prop_map(|((n, m), (wi, wj, wo), (ri, rj, ro))| {
+            format!(
+                "for i = 1 to {n} {{ for j = 1 to {m} {{ \
+                 a[{wi} * i + {wj} * j + {wo}] = a[{ri} * i + {rj} * j + {ro}] + 1; }} }}"
+            )
+        })
 }
 
 proptest! {
@@ -129,6 +256,27 @@ proptest! {
         }
     }
 
+    /// The unified pipeline at its full configuration is bit-identical to
+    /// the pre-refactor cascade on every boxed system.
+    #[test]
+    fn pipeline_matches_legacy_cascade(s in arb_system()) {
+        let legacy = legacy_cascade(&s, FmLimits::default());
+        let piped = run_pipeline(&s, &PipelineConfig::full(), FmLimits::default(), &mut NullProbe);
+        prop_assert_eq!(&piped, &legacy, "pipeline diverged from legacy cascade on\n{}", s);
+        // And the run_cascade wrapper stays in agreement too.
+        prop_assert_eq!(&run_cascade(&s), &legacy, "wrapper diverged on\n{}", s);
+    }
+
+    /// Attaching a recording probe never changes the pipeline's answer.
+    #[test]
+    fn pipeline_probe_is_transparent(s in arb_system()) {
+        let silent = run_pipeline(&s, &PipelineConfig::full(), FmLimits::default(), &mut NullProbe);
+        let mut probe = RecordingProbe::default();
+        let recorded = run_pipeline(&s, &PipelineConfig::full(), FmLimits::default(), &mut probe);
+        prop_assert_eq!(&recorded, &silent, "probe changed the outcome on\n{}", s);
+        prop_assert!(!probe.events.is_empty(), "recording probe saw no events on\n{}", s);
+    }
+
     /// gcd-row normalization preserves the integer solution set.
     #[test]
     fn normalization_preserves_integer_points(s in arb_system()) {
@@ -154,6 +302,32 @@ proptest! {
                 t[k] = -BOX;
                 k += 1;
             }
+        }
+    }
+}
+
+proptest! {
+    // Whole-program analysis is heavier per case; fewer cases suffice
+    // because each program contributes several pairs.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Analyzer-level probe transparency: for every memoization mode, an
+    /// analysis observed by a recording probe returns a report identical
+    /// to the unobserved analysis — same answers, same witnesses, same
+    /// statistics, same cache attribution.
+    #[test]
+    fn analyzer_probe_transparent_across_memo_modes(src in arb_program_source()) {
+        let program = parse_program(&src).unwrap();
+        for memo in [MemoMode::Off, MemoMode::Simple, MemoMode::Improved] {
+            let config = AnalyzerConfig { memo, ..AnalyzerConfig::default() };
+            let silent = DependenceAnalyzer::with_config(config).analyze_program(&program);
+            let mut probe = RecordingProbe::default();
+            let observed = DependenceAnalyzer::with_config(config)
+                .analyze_program_probed(&program, &mut probe);
+            prop_assert_eq!(
+                &observed, &silent,
+                "probe changed the report under {:?} for\n{}", memo, src
+            );
         }
     }
 }

@@ -64,15 +64,18 @@ mod pool;
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::time::Instant;
 
 use dda_core::gcd::{
     expand_lattice, solve_equalities, solve_equalities_restricted, EqOutcome, Lattice,
 };
 use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey, ShardedMemoTable};
 use dda_core::persist::PersistError;
-use dda_core::stats::AnalysisStats;
+use dda_core::stats::{AnalysisStats, StageTimings};
 use dda_core::steps::{self, Classified, ReduceEffects};
-use dda_core::{AnalyzerConfig, CachedOutcome, MemoMode, PairReport, ProgramReport, SharedMemo};
+use dda_core::{
+    AnalyzerConfig, CachedOutcome, MemoMode, PairReport, ProgramReport, SharedMemo, StatsProbe,
+};
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
 
 use pool::par_map;
@@ -139,6 +142,7 @@ pub struct Engine {
     config: EngineConfig,
     memo: SharedMemo,
     stats: AnalysisStats,
+    timings: StageTimings,
 }
 
 impl Default for Engine {
@@ -194,6 +198,7 @@ enum FullRes {
     Computed {
         report: PairReport,
         fx: ReduceEffects,
+        timings: StageTimings,
     },
     /// Served from the memo (warm hit or a leader's freshly inserted
     /// entry); rehydrated during assembly.
@@ -250,6 +255,7 @@ impl Engine {
         Engine {
             memo: SharedMemo::new(config.shards),
             stats: AnalysisStats::default(),
+            timings: StageTimings::default(),
             config,
         }
     }
@@ -265,6 +271,16 @@ impl Engine {
     #[must_use]
     pub fn stats(&self) -> &AnalysisStats {
         &self.stats
+    }
+
+    /// Per-stage wall-time accumulators since construction (or the last
+    /// [`reset`](Self::reset)). Call counts are deterministic — only
+    /// *leader* solves are timed, and leader election is
+    /// schedule-independent — while the nanosecond values naturally vary
+    /// run to run. Aggregation happens in job enumeration order.
+    #[must_use]
+    pub fn stage_timings(&self) -> &StageTimings {
+        &self.timings
     }
 
     /// The shared memo tables (e.g. for persistence).
@@ -289,6 +305,7 @@ impl Engine {
     pub fn reset(&mut self) {
         self.memo.clear();
         self.stats = AnalysisStats::default();
+        self.timings = StageTimings::default();
     }
 
     /// Serializes the memo tables (`dda-memo v1`, interchangeable with
@@ -366,11 +383,12 @@ impl Engine {
         });
 
         // Wave 2: extended GCD.
-        let gcd = if memo_on {
+        let (gcd, gcd_timings) = if memo_on {
             self.gcd_wave_memo(&cfg, workers, &jobs, &classified)
         } else {
             gcd_wave_off(workers, &jobs, &classified)
         };
+        let mut batch_timings = gcd_timings;
 
         // Wave 3: full analysis of the surviving (lattice) jobs.
         let full = if memo_on {
@@ -434,8 +452,13 @@ impl Engine {
                                     FullRes::NotReached => {
                                         unreachable!("lattice jobs always run the full wave")
                                     }
-                                    FullRes::Computed { report, fx } => {
+                                    FullRes::Computed {
+                                        report,
+                                        fx,
+                                        timings,
+                                    } => {
                                         fx.apply_to(&mut delta);
+                                        batch_timings.add(&timings);
                                         report
                                     }
                                     FullRes::Cached {
@@ -459,6 +482,7 @@ impl Engine {
             self.stats.add(&delta);
             out.push(ProgramReport::from_parts(pair_reports, delta));
         }
+        self.timings.add(&batch_timings);
         out
     }
 
@@ -470,7 +494,7 @@ impl Engine {
         workers: usize,
         jobs: &[Job<'_>],
         classified: &[Classified],
-    ) -> Vec<GcdRes> {
+    ) -> (Vec<GcdRes>, StageTimings) {
         let improved = cfg.memo == MemoMode::Improved;
         let nkeys: Vec<Option<NoBoundsKey>> = par_map(workers, jobs, |i, _| {
             classified[i].problem().map(|p| nobounds_key(p, improved))
@@ -486,14 +510,19 @@ impl Engine {
             .enumerate()
             .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
             .collect();
-        let solved: Vec<Option<EqOutcome>> = par_map(workers, &leader_jobs, |_, &i| {
+        let solved: Vec<(Option<EqOutcome>, u64)> = par_map(workers, &leader_jobs, |_, &i| {
             let p = classified[i].problem().expect("leaders have a problem");
             let nk = nkeys[i].as_ref().expect("leaders have a key");
-            solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars)
+            let start = Instant::now();
+            let out = solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars);
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            (out, nanos)
         });
+        let mut timings = StageTimings::default();
         let mut leader_out: HashMap<usize, Option<EqOutcome>> =
             HashMap::with_capacity(leader_jobs.len());
-        for (v, &i) in solved.into_iter().zip(&leader_jobs) {
+        for ((v, nanos), &i) in solved.into_iter().zip(&leader_jobs) {
+            timings.record_gcd(nanos);
             if let Some(v) = &v {
                 // Matches the serial analyzer: overflows are not cached.
                 self.memo.gcd.insert(
@@ -504,7 +533,7 @@ impl Engine {
             leader_out.insert(i, v);
         }
 
-        par_map(workers, jobs, |i, _| {
+        let res = par_map(workers, jobs, |i, _| {
             let Some(src) = &plan[i] else {
                 return GcdRes::Skip;
             };
@@ -532,7 +561,8 @@ impl Engine {
                     }
                 }
             }
-        })
+        });
+        (res, timings)
     }
 
     /// The memoized full-analysis wave over lattice jobs.
@@ -564,7 +594,7 @@ impl Engine {
             .enumerate()
             .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
             .collect();
-        let computed: Vec<(PairReport, ReduceEffects, CachedOutcome)> =
+        let computed: Vec<(PairReport, ReduceEffects, CachedOutcome, StageTimings)> =
             par_map(workers, &leader_jobs, |_, &i| {
                 let job = &jobs[i];
                 let p = classified[i].problem().expect("leaders have a problem");
@@ -573,20 +603,22 @@ impl Engine {
                 };
                 let template = steps::pair_template(job.a, job.b, job.common);
                 let mut fx = ReduceEffects::default();
-                let report = steps::analyze_reduced(cfg, p, lattice, template, &mut fx);
+                let mut probe = StatsProbe::default();
+                let report =
+                    steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
                 let (ck, flipped) = fkeys[i].as_ref().expect("leaders have a key");
                 let cached = steps::canonical_outcome(&report, ck, *flipped);
-                (report, fx, cached)
+                (report, fx, cached, probe.timings)
             });
 
-        let mut leader_reports: HashMap<usize, (PairReport, ReduceEffects)> =
+        let mut leader_reports: HashMap<usize, (PairReport, ReduceEffects, StageTimings)> =
             HashMap::with_capacity(leader_jobs.len());
         let mut leader_cached: HashMap<usize, CachedOutcome> =
             HashMap::with_capacity(leader_jobs.len());
-        for ((report, fx, cached), &i) in computed.into_iter().zip(&leader_jobs) {
+        for ((report, fx, cached, timings), &i) in computed.into_iter().zip(&leader_jobs) {
             let (ck, _) = fkeys[i].as_ref().expect("leaders have a key");
             self.memo.full.insert(ck.key.clone(), cached.clone());
-            leader_reports.insert(i, (report, fx));
+            leader_reports.insert(i, (report, fx, timings));
             leader_cached.insert(i, cached);
         }
 
@@ -604,10 +636,14 @@ impl Engine {
                     }
                 }
                 Some(Src::Leader) => {
-                    let (report, fx) = leader_reports
+                    let (report, fx, timings) = leader_reports
                         .remove(&i)
                         .expect("leader computed exactly once");
-                    FullRes::Computed { report, fx }
+                    FullRes::Computed {
+                        report,
+                        fx,
+                        timings,
+                    }
                 }
                 Some(Src::Share(j)) => {
                     let (ck, flipped) = fk.expect("planned jobs have a key");
@@ -624,18 +660,39 @@ impl Engine {
 
 /// The GCD wave without memoization: every problem job solves its own
 /// full equality system, exactly like the serial `MemoMode::Off` path.
-fn gcd_wave_off(workers: usize, jobs: &[Job<'_>], classified: &[Classified]) -> Vec<GcdRes> {
-    par_map(workers, jobs, |i, _| match classified[i].problem() {
-        None => GcdRes::Skip,
-        Some(p) => match solve_equalities(p) {
-            None => GcdRes::Overflow,
-            Some(EqOutcome::Independent) => GcdRes::Independent { hit: false },
-            Some(EqOutcome::Lattice(l)) => GcdRes::Lattice {
-                lattice: l,
-                hit: false,
-            },
-        },
-    })
+fn gcd_wave_off(
+    workers: usize,
+    jobs: &[Job<'_>],
+    classified: &[Classified],
+) -> (Vec<GcdRes>, StageTimings) {
+    let solved = par_map(workers, jobs, |i, _| match classified[i].problem() {
+        None => (GcdRes::Skip, 0),
+        Some(p) => {
+            let start = Instant::now();
+            let out = solve_equalities(p);
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let res = match out {
+                None => GcdRes::Overflow,
+                Some(EqOutcome::Independent) => GcdRes::Independent { hit: false },
+                Some(EqOutcome::Lattice(l)) => GcdRes::Lattice {
+                    lattice: l,
+                    hit: false,
+                },
+            };
+            (res, nanos)
+        }
+    });
+    let mut timings = StageTimings::default();
+    let res = solved
+        .into_iter()
+        .map(|(res, nanos)| {
+            if !matches!(res, GcdRes::Skip) {
+                timings.record_gcd(nanos);
+            }
+            res
+        })
+        .collect();
+    (res, timings)
 }
 
 /// The full-analysis wave without memoization: every lattice job runs the
@@ -654,8 +711,13 @@ fn full_wave_off(
         let p = classified[i].problem().expect("lattice implies a problem");
         let template = steps::pair_template(job.a, job.b, job.common);
         let mut fx = ReduceEffects::default();
-        let report = steps::analyze_reduced(cfg, p, lattice, template, &mut fx);
-        FullRes::Computed { report, fx }
+        let mut probe = StatsProbe::default();
+        let report = steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
+        FullRes::Computed {
+            report,
+            fx,
+            timings: probe.timings,
+        }
     })
 }
 
@@ -766,6 +828,37 @@ mod tests {
                 Some(want) => assert_eq!(&got, want, "shards={shards}"),
             }
         }
+    }
+
+    #[test]
+    fn stage_timing_call_counts_are_deterministic() {
+        // Only leaders are timed, and leader election replays the serial
+        // miss pattern — so stage-call counts must equal what a serial
+        // analyzer's StatsProbe sees, for any worker count.
+        let programs = batch();
+        let config = EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::with_config(config);
+        engine.analyze_programs(&programs);
+
+        let mut analyzer = DependenceAnalyzer::with_config(config.effective_analyzer_config());
+        let mut probe = StatsProbe::default();
+        for p in &programs {
+            analyzer.analyze_program_probed(p, &mut probe);
+        }
+        assert_eq!(engine.stage_timings().calls, probe.timings.calls);
+        // Serial probes time every GCD phase (hits included); the engine
+        // times only the solves that actually ran (the misses).
+        let stats = engine.stats();
+        assert_eq!(
+            engine.stage_timings().gcd_calls,
+            stats.gcd_memo_queries - stats.gcd_memo_hits
+        );
+
+        engine.reset();
+        assert_eq!(engine.stage_timings().total_calls(), 0);
     }
 
     #[test]

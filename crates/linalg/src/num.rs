@@ -169,6 +169,51 @@ pub fn div_ceil(a: i64, b: i64) -> i64 {
     }
 }
 
+/// Checked floor division: `Some(div_floor(a, b))` unless the division
+/// itself is undefined or overflows.
+///
+/// Returns `None` when `b == 0` or when `a == i64::MIN && b == -1` (the
+/// one quotient that does not fit in `i64`).
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::checked_div_floor;
+/// assert_eq!(checked_div_floor(-7, 2), Some(-4));
+/// assert_eq!(checked_div_floor(7, 0), None);
+/// assert_eq!(checked_div_floor(i64::MIN, -1), None);
+/// ```
+#[must_use]
+pub fn checked_div_floor(a: i64, b: i64) -> Option<i64> {
+    if b == 0 || (a == i64::MIN && b == -1) {
+        None
+    } else {
+        Some(div_floor(a, b))
+    }
+}
+
+/// Checked ceiling division: `Some(div_ceil(a, b))` unless the division
+/// itself is undefined or overflows.
+///
+/// Returns `None` when `b == 0` or when `a == i64::MIN && b == -1`.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::num::checked_div_ceil;
+/// assert_eq!(checked_div_ceil(-7, 2), Some(-3));
+/// assert_eq!(checked_div_ceil(7, 0), None);
+/// assert_eq!(checked_div_ceil(i64::MIN, -1), None);
+/// ```
+#[must_use]
+pub fn checked_div_ceil(a: i64, b: i64) -> Option<i64> {
+    if b == 0 || (a == i64::MIN && b == -1) {
+        None
+    } else {
+        Some(div_ceil(a, b))
+    }
+}
+
 /// Checked addition lifted to [`crate::Result`].
 ///
 /// # Errors
@@ -274,6 +319,17 @@ mod tests {
                 assert_eq!(div_ceil(a, b), expect_ceil, "ceil {a}/{b}");
             }
         }
+    }
+
+    #[test]
+    fn checked_division_edge_cases() {
+        assert_eq!(checked_div_floor(7, 2), Some(3));
+        assert_eq!(checked_div_ceil(7, 2), Some(4));
+        assert_eq!(checked_div_floor(i64::MIN, -1), None);
+        assert_eq!(checked_div_ceil(i64::MIN, -1), None);
+        assert_eq!(checked_div_floor(i64::MIN, 1), Some(i64::MIN));
+        assert_eq!(checked_div_floor(3, 0), None);
+        assert_eq!(checked_div_ceil(3, 0), None);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use dda::core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
+use dda::core::pipeline::{ClassifiedKind, GcdVerdict, TraceEvent};
+use dda::core::{
+    AnalyzerConfig, DependenceAnalyzer, MemoMode, RecordingProbe, StatsProbe, TestKind,
+};
 use dda::engine::{Engine, EngineConfig};
 use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
 
@@ -41,9 +44,16 @@ OPTIONS:
     --separable          enable dimension-by-dimension direction vectors
     --input-deps         also test read-read pairs
     --explain            narrate each pair's analysis step by step
+    --trace              (analyze) emit the typed trace-event stream as
+                         JSONL instead of the verdict listing
+    --tests <LIST>       comma-separated exact-test pipeline, in order
+                         (svpc,acyclic,residue,fm — default all four);
+                         partial lists are ablations and may assume
+                         dependence where a disabled test would decide
     --memo-load <FILE>   import a persisted memo table before analyzing
     --memo-save <FILE>   export the memo table afterwards
-    --stats              print analysis statistics
+    --stats              print analysis statistics (with per-stage wall
+                         times for analyze/batch)
 ";
 
 struct Options {
@@ -55,6 +65,7 @@ struct Options {
     memo_save: Option<String>,
     stats: bool,
     explain: bool,
+    trace: bool,
     workers: usize,
     shards: usize,
 }
@@ -75,6 +86,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             memo_save: None,
             stats: false,
             explain: false,
+            trace: false,
             workers: 0,
             shards: 16,
         });
@@ -93,9 +105,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut memo_save = None;
     let mut stats = false;
     let mut explain = false;
+    let mut trace = false;
     let mut workers = 0;
     let mut shards = 16;
     while let Some(flag) = it.next() {
+        if let Some(list) = flag.strip_prefix("--tests=") {
+            config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
+            continue;
+        }
         match flag.as_str() {
             "--no-directions" => config.compute_directions = false,
             "--no-symbolic" => config.symbolic = false,
@@ -105,6 +122,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--input-deps" => config.include_input_deps = true,
             "--stats" => stats = true,
             "--explain" => explain = true,
+            "--trace" => trace = true,
+            "--tests" => {
+                let list = it.next().ok_or("--tests needs a comma-separated list")?;
+                config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
+            }
             "--memo" => {
                 let mode = it.next().ok_or("--memo needs a mode")?;
                 config.memo = match mode.as_str() {
@@ -140,6 +162,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         memo_save,
         stats,
         explain,
+        trace,
         workers,
         shards,
     })
@@ -241,6 +264,138 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Canonical lowercase token for a test, matching `--tests` syntax.
+fn test_token(kind: TestKind) -> &'static str {
+    match kind {
+        TestKind::Svpc => "svpc",
+        TestKind::Acyclic => "acyclic",
+        TestKind::LoopResidue => "residue",
+        TestKind::FourierMotzkin => "fm",
+    }
+}
+
+fn answer_token(answer: &dda::core::Answer) -> &'static str {
+    if answer.is_independent() {
+        "independent"
+    } else if answer.is_dependent() {
+        "dependent"
+    } else {
+        "unknown"
+    }
+}
+
+/// One JSONL record per trace event (hand-rolled: no serde in this tree).
+fn trace_json_line(event: &TraceEvent) -> String {
+    use std::fmt::Write as _;
+    match event {
+        TraceEvent::PairStarted {
+            array,
+            a_access,
+            b_access,
+            common,
+        } => format!(
+            "{{\"event\":\"pair_started\",\"array\":\"{}\",\"a\":{a_access},\
+             \"b\":{b_access},\"common\":{common}}}",
+            json_escape(array)
+        ),
+        TraceEvent::Classified { kind } => match kind {
+            ClassifiedKind::Constant { dependent } => format!(
+                "{{\"event\":\"classified\",\"kind\":\"constant\",\"dependent\":{dependent}}}"
+            ),
+            ClassifiedKind::Unbuildable => {
+                "{\"event\":\"classified\",\"kind\":\"unbuildable\"}".to_owned()
+            }
+            ClassifiedKind::Problem {
+                vars,
+                equations,
+                bounds,
+            } => format!(
+                "{{\"event\":\"classified\",\"kind\":\"problem\",\"vars\":{vars},\
+                 \"equations\":{equations},\"bounds\":{bounds}}}"
+            ),
+        },
+        TraceEvent::CacheHit => "{\"event\":\"cache_hit\"}".to_owned(),
+        TraceEvent::Gcd {
+            verdict,
+            cached,
+            nanos,
+        } => {
+            let v = match verdict {
+                GcdVerdict::Independent => "independent",
+                GcdVerdict::Lattice => "lattice",
+                GcdVerdict::Overflow => "overflow",
+            };
+            format!(
+                "{{\"event\":\"gcd\",\"verdict\":\"{v}\",\"cached\":{cached},\"nanos\":{nanos}}}"
+            )
+        }
+        TraceEvent::Reduced { free_vars, system } => {
+            let rows: Vec<String> = system
+                .constraints
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(&c.to_string())))
+                .collect();
+            format!(
+                "{{\"event\":\"reduced\",\"free_vars\":{free_vars},\"system\":[{}]}}",
+                rows.join(",")
+            )
+        }
+        TraceEvent::ReduceOverflow => "{\"event\":\"reduce_overflow\"}".to_owned(),
+        TraceEvent::StageEntered {
+            test,
+            vars,
+            constraints,
+            bounded,
+        } => format!(
+            "{{\"event\":\"stage_entered\",\"test\":\"{}\",\"vars\":{vars},\
+             \"constraints\":{constraints},\"bounded\":{bounded}}}",
+            test_token(*test)
+        ),
+        TraceEvent::Stage {
+            test,
+            verdict,
+            nanos,
+        } => format!(
+            "{{\"event\":\"stage\",\"test\":\"{}\",\"verdict\":\"{verdict}\",\"nanos\":{nanos}}}",
+            test_token(*test)
+        ),
+        TraceEvent::Witness { x } => {
+            let vals: Vec<String> = x.iter().map(ToString::to_string).collect();
+            format!("{{\"event\":\"witness\",\"x\":[{}]}}", vals.join(","))
+        }
+        TraceEvent::RefinementStarted => "{\"event\":\"refinement_started\"}".to_owned(),
+        TraceEvent::Directions {
+            vectors,
+            distance,
+            tests,
+            exact,
+            nanos,
+        } => {
+            let vecs: Vec<String> = vectors
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(&v.to_string())))
+                .collect();
+            format!(
+                "{{\"event\":\"directions\",\"vectors\":[{}],\"distance\":\"{}\",\
+                 \"tests\":{tests},\"exact\":{exact},\"nanos\":{nanos}}}",
+                vecs.join(","),
+                json_escape(&distance.to_string())
+            )
+        }
+        TraceEvent::PairFinished { result, from_cache } => {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"event\":\"pair_finished\",\"answer\":\"{}\",\"by\":\"{}\",\
+                 \"cached\":{from_cache}}}",
+                answer_token(&result.answer),
+                json_escape(&result.resolved_by.to_string())
+            );
+            line
+        }
+    }
 }
 
 /// One JSONL record for a program's report.
@@ -377,6 +532,7 @@ fn run_batch(opts: &Options) -> Result<(), String> {
             s.gcd_memo_hits,
             s.gcd_memo_queries
         );
+        eprintln!("stage times: {}", engine.stage_timings());
     }
 
     if let Some(path) = &opts.memo_save {
@@ -403,16 +559,32 @@ fn run(opts: &Options) -> Result<(), String> {
             .load_memo_file(path)
             .map_err(|e| format!("{path}: {e}"))?;
     }
-    let report = analyzer.analyze_program(&program);
+    // One analysis, three observation modes: recording (--trace), timing
+    // (--stats), or the zero-cost null probe. Answers are identical in all
+    // three — the probe only watches.
+    let mut recorder = RecordingProbe::default();
+    let mut timer = StatsProbe::default();
+    let report = if opts.trace {
+        analyzer.analyze_program_probed(&program, &mut recorder)
+    } else if opts.stats {
+        analyzer.analyze_program_probed(&program, &mut timer)
+    } else {
+        analyzer.analyze_program(&program)
+    };
 
     match opts.command.as_str() {
+        "analyze" if opts.trace => {
+            for event in &recorder.events {
+                println!("{}", trace_json_line(event));
+            }
+        }
         "analyze" if opts.explain => {
             let set = dda::ir::extract_accesses(&program);
             let pairs = dda::ir::reference_pairs(&set, opts.config.include_input_deps);
             for p in &pairs {
                 print!(
                     "{}",
-                    dda::core::explain::explain_pair(p.a, p.b, p.common, opts.config.symbolic)
+                    dda::core::explain::explain_pair_with(&opts.config, p.a, p.b, p.common)
                 );
                 println!();
             }
@@ -500,6 +672,9 @@ fn run(opts: &Options) -> Result<(), String> {
             s.memo_queries,
             s.direction_vectors_found
         );
+        if !opts.trace {
+            println!("stage times: {}", timer.timings);
+        }
     }
 
     if let Some(path) = &opts.memo_save {

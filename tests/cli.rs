@@ -194,6 +194,87 @@ fn batch_missing_program_file_fails_with_context() {
     assert!(stderr.contains("no_such_file.loop"), "{stderr}");
 }
 
+/// Zeroes every `"nanos":N` field so trace output is comparable across
+/// runs (wall times are the only non-deterministic part of a trace).
+fn normalize_nanos(line: &str) -> String {
+    let mut out = String::new();
+    let mut rest = line;
+    while let Some(at) = rest.find("\"nanos\":") {
+        let (head, tail) = rest.split_at(at + "\"nanos\":".len());
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Snapshot of the `--trace` JSONL stream on the paper's worked example
+/// `a[i + 1] = a[i]`: one typed event per line, from `pair_started`
+/// through GCD, cascade stage, witness, refinement, to `pair_finished`.
+#[test]
+fn trace_emits_jsonl_event_stream() {
+    let (stdout, _, ok) = run_cli(
+        &["analyze", "-", "--trace"],
+        "for i = 1 to 10 { a[i + 1] = a[i]; }",
+    );
+    assert!(ok);
+    let normalized: Vec<String> = stdout.lines().map(normalize_nanos).collect();
+    let expected = [
+        r#"{"event":"pair_started","array":"a","a":0,"b":1,"common":1}"#,
+        r#"{"event":"classified","kind":"problem","vars":2,"equations":1,"bounds":4}"#,
+        r#"{"event":"gcd","verdict":"lattice","cached":false,"nanos":0}"#,
+        r#"{"event":"reduced","free_vars":1,"system":["-t0 <= -2","t0 <= 11","-t0 <= -1","t0 <= 10"]}"#,
+        r#"{"event":"stage_entered","test":"svpc","vars":1,"constraints":4,"bounded":0}"#,
+        r#"{"event":"stage","test":"svpc","verdict":"dependent","nanos":0}"#,
+        r#"{"event":"witness","x":[1,2]}"#,
+        r#"{"event":"refinement_started"}"#,
+        r#"{"event":"directions","vectors":["(<)"],"distance":"(1)","tests":0,"exact":true,"nanos":0}"#,
+        r#"{"event":"pair_finished","answer":"dependent","by":"SVPC","cached":false}"#,
+    ];
+    assert_eq!(normalized, expected, "full stream:\n{stdout}");
+}
+
+#[test]
+fn trace_and_plain_analyze_agree() {
+    // The probe must not change the verdict: the traced run's final event
+    // and the plain run's listing agree.
+    let src = "for i = 1 to 10 { a[2 * i] = a[2 * i + 1]; }";
+    let (traced, _, ok) = run_cli(&["analyze", "-", "--trace"], src);
+    assert!(ok);
+    assert!(
+        traced.contains(r#""event":"pair_finished","answer":"independent""#),
+        "{traced}"
+    );
+    let (plain, _, ok) = run_cli(&["analyze", "-"], src);
+    assert!(ok);
+    assert!(plain.contains("Independent"), "{plain}");
+}
+
+#[test]
+fn tests_flag_reconfigures_the_pipeline() {
+    // SVPC resolves this pair under the full cascade; with --tests fm the
+    // same answer must come from Fourier–Motzkin instead.
+    let src = "for i = 1 to 10 { a[i + 1] = a[i]; }";
+    let (full, _, ok) = run_cli(&["analyze", "-"], src);
+    assert!(ok);
+    assert!(full.contains("by SVPC"), "{full}");
+    let (fm_only, _, ok) = run_cli(&["analyze", "-", "--tests", "fm"], src);
+    assert!(ok);
+    assert!(fm_only.contains("by Fourier-Motzkin"), "{fm_only}");
+    // The equals form and long aliases parse too.
+    let (aliased, _, ok) = run_cli(&["analyze", "-", "--tests=svpc,fourier-motzkin"], src);
+    assert!(ok);
+    assert!(aliased.contains("by SVPC"), "{aliased}");
+}
+
+#[test]
+fn tests_flag_rejects_unknown_names() {
+    let (_, stderr, ok) = run_cli(&["analyze", "-", "--tests", "bogus"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown test 'bogus'"), "{stderr}");
+}
+
 #[test]
 fn conditional_programs_analyze() {
     let (stdout, _, ok) = run_cli(
