@@ -1,0 +1,144 @@
+//! Translation validation over generated corpora: for every verdict the
+//! analyzer produces on a random program, the independent kernel must
+//! accept the attached certificate.
+//!
+//! With memoization off every certificate is fresh, so the bar is strict:
+//! every single outcome verifies. With memoization on, rehydrated hits may
+//! legitimately degrade to `Unverified` (the cached problem is not this
+//! problem), but the kernel must never *reject* — a rejection means the
+//! analyzer attached evidence contradicting its own verdict.
+
+use dda_check::{check_program, CheckOutcome};
+use dda_core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
+use dda_ir::{parse_program, passes, Program};
+use proptest::prelude::*;
+
+/// A subscript over up to `depth` loop variables: usually affine, but
+/// sometimes symbolic (`n`) and sometimes non-affine (`b[v0 + 1]`), so
+/// every classification path gets exercised.
+fn arb_subscript(depth: usize, allow_symbolic: bool) -> impl Strategy<Value = String> {
+    let coeffs = proptest::collection::vec(-2i64..=2, depth);
+    (coeffs, -6i64..=6, 0u8..=11).prop_map(move |(coeffs, c, kind)| {
+        if kind == 0 {
+            return "b[v0 + 1]".to_owned();
+        }
+        let mut s = String::new();
+        for (k, a) in coeffs.iter().enumerate() {
+            if *a != 0 {
+                if !s.is_empty() {
+                    s.push_str(" + ");
+                }
+                s.push_str(&format!("{a} * v{k}"));
+            }
+        }
+        if kind == 1 && allow_symbolic {
+            if !s.is_empty() {
+                s.push_str(" + ");
+            }
+            s.push('n');
+        }
+        if s.is_empty() {
+            format!("{c}")
+        } else {
+            format!("{s} + {c}")
+        }
+    })
+}
+
+/// One random program: a nest of 1–3 loops (possibly triangular) around
+/// 1–2 statements of 1–2-D references to a shared array.
+fn arb_program() -> impl Strategy<Value = String> {
+    (1usize..=3)
+        .prop_flat_map(|depth| {
+            let allow_symbolic = depth <= 2;
+            let bounds = proptest::collection::vec((0i64..=2, 2i64..=5, prop::bool::ANY), depth);
+            let dims = 1usize..=2;
+            let stmts = proptest::collection::vec(
+                (
+                    proptest::collection::vec(arb_subscript(depth, allow_symbolic), 2),
+                    proptest::collection::vec(arb_subscript(depth, allow_symbolic), 2),
+                ),
+                1..=2,
+            );
+            (Just(depth), bounds, dims, stmts)
+        })
+        .prop_map(|(depth, bounds, dims, stmts)| {
+            let mut src = String::new();
+            for (k, (lo, hi, triangular)) in bounds.iter().enumerate() {
+                let lower = if *triangular && k > 0 {
+                    format!("v{}", k - 1)
+                } else {
+                    lo.to_string()
+                };
+                src.push_str(&format!("for v{k} = {lower} to {hi} {{ "));
+            }
+            for (wsubs, rsubs) in &stmts {
+                let w: Vec<String> = wsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
+                let r: Vec<String> = rsubs.iter().take(dims).map(|s| format!("[{s}]")).collect();
+                src.push_str(&format!("a{} = a{} + 1; ", w.concat(), r.concat()));
+            }
+            for _ in 0..depth {
+                src.push_str("} ");
+            }
+            if src.contains('n') {
+                format!("read(n); {src}")
+            } else {
+                src
+            }
+        })
+}
+
+fn parsed(src: &str) -> Program {
+    let mut p = parse_program(src).expect("generated programs parse");
+    passes::normalize(&mut p);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Memo off: every certificate is fresh and every outcome verifies.
+    #[test]
+    fn fresh_certificates_always_verify(src in arb_program()) {
+        let program = parsed(&src);
+        let mut analyzer = DependenceAnalyzer::with_config(AnalyzerConfig {
+            memo: MemoMode::Off,
+            ..AnalyzerConfig::default()
+        });
+        let report = analyzer.analyze_program(&program);
+        let outcomes = check_program(&program, false, &report).expect("pair lists line up");
+        for (i, o) in outcomes.iter().enumerate() {
+            prop_assert!(
+                o.is_verified(),
+                "pair {i} of {src:?} did not verify: {o:?}\n{:?}",
+                report.pairs()[i]
+            );
+        }
+    }
+
+    /// Memo on (both schemes, analyzing twice so the second run replays
+    /// from cache): rehydrated certificates may degrade to Unverified but
+    /// are never rejected.
+    #[test]
+    fn memoized_certificates_never_reject(src in arb_program()) {
+        let program = parsed(&src);
+        for memo in [MemoMode::Simple, MemoMode::Improved] {
+            let mut analyzer = DependenceAnalyzer::with_config(AnalyzerConfig {
+                memo,
+                memo_symmetry: true,
+                ..AnalyzerConfig::default()
+            });
+            for round in 0..2 {
+                let report = analyzer.analyze_program(&program);
+                let outcomes =
+                    check_program(&program, false, &report).expect("pair lists line up");
+                for (i, o) in outcomes.iter().enumerate() {
+                    prop_assert!(
+                        !matches!(o, CheckOutcome::Rejected(_)),
+                        "memo {memo:?} round {round} pair {i} of {src:?} rejected: {o:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -17,8 +17,12 @@
 //! one direction and then set them"), and keeps an elimination [`Trace`]
 //! so an exact witness can be reconstructed afterwards.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 use dda_linalg::num;
 
+use crate::certificate::{Rule, Trail};
+use crate::svpc::first_empty_var;
 use crate::system::{Constraint, VarBounds};
 
 /// One elimination step, remembered for witness reconstruction.
@@ -86,6 +90,9 @@ impl Trace {
     ///
     /// Returns `None` on arithmetic overflow.
     #[must_use]
+    // i128-widened arithmetic over i64 inputs with a handful of terms:
+    // the accumulator cannot reach the i128 boundary.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn complete(&self, sample: &mut [i64]) -> Option<()> {
         for e in self.events.iter().rev() {
             match e {
@@ -177,35 +184,85 @@ fn occurrence_signs(residual: &[Constraint], v: usize) -> (bool, bool) {
 
 /// Folds trivial and single-variable constraints of `residual` into
 /// `bounds`; returns `false` on contradiction.
-fn absorb_simple(bounds: &mut VarBounds, residual: &mut Vec<Constraint>) -> bool {
+///
+/// `trail.row_step` mirrors `residual` (including `swap_remove`s), and
+/// each contradiction seals the trail: a violated trivial row directly,
+/// an empty scalar range via the sum of its two bound rows.
+// The only unchecked op is a usize scan index bounded by `residual.len()`.
+#[allow(clippy::arithmetic_side_effects)]
+fn absorb_simple(
+    bounds: &mut VarBounds,
+    residual: &mut Vec<Constraint>,
+    trail: &mut Trail,
+) -> bool {
     let mut i = 0;
     while i < residual.len() {
         let c = &mut residual[i];
+        let g = num::gcd_slice(&c.coeffs);
         c.normalize();
+        if g > 1 {
+            trail.row_step[i] = trail.push(Rule::Div {
+                of: trail.row_step[i],
+                d: g,
+            });
+        }
         if c.is_trivial() {
             if !c.trivially_satisfied() {
+                trail.seal = Some(trail.row_step[i]);
                 return false;
             }
             residual.swap_remove(i);
+            trail.row_step.swap_remove(i);
             continue;
         }
         if let Some(v) = c.single_var() {
+            // Normalized single-variable rows have coefficient ±1, so the
+            // row itself is the bound row `v ≤ q` / `−v ≤ −q`.
             let a = c.coeffs[v];
+            let step = trail.row_step[i];
             let absorbed = if a > 0 {
-                num::checked_div_floor(c.rhs, a).map(|q| bounds.tighten_ub(v, q))
+                num::checked_div_floor(c.rhs, a).map(|q| {
+                    let old = bounds.ub[v];
+                    bounds.tighten_ub(v, q);
+                    if bounds.ub[v] != old {
+                        trail.ub_step[v] = Some(step);
+                    }
+                })
             } else {
-                num::checked_div_ceil(c.rhs, a).map(|q| bounds.tighten_lb(v, q))
+                num::checked_div_ceil(c.rhs, a).map(|q| {
+                    let old = bounds.lb[v];
+                    bounds.tighten_lb(v, q);
+                    if bounds.lb[v] != old {
+                        trail.lb_step[v] = Some(step);
+                    }
+                })
             };
             // On quotient overflow the constraint stays in the residual;
             // elimination or a later test handles it exactly.
             if absorbed.is_some() {
                 residual.swap_remove(i);
+                trail.row_step.swap_remove(i);
                 continue;
             }
         }
         i += 1;
     }
-    !bounds.any_empty()
+    if let Some(v) = first_empty_var(bounds) {
+        match (trail.ub_step[v], trail.lb_step[v]) {
+            // `v ≤ u` plus `−v ≤ −l` sums to `0 ≤ u − l < 0`.
+            (Some(ub), Some(lb)) => {
+                trail.seal = Some(trail.push(Rule::Comb {
+                    a: ub,
+                    ca: 1,
+                    b: lb,
+                    cb: 1,
+                }));
+            }
+            _ => trail.ok = false,
+        }
+        return false;
+    }
+    true
 }
 
 /// Runs the Acyclic test.
@@ -240,6 +297,18 @@ fn absorb_simple(bounds: &mut VarBounds, residual: &mut Vec<Constraint>) -> bool
 /// ```
 #[must_use]
 pub fn acyclic(bounds: &VarBounds, residual: &[Constraint]) -> AcyclicOutcome {
+    let mut trail = Trail::for_rows(bounds.len(), residual);
+    acyclic_into(bounds, residual, &mut trail)
+}
+
+/// The trail-threaded form of [`acyclic`]: `trail.row_step` must mirror
+/// `residual` on entry (and the bound steps any bounds already absorbed);
+/// on `Infeasible` the trail is sealed when accountable.
+pub(crate) fn acyclic_into(
+    bounds: &VarBounds,
+    residual: &[Constraint],
+    trail: &mut Trail,
+) -> AcyclicOutcome {
     let n = bounds.len();
     let mut bounds = bounds.clone();
     let mut residual = residual.to_vec();
@@ -247,7 +316,7 @@ pub fn acyclic(bounds: &VarBounds, residual: &[Constraint]) -> AcyclicOutcome {
     let mut eliminated = vec![false; n];
 
     loop {
-        if !absorb_simple(&mut bounds, &mut residual) {
+        if !absorb_simple(&mut bounds, &mut residual, trail) {
             return AcyclicOutcome::Infeasible;
         }
         if residual.is_empty() {
@@ -286,18 +355,48 @@ pub fn acyclic(bounds: &VarBounds, residual: &[Constraint]) -> AcyclicOutcome {
                 // Only upper-bounded by the residual: push v down.
                 match bounds.lb[v] {
                     Some(l) => {
+                        let affected: Vec<(usize, i64)> = residual
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| c.coeffs[v] != 0)
+                            .map(|(i, c)| (i, c.coeffs[v]))
+                            .collect();
                         if !substitute(&mut residual, v, l) {
+                            trail.ok = false;
                             return AcyclicOutcome::Stuck {
                                 bounds,
                                 residual,
                                 trace,
                             };
                         }
+                        // Each substituted row is row + a·(−v ≤ −l): the v
+                        // term cancels and the rhs becomes c − a·l.
+                        for (i, a) in affected {
+                            match trail.lb_step[v] {
+                                Some(lb) => {
+                                    trail.row_step[i] = trail.push(Rule::Comb {
+                                        a: trail.row_step[i],
+                                        ca: 1,
+                                        b: lb,
+                                        cb: a,
+                                    });
+                                }
+                                None => trail.ok = false,
+                            }
+                        }
                         trace.events.push(Event::Fixed { var: v, value: l });
                     }
                     None => {
                         let (with_v, rest): (Vec<Constraint>, Vec<Constraint>) =
                             residual.iter().cloned().partition(|c| c.coeffs[v] != 0);
+                        // Dropping rows only weakens the system; drop the
+                        // corresponding steps with them.
+                        trail.row_step = residual
+                            .iter()
+                            .zip(&trail.row_step)
+                            .filter(|(c, _)| c.coeffs[v] == 0)
+                            .map(|(_, &s)| s)
+                            .collect();
                         residual = rest;
                         trace.events.push(Event::DeferredLow {
                             var: v,
@@ -310,18 +409,46 @@ pub fn acyclic(bounds: &VarBounds, residual: &[Constraint]) -> AcyclicOutcome {
                 // Only lower-bounded by the residual: push v up.
                 match bounds.ub[v] {
                     Some(u) => {
+                        let affected: Vec<(usize, i64)> = residual
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| c.coeffs[v] != 0)
+                            .map(|(i, c)| (i, c.coeffs[v]))
+                            .collect();
                         if !substitute(&mut residual, v, u) {
+                            trail.ok = false;
                             return AcyclicOutcome::Stuck {
                                 bounds,
                                 residual,
                                 trace,
                             };
                         }
+                        // Here a < 0: row + (−a)·(v ≤ u) cancels the v term
+                        // and the rhs becomes c − a·u.
+                        for (i, a) in affected {
+                            match (trail.ub_step[v], a.checked_neg()) {
+                                (Some(ub), Some(na)) => {
+                                    trail.row_step[i] = trail.push(Rule::Comb {
+                                        a: trail.row_step[i],
+                                        ca: 1,
+                                        b: ub,
+                                        cb: na,
+                                    });
+                                }
+                                _ => trail.ok = false,
+                            }
+                        }
                         trace.events.push(Event::Fixed { var: v, value: u });
                     }
                     None => {
                         let (with_v, rest): (Vec<Constraint>, Vec<Constraint>) =
                             residual.iter().cloned().partition(|c| c.coeffs[v] != 0);
+                        trail.row_step = residual
+                            .iter()
+                            .zip(&trail.row_step)
+                            .filter(|(c, _)| c.coeffs[v] == 0)
+                            .map(|(_, &s)| s)
+                            .collect();
                         residual = rest;
                         trace.events.push(Event::DeferredHigh {
                             var: v,

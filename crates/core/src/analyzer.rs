@@ -11,8 +11,11 @@ use std::time::Instant;
 
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
 
+use crate::certificate::Certificate;
 use crate::fourier_motzkin::FmLimits;
-use crate::gcd::{expand_lattice, solve_equalities, solve_equalities_restricted, EqOutcome};
+use crate::gcd::{
+    expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted, EqOutcome,
+};
 use crate::memo::{nobounds_key, CanonicalKey, MemoTable};
 use crate::pipeline::{ClassifiedKind, GcdVerdict, NullProbe, PipelineConfig, Probe, TraceEvent};
 use crate::problem::DependenceProblem;
@@ -104,6 +107,9 @@ pub struct PairReport {
     pub distance: DistanceVector,
     /// Whether the result came from the memo table.
     pub from_cache: bool,
+    /// Evidence for the verdict, checkable by `dda-check` without
+    /// trusting any solver code.
+    pub certificate: Certificate,
 }
 
 /// The analysis of a whole program.
@@ -187,6 +193,11 @@ pub struct CachedOutcome {
     pub direction_vectors: Vec<DirectionVector>,
     /// Distances in canonical space.
     pub distance: DistanceVector,
+    /// The certificate computed for the stored verdict. Transfers
+    /// verbatim only to literally identical problems (Simple mode,
+    /// unflipped); otherwise hits degrade to
+    /// [`Certificate::Unverified`]/[`Certificate::Conservative`].
+    pub certificate: Certificate,
 }
 
 /// The paper's dependence analyzer.
@@ -406,7 +417,7 @@ impl DependenceAnalyzer {
             }
             Some(EqOutcome::Independent) => {
                 self.stats.gcd_independent += 1;
-                let report = steps::gcd_independent_report(template);
+                let report = steps::gcd_independent_report(template, refute_equalities(&problem));
                 self.note_outcome(&report);
                 return report;
             }

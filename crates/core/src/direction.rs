@@ -17,9 +17,10 @@
 //! over the free variables is a constant exactly when the basis rows
 //! cancel.
 
+use crate::certificate::DirTree;
 use crate::fourier_motzkin::FmLimits;
 use crate::gcd::Reduced;
-use crate::pipeline::{run_pipeline, PipelineConfig, Probe};
+use crate::pipeline::{run_pipeline_collect, PipelineConfig, Probe};
 use crate::problem::{DependenceProblem, XVar};
 use crate::result::{Answer, Direction, DirectionVector, DistanceVector};
 use crate::stats::TestCounts;
@@ -68,6 +69,10 @@ pub struct DirectionAnalysis {
     pub distance: DistanceVector,
     /// Whether every reported vector rests on exact test answers.
     pub exact: bool,
+    /// When refinement proved independence (`vectors` is empty), the
+    /// direction-split tree whose leaves refute every region — `None` if
+    /// any branch's refutation could not be assembled.
+    pub tree: Option<DirTree>,
 }
 
 /// How one level will be handled during refinement.
@@ -214,12 +219,13 @@ pub fn analyze_directions<P: Probe>(
         exact: true,
         current: vec![Direction::Any; levels],
     };
-    state.refine(0, Vec::new());
+    let tree = state.refine(0, Vec::new());
 
     DirectionAnalysis {
         vectors: state.vectors,
         distance,
         exact: state.exact,
+        tree,
     }
 }
 
@@ -299,32 +305,51 @@ fn try_separable<P: Probe>(
     for &k in &refine_levels {
         let (coeffs, c0) = exprs[k].as_ref().expect("checked above");
         let mut feasible = Vec::new();
+        let mut branches: Vec<Option<DirTree>> = Vec::with_capacity(3);
         for dir in Direction::REFINED {
             let Some(new_cs) = direction_constraints(coeffs, *c0, dir) else {
                 exact = false;
                 feasible.push(dir); // conservative: keep untestable dirs
+                branches.push(None);
                 continue;
             };
             let mut sys = system.clone();
             for cst in new_cs {
                 sys.push(cst);
             }
-            let out = run_pipeline(&sys, &config.pipeline, config.fm_limits, probe);
+            let (out, refutation) =
+                run_pipeline_collect(&sys, &config.pipeline, config.fm_limits, probe);
             counts.record(out.used, out.answer.is_independent());
             match out.answer {
-                Answer::Independent => {}
-                Answer::Dependent(_) => feasible.push(dir),
+                Answer::Independent => branches.push(refutation.map(DirTree::Refuted)),
+                Answer::Dependent(_) => {
+                    feasible.push(dir);
+                    branches.push(None);
+                }
                 Answer::Unknown => {
                     exact = false;
                     feasible.push(dir);
+                    branches.push(None);
                 }
             }
         }
         if feasible.is_empty() {
+            // All three directions at this level refuted: one split node
+            // certifies independence of the whole system.
+            let tree = match (branches.pop(), branches.pop(), branches.pop()) {
+                (Some(Some(gt)), Some(Some(eq)), Some(Some(lt))) => Some(DirTree::Split {
+                    level: k,
+                    lt: Box::new(lt),
+                    eq: Box::new(eq),
+                    gt: Box::new(gt),
+                }),
+                _ => None,
+            };
             return Some(DirectionAnalysis {
                 vectors: Vec::new(),
                 distance: distance.clone(),
                 exact,
+                tree,
             });
         }
         per_level.push(feasible);
@@ -355,6 +380,7 @@ fn try_separable<P: Probe>(
         vectors,
         distance: distance.clone(),
         exact,
+        tree: None,
     })
 }
 
@@ -371,17 +397,24 @@ struct Refiner<'a, P: Probe> {
 }
 
 impl<P: Probe> Refiner<'_, P> {
-    fn refine(&mut self, level: usize, extra: Vec<Constraint>) {
+    /// Refines from `level` down. Returns the refutation tree for this
+    /// subtree when every direction branch below it was proven infeasible
+    /// with checkable evidence — impossible once any vector is emitted —
+    /// and `None` otherwise. Deeper splits may refute a branch whose own
+    /// cascade answered `Dependent`/`Unknown`: the trichotomy at the
+    /// deeper level still covers that branch's region.
+    fn refine(&mut self, level: usize, extra: Vec<Constraint>) -> Option<DirTree> {
         if level == self.plans.len() {
             self.vectors.push(DirectionVector(self.current.clone()));
-            return;
+            return None;
         }
         match self.plans[level] {
             LevelPlan::Fixed(dir) => {
                 self.current[level] = dir;
-                self.refine(level + 1, extra);
+                self.refine(level + 1, extra)
             }
             LevelPlan::Refine => {
+                let mut branches: Vec<Option<DirTree>> = Vec::with_capacity(3);
                 for dir in Direction::REFINED {
                     let Some((coeffs, c)) = &self.exprs[level] else {
                         // No distance expression (overflow): keep `*` and
@@ -389,10 +422,11 @@ impl<P: Probe> Refiner<'_, P> {
                         self.exact = false;
                         self.current[level] = Direction::Any;
                         self.refine(level + 1, extra.clone());
-                        return;
+                        return None;
                     };
                     let Some(new_cs) = direction_constraints(coeffs, *c, dir) else {
                         self.exact = false;
+                        branches.push(None);
                         continue;
                     };
                     let mut extended = extra.clone();
@@ -401,7 +435,7 @@ impl<P: Probe> Refiner<'_, P> {
                     for cst in &extended {
                         sys.push(cst.clone());
                     }
-                    let out = run_pipeline(
+                    let (out, refutation) = run_pipeline_collect(
                         &sys,
                         &self.config.pipeline,
                         self.config.fm_limits,
@@ -409,17 +443,28 @@ impl<P: Probe> Refiner<'_, P> {
                     );
                     self.counts.record(out.used, out.answer.is_independent());
                     match out.answer {
-                        Answer::Independent => {}
+                        Answer::Independent => {
+                            branches.push(refutation.map(DirTree::Refuted));
+                        }
                         Answer::Dependent(_) => {
                             self.current[level] = dir;
-                            self.refine(level + 1, extended);
+                            branches.push(self.refine(level + 1, extended));
                         }
                         Answer::Unknown => {
                             self.exact = false;
                             self.current[level] = dir;
-                            self.refine(level + 1, extended);
+                            branches.push(self.refine(level + 1, extended));
                         }
                     }
+                }
+                match (branches.pop(), branches.pop(), branches.pop()) {
+                    (Some(Some(gt)), Some(Some(eq)), Some(Some(lt))) => Some(DirTree::Split {
+                        level,
+                        lt: Box::new(lt),
+                        eq: Box::new(eq),
+                        gt: Box::new(gt),
+                    }),
+                    _ => None,
                 }
             }
         }

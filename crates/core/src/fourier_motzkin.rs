@@ -19,8 +19,11 @@
 //! (preserving exactly the integer solutions), and the elimination order
 //! greedily minimizes the number of generated rows (`p·q`).
 
-use dda_linalg::Rational;
+#![warn(clippy::arithmetic_side_effects)]
 
+use dda_linalg::{num, Rational};
+
+use crate::certificate::{Derivation, FmTree, Rule};
 use crate::system::Constraint;
 
 /// Outcome of the Fourier–Motzkin test.
@@ -53,12 +56,16 @@ impl Default for FmLimits {
     }
 }
 
-/// One elimination step, recorded for back-substitution.
+/// One elimination step, recorded for back-substitution. The `*_steps`
+/// vectors mirror `lowers`/`uppers` with each row's index in the local
+/// derivation arena.
 #[derive(Debug, Clone)]
 struct Step {
     var: usize,
     lowers: Vec<Constraint>,
     uppers: Vec<Constraint>,
+    lower_steps: Vec<usize>,
+    upper_steps: Vec<usize>,
 }
 
 /// Runs Fourier–Motzkin with default limits.
@@ -90,21 +97,64 @@ pub fn fourier_motzkin_with(
     constraints: &[Constraint],
     limits: FmLimits,
 ) -> FmOutcome {
+    solve(num_vars, constraints, limits, 0).0
+}
+
+/// Runs Fourier–Motzkin and, on `Infeasible`, also returns a refutation
+/// tree whose leaf premises are drawn (by value) from `constraints`.
+pub(crate) fn fourier_motzkin_cert(
+    num_vars: usize,
+    constraints: &[Constraint],
+    limits: FmLimits,
+) -> (FmOutcome, Option<FmTree>) {
     solve(num_vars, constraints, limits, 0)
 }
 
-fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: usize) -> FmOutcome {
+/// The elimination core. Alongside the outcome it maintains a local
+/// derivation arena (seeded with one `Premise` per input row) and, when
+/// the answer is `Infeasible`, returns a tree whose sealed derivations
+/// refute `constraints`; branch hypotheses become the premises of the
+/// recursive subtrees.
+// Unchecked ops here are structurally safe: `len() - 1` immediately after
+// a push, a `Comb` multiplier whose negation `combine` already proved
+// representable, and i128 midpoint arithmetic on in-range bounds.
+#[allow(clippy::arithmetic_side_effects)]
+fn solve(
+    num_vars: usize,
+    constraints: &[Constraint],
+    limits: FmLimits,
+    depth: usize,
+) -> (FmOutcome, Option<FmTree>) {
+    let mut lrules: Vec<Rule> = constraints
+        .iter()
+        .map(|c| Rule::Premise {
+            coeffs: c.coeffs.clone(),
+            rhs: c.rhs,
+        })
+        .collect();
     let mut rows: Vec<Constraint> = Vec::with_capacity(constraints.len());
-    for c in constraints {
+    let mut row_steps: Vec<usize> = Vec::with_capacity(constraints.len());
+    for (i, c) in constraints.iter().enumerate() {
+        let mut step = i;
         let mut c = c.clone();
+        let g = num::gcd_slice(&c.coeffs);
         c.normalize();
+        if g > 1 {
+            lrules.push(Rule::Div { of: step, d: g });
+            step = lrules.len() - 1;
+        }
         if c.is_trivial() {
             if !c.trivially_satisfied() {
-                return FmOutcome::Infeasible;
+                let tree = FmTree::Sealed(Derivation {
+                    rules: lrules,
+                    seal: step,
+                });
+                return (FmOutcome::Infeasible, Some(tree));
             }
             continue;
         }
         rows.push(c);
+        row_steps.push(step);
     }
 
     let mut remaining: Vec<usize> = (0..num_vars)
@@ -117,28 +167,58 @@ fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: u
         let mut lowers = Vec::new();
         let mut uppers = Vec::new();
         let mut rest = Vec::new();
-        for c in rows {
+        let mut lower_steps = Vec::new();
+        let mut upper_steps = Vec::new();
+        let mut rest_steps = Vec::new();
+        for (c, s) in rows.into_iter().zip(row_steps) {
             match c.coeffs[v].cmp(&0) {
-                std::cmp::Ordering::Less => lowers.push(c),
-                std::cmp::Ordering::Greater => uppers.push(c),
-                std::cmp::Ordering::Equal => rest.push(c),
+                std::cmp::Ordering::Less => {
+                    lowers.push(c);
+                    lower_steps.push(s);
+                }
+                std::cmp::Ordering::Greater => {
+                    uppers.push(c);
+                    upper_steps.push(s);
+                }
+                std::cmp::Ordering::Equal => {
+                    rest.push(c);
+                    rest_steps.push(s);
+                }
             }
         }
-        for lo in &lowers {
-            for up in &uppers {
+        for (lo, lo_s) in lowers.iter().zip(&lower_steps) {
+            for (up, up_s) in uppers.iter().zip(&upper_steps) {
                 let Some(mut combined) = combine(lo, up, v) else {
-                    return FmOutcome::Unknown; // overflow
+                    return (FmOutcome::Unknown, None); // overflow
                 };
+                // combine succeeding proves `−a_lo` did not overflow.
+                lrules.push(Rule::Comb {
+                    a: *lo_s,
+                    ca: up.coeffs[v],
+                    b: *up_s,
+                    cb: -lo.coeffs[v],
+                });
+                let mut cstep = lrules.len() - 1;
+                let g = num::gcd_slice(&combined.coeffs);
                 combined.normalize();
+                if g > 1 {
+                    lrules.push(Rule::Div { of: cstep, d: g });
+                    cstep = lrules.len() - 1;
+                }
                 if combined.is_trivial() {
                     if !combined.trivially_satisfied() {
-                        return FmOutcome::Infeasible;
+                        let tree = FmTree::Sealed(Derivation {
+                            rules: lrules,
+                            seal: cstep,
+                        });
+                        return (FmOutcome::Infeasible, Some(tree));
                     }
                 } else {
                     rest.push(combined);
+                    rest_steps.push(cstep);
                 }
                 if rest.len() > limits.max_constraints {
-                    return FmOutcome::Unknown;
+                    return (FmOutcome::Unknown, None);
                 }
             }
         }
@@ -146,8 +226,11 @@ fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: u
             var: v,
             lowers,
             uppers,
+            lower_steps,
+            upper_steps,
         });
         rows = rest;
+        row_steps = rest_steps;
     }
     debug_assert!(rows.is_empty() || rows.iter().all(Constraint::is_trivial));
 
@@ -158,7 +241,7 @@ fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: u
         let lo = tightest(&step.lowers, step.var, &sample, &assigned, true);
         let up = tightest(&step.uppers, step.var, &sample, &assigned, false);
         let (lo, up) = match (lo, up) {
-            (Err(()), _) | (_, Err(())) => return FmOutcome::Unknown, // overflow
+            (Err(()), _) | (_, Err(())) => return (FmOutcome::Unknown, None), // overflow
             (Ok(l), Ok(u)) => (l, u),
         };
         let lo_int = lo.as_ref().map(Rational::ceil);
@@ -170,10 +253,11 @@ fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: u
                     // No other choices constrain the first back-substituted
                     // variable: its real range is the exact projection, so
                     // an empty integer range proves independence.
-                    return FmOutcome::Infeasible;
+                    let tree = seal_last_var(lrules, step);
+                    return (FmOutcome::Infeasible, tree);
                 }
                 if depth >= limits.max_branch_depth {
-                    return FmOutcome::Unknown;
+                    return (FmOutcome::Unknown, None);
                 }
                 // Branch: t_v ≤ ⌊lo⌋  ∨  t_v ≥ ⌈up⌉ covers every integer.
                 return branch(
@@ -196,17 +280,64 @@ fn solve(num_vars: usize, constraints: &[Constraint], limits: FmLimits, depth: u
             (None, None) => 0,
         };
         let Ok(value) = i64::try_from(value) else {
-            return FmOutcome::Unknown;
+            return (FmOutcome::Unknown, None);
         };
         sample[step.var] = value;
         assigned[step.var] = true;
     }
-    FmOutcome::Sample(sample)
+    (FmOutcome::Sample(sample), None)
+}
+
+/// Seals the empty integer range of the first back-substituted variable:
+/// its rows are single-variable (±1 after normalization — every other
+/// variable was eliminated before it, zeroing its coefficient), so the
+/// tightest lower row `−v ≤ −l` plus the tightest upper row `v ≤ u` sums
+/// to `0 ≤ u − l < 0`. Returns `None` if the rows violate that shape.
+// i128-widened row constants and `len() - 1` after a push cannot overflow.
+#[allow(clippy::arithmetic_side_effects)]
+fn seal_last_var(mut lrules: Vec<Rule>, step: &Step) -> Option<FmTree> {
+    let v = step.var;
+    let mut best_lo: Option<(i128, usize)> = None; // (l, arena step)
+    for (c, &s) in step.lowers.iter().zip(&step.lower_steps) {
+        if c.single_var() != Some(v) || c.coeffs[v] != -1 {
+            return None;
+        }
+        let l = -i128::from(c.rhs);
+        if best_lo.is_none_or(|(b, _)| l > b) {
+            best_lo = Some((l, s));
+        }
+    }
+    let mut best_up: Option<(i128, usize)> = None; // (u, arena step)
+    for (c, &s) in step.uppers.iter().zip(&step.upper_steps) {
+        if c.single_var() != Some(v) || c.coeffs[v] != 1 {
+            return None;
+        }
+        let u = i128::from(c.rhs);
+        if best_up.is_none_or(|(b, _)| u < b) {
+            best_up = Some((u, s));
+        }
+    }
+    let ((l, lo_s), (u, up_s)) = (best_lo?, best_up?);
+    debug_assert!(l > u, "range was reported empty");
+    lrules.push(Rule::Comb {
+        a: up_s,
+        ca: 1,
+        b: lo_s,
+        cb: 1,
+    });
+    let seal = lrules.len() - 1;
+    Some(FmTree::Sealed(Derivation {
+        rules: lrules,
+        seal,
+    }))
 }
 
 /// Picks the remaining variable minimizing the number of generated rows
 /// (`p·q − p − q`, Fourier–Motzkin's growth measure); returns its index in
 /// `remaining`.
+// `p`, `q` are row counts capped by `FmLimits::max_constraints`, so the
+// i64 growth measure `p*q - p - q` stays far from overflow.
+#[allow(clippy::arithmetic_side_effects)]
 fn pick_variable(rows: &[Constraint], remaining: &[usize]) -> Option<usize> {
     remaining
         .iter()
@@ -226,7 +357,7 @@ fn combine(lo: &Constraint, up: &Constraint, v: usize) -> Option<Constraint> {
     let a_lo = lo.coeffs[v]; // < 0
     let a_up = up.coeffs[v]; // > 0
     let m_lo = a_up; // multiply lower row by the upper coefficient
-    let m_up = -a_lo; // and the upper row by |lower coefficient|
+    let m_up = a_lo.checked_neg()?; // and the upper row by |lower coefficient|
     let mut coeffs = Vec::with_capacity(lo.coeffs.len());
     for (l, u) in lo.coeffs.iter().zip(&up.coeffs) {
         let term = l.checked_mul(m_lo)?.checked_add(u.checked_mul(m_up)?)?;
@@ -281,6 +412,8 @@ fn tightest(
     Ok(best)
 }
 
+// `depth + 1` is bounded by `FmLimits::max_branch_depth`.
+#[allow(clippy::arithmetic_side_effects)]
 fn branch(
     num_vars: usize,
     constraints: &[Constraint],
@@ -289,9 +422,9 @@ fn branch(
     var: usize,
     le_val: i128,
     ge_val: i128,
-) -> FmOutcome {
+) -> (FmOutcome, Option<FmTree>) {
     let (Ok(le_val), Ok(ge_val)) = (i64::try_from(le_val), i64::try_from(ge_val)) else {
-        return FmOutcome::Unknown;
+        return (FmOutcome::Unknown, None);
     };
     let mut left = constraints.to_vec();
     let mut coeffs = vec![0i64; num_vars];
@@ -300,23 +433,41 @@ fn branch(
     let mut right = constraints.to_vec();
     coeffs[var] = -1;
     let Some(neg) = ge_val.checked_neg() else {
-        return FmOutcome::Unknown;
+        return (FmOutcome::Unknown, None);
     };
     right.push(Constraint::new(coeffs, neg));
 
-    match solve(num_vars, &left, limits, depth + 1) {
-        FmOutcome::Sample(s) => return FmOutcome::Sample(s),
+    let (left_out, left_tree) = solve(num_vars, &left, limits, depth + 1);
+    match left_out {
+        FmOutcome::Sample(s) => return (FmOutcome::Sample(s), None),
         FmOutcome::Infeasible => {}
         FmOutcome::Unknown => {
             // Even if the right branch proves infeasible, the left side
             // stays unresolved.
-            return match solve(num_vars, &right, limits, depth + 1) {
-                FmOutcome::Sample(s) => FmOutcome::Sample(s),
-                _ => FmOutcome::Unknown,
+            return match solve(num_vars, &right, limits, depth + 1).0 {
+                FmOutcome::Sample(s) => (FmOutcome::Sample(s), None),
+                _ => (FmOutcome::Unknown, None),
             };
         }
     }
-    solve(num_vars, &right, limits, depth + 1)
+    let (right_out, right_tree) = solve(num_vars, &right, limits, depth + 1);
+    match right_out {
+        FmOutcome::Infeasible => {
+            // Both sides refuted: `t_var ≤ le ∨ t_var ≥ ge` covers ℤ.
+            let tree = match (left_tree, right_tree) {
+                (Some(l), Some(r)) => Some(FmTree::Split {
+                    var,
+                    le: le_val,
+                    ge: ge_val,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
+                _ => None,
+            };
+            (FmOutcome::Infeasible, tree)
+        }
+        other => (other, None),
+    }
 }
 
 #[cfg(test)]

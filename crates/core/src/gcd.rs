@@ -13,6 +13,8 @@
 //! are typically *simpler* — often single-variable, which is exactly what
 //! the SVPC test wants.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 use dda_linalg::{diophantine, num, Matrix};
 
 use crate::problem::DependenceProblem;
@@ -141,6 +143,8 @@ pub fn solve_equalities(problem: &DependenceProblem) -> Option<EqOutcome> {
 /// and get their own fresh basis column (they are unconstrained by the
 /// equality system).
 #[must_use]
+// Column indices `m + j` are bounded by the constructed matrix width.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn expand_lattice(lattice: &Lattice, kept: &[usize], n: usize) -> Lattice {
     if kept.len() == n {
         return lattice.clone();
@@ -191,6 +195,21 @@ pub fn solve_equalities_restricted(
         Ok(None) => Some(EqOutcome::Independent),
         Err(_) => None,
     }
+}
+
+/// Reconstructs a divisibility refutation of the subscript equality
+/// system: the rational row combination behind an
+/// [`EqOutcome::Independent`] verdict, checkable without re-running the
+/// solver. Computed fresh at emission time — it is evidence, never the
+/// verdict itself — and `None` when the witness does not fit `i64`.
+#[must_use]
+pub fn refute_equalities(problem: &DependenceProblem) -> Option<(Vec<i64>, i64)> {
+    let a = if problem.eq_coeffs.is_empty() {
+        Matrix::zeros(0, problem.num_vars())
+    } else {
+        Matrix::from_rows(&problem.eq_coeffs)
+    };
+    diophantine::refute(&a, &problem.eq_rhs)
 }
 
 /// Rewrites the problem's bound constraints over the lattice's free
@@ -246,6 +265,8 @@ pub fn gcd_preprocess(problem: &DependenceProblem) -> Option<GcdOutcome> {
 }
 
 #[cfg(test)]
+// Test fixtures use plain literal arithmetic; overflow aborts the test.
+#[allow(clippy::arithmetic_side_effects)]
 mod tests {
     use super::*;
     use dda_ir::{extract_accesses, parse_program, reference_pairs};

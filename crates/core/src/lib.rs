@@ -50,6 +50,7 @@
 pub mod acyclic;
 pub mod analyzer;
 pub mod cascade;
+pub mod certificate;
 pub mod direction;
 pub mod explain;
 pub mod fourier_motzkin;
@@ -71,6 +72,7 @@ pub mod transform;
 pub use analyzer::{
     AnalyzerConfig, CachedOutcome, DependenceAnalyzer, MemoMode, PairReport, ProgramReport,
 };
+pub use certificate::Certificate;
 pub use memo::{ShardedMemoTable, SharedMemo};
 pub use pipeline::{
     run_pipeline, NullProbe, PipelineConfig, Probe, RecordingProbe, StatsProbe, TraceEvent,

@@ -12,8 +12,11 @@
 //! source deliver an *integral* witness, so the "dependent" answer is
 //! exact too.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 use dda_linalg::num;
 
+use crate::certificate::{Rule, Trail};
 use crate::system::{Constraint, VarBounds};
 
 /// Outcome of the Loop Residue test.
@@ -29,12 +32,14 @@ pub enum LoopResidueOutcome {
     Feasible(Vec<i64>),
 }
 
-/// An edge `t_from ≤ t_to + weight` in the residue graph.
+/// An edge `t_from ≤ t_to + weight` in the residue graph, carrying the
+/// arena step whose row it is (`None` when the provenance is unknown).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Edge {
     from: usize,
     to: usize,
     weight: i64,
+    step: Option<usize>,
 }
 
 /// Runs the Loop Residue test on scalar bounds plus two-variable
@@ -61,11 +66,26 @@ struct Edge {
 /// ```
 #[must_use]
 pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueOutcome {
+    let mut trail = Trail::for_rows(bounds.len(), residual);
+    loop_residue_into(bounds, residual, &mut trail)
+}
+
+/// The trail-threaded form of [`loop_residue`]: `trail.row_step` must
+/// mirror `residual` on entry; on `Infeasible` the trail is sealed with a
+/// negative-cycle combination when one can be extracted.
+// Bellman-Ford distances are i128 sums of at most `n + 1` i64 weights and
+// the node/round counters are bounded by the edge list; none can overflow.
+#[allow(clippy::arithmetic_side_effects)]
+pub(crate) fn loop_residue_into(
+    bounds: &VarBounds,
+    residual: &[Constraint],
+    trail: &mut Trail,
+) -> LoopResidueOutcome {
     let n = bounds.len();
     let zero_node = n; // the paper's n₀
     let mut edges = Vec::new();
 
-    for c in residual {
+    for (row, c) in residual.iter().enumerate() {
         // Exactly two non-zero coefficients of equal magnitude and
         // opposite sign.
         let nz: Vec<(usize, i64)> = c
@@ -78,7 +98,8 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
         let [(i, ai), (j, aj)] = nz.as_slice() else {
             return LoopResidueOutcome::NotApplicable;
         };
-        if *ai != -*aj {
+        // checked_neg: an i64::MIN coefficient bails out conservatively.
+        if aj.checked_neg() != Some(*ai) {
             return LoopResidueOutcome::NotApplicable;
         }
         // Orient as a(t_pos - t_neg) ≤ rhs with a > 0.
@@ -90,10 +111,21 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
         let Some(weight) = num::checked_div_floor(c.rhs, a) else {
             return LoopResidueOutcome::NotApplicable;
         };
+        // The edge row `t_pos − t_neg ≤ ⌊c/a⌋` is the constraint row
+        // divided by `a`.
+        let step = if a > 1 {
+            Some(trail.push(Rule::Div {
+                of: trail.row_step[row],
+                d: a,
+            }))
+        } else {
+            Some(trail.row_step[row])
+        };
         edges.push(Edge {
             from: pos,
             to: neg,
             weight,
+            step,
         });
     }
 
@@ -104,6 +136,7 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
                 from: v,
                 to: zero_node,
                 weight: u,
+                step: trail.ub_step[v],
             });
         }
         if let Some(l) = bounds.lb[v] {
@@ -116,6 +149,7 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
                 from: zero_node,
                 to: v,
                 weight,
+                step: trail.lb_step[v],
             });
         }
     }
@@ -124,12 +158,17 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
     // weight 0 (realized by starting all distances at 0). An edge
     // `from ≤ to + w` relaxes as d(from) ← min(d(from), d(to) + w).
     let mut dist = vec![0i128; n + 1];
+    let mut pred = vec![None::<usize>; n + 1];
+    let mut last_relaxed: Vec<usize> = Vec::new();
     for _ in 0..=n {
         let mut changed = false;
-        for e in &edges {
+        last_relaxed.clear();
+        for (idx, e) in edges.iter().enumerate() {
             let cand = dist[e.to] + i128::from(e.weight);
             if cand < dist[e.from] {
                 dist[e.from] = cand;
+                pred[e.from] = Some(idx);
+                last_relaxed.push(e.from);
                 changed = true;
             }
         }
@@ -146,7 +185,74 @@ pub fn loop_residue(bounds: &VarBounds, residual: &[Constraint]) -> LoopResidueO
         }
     }
     // Still changing after n+1 rounds: negative cycle.
+    seal_negative_cycle(&edges, &pred, &last_relaxed, n, trail);
     LoopResidueOutcome::Infeasible
+}
+
+/// Extracts a negative cycle from the Bellman–Ford predecessor graph and
+/// seals the trail with the sum of its edge rows: the variable terms
+/// telescope away around the cycle, leaving `0 ≤ Σw < 0`.
+///
+/// Poisons the trail instead when no candidate yields a verified negative
+/// cycle with fully known edge provenance.
+fn seal_negative_cycle(
+    edges: &[Edge],
+    pred: &[Option<usize>],
+    candidates: &[usize],
+    n: usize,
+    trail: &mut Trail,
+) {
+    'candidate: for &start in candidates {
+        // Walk n+1 predecessor steps to guarantee landing on a cycle.
+        let mut x = start;
+        for _ in 0..=n {
+            match pred[x] {
+                Some(e) => x = edges[e].to,
+                None => continue 'candidate,
+            }
+        }
+        // Collect the cycle through x.
+        let mut cycle = Vec::new();
+        let mut cur = x;
+        loop {
+            let Some(e) = pred[cur] else {
+                continue 'candidate;
+            };
+            cycle.push(e);
+            cur = edges[e].to;
+            if cur == x {
+                break;
+            }
+            if cycle.len() > n.saturating_add(1) {
+                continue 'candidate;
+            }
+        }
+        // The certificate only helps if the cycle really is negative and
+        // every edge row has a recorded derivation step.
+        let sum: i128 = cycle.iter().map(|&e| i128::from(edges[e].weight)).sum();
+        if sum >= 0 {
+            continue;
+        }
+        let Some(steps) = cycle
+            .iter()
+            .map(|&e| edges[e].step)
+            .collect::<Option<Vec<usize>>>()
+        else {
+            continue;
+        };
+        let mut acc = steps[0];
+        for &s in &steps[1..] {
+            acc = trail.push(Rule::Comb {
+                a: acc,
+                ca: 1,
+                b: s,
+                cb: 1,
+            });
+        }
+        trail.seal = Some(acc);
+        return;
+    }
+    trail.ok = false;
 }
 
 #[cfg(test)]

@@ -10,6 +10,11 @@
 //! streams — no external serialization dependency). Loading is strict:
 //! any malformed line aborts with a located error rather than silently
 //! importing half a table.
+//!
+//! Version 2 appends each full record's [`Certificate`] so warm starts
+//! keep their evidence. Version 1 tables still load, with every entry's
+//! certificate degraded to [`Certificate::Unverified`] — the verdicts are
+//! reused, but `--check` re-derives their evidence.
 
 use std::fmt;
 use std::fs;
@@ -18,6 +23,9 @@ use std::path::Path;
 use dda_linalg::Matrix;
 
 use crate::analyzer::{CachedOutcome, DependenceAnalyzer};
+use crate::certificate::{
+    Certificate, Derivation, DirTree, FmTree, RefProof, Rule, SystemRefutation,
+};
 use crate::gcd::{EqOutcome, Lattice};
 use crate::memo::{MemoKey, SharedMemo};
 use crate::result::{
@@ -25,7 +33,9 @@ use crate::result::{
 };
 
 /// Magic header of the persisted format.
-const HEADER: &str = "dda-memo v1";
+const HEADER: &str = "dda-memo v2";
+/// Previous version, still accepted on load (certificates absent).
+const HEADER_V1: &str = "dda-memo v1";
 
 /// Errors raised while loading a persisted table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,6 +165,254 @@ impl<'a> Fields<'a> {
     }
 }
 
+// --- certificate encode/decode ------------------------------------------
+
+fn encode_rule(r: &Rule, out: &mut String) {
+    match r {
+        Rule::Premise { coeffs, rhs } => {
+            out.push_str(&format!(" P {} ", coeffs.len()));
+            push_ints(out, coeffs);
+            out.push_str(&format!(" {rhs}"));
+        }
+        Rule::Comb { a, ca, b, cb } => out.push_str(&format!(" C {a} {ca} {b} {cb}")),
+        Rule::Div { of, d } => out.push_str(&format!(" D {of} {d}")),
+    }
+}
+
+fn decode_rule(f: &mut Fields<'_>) -> Result<Rule, PersistError> {
+    Ok(match f.next_str()? {
+        "P" => {
+            let n = f.next_usize()?;
+            let coeffs = f.next_ints(n)?;
+            let rhs = f.next_i64()?;
+            Rule::Premise { coeffs, rhs }
+        }
+        "C" => Rule::Comb {
+            a: f.next_usize()?,
+            ca: f.next_i64()?,
+            b: f.next_usize()?,
+            cb: f.next_i64()?,
+        },
+        "D" => Rule::Div {
+            of: f.next_usize()?,
+            d: f.next_i64()?,
+        },
+        other => return err(f.line, format!("bad rule tag `{other}`")),
+    })
+}
+
+fn encode_fmtree(t: &FmTree, out: &mut String) {
+    match t {
+        FmTree::Sealed(d) => {
+            out.push_str(&format!(" S {}", d.rules.len()));
+            for r in &d.rules {
+                encode_rule(r, out);
+            }
+            out.push_str(&format!(" {}", d.seal));
+        }
+        FmTree::Split {
+            var,
+            le,
+            ge,
+            left,
+            right,
+        } => {
+            out.push_str(&format!(" B {var} {le} {ge}"));
+            encode_fmtree(left, out);
+            encode_fmtree(right, out);
+        }
+    }
+}
+
+fn decode_fmtree(f: &mut Fields<'_>) -> Result<FmTree, PersistError> {
+    Ok(match f.next_str()? {
+        "S" => {
+            let n = f.next_usize()?;
+            let rules = (0..n)
+                .map(|_| decode_rule(f))
+                .collect::<Result<Vec<_>, _>>()?;
+            let seal = f.next_usize()?;
+            FmTree::Sealed(Derivation { rules, seal })
+        }
+        "B" => FmTree::Split {
+            var: f.next_usize()?,
+            le: f.next_i64()?,
+            ge: f.next_i64()?,
+            left: Box::new(decode_fmtree(f)?),
+            right: Box::new(decode_fmtree(f)?),
+        },
+        other => return err(f.line, format!("bad fm tag `{other}`")),
+    })
+}
+
+fn encode_sysref(s: &SystemRefutation, out: &mut String) {
+    out.push_str(&format!(" {}", s.arena.len()));
+    for r in &s.arena {
+        encode_rule(r, out);
+    }
+    match &s.proof {
+        RefProof::Arena { seal } => out.push_str(&format!(" A {seal}")),
+        RefProof::Fm { tree } => {
+            out.push_str(" F");
+            encode_fmtree(tree, out);
+        }
+    }
+}
+
+fn decode_sysref(f: &mut Fields<'_>) -> Result<SystemRefutation, PersistError> {
+    let n = f.next_usize()?;
+    let arena = (0..n)
+        .map(|_| decode_rule(f))
+        .collect::<Result<Vec<_>, _>>()?;
+    let proof = match f.next_str()? {
+        "A" => RefProof::Arena {
+            seal: f.next_usize()?,
+        },
+        "F" => RefProof::Fm {
+            tree: decode_fmtree(f)?,
+        },
+        other => return err(f.line, format!("bad proof tag `{other}`")),
+    };
+    Ok(SystemRefutation { arena, proof })
+}
+
+fn encode_dirtree(t: &DirTree, out: &mut String) {
+    match t {
+        DirTree::Refuted(s) => {
+            out.push_str(" R");
+            encode_sysref(s, out);
+        }
+        DirTree::Split { level, lt, eq, gt } => {
+            out.push_str(&format!(" T {level}"));
+            encode_dirtree(lt, out);
+            encode_dirtree(eq, out);
+            encode_dirtree(gt, out);
+        }
+    }
+}
+
+fn decode_dirtree(f: &mut Fields<'_>) -> Result<DirTree, PersistError> {
+    Ok(match f.next_str()? {
+        "R" => DirTree::Refuted(decode_sysref(f)?),
+        "T" => DirTree::Split {
+            level: f.next_usize()?,
+            lt: Box::new(decode_dirtree(f)?),
+            eq: Box::new(decode_dirtree(f)?),
+            gt: Box::new(decode_dirtree(f)?),
+        },
+        other => return err(f.line, format!("bad dir tag `{other}`")),
+    })
+}
+
+fn encode_lattice_part(particular: &[i64], basis: &Matrix, out: &mut String) {
+    out.push_str(&format!(
+        " {} {} {} ",
+        particular.len(),
+        basis.rows(),
+        basis.cols()
+    ));
+    push_ints(out, particular);
+    for r in 0..basis.rows() {
+        out.push(' ');
+        push_ints(out, basis.row(r));
+    }
+}
+
+fn decode_lattice_part(f: &mut Fields<'_>) -> Result<(Vec<i64>, Matrix), PersistError> {
+    let np = f.next_usize()?;
+    let rows = f.next_usize()?;
+    let cols = f.next_usize()?;
+    if np != rows {
+        return err(f.line, "particular length must equal basis rows");
+    }
+    let particular = f.next_ints(np)?;
+    let mut basis = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            basis[(r, c)] = f.next_i64()?;
+        }
+    }
+    Ok((particular, basis))
+}
+
+fn encode_cert(c: &Certificate, out: &mut String) {
+    match c {
+        Certificate::Conservative => out.push_str(" c -"),
+        Certificate::Unverified => out.push_str(" c u"),
+        Certificate::Witness { x } => {
+            out.push_str(&format!(" c W {} ", x.len()));
+            push_ints(out, x);
+        }
+        Certificate::ConstantsEqual => out.push_str(" c E"),
+        Certificate::ConstantsDiffer => out.push_str(" c N"),
+        Certificate::GcdRefutation { numer, denom } => {
+            out.push_str(&format!(" c G {} ", numer.len()));
+            push_ints(out, numer);
+            out.push_str(&format!(" {denom}"));
+        }
+        Certificate::Refuted {
+            particular,
+            basis,
+            refutation,
+        } => {
+            out.push_str(" c R");
+            encode_lattice_part(particular, basis, out);
+            encode_sysref(refutation, out);
+        }
+        Certificate::DirectionsExhausted {
+            particular,
+            basis,
+            tree,
+        } => {
+            out.push_str(" c X");
+            encode_lattice_part(particular, basis, out);
+            encode_dirtree(tree, out);
+        }
+    }
+}
+
+fn decode_cert(f: &mut Fields<'_>) -> Result<Certificate, PersistError> {
+    match f.next_str()? {
+        "c" => {}
+        other => return err(f.line, format!("expected `c`, found `{other}`")),
+    }
+    Ok(match f.next_str()? {
+        "-" => Certificate::Conservative,
+        "u" => Certificate::Unverified,
+        "W" => {
+            let n = f.next_usize()?;
+            Certificate::Witness { x: f.next_ints(n)? }
+        }
+        "E" => Certificate::ConstantsEqual,
+        "N" => Certificate::ConstantsDiffer,
+        "G" => {
+            let n = f.next_usize()?;
+            let numer = f.next_ints(n)?;
+            Certificate::GcdRefutation {
+                numer,
+                denom: f.next_i64()?,
+            }
+        }
+        "R" => {
+            let (particular, basis) = decode_lattice_part(f)?;
+            Certificate::Refuted {
+                particular,
+                basis,
+                refutation: decode_sysref(f)?,
+            }
+        }
+        "X" => {
+            let (particular, basis) = decode_lattice_part(f)?;
+            Certificate::DirectionsExhausted {
+                particular,
+                basis,
+                tree: decode_dirtree(f)?,
+            }
+        }
+        other => return err(f.line, format!("bad certificate tag `{other}`")),
+    })
+}
+
 // --- per-record encode/decode -------------------------------------------
 
 fn encode_gcd(key: &MemoKey, value: &EqOutcome, out: &mut String) {
@@ -248,10 +506,11 @@ fn encode_full(key: &MemoKey, value: &CachedOutcome, out: &mut String) {
             None => out.push_str(" ?"),
         }
     }
+    encode_cert(&value.certificate, out);
     out.push('\n');
 }
 
-fn decode_full(f: &mut Fields<'_>) -> Result<(MemoKey, CachedOutcome), PersistError> {
+fn decode_full(f: &mut Fields<'_>, v2: bool) -> Result<(MemoKey, CachedOutcome), PersistError> {
     let line = f.line;
     let klen = f.next_usize()?;
     let key = MemoKey::from_vec(f.next_ints(klen)?);
@@ -303,6 +562,13 @@ fn decode_full(f: &mut Fields<'_>) -> Result<(MemoKey, CachedOutcome), PersistEr
             }
         }
     }
+    let certificate = if v2 {
+        decode_cert(f)?
+    } else {
+        // v1 records predate certificates: the verdict is reusable but
+        // its evidence is gone.
+        Certificate::Unverified
+    };
     Ok((
         key,
         CachedOutcome {
@@ -313,6 +579,7 @@ fn decode_full(f: &mut Fields<'_>) -> Result<(MemoKey, CachedOutcome), PersistEr
             witness,
             direction_vectors,
             distance: DistanceVector(distance),
+            certificate,
         },
     ))
 }
@@ -351,11 +618,12 @@ impl DependenceAnalyzer {
     /// tables may then be partially updated.
     pub fn import_memo(&mut self, text: &str) -> Result<(), PersistError> {
         let mut lines = text.lines().enumerate();
-        match lines.next() {
-            Some((_, h)) if h.trim() == HEADER => {}
+        let v2 = match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => true,
+            Some((_, h)) if h.trim() == HEADER_V1 => false,
             Some((_, h)) => return err(1, format!("bad header `{h}`")),
             None => return err(1, "empty file"),
-        }
+        };
         for (idx, line) in lines {
             let line_no = idx + 1;
             let trimmed = line.trim();
@@ -370,7 +638,7 @@ impl DependenceAnalyzer {
                     self.gcd_memo.insert(k, v);
                 }
                 "full" => {
-                    let (k, v) = decode_full(&mut f)?;
+                    let (k, v) = decode_full(&mut f, v2)?;
                     f.finish()?;
                     self.full_memo.insert(k, v);
                 }
@@ -430,11 +698,12 @@ impl SharedMemo {
     /// tables may then be partially updated.
     pub fn import_memo(&self, text: &str) -> Result<(), PersistError> {
         let mut lines = text.lines().enumerate();
-        match lines.next() {
-            Some((_, h)) if h.trim() == HEADER => {}
+        let v2 = match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => true,
+            Some((_, h)) if h.trim() == HEADER_V1 => false,
             Some((_, h)) => return err(1, format!("bad header `{h}`")),
             None => return err(1, "empty file"),
-        }
+        };
         for (idx, line) in lines {
             let line_no = idx + 1;
             let trimmed = line.trim();
@@ -449,7 +718,7 @@ impl SharedMemo {
                     self.gcd.insert(k, v);
                 }
                 "full" => {
-                    let (k, v) = decode_full(&mut f)?;
+                    let (k, v) = decode_full(&mut f, v2)?;
                     f.finish()?;
                     self.full.insert(k, v);
                 }
@@ -551,15 +820,15 @@ mod tests {
         let bad_header = an.import_memo("nope\n").unwrap_err();
         assert_eq!(bad_header.line, 1);
 
-        let bad_record = an.import_memo("dda-memo v1\nbogus 1 2 3\n").unwrap_err();
+        let bad_record = an.import_memo("dda-memo v2\nbogus 1 2 3\n").unwrap_err();
         assert_eq!(bad_record.line, 2);
         assert!(bad_record.message.contains("bogus"));
 
-        let truncated = an.import_memo("dda-memo v1\ngcd 3 1 2\n").unwrap_err();
+        let truncated = an.import_memo("dda-memo v2\ngcd 3 1 2\n").unwrap_err();
         assert_eq!(truncated.line, 2);
 
         let trailing = an
-            .import_memo("dda-memo v1\ngcd 1 7 I extra\n")
+            .import_memo("dda-memo v2\ngcd 1 7 I extra\n")
             .unwrap_err();
         assert!(trailing.message.contains("trailing"));
     }
@@ -567,9 +836,58 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_allowed() {
         let mut an = DependenceAnalyzer::new();
-        an.import_memo("dda-memo v1\n\n# a comment\ngcd 1 7 I\n")
+        an.import_memo("dda-memo v2\n\n# a comment\ngcd 1 7 I\n")
             .unwrap();
         assert_eq!(an.gcd_memo_entries(), 1);
+    }
+
+    #[test]
+    fn v1_tables_load_with_unverified_certificates() {
+        // A v1 full record carries no certificate: the verdict loads, the
+        // evidence is marked Unverified.
+        let shared = SharedMemo::new(2);
+        shared
+            .import_memo("dda-memo v1\nfull 1 7 I T0 - v 0 d 0\n")
+            .unwrap();
+        let entries = shared.full.snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1.certificate, Certificate::Unverified);
+
+        // The same record under a v2 header is malformed (missing cert).
+        let mut an = DependenceAnalyzer::new();
+        let e = an
+            .import_memo("dda-memo v2\nfull 1 7 I T0 - v 0 d 0\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn truncated_v2_certificate_is_located() {
+        let mut an = DependenceAnalyzer::new();
+        // The certificate promises two GCD numerators; the line ends
+        // after one.
+        let e = an
+            .import_memo("dda-memo v2\nfull 1 7 I G - v 0 d 0 c G 2 1\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unexpected end of line"));
+    }
+
+    #[test]
+    fn refutation_certificates_round_trip() {
+        // An independent-by-cascade pair stores a Refuted certificate;
+        // the full payload must survive export → import → export.
+        let program = parse_program("for i = 1 to 10 { z[i] = z[i + 20]; }").unwrap();
+        let mut an = DependenceAnalyzer::new();
+        an.analyze_program(&program);
+        let text = an.export_memo();
+        assert!(
+            text.contains(" c R"),
+            "expected a Refuted certificate:\n{text}"
+        );
+        let mut fresh = DependenceAnalyzer::new();
+        fresh.import_memo(&text).unwrap();
+        assert_eq!(fresh.export_memo(), text);
     }
 
     #[test]

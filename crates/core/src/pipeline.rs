@@ -20,10 +20,11 @@ use std::fmt;
 use std::str::FromStr;
 use std::time::Instant;
 
-use crate::acyclic::{acyclic, AcyclicOutcome, Trace};
+use crate::acyclic::{acyclic_into, AcyclicOutcome, Trace};
 use crate::cascade::CascadeOutcome;
-use crate::fourier_motzkin::{fourier_motzkin_with, FmLimits, FmOutcome};
-use crate::loop_residue::{loop_residue, LoopResidueOutcome};
+use crate::certificate::{FmTree, RefProof, SystemRefutation, Trail};
+use crate::fourier_motzkin::{fourier_motzkin_cert, FmLimits, FmOutcome};
+use crate::loop_residue::{loop_residue_into, LoopResidueOutcome};
 use crate::result::{Answer, DependenceResult, DirectionVector, DistanceVector, TestKind};
 use crate::stats::StageTimings;
 use crate::svpc::{svpc_into, SvpcStep};
@@ -410,10 +411,29 @@ pub fn run_pipeline<P: Probe>(
     limits: FmLimits,
     probe: &mut P,
 ) -> CascadeOutcome {
+    run_pipeline_collect(system, config, limits, probe).0
+}
+
+/// [`run_pipeline`], additionally returning a refutation certificate when
+/// the answer is `Independent` and every derivation the deciding stage
+/// made could be accounted for (`None` otherwise — the answer itself is
+/// never affected).
+///
+/// The refutation's premises are rows of `system` by value; see
+/// [`crate::certificate`] for the proof grammar.
+#[must_use]
+pub fn run_pipeline_collect<P: Probe>(
+    system: &System,
+    config: &PipelineConfig,
+    limits: FmLimits,
+    probe: &mut P,
+) -> (CascadeOutcome, Option<SystemRefutation>) {
     let n = system.num_vars;
     let mut bounds = VarBounds::unbounded(n);
     let mut residual = system.constraints.clone();
     let mut trace = Trace::default();
+    let mut trail = Trail::for_rows(n, &system.constraints);
+    let mut fm_tree: Option<FmTree> = None;
     let mut used = TestKind::Svpc;
 
     let order = config.tests;
@@ -437,7 +457,7 @@ pub fn run_pipeline<P: Probe>(
         };
 
         let step = match test {
-            TestKind::Svpc => match svpc_into(&mut bounds, &residual) {
+            TestKind::Svpc => match svpc_into(&mut bounds, &residual, &mut trail) {
                 SvpcStep::Infeasible => StepOutcome::Decided(Answer::Independent),
                 SvpcStep::Done => {
                     let mut sample: Vec<i64> = (0..n).map(|v| bounds.pick(v)).collect();
@@ -451,7 +471,7 @@ pub fn run_pipeline<P: Probe>(
                     StepOutcome::Continue
                 }
             },
-            TestKind::Acyclic => match acyclic(&bounds, &residual) {
+            TestKind::Acyclic => match acyclic_into(&bounds, &residual, &mut trail) {
                 AcyclicOutcome::Infeasible => StepOutcome::Decided(Answer::Independent),
                 AcyclicOutcome::Complete { mut sample } => {
                     StepOutcome::Decided(match trace.complete(&mut sample) {
@@ -470,7 +490,7 @@ pub fn run_pipeline<P: Probe>(
                     StepOutcome::Continue
                 }
             },
-            TestKind::LoopResidue => match loop_residue(&bounds, &residual) {
+            TestKind::LoopResidue => match loop_residue_into(&bounds, &residual, &mut trail) {
                 LoopResidueOutcome::Infeasible => StepOutcome::Decided(Answer::Independent),
                 LoopResidueOutcome::Feasible(mut sample) => {
                     StepOutcome::Decided(match trace.complete(&mut sample) {
@@ -480,7 +500,15 @@ pub fn run_pipeline<P: Probe>(
                 }
                 LoopResidueOutcome::NotApplicable => StepOutcome::Undecided,
             },
-            TestKind::FourierMotzkin => run_fm_stage(n, &bounds, &residual, &trace, limits),
+            TestKind::FourierMotzkin => run_fm_stage(
+                n,
+                &bounds,
+                &residual,
+                &trace,
+                limits,
+                &mut trail,
+                &mut fm_tree,
+            ),
         };
 
         if P::ACTIVE {
@@ -501,24 +529,50 @@ pub fn run_pipeline<P: Probe>(
         }
 
         if let StepOutcome::Decided(answer) = step {
-            return CascadeOutcome { answer, used };
+            let refutation = if answer.is_independent() {
+                match fm_tree {
+                    // FM refuted: its tree rides on the arena built so far.
+                    Some(tree) if trail.ok => Some(SystemRefutation {
+                        arena: trail.rules,
+                        proof: RefProof::Fm { tree },
+                    }),
+                    Some(_) => None,
+                    // An earlier stage refuted: the arena itself sealed.
+                    None => trail.into_arena_refutation(),
+                }
+            } else {
+                None
+            };
+            return (CascadeOutcome { answer, used }, refutation);
         }
     }
 
-    CascadeOutcome {
-        answer: Answer::Unknown,
-        used,
-    }
+    (
+        CascadeOutcome {
+            answer: Answer::Unknown,
+            used,
+        },
+        None,
+    )
 }
 
 /// The Fourier–Motzkin stage: bounds re-expanded to constraints, then the
 /// bounded elimination.
+///
+/// The FM input rows must all be accountable for its refutation tree to
+/// check out: residual rows carry their trail steps, and each re-expanded
+/// bound row must have a recorded bound step (else the trail is poisoned —
+/// the answer stands, the certificate is withheld). On `Infeasible`,
+/// `fm_tree` receives the elimination/branch tree.
+#[allow(clippy::too_many_arguments)]
 fn run_fm_stage(
     n: usize,
     bounds: &VarBounds,
     residual: &[Constraint],
     trace: &Trace,
     limits: FmLimits,
+    trail: &mut Trail,
+    fm_tree: &mut Option<FmTree>,
 ) -> StepOutcome {
     let mut constraints = residual.to_vec();
     for v in 0..n {
@@ -526,6 +580,9 @@ fn run_fm_stage(
             let mut row = vec![0i64; n];
             row[v] = 1;
             constraints.push(Constraint::new(row, u));
+            if trail.ub_step[v].is_none() {
+                trail.ok = false;
+            }
         }
         if let Some(l) = bounds.lb[v] {
             let mut row = vec![0i64; n];
@@ -534,10 +591,17 @@ fn run_fm_stage(
                 return StepOutcome::Undecided;
             };
             constraints.push(Constraint::new(row, neg));
+            if trail.lb_step[v].is_none() {
+                trail.ok = false;
+            }
         }
     }
-    match fourier_motzkin_with(n, &constraints, limits) {
-        FmOutcome::Infeasible => StepOutcome::Decided(Answer::Independent),
+    let (out, tree) = fourier_motzkin_cert(n, &constraints, limits);
+    match out {
+        FmOutcome::Infeasible => {
+            *fm_tree = tree;
+            StepOutcome::Decided(Answer::Independent)
+        }
         FmOutcome::Sample(mut sample) => StepOutcome::Decided(match trace.complete(&mut sample) {
             Some(()) => Answer::Dependent(Some(sample)),
             None => Answer::Dependent(None),

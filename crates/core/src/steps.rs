@@ -18,10 +18,11 @@ use std::time::Instant;
 
 use crate::analyzer::{AnalyzerConfig, CachedOutcome, MemoMode, PairReport};
 use crate::cascade::CascadeOutcome;
+use crate::certificate::Certificate;
 use crate::direction::{analyze_directions, DirectionAnalysis, DirectionConfig};
 use crate::gcd::{reduce_with_lattice, Lattice};
 use crate::memo::{bounds_key, CanonicalKey};
-use crate::pipeline::{run_pipeline, NullProbe, Probe, TraceEvent};
+use crate::pipeline::{run_pipeline_collect, NullProbe, Probe, TraceEvent};
 use crate::problem::{build_problem, constant_compare, DependenceProblem};
 use crate::result::{
     Answer, DependenceResult, Direction, DirectionVector, DistanceVector, ResolvedBy, TestKind,
@@ -84,6 +85,7 @@ pub fn pair_template(a: &Access, b: &Access, common: usize) -> PairReport {
         direction_vectors: Vec::new(),
         distance: DistanceVector(vec![None; common]),
         from_cache: false,
+        certificate: Certificate::Conservative,
     }
 }
 
@@ -106,6 +108,11 @@ pub fn constant_report(
     if dependent && compute_directions {
         template.direction_vectors = vec![DirectionVector::any(common)];
     }
+    template.certificate = if dependent {
+        Certificate::ConstantsEqual
+    } else {
+        Certificate::ConstantsDiffer
+    };
     template
 }
 
@@ -120,11 +127,22 @@ pub fn assumed_report(mut template: PairReport, compute_directions: bool) -> Pai
 }
 
 /// Finishes a pair the extended GCD test proved independent.
+/// `refutation` is the divisibility witness from
+/// [`refute_equalities`](crate::gcd::refute_equalities); `None` degrades
+/// the certificate to [`Certificate::Unverified`] without touching the
+/// verdict.
 #[must_use]
-pub fn gcd_independent_report(mut template: PairReport) -> PairReport {
+pub fn gcd_independent_report(
+    mut template: PairReport,
+    refutation: Option<(Vec<i64>, i64)>,
+) -> PairReport {
     template.result = DependenceResult {
         answer: Answer::Independent,
         resolved_by: ResolvedBy::Gcd,
+    };
+    template.certificate = match refutation {
+        Some((numer, denom)) => Certificate::GcdRefutation { numer, denom },
+        None => Certificate::Unverified,
     };
     template
 }
@@ -144,9 +162,12 @@ pub fn full_key(
     let improved = config.memo == MemoMode::Improved;
     let own = bounds_key(problem, improved);
     if config.memo_symmetry && symmetry::swappable(problem) {
-        let mirror = bounds_key(&symmetry::swap_problem(problem), improved);
-        if mirror.key < own.key {
-            return Some((mirror, true));
+        // A mirror that overflows to build just skips canonicalization.
+        if let Some(mirrored) = symmetry::swap_problem(problem) {
+            let mirror = bounds_key(&mirrored, improved);
+            if mirror.key < own.key {
+                return Some((mirror, true));
+            }
         }
     }
     Some((own, false))
@@ -224,6 +245,18 @@ pub fn rehydrate_hit(
     template.direction_vectors = expand_vectors(&vectors, &ck.kept_levels, common);
     template.distance = expand_distance(&distance, &ck.kept_levels, common);
     template.from_cache = true;
+    // Certificates speak about one concrete problem. Only a Simple-mode,
+    // unflipped hit is guaranteed to be the same problem (same equations,
+    // same bound multiset), so only then does the evidence transfer; an
+    // Improved or mirrored hit keeps the verdict but degrades checkable
+    // evidence to Unverified.
+    template.certificate = if memo == MemoMode::Simple && !flipped {
+        cached.certificate
+    } else if cached.certificate == Certificate::Conservative {
+        Certificate::Conservative
+    } else {
+        Certificate::Unverified
+    };
     template
 }
 
@@ -248,6 +281,13 @@ pub fn canonical_outcome(report: &PairReport, ck: &CanonicalKey, flipped: bool) 
         },
         direction_vectors: restrict_vectors(&vectors, &ck.kept_levels),
         distance: restrict_distance(&distance, &ck.kept_levels),
+        certificate: if flipped {
+            // The stored verdict describes the mirror problem; this
+            // pair's evidence does not.
+            Certificate::Unverified
+        } else {
+            report.certificate.clone()
+        },
     }
 }
 
@@ -319,8 +359,8 @@ pub fn analyze_reduced_probed<P: Probe>(
     }
 
     // Base (star-vector) cascade.
-    let base: CascadeOutcome =
-        run_pipeline(&reduced.system, &config.pipeline, config.fm_limits, probe);
+    let (base, base_refutation): (CascadeOutcome, _) =
+        run_pipeline_collect(&reduced.system, &config.pipeline, config.fm_limits, probe);
     fx.base_test = Some((base.used, base.answer.is_independent()));
     report.result = DependenceResult {
         answer: match &base.answer {
@@ -338,6 +378,9 @@ pub fn analyze_reduced_probed<P: Probe>(
                 .is_none_or(|w| problem.is_witness(w)),
             "cascade witness must satisfy the original problem"
         );
+        if let Some(w) = &report.witness {
+            report.certificate = Certificate::Witness { x: w.clone() };
+        }
         if P::ACTIVE {
             if let Some(w) = &report.witness {
                 probe.record(TraceEvent::Witness { x: w.clone() });
@@ -345,6 +388,14 @@ pub fn analyze_reduced_probed<P: Probe>(
         }
     }
     if base.answer.is_independent() {
+        report.certificate = match base_refutation {
+            Some(refutation) => Certificate::Refuted {
+                particular: lattice.particular.clone(),
+                basis: lattice.basis.clone(),
+                refutation,
+            },
+            None => Certificate::Unverified,
+        };
         return report;
     }
 
@@ -363,6 +414,7 @@ pub fn analyze_reduced_probed<P: Probe>(
             vectors,
             distance,
             exact,
+            tree,
         } = analyze_directions(
             problem,
             &reduced,
@@ -394,6 +446,14 @@ pub fn analyze_reduced_probed<P: Probe>(
             // The paper's implicit branch and bound: every direction
             // proved independent even though the `*` query could not.
             report.result.answer = Answer::Independent;
+            report.certificate = match tree {
+                Some(tree) => Certificate::DirectionsExhausted {
+                    particular: lattice.particular.clone(),
+                    basis: lattice.basis.clone(),
+                    tree,
+                },
+                None => Certificate::Unverified,
+            };
         } else {
             report.direction_vectors = vectors;
         }

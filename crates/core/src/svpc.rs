@@ -11,8 +11,11 @@
 //! absorbs every single-variable constraint into per-variable scalar
 //! bounds, shrinking the system for the Acyclic and Loop Residue tests.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 use dda_linalg::num;
 
+use crate::certificate::{Rule, Trail};
 use crate::system::{Constraint, System, VarBounds};
 
 /// Outcome of the SVPC pass.
@@ -65,7 +68,8 @@ pub enum SvpcOutcome {
 pub fn svpc(system: &System) -> SvpcOutcome {
     let n = system.num_vars;
     let mut bounds = VarBounds::unbounded(n);
-    match svpc_into(&mut bounds, &system.constraints) {
+    let mut trail = Trail::for_rows(n, &system.constraints);
+    match svpc_into(&mut bounds, &system.constraints, &mut trail) {
         SvpcStep::Infeasible => SvpcOutcome::Infeasible,
         SvpcStep::Done => {
             let sample = (0..n).map(|v| bounds.pick(v)).collect();
@@ -95,39 +99,91 @@ pub(crate) enum SvpcStep {
 /// A single-variable constraint whose integer tightening `⌊c/a⌋` / `⌈c/a⌉`
 /// overflows `i64` is left in the residual untouched — exactness is
 /// preserved and a later (checked) test decides.
-pub(crate) fn svpc_into(bounds: &mut VarBounds, constraints: &[Constraint]) -> SvpcStep {
+///
+/// `trail` must map each row of `constraints` to its arena step on entry;
+/// on `Residual` exit it maps the residual rows instead, and absorbed
+/// bounds have their producing steps recorded. On `Infeasible` the trail
+/// is sealed (when accountable).
+pub(crate) fn svpc_into(
+    bounds: &mut VarBounds,
+    constraints: &[Constraint],
+    trail: &mut Trail,
+) -> SvpcStep {
     let mut residual = Vec::new();
-    for c in constraints {
+    let mut residual_steps = Vec::new();
+    for (i, c) in constraints.iter().enumerate() {
+        let mut step = trail.row_step[i];
         let mut c = c.clone();
+        let g = num::gcd_slice(&c.coeffs);
         c.normalize();
+        if g > 1 {
+            step = trail.push(Rule::Div { of: step, d: g });
+        }
         if c.is_trivial() {
             if !c.trivially_satisfied() {
+                trail.seal = Some(step);
                 return SvpcStep::Infeasible;
             }
             continue;
         }
         if let Some(v) = c.single_var() {
+            // Normalized single-variable rows have coefficient ±1, so the
+            // row itself *is* the bound: `v ≤ q` or `−v ≤ −q`.
             let a = c.coeffs[v];
             let absorbed = if a > 0 {
-                num::checked_div_floor(c.rhs, a).map(|q| bounds.tighten_ub(v, q))
+                num::checked_div_floor(c.rhs, a).map(|q| {
+                    let old = bounds.ub[v];
+                    bounds.tighten_ub(v, q);
+                    if bounds.ub[v] != old {
+                        trail.ub_step[v] = Some(step);
+                    }
+                })
             } else {
-                num::checked_div_ceil(c.rhs, a).map(|q| bounds.tighten_lb(v, q))
+                num::checked_div_ceil(c.rhs, a).map(|q| {
+                    let old = bounds.lb[v];
+                    bounds.tighten_lb(v, q);
+                    if bounds.lb[v] != old {
+                        trail.lb_step[v] = Some(step);
+                    }
+                })
             };
             if absorbed.is_none() {
                 residual.push(c);
+                residual_steps.push(step);
             }
         } else {
             residual.push(c);
+            residual_steps.push(step);
         }
     }
+    trail.row_step = residual_steps;
 
-    if bounds.any_empty() {
+    if let Some(v) = first_empty_var(bounds) {
+        match (trail.ub_step[v], trail.lb_step[v]) {
+            // ub row `v ≤ u` plus lb row `−v ≤ −l` sums to `0 ≤ u − l < 0`.
+            (Some(ub), Some(lb)) => {
+                trail.seal = Some(trail.push(Rule::Comb {
+                    a: ub,
+                    ca: 1,
+                    b: lb,
+                    cb: 1,
+                }));
+            }
+            _ => trail.ok = false,
+        }
         return SvpcStep::Infeasible;
     }
     if residual.is_empty() {
         return SvpcStep::Done;
     }
     SvpcStep::Residual(residual)
+}
+
+/// The first variable whose merged range is empty, mirroring
+/// [`VarBounds::any_empty`].
+pub(crate) fn first_empty_var(bounds: &VarBounds) -> Option<usize> {
+    (0..bounds.lb.len())
+        .find(|&v| matches!((bounds.lb[v], bounds.ub[v]), (Some(l), Some(u)) if l > u))
 }
 
 #[cfg(test)]

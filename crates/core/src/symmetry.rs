@@ -9,6 +9,8 @@
 //! of itself and its mirror lets the memo table serve both orientations
 //! from one entry.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 use crate::problem::{DependenceProblem, XVar};
 use crate::result::{Direction, DirectionVector, DistanceVector};
 use crate::system::Constraint;
@@ -19,8 +21,11 @@ use crate::system::Constraint;
 /// common-B, extras, symbolics), so the mirror maps `CommonA(k)` ↔
 /// `CommonB(k)` and `ExtraA` ↔ `ExtraB` — a permutation of columns — and
 /// negates the equality rows (`f_b − f_a = −(f_a − f_b)`).
+///
+/// Returns `None` when negating a row overflows (`i64::MIN` coefficient);
+/// callers then simply skip canonicalization, which is always sound.
 #[must_use]
-pub fn swap_problem(p: &DependenceProblem) -> DependenceProblem {
+pub fn swap_problem(p: &DependenceProblem) -> Option<DependenceProblem> {
     let n = p.num_vars();
     // permutation[i] = index in the original of the variable that sits at
     // position i of the mirror.
@@ -46,22 +51,26 @@ pub fn swap_problem(p: &DependenceProblem) -> DependenceProblem {
     let eq_coeffs: Vec<Vec<i64>> = p
         .eq_coeffs
         .iter()
-        .map(|row| permute(row).iter().map(|c| -c).collect())
-        .collect();
-    let eq_rhs: Vec<i64> = p.eq_rhs.iter().map(|c| -c).collect();
+        .map(|row| permute(row).iter().map(|c| c.checked_neg()).collect())
+        .collect::<Option<_>>()?;
+    let eq_rhs: Vec<i64> = p
+        .eq_rhs
+        .iter()
+        .map(|c| c.checked_neg())
+        .collect::<Option<_>>()?;
     let bounds: Vec<Constraint> = p
         .bounds
         .iter()
         .map(|c| Constraint::new(permute(&c.coeffs), c.rhs))
         .collect();
 
-    DependenceProblem {
+    Some(DependenceProblem {
         vars,
         eq_coeffs,
         eq_rhs,
         bounds,
         num_common: p.num_common,
-    }
+    })
 }
 
 /// Whether the mirror is well-defined: swapping the ExtraA/ExtraB blocks
@@ -101,13 +110,16 @@ pub fn flip_vectors(vectors: &[DirectionVector]) -> Vec<DirectionVector> {
         .collect()
 }
 
-/// Mirrors a distance vector (`i′ − i` negates).
+/// Mirrors a distance vector (`i′ − i` negates). A component whose
+/// negation overflows degrades to unknown — conservative, never wrong.
 #[must_use]
 pub fn flip_distance(d: &DistanceVector) -> DistanceVector {
-    DistanceVector(d.0.iter().map(|v| v.map(|x| -x)).collect())
+    DistanceVector(d.0.iter().map(|v| v.and_then(i64::checked_neg)).collect())
 }
 
 #[cfg(test)]
+// Test fixtures use plain literals arithmetic; overflow aborts the test.
+#[allow(clippy::arithmetic_side_effects)]
 mod tests {
     use super::*;
     use crate::memo::bounds_key;
@@ -130,7 +142,7 @@ mod tests {
         ] {
             let p = problem(src);
             assert!(swappable(&p));
-            let back = swap_problem(&swap_problem(&p));
+            let back = swap_problem(&swap_problem(&p).unwrap()).unwrap();
             assert_eq!(p, back, "{src}");
         }
     }
@@ -143,17 +155,17 @@ mod tests {
         assert_ne!(bounds_key(&p1, true).key, bounds_key(&p2, true).key);
         let c1 = bounds_key(&p1, true)
             .key
-            .min(bounds_key(&swap_problem(&p1), true).key);
+            .min(bounds_key(&swap_problem(&p1).unwrap(), true).key);
         let c2 = bounds_key(&p2, true)
             .key
-            .min(bounds_key(&swap_problem(&p2), true).key);
+            .min(bounds_key(&swap_problem(&p2).unwrap(), true).key);
         assert_eq!(c1, c2);
     }
 
     #[test]
     fn mirror_preserves_witnesses_up_to_permutation() {
         let p = problem("for i = 1 to 10 { a[i + 1] = a[i]; }");
-        let m = swap_problem(&p);
+        let m = swap_problem(&p).unwrap();
         // (i, i') = (1, 2) satisfies p; the mirror swaps roles: (2, 1).
         assert!(p.is_witness(&[1, 2]));
         assert!(m.is_witness(&[2, 1]));

@@ -7,6 +7,8 @@
 //! where the paper's *exactness* cashes out: an inexact extra vector can
 //! veto a perfectly legal transformation.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 use std::collections::BTreeSet;
 
 use crate::analyzer::ProgramReport;
@@ -128,8 +130,10 @@ pub fn innermost_vectorizable(report: &ProgramReport, vector_width: i64) -> bool
             if !v.carried_by(depth) && v.0.get(depth).is_none_or(|d| *d != Direction::Any) {
                 continue; // not carried innermost
             }
+            // checked_abs: an i64::MIN distance (unrepresentable |d|)
+            // conservatively blocks vectorization instead of overflowing.
             match pair.distance.0.get(depth) {
-                Some(Some(d)) if d.abs() >= vector_width => {}
+                Some(Some(d)) if d.checked_abs().is_some_and(|a| a >= vector_width) => {}
                 _ => return false,
             }
         }
@@ -138,6 +142,8 @@ pub fn innermost_vectorizable(report: &ProgramReport, vector_width: i64) -> bool
 }
 
 #[cfg(test)]
+// Test fixtures use plain literal arithmetic; overflow aborts the test.
+#[allow(clippy::arithmetic_side_effects)]
 mod tests {
     use super::*;
     use crate::DependenceAnalyzer;

@@ -66,8 +66,10 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::time::Instant;
 
+use dda_check::{check_pair, CheckOutcome};
 use dda_core::gcd::{
-    expand_lattice, solve_equalities, solve_equalities_restricted, EqOutcome, Lattice,
+    expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted, EqOutcome,
+    Lattice,
 };
 use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey, ShardedMemoTable};
 use dda_core::persist::PersistError;
@@ -93,6 +95,14 @@ pub struct EngineConfig {
     pub memo_mode: MemoMode,
     /// Per-pair analysis options (directions, pruning, symbolics, …).
     pub analyzer: AnalyzerConfig,
+    /// Run the independent `dda-check` kernel over every report produced
+    /// by [`Engine::analyze_programs`], panicking on any rejected
+    /// certificate or resolution mismatch. Defaults to on under
+    /// `debug_assertions`, turning every test of the engine into a
+    /// translation-validation test; release callers opt in explicitly
+    /// (e.g. the CLI's `--check`) via [`Engine::check_programs`], which
+    /// reports failures instead of panicking.
+    pub check: bool,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +112,7 @@ impl Default for EngineConfig {
             shards: 16,
             memo_mode: MemoMode::Improved,
             analyzer: AnalyzerConfig::default(),
+            check: cfg!(debug_assertions),
         }
     }
 }
@@ -420,7 +431,7 @@ impl Engine {
                         delta.assumed += 1;
                         steps::assumed_report(template, cfg.compute_directions)
                     }
-                    Classified::Problem(_) => {
+                    Classified::Problem(p) => {
                         if memo_on {
                             delta.gcd_memo_queries += 1;
                         }
@@ -439,7 +450,7 @@ impl Engine {
                                     delta.gcd_memo_hits += 1;
                                 }
                                 delta.gcd_independent += 1;
-                                steps::gcd_independent_report(template)
+                                steps::gcd_independent_report(template, refute_equalities(p))
                             }
                             GcdRes::Lattice { hit, .. } => {
                                 if hit {
@@ -483,6 +494,14 @@ impl Engine {
             out.push(ProgramReport::from_parts(pair_reports, delta));
         }
         self.timings.add(&batch_timings);
+        if self.config.check {
+            let summary = self.check_programs(programs, &out);
+            assert!(
+                summary.failures.is_empty(),
+                "certificate check failed: {:?}",
+                summary.failures
+            );
+        }
         out
     }
 
@@ -658,6 +677,243 @@ impl Engine {
     }
 }
 
+/// One pair whose certificate failed independent verification — either
+/// the kernel rejected it outright, or the pair's memo-free re-analysis
+/// disagreed with the reported verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// Index of the program in the checked batch.
+    pub program: usize,
+    /// Index of the pair within that program's report.
+    pub pair: usize,
+    /// Name of the shared array (empty for enumeration mismatches).
+    pub array: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// Aggregate result of checking a batch of reports.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckSummary {
+    /// Pairs whose certificates the kernel verified (directly, or after
+    /// resolving an unverified memo transfer by re-analysis).
+    pub verified: usize,
+    /// Pairs that remain without checkable evidence even after
+    /// resolution (conservative claims of independence never occur, so
+    /// these are re-analyses that again withheld a certificate).
+    pub unverified: usize,
+    /// Rejected certificates and resolution mismatches.
+    pub failures: Vec<CheckFailure>,
+}
+
+impl CheckSummary {
+    /// Whether every pair verified (no failures and nothing unverified).
+    #[must_use]
+    pub fn all_verified(&self) -> bool {
+        self.failures.is_empty() && self.unverified == 0
+    }
+}
+
+/// How one pair's check resolved.
+enum Resolved {
+    Verified,
+    Unverified,
+    Failed(String),
+}
+
+/// Re-analyzes one pair from scratch, memo-free — the serial
+/// `MemoMode::Off` path, reproduced step by step. Used to resolve
+/// [`CheckOutcome::Unverified`] reports: the fresh run carries a fresh
+/// certificate for the kernel to verify.
+fn fresh_pair_report(cfg: &AnalyzerConfig, a: &Access, b: &Access, common: usize) -> PairReport {
+    let template = steps::pair_template(a, b, common);
+    match steps::classify_pair(a, b, common, cfg.symbolic) {
+        Classified::Constant { dependent } => {
+            steps::constant_report(template, dependent, cfg.compute_directions)
+        }
+        Classified::Unbuildable => steps::assumed_report(template, cfg.compute_directions),
+        Classified::Problem(p) => match solve_equalities(&p) {
+            None => template, // overflow: dependence assumed
+            Some(EqOutcome::Independent) => {
+                steps::gcd_independent_report(template, refute_equalities(&p))
+            }
+            Some(EqOutcome::Lattice(lattice)) => {
+                let mut fx = ReduceEffects::default();
+                let mut probe = StatsProbe::default();
+                steps::analyze_reduced_probed(cfg, &p, &lattice, template, &mut fx, &mut probe)
+            }
+        },
+    }
+}
+
+impl Engine {
+    /// Runs the independent `dda-check` kernel over a batch's reports, in
+    /// parallel on the worker pool.
+    ///
+    /// Every pair's certificate is verified against a fresh enumeration
+    /// of the program's reference pairs. Reports whose evidence did not
+    /// transfer through the memo table
+    /// ([`CheckOutcome::Unverified`](dda_check::CheckOutcome)) are
+    /// *resolved*: the pair is re-analyzed from scratch with memoization
+    /// off, the fresh verdict must agree with the reported one, and the
+    /// fresh certificate is checked in its place.
+    #[must_use]
+    pub fn check_programs(&self, programs: &[Program], reports: &[ProgramReport]) -> CheckSummary {
+        let cfg = self.config.effective_analyzer_config();
+        let resolve_cfg = AnalyzerConfig {
+            memo: MemoMode::Off,
+            ..cfg
+        };
+        let workers = self.config.effective_workers();
+
+        struct CheckJob<'a> {
+            program: usize,
+            pair: usize,
+            a: &'a Access,
+            b: &'a Access,
+            common: usize,
+            report: &'a PairReport,
+        }
+
+        let mut summary = CheckSummary::default();
+        let sets: Vec<_> = programs.iter().map(extract_accesses).collect();
+        let mut jobs: Vec<CheckJob<'_>> = Vec::new();
+        for (pi, (set, rep)) in sets.iter().zip(reports).enumerate() {
+            let pairs = reference_pairs(set, cfg.include_input_deps);
+            if pairs.len() != rep.pairs().len() {
+                summary.failures.push(CheckFailure {
+                    program: pi,
+                    pair: 0,
+                    array: String::new(),
+                    reason: format!(
+                        "report covers {} pairs but the program enumerates {}",
+                        rep.pairs().len(),
+                        pairs.len()
+                    ),
+                });
+                continue;
+            }
+            for (qi, (pair, pr)) in pairs.iter().zip(rep.pairs()).enumerate() {
+                jobs.push(CheckJob {
+                    program: pi,
+                    pair: qi,
+                    a: pair.a,
+                    b: pair.b,
+                    common: pair.common,
+                    report: pr,
+                });
+            }
+        }
+
+        let outcomes = par_map(workers, &jobs, |_, j| {
+            if j.report.a_access != j.a.id || j.report.b_access != j.b.id {
+                return Resolved::Failed("report pair does not match the enumeration".into());
+            }
+            match check_pair(j.a, j.b, j.common, j.report) {
+                CheckOutcome::Verified => Resolved::Verified,
+                CheckOutcome::Rejected(e) => Resolved::Failed(e),
+                CheckOutcome::Unverified => {
+                    let fresh = fresh_pair_report(&resolve_cfg, j.a, j.b, j.common);
+                    if std::mem::discriminant(&fresh.result.answer)
+                        != std::mem::discriminant(&j.report.result.answer)
+                    {
+                        return Resolved::Failed(format!(
+                            "memo-free re-analysis answered {:?} but the report says {:?}",
+                            fresh.result.answer, j.report.result.answer
+                        ));
+                    }
+                    match check_pair(j.a, j.b, j.common, &fresh) {
+                        CheckOutcome::Verified => Resolved::Verified,
+                        CheckOutcome::Unverified => Resolved::Unverified,
+                        CheckOutcome::Rejected(e) => {
+                            Resolved::Failed(format!("fresh certificate rejected: {e}"))
+                        }
+                    }
+                }
+            }
+        });
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            match outcome {
+                Resolved::Verified => summary.verified += 1,
+                Resolved::Unverified => summary.unverified += 1,
+                Resolved::Failed(reason) => summary.failures.push(CheckFailure {
+                    program: job.program,
+                    pair: job.pair,
+                    array: job.report.array.clone(),
+                    reason,
+                }),
+            }
+        }
+        summary
+    }
+}
+
+/// Number of statements in a statement list, counting nested bodies.
+fn stmt_count(stmts: &[dda_ir::Stmt]) -> usize {
+    use dda_ir::Stmt;
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::For(f) => 1 + stmt_count(&f.body),
+            Stmt::If(i) => 1 + stmt_count(&i.then_body) + stmt_count(&i.else_body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Removes the `idx`-th statement in pre-order (counting nested bodies).
+/// Returns whether a removal happened; `idx` is decremented as statements
+/// are passed over.
+fn remove_stmt(stmts: &mut Vec<dda_ir::Stmt>, idx: &mut usize) -> bool {
+    use dda_ir::Stmt;
+    let mut i = 0;
+    while i < stmts.len() {
+        if *idx == 0 {
+            stmts.remove(i);
+            return true;
+        }
+        *idx -= 1;
+        let removed = match &mut stmts[i] {
+            Stmt::For(f) => remove_stmt(&mut f.body, idx),
+            Stmt::If(s) => remove_stmt(&mut s.then_body, idx) || remove_stmt(&mut s.else_body, idx),
+            _ => false,
+        };
+        if removed {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Greedily shrinks a program while `still_fails` keeps returning `true`:
+/// repeatedly deletes single statements (anywhere in the nest) whose
+/// removal preserves the failure, until no single deletion does. Used by
+/// `dda --check` to dump a minimal reproducer when a certificate is
+/// rejected. If the input itself does not satisfy `still_fails`, it is
+/// returned unchanged.
+pub fn minimize_program<F: Fn(&Program) -> bool>(program: &Program, still_fails: F) -> Program {
+    let mut current = program.clone();
+    loop {
+        let mut shrunk = false;
+        for k in 0..stmt_count(&current.stmts) {
+            let mut candidate = current.clone();
+            let mut idx = k;
+            if !remove_stmt(&mut candidate.stmts, &mut idx) {
+                continue;
+            }
+            if still_fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
 /// The GCD wave without memoization: every problem job solves its own
 /// full equality system, exactly like the serial `MemoMode::Off` path.
 fn gcd_wave_off(
@@ -758,7 +1014,7 @@ mod tests {
                     workers,
                     shards: 4,
                     memo_mode,
-                    analyzer: AnalyzerConfig::default(),
+                    ..EngineConfig::default()
                 };
                 let mut engine = Engine::with_config(config);
                 let got = engine.analyze_programs(&programs);
@@ -859,6 +1115,67 @@ mod tests {
 
         engine.reset();
         assert_eq!(engine.stage_timings().total_calls(), 0);
+    }
+
+    #[test]
+    fn check_programs_verifies_batches_and_catches_corruption() {
+        use dda_core::Answer;
+        let programs = batch();
+        let config = EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::with_config(config);
+        let reports = engine.analyze_programs(&programs);
+        // Cold run: everything carries a fresh certificate.
+        let summary = engine.check_programs(&programs, &reports);
+        assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+        assert!(summary.all_verified());
+
+        // Warm run: memo hits come back Unverified and are resolved by
+        // memo-free re-analysis — still zero failures, zero unverified.
+        let warm = engine.analyze_programs(&programs);
+        let summary = engine.check_programs(&programs, &warm);
+        assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+        assert!(summary.all_verified());
+        assert!(warm.iter().any(|r| r.pairs().iter().any(|p| p.from_cache)));
+
+        // Corrupt a verdict: a dependent pair flipped to Independent must
+        // be caught (its witness certificate proves the opposite).
+        let mut pairs: Vec<PairReport> = warm[1].pairs().to_vec();
+        assert!(!pairs[0].result.is_independent());
+        pairs[0].result.answer = Answer::Independent;
+        let forged = ProgramReport::from_parts(pairs, warm[1].stats);
+        let summary = engine.check_programs(&programs[1..2], std::slice::from_ref(&forged));
+        assert_eq!(summary.failures.len(), 1, "{summary:?}");
+        assert_eq!(summary.failures[0].program, 0);
+        assert_eq!(summary.failures[0].pair, 0);
+    }
+
+    #[test]
+    fn minimizer_shrinks_to_the_failing_statement() {
+        let src = "for i = 1 to 10 { \
+                     b[i] = 0; \
+                     for j = 1 to 10 { c[j] = 1; a[i][j] = a[i][j - 1] + 1; } \
+                     d[i] = 2; \
+                   }";
+        let program = parse_program(src).unwrap();
+        // "Failure" = the program still contains the coupled a[][] pair.
+        let still_fails = |p: &Program| {
+            let accesses = dda_ir::extract_accesses(p);
+            dda_ir::reference_pairs(&accesses, false)
+                .iter()
+                .any(|pair| pair.a.array == "a" && pair.b.array == "a")
+        };
+        let min = minimize_program(&program, still_fails);
+        assert!(still_fails(&min));
+        // Everything except the enclosing loops and the one a[][]
+        // statement is gone: for i { for j { a[i][j] = ...; } }.
+        assert_eq!(stmt_count(&min.stmts), 3, "{min}");
+
+        // A predicate the original never satisfies leaves it untouched.
+        let untouched = minimize_program(&program, |_| false);
+        assert_eq!(stmt_count(&untouched.stmts), stmt_count(&program.stmts));
     }
 
     #[test]

@@ -138,6 +138,7 @@ proptest! {
                         shards: 4,
                         memo_mode: memo,
                         analyzer: analyzer_cfg,
+                        ..EngineConfig::default()
                     });
                     let got = engine.analyze_programs(&programs);
                     let ctx = format!(

@@ -158,6 +158,102 @@ pub fn solve(a: &Matrix, b: &[i64]) -> Result<Option<Solution>> {
     }))
 }
 
+/// Builds a Farkas-style refutation of `a · x = b` over the integers: a
+/// rational row combination `y = numer / denom` (one numerator per row of
+/// `a`, `denom ≥ 1`) such that every entry of `yᵀ a` is an integer while
+/// `yᵀ b` is not — or `yᵀ a = 0` with `yᵀ b ≠ 0`. Either way
+/// `yᵀ a x = yᵀ b` is unsatisfiable by any integer `x`, so the combination
+/// is independently checkable evidence that [`solve`] correctly returned
+/// `None`.
+///
+/// Returns `None` when the system *is* integrally solvable, or when the
+/// witness does not fit in `i64`/`i128` arithmetic. Callers must decide
+/// feasibility with [`solve`]; this only reconstructs evidence after the
+/// fact and never alters the verdict.
+#[must_use]
+pub fn refute(a: &Matrix, b: &[i64]) -> Option<(Vec<i64>, i64)> {
+    if b.len() != a.rows() {
+        return None;
+    }
+    let f = factorize(a).ok()?;
+    let m = a.rows();
+    let rank = f.rank();
+
+    // Replay the forward substitution of `solve`, but alongside each fixed
+    // t value keep the *functional* that produced it: a rational row
+    // vector over the original rows (numerators over a positive
+    // denominator) with  t_k = func_k · b. The residual functional of row
+    // r is then e_r − Σ E[r][j]·func_j; at a divisibility or consistency
+    // failure, that functional (scaled by the pivot) is the witness: its
+    // product with A is integral by echelon structure while its product
+    // with b is the fractional (or nonzero) residual observed.
+    let mut t_funcs: Vec<(Vec<i128>, i128)> = Vec::with_capacity(rank);
+    let mut fixed_t: Vec<i128> = Vec::with_capacity(rank);
+    let mut next_pivot = 0usize;
+    for r in 0..m {
+        let is_pivot_row = next_pivot < rank && f.pivot_rows[next_pivot] == r;
+        // Entries right of the next pivot are zero in both pivot and
+        // skipped rows, so only the already-fixed t's can contribute.
+        let upto = if is_pivot_row { next_pivot } else { rank }.min(t_funcs.len());
+        let den = t_funcs[..upto]
+            .iter()
+            .try_fold(1i128, |acc, (_, d)| acc.checked_mul(d / gcd128(acc, *d)))?;
+        let mut num = vec![0i128; m];
+        num[r] = den;
+        let mut resid = i128::from(b[r]);
+        for (j, (func, func_den)) in t_funcs.iter().enumerate().take(upto) {
+            let e = i128::from(f.echelon[(r, j)]);
+            resid = resid.checked_sub(e.checked_mul(fixed_t[j])?)?;
+            let scale = den / func_den;
+            for (ni, &tn) in num.iter_mut().zip(func) {
+                *ni = ni.checked_sub(e.checked_mul(tn)?.checked_mul(scale)?)?;
+            }
+        }
+        if is_pivot_row {
+            let pivot = i128::from(f.echelon[(r, next_pivot)]);
+            if resid % pivot != 0 {
+                // y = (residual functional)/pivot: yᵀE = e_k, so yᵀA is a
+                // row of U⁻¹ (integral) while yᵀb = resid/pivot ∉ ℤ.
+                return reduce_fit(num, den.checked_mul(pivot)?);
+            }
+            fixed_t.push(resid / pivot);
+            t_funcs.push((num, den.checked_mul(pivot)?));
+            next_pivot += 1;
+        } else if resid != 0 {
+            // y = residual functional: yᵀE = 0 ⇒ yᵀA = 0, yᵀb = resid ≠ 0.
+            return reduce_fit(num, den);
+        }
+    }
+    None // integrally solvable: nothing to refute
+}
+
+/// Cancels the common gcd of a rational row vector and narrows it to i64.
+fn reduce_fit(mut num: Vec<i128>, mut den: i128) -> Option<(Vec<i64>, i64)> {
+    debug_assert!(den > 0);
+    let g = num.iter().fold(den, |acc, &n| gcd128(acc, n));
+    if g > 1 {
+        for n in &mut num {
+            *n /= g;
+        }
+        den /= g;
+    }
+    let numer: Option<Vec<i64>> = num.into_iter().map(|n| i64::try_from(n).ok()).collect();
+    Some((numer?, i64::try_from(den).ok()?))
+}
+
+/// Euclidean gcd on `i128` magnitudes. Safe here because the first operand
+/// is always a positive denominator, which bounds the result below
+/// `i128::MAX`.
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    i128::try_from(a).expect("gcd bounded by positive operand")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +341,111 @@ mod tests {
             solve(&a, &[1, 2]),
             Err(Error::ShapeMismatch { .. })
         ));
+    }
+
+    /// The independent check a proof kernel applies to a refutation: the
+    /// combination must make every column of `A` integral while leaving
+    /// `b` fractional, or annihilate `A` while leaving `b` nonzero.
+    fn refutation_holds(a: &Matrix, b: &[i64], numer: &[i64], denom: i64) -> bool {
+        assert!(denom >= 1);
+        assert_eq!(numer.len(), a.rows());
+        let col_sum = |j: usize| -> i128 {
+            (0..a.rows())
+                .map(|r| i128::from(numer[r]) * i128::from(a[(r, j)]))
+                .sum()
+        };
+        let sums: Vec<i128> = (0..a.cols()).map(col_sum).collect();
+        let sb: i128 = numer
+            .iter()
+            .zip(b)
+            .map(|(&y, &v)| i128::from(y) * i128::from(v))
+            .sum();
+        let d = i128::from(denom);
+        let fractional = sums.iter().all(|s| s % d == 0) && sb % d != 0;
+        let annihilating = sums.iter().all(|&s| s == 0) && sb != 0;
+        fractional || annihilating
+    }
+
+    fn assert_refutes(a: &Matrix, b: &[i64]) {
+        assert_eq!(solve(a, b).unwrap(), None, "system must be infeasible");
+        let (numer, denom) = refute(a, b).expect("refutation exists");
+        assert!(
+            refutation_holds(a, b, &numer, denom),
+            "refutation {numer:?}/{denom} fails the kernel check"
+        );
+    }
+
+    #[test]
+    fn refute_gcd_divisibility() {
+        // 2x + 4y = 7: y = 1/2 exposes the fractional rhs.
+        let a = Matrix::from_rows(&[vec![2, 4]]);
+        assert_refutes(&a, &[7]);
+    }
+
+    #[test]
+    fn refute_inconsistent_rows() {
+        // x + y = 1 and 2x + 2y = 3: 2·row0 − row1 gives 0 = -1.
+        let a = Matrix::from_rows(&[vec![1, 1], vec![2, 2]]);
+        assert_refutes(&a, &[1, 3]);
+    }
+
+    #[test]
+    fn refute_zero_row_nonzero_rhs() {
+        let a = Matrix::zeros(1, 2);
+        assert_refutes(&a, &[1]);
+    }
+
+    #[test]
+    fn refute_second_pivot_failure() {
+        // x = 1 forces 3y = 7 − 1·... : divisibility fails at a later
+        // pivot, exercising the functional propagation through fixed t's.
+        let a = Matrix::from_rows(&[vec![1, 0], vec![1, 3]]);
+        assert_refutes(&a, &[1, 3]);
+    }
+
+    #[test]
+    fn refute_mixed_rank_deficient() {
+        // Rank-1 system with both a consistent duplicate and an
+        // inconsistent scaled copy.
+        let a = Matrix::from_rows(&[vec![2, -2], vec![4, -4], vec![6, -6]]);
+        assert_refutes(&a, &[2, 4, 7]);
+    }
+
+    #[test]
+    fn refute_declines_feasible_systems() {
+        let a = Matrix::from_rows(&[vec![2, 4]]);
+        assert!(refute(&a, &[6]).is_none());
+        let id = Matrix::from_rows(&[vec![1, 0], vec![0, 1]]);
+        assert!(refute(&id, &[3, -4]).is_none());
+        assert!(refute(&Matrix::zeros(1, 2), &[0]).is_none());
+    }
+
+    #[test]
+    fn refute_agrees_with_solve_on_small_systems() {
+        // Exhaustive 2×2 sweep: refute returns Some exactly when solve
+        // returns None, and every returned witness passes the check.
+        let vals = [-3i64, -1, 0, 1, 2, 4];
+        for &a00 in &vals {
+            for &a01 in &vals {
+                for &a10 in &vals {
+                    for &a11 in &vals {
+                        let a = Matrix::from_rows(&[vec![a00, a01], vec![a10, a11]]);
+                        for &b0 in &vals {
+                            for &b1 in &vals {
+                                let b = [b0, b1];
+                                let infeasible = matches!(solve(&a, &b), Ok(None));
+                                match refute(&a, &b) {
+                                    Some((numer, denom)) => {
+                                        assert!(infeasible);
+                                        assert!(refutation_holds(&a, &b, &numer, denom));
+                                    }
+                                    None => assert!(!infeasible),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -11,6 +11,9 @@
 //! - [`core`]: the cascaded exact tests (SVPC, Acyclic, Loop Residue,
 //!   Fourier–Motzkin), memoization, direction/distance vectors, symbolic
 //!   terms, and the whole-program analyzer.
+//! - [`check`]: the independent proof-checking kernel that re-verifies
+//!   every verdict's certificate by substitution and exact arithmetic,
+//!   sharing no solver code with `core`.
 //! - [`engine`]: the parallel batch analysis engine — scoped worker
 //!   threads over a sharded concurrent memo table, with deterministic
 //!   serial-identical output.
@@ -35,6 +38,7 @@
 //! ```
 
 pub use dda_baselines as baselines;
+pub use dda_check as check;
 pub use dda_core as core;
 pub use dda_engine as engine;
 pub use dda_ir as ir;

@@ -43,6 +43,11 @@ OPTIONS:
     --symmetric          enable symmetric-pair memoization
     --separable          enable dimension-by-dimension direction vectors
     --input-deps         also test read-read pairs
+    --check              (analyze/batch) re-verify every verdict's
+                         certificate with the independent proof-checking
+                         kernel; rejections are listed on stderr, a
+                         minimized .loop reproducer is dumped, and the
+                         run exits nonzero
     --explain            narrate each pair's analysis step by step
     --trace              (analyze) emit the typed trace-event stream as
                          JSONL instead of the verdict listing
@@ -66,6 +71,7 @@ struct Options {
     stats: bool,
     explain: bool,
     trace: bool,
+    check: bool,
     workers: usize,
     shards: usize,
 }
@@ -87,6 +93,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             stats: false,
             explain: false,
             trace: false,
+            check: false,
             workers: 0,
             shards: 16,
         });
@@ -106,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut stats = false;
     let mut explain = false;
     let mut trace = false;
+    let mut check = false;
     let mut workers = 0;
     let mut shards = 16;
     while let Some(flag) = it.next() {
@@ -123,6 +131,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--stats" => stats = true,
             "--explain" => explain = true,
             "--trace" => trace = true,
+            "--check" => check = true,
             "--tests" => {
                 let list = it.next().ok_or("--tests needs a comma-separated list")?;
                 config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
@@ -163,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         stats,
         explain,
         trace,
+        check,
         workers,
         shards,
     })
@@ -456,6 +466,69 @@ fn batch_json_line(file: &str, report: &dda::core::ProgramReport) -> String {
     line
 }
 
+/// Engine configuration used for `--check` verification runs: same
+/// analyzer settings as the main run, but with the engine's own
+/// panic-on-failure hook off — the CLI reports rejections itself.
+fn check_engine_config(opts: &Options) -> EngineConfig {
+    EngineConfig {
+        workers: opts.workers,
+        shards: opts.shards,
+        memo_mode: opts.config.memo,
+        analyzer: opts.config,
+        check: false,
+    }
+}
+
+/// `--check`: re-verify every verdict's certificate with the independent
+/// proof-checking kernel. Rejections are listed on stderr; for each
+/// failing program a greedily minimized reproducer is dumped as
+/// `dda-check-repro-<k>.loop`, and the run returns an error (nonzero
+/// exit).
+fn run_check(
+    opts: &Options,
+    labels: &[String],
+    programs: &[Program],
+    reports: &[dda::core::ProgramReport],
+) -> Result<(), String> {
+    let engine = Engine::with_config(check_engine_config(opts));
+    let summary = engine.check_programs(programs, reports);
+    eprintln!(
+        "check: {} verified, {} unverified, {} rejected",
+        summary.verified,
+        summary.unverified,
+        summary.failures.len()
+    );
+    if summary.failures.is_empty() {
+        return Ok(());
+    }
+    for f in &summary.failures {
+        eprintln!(
+            "check failure: {} pair {} array `{}`: {}",
+            labels[f.program], f.pair, f.array, f.reason
+        );
+    }
+    let mut failing: Vec<usize> = summary.failures.iter().map(|f| f.program).collect();
+    failing.sort_unstable();
+    failing.dedup();
+    for (k, &idx) in failing.iter().enumerate() {
+        let cfg = check_engine_config(opts);
+        let still_fails = |p: &Program| {
+            let mut fresh = Engine::with_config(cfg);
+            let batch = [p.clone()];
+            let r = fresh.analyze_programs(&batch);
+            !fresh.check_programs(&batch, &r).failures.is_empty()
+        };
+        let minimized = dda::engine::minimize_program(&programs[idx], still_fails);
+        let path = format!("dda-check-repro-{k}.loop");
+        std::fs::write(&path, format!("{minimized}")).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("minimized reproducer for {} written to {path}", labels[idx]);
+    }
+    Err(format!(
+        "{} certificate check failure(s)",
+        summary.failures.len()
+    ))
+}
+
 /// `dda batch`: analyze every program in the manifest with the parallel
 /// engine and emit one JSON report per line, in manifest order.
 fn run_batch(opts: &Options) -> Result<(), String> {
@@ -493,12 +566,7 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         programs.push(program);
     }
 
-    let mut engine = Engine::with_config(EngineConfig {
-        workers: opts.workers,
-        shards: opts.shards,
-        memo_mode: opts.config.memo,
-        analyzer: opts.config,
-    });
+    let mut engine = Engine::with_config(check_engine_config(opts));
     if let Some(path) = &opts.memo_load {
         engine
             .load_memo_file(path)
@@ -539,6 +607,9 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         engine
             .save_memo_file(path)
             .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.check {
+        run_check(opts, &files, &programs, &reports)?;
     }
     Ok(())
 }
@@ -681,6 +752,14 @@ fn run(opts: &Options) -> Result<(), String> {
         analyzer
             .save_memo_file(path)
             .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.check {
+        run_check(
+            opts,
+            std::slice::from_ref(&opts.file),
+            std::slice::from_ref(&program),
+            std::slice::from_ref(&report),
+        )?;
     }
     Ok(())
 }
