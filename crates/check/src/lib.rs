@@ -36,8 +36,13 @@
 //!   with `yᵀb ≠ 0` — either way `A·x = b` has no integer solution.
 //! - [`Certificate::Refuted`]: the recorded lattice is sound (`A·x₀ = b`
 //!   and `A·B = 0`, so `x₀ + B·t` covers only solutions of the equality
-//!   system), and the derivation refutes the bound rows translated onto
-//!   `t` by the checker itself.
+//!   system) **and complete** — the kernel derives its own ℤ-basis of
+//!   `ker(A)` by integer column reduction and requires every generator
+//!   to be an integer combination of `B`'s columns, so `x₀ + B·t`
+//!   covers *every* solution and a refutation over `t` cannot quietly
+//!   skip real dependences hiding in a strict sub-lattice — and the
+//!   derivation refutes the bound rows translated onto `t` by the
+//!   checker itself.
 //! - [`Certificate::DirectionsExhausted`]: additionally, every leaf of
 //!   the direction trichotomy tree refutes its region, where the
 //!   direction rows are recomputed from the lattice and each split's
@@ -404,8 +409,137 @@ fn check_gcd_refutation(
     Err("multiplier does not witness unsolvability of the equality system".into())
 }
 
-/// Checks that `x = x₀ + B·t` only produces solutions of the equality
-/// system: `A·x₀ = b` and `A·B = 0`.
+// ---------------------------------------------------------------------
+// Kernel lattice algebra. The checker derives its own ℤ-basis of
+// `ker(A)` — sharing no code with `dda_linalg::diophantine` — so a
+// certificate's basis can be audited for *completeness*, not just
+// soundness: a strict sub-lattice would let a refutation over `t` miss
+// real solutions that lie in the kernel but not in the basis's span.
+// ---------------------------------------------------------------------
+
+/// Subtracts `q` times column `k` from column `j` (columns are vectors
+/// in a slice; `j ≠ k`).
+fn col_sub_mul(cols: &mut [Vec<i128>], j: usize, k: usize, q: i128) -> Result<(), String> {
+    if q == 0 {
+        return Ok(());
+    }
+    let ck = cols[k].clone();
+    for (x, &v) in cols[j].iter_mut().zip(&ck) {
+        *x = x
+            .checked_sub(q.checked_mul(v).ok_or(OVERFLOW)?)
+            .ok_or(OVERFLOW)?;
+    }
+    Ok(())
+}
+
+/// Reduces `cols` to column echelon form by unimodular column operations
+/// (swap, and subtracting integer multiples of one column from another),
+/// mirroring every operation on `mirror` when present. On return, column
+/// `j < p` has its first nonzero entry at the `j`-th pivot row, pivot
+/// rows strictly increase with `j`, and columns `≥ p` are zero; returns
+/// the pivot count `p`.
+fn column_echelon(
+    cols: &mut [Vec<i128>],
+    mut mirror: Option<&mut [Vec<i128>]>,
+) -> Result<usize, String> {
+    let ncols = cols.len();
+    let nrows = cols.first().map_or(0, Vec::len);
+    let mut p = 0;
+    for r in 0..nrows {
+        if p == ncols {
+            break;
+        }
+        // Gcd-style elimination at row `r` over columns `p..`: repeatedly
+        // reduce every entry modulo the smallest one (each pass strictly
+        // shrinks the row's magnitude sum) until at most one survives.
+        loop {
+            let mut best: Option<usize> = None;
+            for (j, col) in cols.iter().enumerate().skip(p) {
+                if col[r] != 0
+                    && best.is_none_or(|b: usize| col[r].unsigned_abs() < cols[b][r].unsigned_abs())
+                {
+                    best = Some(j);
+                }
+            }
+            let Some(piv) = best else {
+                break; // row has no pivot: every column ≥ p is zero here
+            };
+            let mut reduced_any = false;
+            for j in p..ncols {
+                if j == piv || cols[j][r] == 0 {
+                    continue;
+                }
+                reduced_any = true;
+                let q = cols[j][r].checked_div(cols[piv][r]).ok_or(OVERFLOW)?;
+                col_sub_mul(cols, j, piv, q)?;
+                if let Some(m) = mirror.as_deref_mut() {
+                    col_sub_mul(m, j, piv, q)?;
+                }
+            }
+            if !reduced_any {
+                cols.swap(p, piv);
+                if let Some(m) = mirror.as_deref_mut() {
+                    m.swap(p, piv);
+                }
+                p = p.checked_add(1).ok_or(OVERFLOW)?;
+                break;
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// The checker's own ℤ-basis of `ker(A)` over `nv` variables: column
+/// reduction of `A` under a unimodular transform `U`; since `x = U·y`
+/// ranges over all of ℤⁿ, the `U`-columns paired with the zero columns
+/// of the reduced `A` generate exactly the integer kernel lattice.
+fn kernel_basis(eq: &[Vec<i64>], nv: usize) -> Result<Vec<Vec<i128>>, String> {
+    let mut cols: Vec<Vec<i128>> = (0..nv)
+        .map(|j| eq.iter().map(|row| i128::from(row[j])).collect())
+        .collect();
+    let mut u: Vec<Vec<i128>> = (0..nv)
+        .map(|j| {
+            let mut e = vec![0i128; nv];
+            e[j] = 1;
+            e
+        })
+        .collect();
+    let pivots = column_echelon(&mut cols, Some(&mut u))?;
+    Ok(u.split_off(pivots))
+}
+
+/// Whether `v` is an integer combination of `echelon`'s columns, which
+/// must already be in column echelon form: peel one pivot at a time by
+/// exact division, then demand a zero residual.
+fn lattice_contains(echelon: &[Vec<i128>], v: &[i128]) -> Result<bool, String> {
+    let mut rem: Vec<i128> = v.to_vec();
+    let mut j = 0;
+    for r in 0..rem.len() {
+        if j < echelon.len() && echelon[j][r] != 0 {
+            // Pivot row of column j: columns > j are still zero here, so
+            // the combination's j-th coefficient is forced.
+            if rem[r].checked_rem(echelon[j][r]).ok_or(OVERFLOW)? != 0 {
+                return Ok(false);
+            }
+            let q = rem[r].checked_div(echelon[j][r]).ok_or(OVERFLOW)?;
+            for (x, &h) in rem.iter_mut().zip(&echelon[j]) {
+                *x = x
+                    .checked_sub(q.checked_mul(h).ok_or(OVERFLOW)?)
+                    .ok_or(OVERFLOW)?;
+            }
+            j = j.checked_add(1).ok_or(OVERFLOW)?;
+        } else if rem[r] != 0 {
+            return Ok(false); // no generator reaches this row
+        }
+    }
+    Ok(rem.iter().all(|&x| x == 0))
+}
+
+/// Checks that `x = x₀ + B·t` produces *exactly* the solutions of the
+/// equality system: soundness (`A·x₀ = b` and `A·B = 0`, so every `t`
+/// maps into the solution set) and completeness (every generator of the
+/// kernel's own ℤ-basis of `ker(A)` is an integer combination of `B`'s
+/// columns, so no solution lies outside the parametrization).
 fn check_lattice(problem: &DependenceProblem, x0: &[i64], basis: &Matrix) -> Result<(), String> {
     let nv = problem.num_vars();
     if x0.len() != nv || basis.rows() != nv {
@@ -434,6 +568,18 @@ fn check_lattice(problem: &DependenceProblem, x0: &[i64], basis: &Matrix) -> Res
                     "basis column {j} leaves the solution set of equality row {r}"
                 ));
             }
+        }
+    }
+    let mut bcols: Vec<Vec<i128>> = (0..basis.cols())
+        .map(|j| (0..nv).map(|i| i128::from(basis[(i, j)])).collect())
+        .collect();
+    column_echelon(&mut bcols, None)?;
+    for (k, gen) in kernel_basis(&problem.eq_coeffs, nv)?.iter().enumerate() {
+        if !lattice_contains(&bcols, gen)? {
+            return Err(format!(
+                "basis spans a strict sub-lattice: kernel generator {k} is not an \
+                 integer combination of its columns"
+            ));
         }
     }
     Ok(())
@@ -807,6 +953,83 @@ mod tests {
             matches!(recheck(&program, &report), CheckOutcome::Rejected(_)),
             "corrupted multiplier must be rejected"
         );
+    }
+
+    #[test]
+    fn forged_sublattice_refutation_is_rejected() {
+        use dda_core::result::{Answer, DependenceResult, ResolvedBy, TestKind};
+        // a[i] = a[i] + 1 is dependent: i = i′ has solutions throughout
+        // the bounds. Forge an "independence" certificate whose lattice
+        // x = x₀ + B·t is *sound* (A·x₀ = b and A·B = 0 for x₀ = 0,
+        // B = [20, 20]ᵀ) but spans only the sub-lattice (20t, 20t) — and
+        // the bounds 1 ≤ x ≤ 10 integrally refute that sub-lattice
+        // (20t ≤ 10 ⇒ t ≤ 0, 1 ≤ 20t ⇒ t ≥ 1) even though the real
+        // solutions (i, i) exist. A soundness-only kernel would verify
+        // this; completeness must reject it.
+        let (program, mut report) = first_pair("for i = 1 to 10 { a[i] = a[i] + 1; }");
+        assert!(report.result.answer.is_dependent());
+        report.result = DependenceResult {
+            answer: Answer::Independent,
+            resolved_by: ResolvedBy::Test(TestKind::FourierMotzkin),
+        };
+        report.witness = None;
+        report.direction_vectors.clear();
+        report.certificate = Certificate::Refuted {
+            particular: vec![0, 0],
+            basis: Matrix::from_rows(&[vec![20], vec![20]]),
+            refutation: SystemRefutation {
+                arena: vec![
+                    Rule::Premise {
+                        coeffs: vec![1],
+                        rhs: 0,
+                    },
+                    Rule::Premise {
+                        coeffs: vec![-1],
+                        rhs: -1,
+                    },
+                    Rule::Comb {
+                        a: 0,
+                        ca: 1,
+                        b: 1,
+                        cb: 1,
+                    },
+                ],
+                proof: RefProof::Arena { seal: 2 },
+            },
+        };
+        match recheck(&program, &report) {
+            CheckOutcome::Rejected(msg) => assert!(
+                msg.contains("sub-lattice"),
+                "must be rejected for incompleteness, got: {msg}"
+            ),
+            other => panic!("forged sub-lattice certificate must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_basis_and_membership() {
+        // ker([1, -1]) is generated by (1, 1).
+        let gens = kernel_basis(&[vec![1, -1]], 2).unwrap();
+        assert_eq!(gens.len(), 1);
+        assert!(gens[0] == vec![1, 1] || gens[0] == vec![-1, -1]);
+        // No equations: the kernel is all of ℤⁿ.
+        assert_eq!(kernel_basis(&[], 2).unwrap().len(), 2);
+        // Membership peels pivots by exact division.
+        let mut full = vec![vec![1i128, 1]];
+        column_echelon(&mut full, None).unwrap();
+        assert!(lattice_contains(&full, &[3, 3]).unwrap());
+        assert!(!lattice_contains(&full, &[3, 2]).unwrap());
+        let mut doubled = vec![vec![2i128, 2]];
+        column_echelon(&mut doubled, None).unwrap();
+        assert!(lattice_contains(&doubled, &[4, 4]).unwrap());
+        assert!(!lattice_contains(&doubled, &[1, 1]).unwrap());
+        // A mixed 2-D lattice: (2, 0) and (1, 1) generate exactly the
+        // points with x + y even.
+        let mut mixed = vec![vec![2i128, 0], vec![1, 1]];
+        column_echelon(&mut mixed, None).unwrap();
+        assert!(lattice_contains(&mixed, &[3, 1]).unwrap());
+        assert!(lattice_contains(&mixed, &[0, 2]).unwrap());
+        assert!(!lattice_contains(&mixed, &[1, 0]).unwrap());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use dda_ir::{extract_accesses, reference_pairs, Access, Program};
 use crate::certificate::Certificate;
 use crate::fourier_motzkin::FmLimits;
 use crate::gcd::{
-    expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted, EqOutcome,
+    expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted,
+    witness_for_problem, EqOutcome,
 };
 use crate::memo::{nobounds_key, CanonicalKey, MemoTable};
 use crate::pipeline::{ClassifiedKind, GcdVerdict, NullProbe, PipelineConfig, Probe, TraceEvent};
@@ -400,7 +401,7 @@ impl DependenceAnalyzer {
             });
             let verdict = match &eq_outcome {
                 None => GcdVerdict::Overflow,
-                Some(EqOutcome::Independent) => GcdVerdict::Independent,
+                Some(EqOutcome::Independent { .. }) => GcdVerdict::Independent,
                 Some(EqOutcome::Lattice(_)) => GcdVerdict::Lattice,
             };
             probe.record(TraceEvent::Gcd {
@@ -415,9 +416,12 @@ impl DependenceAnalyzer {
                 self.note_outcome(&template);
                 return template; // overflow: assume dependent
             }
-            Some(EqOutcome::Independent) => {
+            Some(EqOutcome::Independent { refutation }) => {
                 self.stats.gcd_independent += 1;
-                let report = steps::gcd_independent_report(template, refute_equalities(&problem));
+                // The witness rode along with the (possibly cached)
+                // outcome; refactorize only when none transferred.
+                let refutation = refutation.or_else(|| refute_equalities(&problem));
+                let report = steps::gcd_independent_report(template, refutation);
                 self.note_outcome(&report);
                 return report;
             }
@@ -485,7 +489,13 @@ impl DependenceAnalyzer {
             computed
         };
         let expanded = canonical.map(|eq| match eq {
-            EqOutcome::Independent => EqOutcome::Independent,
+            // The cached witness is in canonical row order; reorder it
+            // onto this problem's rows (arity mismatches degrade to
+            // `None`, and the caller refactorizes).
+            EqOutcome::Independent { refutation } => EqOutcome::Independent {
+                refutation: refutation
+                    .and_then(|w| witness_for_problem(problem, &nk.kept_vars, &w)),
+            },
             EqOutcome::Lattice(l) => {
                 EqOutcome::Lattice(expand_lattice(&l, &nk.kept_vars, problem.num_vars()))
             }

@@ -137,7 +137,7 @@ pub fn explain_pair_with(config: &AnalyzerConfig, a: &Access, b: &Access, common
             let _ = writeln!(w, "extended GCD: arithmetic overflow -> ASSUMED dependent");
             return out;
         }
-        Some(EqOutcome::Independent) => {
+        Some(EqOutcome::Independent { .. }) => {
             let _ = writeln!(
                 w,
                 "extended GCD: the equality system has no integer solution \

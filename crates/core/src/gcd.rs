@@ -113,12 +113,26 @@ pub struct Lattice {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EqOutcome {
     /// No integer solution (GCD-independent).
-    Independent,
+    Independent {
+        /// The divisibility refutation witness `(numer, denom)` behind
+        /// the verdict, computed once at solve time so memo hits reuse
+        /// it instead of refactorizing. From
+        /// [`solve_equalities_restricted`] the multiplier entries are in
+        /// *canonical* (key-sorted) row order — the only order that
+        /// transfers between problems sharing a memo key; rehydrate with
+        /// [`witness_for_problem`]. From [`solve_equalities`] they are in
+        /// the problem's own row order. `None` when the witness
+        /// overflowed `i64` (or the entry was warm-loaded from a v1
+        /// table that never stored one).
+        refutation: Option<(Vec<i64>, i64)>,
+    },
     /// The solution lattice.
     Lattice(Lattice),
 }
 
-/// Solves the subscript equality system only (no bounds involved).
+/// Solves the subscript equality system only (no bounds involved). An
+/// independent outcome carries its refutation witness in the problem's
+/// own row order.
 ///
 /// Returns `None` on arithmetic overflow.
 #[must_use]
@@ -133,9 +147,54 @@ pub fn solve_equalities(problem: &DependenceProblem) -> Option<EqOutcome> {
             particular: s.particular().to_vec(),
             basis: s.basis().clone(),
         })),
-        Ok(None) => Some(EqOutcome::Independent),
+        Ok(None) => Some(EqOutcome::Independent {
+            refutation: diophantine::refute(&a, &problem.eq_rhs),
+        }),
         Err(_) => None,
     }
+}
+
+/// The permutation sorting equality rows into the canonical order used
+/// by [`nobounds_key`](crate::memo::nobounds_key): `order[j]` is the
+/// index of the row providing canonical row `j` (ascending by restricted
+/// coefficients then right-hand side; duplicate rows are interchangeable).
+#[must_use]
+pub fn canonical_row_order(rows: &[Vec<i64>], rhs: &[i64], kept: &[usize]) -> Vec<usize> {
+    let segments: Vec<Vec<i64>> = rows
+        .iter()
+        .zip(rhs)
+        .map(|(row, r)| {
+            let mut seg: Vec<i64> = kept.iter().map(|&k| row[k]).collect();
+            seg.push(*r);
+            seg
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| segments[a].cmp(&segments[b]));
+    order
+}
+
+/// Reorders a canonical-row-order refutation witness onto a concrete
+/// problem's rows. Problems sharing a no-bounds key list the same row
+/// multiset (restricted to `kept`, whose complement is all-zero), so the
+/// reordered multiplier refutes this problem's full system too. `None`
+/// when the arities disagree — a corrupt warm entry; callers fall back
+/// to [`refute_equalities`].
+#[must_use]
+pub fn witness_for_problem(
+    problem: &DependenceProblem,
+    kept: &[usize],
+    canonical: &(Vec<i64>, i64),
+) -> Option<(Vec<i64>, i64)> {
+    let order = canonical_row_order(&problem.eq_coeffs, &problem.eq_rhs, kept);
+    if canonical.0.len() != order.len() {
+        return None;
+    }
+    let mut numer = vec![0i64; order.len()];
+    for (j, &i) in order.iter().enumerate() {
+        numer[i] = canonical.0[j];
+    }
+    Some((numer, canonical.1))
 }
 
 /// Rehydrates a lattice cached over a subset of variables (`kept`) into
@@ -169,7 +228,9 @@ pub fn expand_lattice(lattice: &Lattice, kept: &[usize], n: usize) -> Lattice {
 
 /// Solves an explicit equality system `rows · x = rhs` over `n` variables
 /// restricted to the `kept` columns — the canonical form stored in the
-/// no-bounds memo table.
+/// no-bounds memo table. An independent outcome carries its refutation
+/// witness with multipliers in canonical (key-sorted) row order, so the
+/// cached value is reusable by every problem sharing the key.
 ///
 /// Returns `None` on arithmetic overflow.
 #[must_use]
@@ -192,7 +253,15 @@ pub fn solve_equalities_restricted(
             particular: s.particular().to_vec(),
             basis: s.basis().clone(),
         })),
-        Ok(None) => Some(EqOutcome::Independent),
+        Ok(None) => {
+            // A multiplier for the restricted system refutes the full
+            // one verbatim: the dropped columns are all-zero.
+            let refutation = diophantine::refute(&a, rhs).map(|(numer, denom)| {
+                let order = canonical_row_order(rows, rhs, kept);
+                (order.iter().map(|&i| numer[i]).collect(), denom)
+            });
+            Some(EqOutcome::Independent { refutation })
+        }
         Err(_) => None,
     }
 }
@@ -200,8 +269,11 @@ pub fn solve_equalities_restricted(
 /// Reconstructs a divisibility refutation of the subscript equality
 /// system: the rational row combination behind an
 /// [`EqOutcome::Independent`] verdict, checkable without re-running the
-/// solver. Computed fresh at emission time — it is evidence, never the
-/// verdict itself — and `None` when the witness does not fit `i64`.
+/// solver. The solve paths carry this witness inside the outcome (and
+/// through the memo table), so this standalone recomputation is only the
+/// fallback for outcomes that arrived without one — v1 warm-started
+/// entries, or witnesses that overflowed `i64` at solve time. It is
+/// evidence, never the verdict itself.
 #[must_use]
 pub fn refute_equalities(problem: &DependenceProblem) -> Option<(Vec<i64>, i64)> {
     let a = if problem.eq_coeffs.is_empty() {
@@ -257,7 +329,7 @@ pub fn reduce_with_lattice(problem: &DependenceProblem, lattice: &Lattice) -> Op
 #[must_use]
 pub fn gcd_preprocess(problem: &DependenceProblem) -> Option<GcdOutcome> {
     match solve_equalities(problem)? {
-        EqOutcome::Independent => Some(GcdOutcome::Independent),
+        EqOutcome::Independent { .. } => Some(GcdOutcome::Independent),
         EqOutcome::Lattice(lattice) => {
             Some(GcdOutcome::Reduced(reduce_with_lattice(problem, &lattice)?))
         }

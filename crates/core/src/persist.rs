@@ -12,9 +12,11 @@
 //! importing half a table.
 //!
 //! Version 2 appends each full record's [`Certificate`] so warm starts
-//! keep their evidence. Version 1 tables still load, with every entry's
-//! certificate degraded to [`Certificate::Unverified`] — the verdicts are
-//! reused, but `--check` re-derives their evidence.
+//! keep their evidence, and each independent gcd record's refutation
+//! witness so warm hits skip the re-derivation. Version 1 tables still
+//! load, with every full entry's certificate degraded to
+//! [`Certificate::Unverified`] and every gcd witness absent — the
+//! verdicts are reused, but `--check` re-derives their evidence.
 
 use std::fmt;
 use std::fs;
@@ -157,6 +159,27 @@ impl<'a> Fields<'a> {
         (0..n).map(|_| self.next_i64()).collect()
     }
 
+    /// Number of whitespace-separated fields left on the line.
+    fn remaining(&self) -> usize {
+        self.parts.clone().count()
+    }
+
+    /// Reads a count of items still to be decoded from this line. Every
+    /// item occupies at least one field, so any honest count is bounded
+    /// by what remains — rejecting a corrupt or crafted count *before*
+    /// the caller sizes an allocation from it.
+    fn next_count(&mut self) -> Result<usize, PersistError> {
+        let n = self.next_usize()?;
+        let left = self.remaining();
+        if n > left {
+            return err(
+                self.line,
+                format!("count {n} exceeds the {left} remaining fields"),
+            );
+        }
+        Ok(n)
+    }
+
     fn finish(mut self) -> Result<(), PersistError> {
         match self.parts.next() {
             None => Ok(()),
@@ -182,7 +205,7 @@ fn encode_rule(r: &Rule, out: &mut String) {
 fn decode_rule(f: &mut Fields<'_>) -> Result<Rule, PersistError> {
     Ok(match f.next_str()? {
         "P" => {
-            let n = f.next_usize()?;
+            let n = f.next_count()?;
             let coeffs = f.next_ints(n)?;
             let rhs = f.next_i64()?;
             Rule::Premise { coeffs, rhs }
@@ -227,7 +250,7 @@ fn encode_fmtree(t: &FmTree, out: &mut String) {
 fn decode_fmtree(f: &mut Fields<'_>) -> Result<FmTree, PersistError> {
     Ok(match f.next_str()? {
         "S" => {
-            let n = f.next_usize()?;
+            let n = f.next_count()?;
             let rules = (0..n)
                 .map(|_| decode_rule(f))
                 .collect::<Result<Vec<_>, _>>()?;
@@ -260,7 +283,7 @@ fn encode_sysref(s: &SystemRefutation, out: &mut String) {
 }
 
 fn decode_sysref(f: &mut Fields<'_>) -> Result<SystemRefutation, PersistError> {
-    let n = f.next_usize()?;
+    let n = f.next_count()?;
     let arena = (0..n)
         .map(|_| decode_rule(f))
         .collect::<Result<Vec<_>, _>>()?;
@@ -319,20 +342,32 @@ fn encode_lattice_part(particular: &[i64], basis: &Matrix, out: &mut String) {
 }
 
 fn decode_lattice_part(f: &mut Fields<'_>) -> Result<(Vec<i64>, Matrix), PersistError> {
-    let np = f.next_usize()?;
-    let rows = f.next_usize()?;
-    let cols = f.next_usize()?;
+    let np = f.next_count()?;
+    let rows = f.next_count()?;
+    let cols = f.next_count()?;
     if np != rows {
         return err(f.line, "particular length must equal basis rows");
     }
     let particular = f.next_ints(np)?;
-    let mut basis = Matrix::zeros(rows, cols);
+    decode_matrix(f, rows, cols).map(|basis| (particular, basis))
+}
+
+/// Decodes a `rows × cols` matrix, validating the (file-supplied) sizes
+/// against the fields actually left on the line before allocating —
+/// a crafted `100000 100000` header is a located parse error, not a
+/// multi-gigabyte allocation.
+fn decode_matrix(f: &mut Fields<'_>, rows: usize, cols: usize) -> Result<Matrix, PersistError> {
+    let cells = rows.checked_mul(cols);
+    if cells.is_none_or(|c| c > f.remaining()) {
+        return err(f.line, format!("line too short for a {rows}x{cols} basis"));
+    }
+    let mut m = Matrix::zeros(rows, cols);
     for r in 0..rows {
         for c in 0..cols {
-            basis[(r, c)] = f.next_i64()?;
+            m[(r, c)] = f.next_i64()?;
         }
     }
-    Ok((particular, basis))
+    Ok(m)
 }
 
 fn encode_cert(c: &Certificate, out: &mut String) {
@@ -380,13 +415,13 @@ fn decode_cert(f: &mut Fields<'_>) -> Result<Certificate, PersistError> {
         "-" => Certificate::Conservative,
         "u" => Certificate::Unverified,
         "W" => {
-            let n = f.next_usize()?;
+            let n = f.next_count()?;
             Certificate::Witness { x: f.next_ints(n)? }
         }
         "E" => Certificate::ConstantsEqual,
         "N" => Certificate::ConstantsDiffer,
         "G" => {
-            let n = f.next_usize()?;
+            let n = f.next_count()?;
             let numer = f.next_ints(n)?;
             Certificate::GcdRefutation {
                 numer,
@@ -421,7 +456,17 @@ fn encode_gcd(key: &MemoKey, value: &EqOutcome, out: &mut String) {
     out.push(' ');
     push_ints(out, key.as_slice());
     match value {
-        EqOutcome::Independent => out.push_str(" I"),
+        EqOutcome::Independent { refutation } => {
+            out.push_str(" I");
+            match refutation {
+                Some((numer, denom)) => {
+                    out.push_str(&format!(" w {} ", numer.len()));
+                    push_ints(out, numer);
+                    out.push_str(&format!(" {denom}"));
+                }
+                None => out.push_str(" -"),
+            }
+        }
         EqOutcome::Lattice(l) => {
             out.push_str(" L ");
             out.push_str(&format!(
@@ -440,26 +485,36 @@ fn encode_gcd(key: &MemoKey, value: &EqOutcome, out: &mut String) {
     out.push('\n');
 }
 
-fn decode_gcd(f: &mut Fields<'_>) -> Result<(MemoKey, EqOutcome), PersistError> {
-    let klen = f.next_usize()?;
+fn decode_gcd(f: &mut Fields<'_>, v2: bool) -> Result<(MemoKey, EqOutcome), PersistError> {
+    let klen = f.next_count()?;
     let key = MemoKey::from_vec(f.next_ints(klen)?);
     let tag = f.next_str()?;
     let value = match tag {
-        "I" => EqOutcome::Independent,
+        "I" if !v2 => {
+            // v1 records predate refutation witnesses.
+            EqOutcome::Independent { refutation: None }
+        }
+        "I" => {
+            let refutation = match f.next_str()? {
+                "-" => None,
+                "w" => {
+                    let n = f.next_count()?;
+                    let numer = f.next_ints(n)?;
+                    Some((numer, f.next_i64()?))
+                }
+                other => return err(f.line, format!("bad refutation tag `{other}`")),
+            };
+            EqOutcome::Independent { refutation }
+        }
         "L" => {
-            let np = f.next_usize()?;
-            let rows = f.next_usize()?;
-            let cols = f.next_usize()?;
+            let np = f.next_count()?;
+            let rows = f.next_count()?;
+            let cols = f.next_count()?;
             if np != rows {
                 return err(f.line, "particular length must equal basis rows");
             }
             let particular = f.next_ints(np)?;
-            let mut basis = Matrix::zeros(rows, cols);
-            for r in 0..rows {
-                for c in 0..cols {
-                    basis[(r, c)] = f.next_i64()?;
-                }
-            }
+            let basis = decode_matrix(f, rows, cols)?;
             EqOutcome::Lattice(Lattice { particular, basis })
         }
         other => return err(f.line, format!("bad gcd tag `{other}`")),
@@ -512,7 +567,7 @@ fn encode_full(key: &MemoKey, value: &CachedOutcome, out: &mut String) {
 
 fn decode_full(f: &mut Fields<'_>, v2: bool) -> Result<(MemoKey, CachedOutcome), PersistError> {
     let line = f.line;
-    let klen = f.next_usize()?;
+    let klen = f.next_count()?;
     let key = MemoKey::from_vec(f.next_ints(klen)?);
     let answer = match f.next_str()? {
         "I" => Answer::Independent,
@@ -524,7 +579,7 @@ fn decode_full(f: &mut Fields<'_>, v2: bool) -> Result<(MemoKey, CachedOutcome),
     let witness = match f.next_str()? {
         "-" => None,
         "w" => {
-            let n = f.next_usize()?;
+            let n = f.next_count()?;
             Some(f.next_ints(n)?)
         }
         other => return err(line, format!("bad witness tag `{other}`")),
@@ -533,7 +588,7 @@ fn decode_full(f: &mut Fields<'_>, v2: bool) -> Result<(MemoKey, CachedOutcome),
         "v" => {}
         other => return err(line, format!("expected `v`, found `{other}`")),
     }
-    let nv = f.next_usize()?;
+    let nv = f.next_count()?;
     let mut direction_vectors = Vec::with_capacity(nv);
     for _ in 0..nv {
         let tok = f.next_str()?;
@@ -549,7 +604,7 @@ fn decode_full(f: &mut Fields<'_>, v2: bool) -> Result<(MemoKey, CachedOutcome),
         "d" => {}
         other => return err(line, format!("expected `d`, found `{other}`")),
     }
-    let nd = f.next_usize()?;
+    let nd = f.next_count()?;
     let mut distance = Vec::with_capacity(nd);
     for _ in 0..nd {
         let tok = f.next_str()?;
@@ -633,7 +688,7 @@ impl DependenceAnalyzer {
             let mut f = Fields::new(trimmed, line_no);
             match f.next_str()? {
                 "gcd" => {
-                    let (k, v) = decode_gcd(&mut f)?;
+                    let (k, v) = decode_gcd(&mut f, v2)?;
                     f.finish()?;
                     self.gcd_memo.insert(k, v);
                 }
@@ -713,7 +768,7 @@ impl SharedMemo {
             let mut f = Fields::new(trimmed, line_no);
             match f.next_str()? {
                 "gcd" => {
-                    let (k, v) = decode_gcd(&mut f)?;
+                    let (k, v) = decode_gcd(&mut f, v2)?;
                     f.finish()?;
                     self.gcd.insert(k, v);
                 }
@@ -828,15 +883,30 @@ mod tests {
         assert_eq!(truncated.line, 2);
 
         let trailing = an
-            .import_memo("dda-memo v2\ngcd 1 7 I extra\n")
+            .import_memo("dda-memo v2\ngcd 1 7 I - extra\n")
             .unwrap_err();
         assert!(trailing.message.contains("trailing"));
+
+        // An overclaimed count fails before any allocation is sized to it.
+        let huge = an
+            .import_memo("dda-memo v2\ngcd 1 7 L 100000 100000 100000 1\n")
+            .unwrap_err();
+        assert_eq!(huge.line, 2);
+        assert!(huge.message.contains("exceeds"), "{}", huge.message);
+
+        // Dimensions that individually pass the count check but whose
+        // product overflows the line also fail before allocating.
+        let wide = an
+            .import_memo("dda-memo v2\ngcd 1 7 L 2 2 3 1 2 3 4 5\n")
+            .unwrap_err();
+        assert_eq!(wide.line, 2);
+        assert!(wide.message.contains("too short"), "{}", wide.message);
     }
 
     #[test]
     fn comments_and_blank_lines_allowed() {
         let mut an = DependenceAnalyzer::new();
-        an.import_memo("dda-memo v2\n\n# a comment\ngcd 1 7 I\n")
+        an.import_memo("dda-memo v2\n\n# a comment\ngcd 1 7 I -\n")
             .unwrap();
         assert_eq!(an.gcd_memo_entries(), 1);
     }
@@ -853,6 +923,17 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].1.certificate, Certificate::Unverified);
 
+        // A v1 gcd record is a bare `I`: it loads with no refutation
+        // witness (re-derived on hit).
+        shared.import_memo("dda-memo v1\ngcd 1 7 I\n").unwrap();
+        let gcd = shared.gcd.snapshot();
+        assert_eq!(gcd.len(), 1);
+        assert_eq!(
+            gcd[0].1,
+            EqOutcome::Independent { refutation: None },
+            "bare v1 `I` must load witness-free"
+        );
+
         // The same record under a v2 header is malformed (missing cert).
         let mut an = DependenceAnalyzer::new();
         let e = an
@@ -865,12 +946,12 @@ mod tests {
     fn truncated_v2_certificate_is_located() {
         let mut an = DependenceAnalyzer::new();
         // The certificate promises two GCD numerators; the line ends
-        // after one.
+        // after one, so the count guard refuses before reading them.
         let e = an
             .import_memo("dda-memo v2\nfull 1 7 I G - v 0 d 0 c G 2 1\n")
             .unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(e.message.contains("unexpected end of line"));
+        assert!(e.message.contains("exceeds"), "{}", e.message);
     }
 
     #[test]

@@ -68,7 +68,8 @@ use std::time::Instant;
 
 use dda_check::{check_pair, CheckOutcome};
 use dda_core::gcd::{
-    expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted, EqOutcome,
+    expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted,
+    witness_for_problem, EqOutcome,
     Lattice,
 };
 use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey, ShardedMemoTable};
@@ -191,6 +192,10 @@ enum GcdRes {
     Independent {
         /// Whether a serial run would count this as a no-bounds memo hit.
         hit: bool,
+        /// The solve's refutation witness, remapped to this problem's row
+        /// order (absent when the witness did not transfer, e.g. a v1
+        /// warm entry — assembly re-derives it).
+        refutation: Option<(Vec<i64>, i64)>,
     },
     /// A solution lattice (expanded to all problem variables).
     Lattice {
@@ -445,12 +450,14 @@ impl Engine {
                                 delta.assumed += 1;
                                 template
                             }
-                            GcdRes::Independent { hit } => {
+                            GcdRes::Independent { hit, refutation } => {
                                 if hit {
                                     delta.gcd_memo_hits += 1;
                                 }
                                 delta.gcd_independent += 1;
-                                steps::gcd_independent_report(template, refute_equalities(p))
+                                let refutation =
+                                    refutation.or_else(|| refute_equalities(p));
+                                steps::gcd_independent_report(template, refutation)
                             }
                             GcdRes::Lattice { hit, .. } => {
                                 if hit {
@@ -570,7 +577,15 @@ impl Engine {
             };
             match canonical {
                 None => GcdRes::Overflow,
-                Some(EqOutcome::Independent) => GcdRes::Independent { hit },
+                Some(EqOutcome::Independent { refutation }) => {
+                    let p = classified[i].problem().expect("memoized jobs have a problem");
+                    let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
+                    GcdRes::Independent {
+                        hit,
+                        refutation: refutation
+                            .and_then(|w| witness_for_problem(p, &nk.kept_vars, &w)),
+                    }
+                }
                 Some(EqOutcome::Lattice(l)) => {
                     let p = classified[i].problem().expect("lattice implies a problem");
                     let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
@@ -734,8 +749,9 @@ fn fresh_pair_report(cfg: &AnalyzerConfig, a: &Access, b: &Access, common: usize
         Classified::Unbuildable => steps::assumed_report(template, cfg.compute_directions),
         Classified::Problem(p) => match solve_equalities(&p) {
             None => template, // overflow: dependence assumed
-            Some(EqOutcome::Independent) => {
-                steps::gcd_independent_report(template, refute_equalities(&p))
+            Some(EqOutcome::Independent { refutation }) => {
+                let refutation = refutation.or_else(|| refute_equalities(&p));
+                steps::gcd_independent_report(template, refutation)
             }
             Some(EqOutcome::Lattice(lattice)) => {
                 let mut fx = ReduceEffects::default();
@@ -929,7 +945,10 @@ fn gcd_wave_off(
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let res = match out {
                 None => GcdRes::Overflow,
-                Some(EqOutcome::Independent) => GcdRes::Independent { hit: false },
+                Some(EqOutcome::Independent { refutation }) => GcdRes::Independent {
+                    hit: false,
+                    refutation,
+                },
                 Some(EqOutcome::Lattice(l)) => GcdRes::Lattice {
                     lattice: l,
                     hit: false,
