@@ -273,6 +273,18 @@ impl DependenceAnalyzer {
         self.gcd_memo.unique_entries()
     }
 
+    /// Traffic counters of the full-result memo table.
+    #[must_use]
+    pub fn full_memo_counters(&self) -> crate::memo::MemoCounters {
+        self.full_memo.counters()
+    }
+
+    /// Traffic counters of the no-bounds (GCD) memo table.
+    #[must_use]
+    pub fn gcd_memo_counters(&self) -> crate::memo::MemoCounters {
+        self.gcd_memo.counters()
+    }
+
     /// Clears memo tables and statistics.
     pub fn reset(&mut self) {
         self.full_memo.clear();

@@ -317,12 +317,36 @@ pub fn bounds_key(problem: &DependenceProblem, improved: bool) -> CanonicalKey {
     }
 }
 
+/// A point-in-time read of one memo table's traffic counters, shared by
+/// [`MemoTable`] and [`ShardedMemoTable`] so observability code can
+/// treat serial and sharded tables uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoCounters {
+    /// Lookups performed.
+    pub queries: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Entries loaded from a persisted memo file (warm starts).
+    pub warm_loads: u64,
+    /// Distinct entries currently stored.
+    pub entries: u64,
+}
+
+impl MemoCounters {
+    /// Lookups that missed (`queries - hits`).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.queries.saturating_sub(self.hits)
+    }
+}
+
 /// A memo table with hit/miss accounting.
 #[derive(Debug, Clone)]
 pub struct MemoTable<V> {
     map: HashMap<MemoKey, V, PaperHashBuilder>,
     queries: u64,
     hits: u64,
+    warm_loads: u64,
 }
 
 impl<V> Default for MemoTable<V> {
@@ -339,6 +363,7 @@ impl<V> MemoTable<V> {
             map: HashMap::with_hasher(PaperHashBuilder),
             queries: 0,
             hits: 0,
+            warm_loads: 0,
         }
     }
 
@@ -357,6 +382,16 @@ impl<V> MemoTable<V> {
         self.map.insert(key, value);
     }
 
+    /// Inserts an entry loaded from a persisted memo file, counting it
+    /// as a warm-start load. Semantically identical to [`insert`];
+    /// the extra counter only feeds telemetry.
+    ///
+    /// [`insert`]: MemoTable::insert
+    pub fn insert_warm(&mut self, key: MemoKey, value: V) {
+        self.warm_loads += 1;
+        self.map.insert(key, value);
+    }
+
     /// Number of lookups performed.
     #[must_use]
     pub fn queries(&self) -> u64 {
@@ -369,10 +404,27 @@ impl<V> MemoTable<V> {
         self.hits
     }
 
+    /// Entries loaded via [`insert_warm`](MemoTable::insert_warm).
+    #[must_use]
+    pub fn warm_loads(&self) -> u64 {
+        self.warm_loads
+    }
+
     /// Number of distinct entries stored.
     #[must_use]
     pub fn unique_entries(&self) -> usize {
         self.map.len()
+    }
+
+    /// All traffic counters in one read.
+    #[must_use]
+    pub fn counters(&self) -> MemoCounters {
+        MemoCounters {
+            queries: self.queries,
+            hits: self.hits,
+            warm_loads: self.warm_loads,
+            entries: self.map.len() as u64,
+        }
     }
 
     /// Iterates over stored entries (unspecified order).
@@ -385,6 +437,7 @@ impl<V> MemoTable<V> {
         self.map.clear();
         self.queries = 0;
         self.hits = 0;
+        self.warm_loads = 0;
     }
 }
 
@@ -403,6 +456,12 @@ pub struct ShardedMemoTable<V> {
     shards: Vec<Mutex<HashMap<MemoKey, V, PaperHashBuilder>>>,
     queries: AtomicU64,
     hits: AtomicU64,
+    inserts: AtomicU64,
+    warm_loads: AtomicU64,
+    /// Per-shard operation counts (gets + inserts that touched the
+    /// shard's lock) — the contention signal for telemetry. Bumped only
+    /// on the hot paths, never by snapshots or entry counts.
+    shard_ops: Vec<AtomicU64>,
 }
 
 impl<V> ShardedMemoTable<V> {
@@ -416,6 +475,9 @@ impl<V> ShardedMemoTable<V> {
                 .collect(),
             queries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            warm_loads: AtomicU64::new(0),
+            shard_ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -437,13 +499,14 @@ impl<V> ShardedMemoTable<V> {
         (h % self.shards.len() as u64) as usize
     }
 
+    /// Locks the shard for `key`, counting the operation against it.
     fn shard(
         &self,
         key: &MemoKey,
     ) -> std::sync::MutexGuard<'_, HashMap<MemoKey, V, PaperHashBuilder>> {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("memo shard poisoned")
+        let idx = self.shard_of(key);
+        self.shard_ops[idx].fetch_add(1, Ordering::Relaxed);
+        self.shards[idx].lock().expect("memo shard poisoned")
     }
 
     /// Looks up a key, counting the query (and the hit) atomically.
@@ -462,7 +525,15 @@ impl<V> ShardedMemoTable<V> {
     /// Inserts a computed result (last writer wins on collision; values
     /// for equal keys are identical by construction, so order is moot).
     pub fn insert(&self, key: MemoKey, value: V) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         self.shard(&key).insert(key, value);
+    }
+
+    /// Inserts an entry loaded from a persisted memo file, counting it
+    /// as a warm-start load on top of the regular insert accounting.
+    pub fn insert_warm(&self, key: MemoKey, value: V) {
+        self.warm_loads.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, value);
     }
 
     /// Number of distinct entries across all shards.
@@ -492,6 +563,39 @@ impl<V> ShardedMemoTable<V> {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Inserts performed (including warm loads).
+    #[must_use]
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Entries loaded via [`insert_warm`](ShardedMemoTable::insert_warm).
+    #[must_use]
+    pub fn warm_loads(&self) -> u64 {
+        self.warm_loads.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard operation counts (gets + inserts), indexed by shard.
+    /// Their sum always equals `queries() + inserts()`.
+    #[must_use]
+    pub fn shard_ops(&self) -> Vec<u64> {
+        self.shard_ops
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// All traffic counters in one read.
+    #[must_use]
+    pub fn counters(&self) -> MemoCounters {
+        MemoCounters {
+            queries: self.queries(),
+            hits: self.hits(),
+            warm_loads: self.warm_loads(),
+            entries: self.unique_entries() as u64,
+        }
+    }
+
     /// Clears contents and counters.
     pub fn clear(&self) {
         for s in &self.shards {
@@ -499,6 +603,11 @@ impl<V> ShardedMemoTable<V> {
         }
         self.queries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.warm_loads.store(0, Ordering::Relaxed);
+        for c in &self.shard_ops {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 
     /// A sorted snapshot of every entry — the deterministic basis for
@@ -774,5 +883,78 @@ mod tests {
         t.clear();
         assert_eq!(t.queries(), 0);
         assert_eq!(t.unique_entries(), 0);
+    }
+
+    #[test]
+    fn table_counters_exact_on_scripted_sequence() {
+        // Scripted: 1 warm load, then miss / warm-hit / miss / insert /
+        // hit. Every counter must match the script exactly.
+        let mut t: MemoTable<u32> = MemoTable::new();
+        let warm = MemoKey(vec![9, 9]);
+        let cold = MemoKey(vec![1, 2]);
+        t.insert_warm(warm.clone(), 7);
+        assert!(t.get(&cold).is_none()); // miss
+        assert_eq!(t.get(&warm), Some(&7)); // hit (warm entry)
+        assert!(t.get(&cold).is_none()); // miss
+        t.insert(cold.clone(), 3);
+        assert_eq!(t.get(&cold), Some(&3)); // hit
+        let c = t.counters();
+        assert_eq!(
+            c,
+            MemoCounters {
+                queries: 4,
+                hits: 2,
+                warm_loads: 1,
+                entries: 2,
+            }
+        );
+        assert_eq!(c.misses(), 2);
+        t.clear();
+        assert_eq!(t.counters(), MemoCounters::default());
+    }
+
+    #[test]
+    fn sharded_counters_exact_on_scripted_sequence() {
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::new(3);
+        let warm = MemoKey(vec![9, 9]);
+        let cold = MemoKey(vec![1, 2]);
+        t.insert_warm(warm.clone(), 7);
+        assert!(t.get(&cold).is_none()); // miss
+        assert_eq!(t.get(&warm), Some(7)); // hit (warm entry)
+        t.insert(cold.clone(), 3);
+        assert_eq!(t.get(&cold), Some(3)); // hit
+        let c = t.counters();
+        assert_eq!(
+            c,
+            MemoCounters {
+                queries: 3,
+                hits: 2,
+                warm_loads: 1,
+                entries: 2,
+            }
+        );
+        assert_eq!(t.inserts(), 2);
+        // Shard ops count exactly the gets + inserts, per shard.
+        let ops = t.shard_ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops.iter().sum::<u64>(), t.queries() + t.inserts());
+        t.clear();
+        assert_eq!(t.counters(), MemoCounters::default());
+        assert_eq!(t.shard_ops(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shard_ops_not_polluted_by_snapshots_or_entry_counts() {
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::new(2);
+        for i in 0..10 {
+            t.insert(MemoKey(vec![i]), i as u32);
+        }
+        let before: u64 = t.shard_ops().iter().sum();
+        let _ = t.unique_entries();
+        let _ = t.is_empty();
+        let _ = t.snapshot();
+        let after: u64 = t.shard_ops().iter().sum();
+        assert_eq!(before, after, "read-only scans must not count as ops");
+        assert_eq!(after, t.inserts());
     }
 }

@@ -690,12 +690,12 @@ impl DependenceAnalyzer {
                 "gcd" => {
                     let (k, v) = decode_gcd(&mut f, v2)?;
                     f.finish()?;
-                    self.gcd_memo.insert(k, v);
+                    self.gcd_memo.insert_warm(k, v);
                 }
                 "full" => {
                     let (k, v) = decode_full(&mut f, v2)?;
                     f.finish()?;
-                    self.full_memo.insert(k, v);
+                    self.full_memo.insert_warm(k, v);
                 }
                 other => return err(line_no, format!("unknown record `{other}`")),
             }
@@ -770,12 +770,12 @@ impl SharedMemo {
                 "gcd" => {
                     let (k, v) = decode_gcd(&mut f, v2)?;
                     f.finish()?;
-                    self.gcd.insert(k, v);
+                    self.gcd.insert_warm(k, v);
                 }
                 "full" => {
                     let (k, v) = decode_full(&mut f, v2)?;
                     f.finish()?;
-                    self.full.insert(k, v);
+                    self.full.insert_warm(k, v);
                 }
                 other => return err(line_no, format!("unknown record `{other}`")),
             }
@@ -860,6 +860,40 @@ mod tests {
             r.pairs()[0].direction_vectors,
             cold.analyze_program(&program).pairs()[0].direction_vectors
         );
+    }
+
+    #[test]
+    fn import_counts_warm_loads_exactly() {
+        let trained = trained_analyzer();
+        let text = trained.export_memo();
+
+        // Serial analyzer: one warm load per imported record.
+        let mut fresh = DependenceAnalyzer::new();
+        fresh.import_memo(&text).unwrap();
+        assert_eq!(
+            fresh.full_memo_counters().warm_loads,
+            trained.memo_entries() as u64
+        );
+        assert_eq!(
+            fresh.gcd_memo_counters().warm_loads,
+            trained.gcd_memo_entries() as u64
+        );
+        // Warm loads are telemetry, not traffic: no queries or hits yet.
+        assert_eq!(fresh.full_memo_counters().queries, 0);
+        assert_eq!(fresh.full_memo_counters().hits, 0);
+
+        // Sharded tables: same exact accounting.
+        let shared = SharedMemo::new(4);
+        shared.import_memo(&text).unwrap();
+        assert_eq!(
+            shared.full.counters().warm_loads,
+            trained.memo_entries() as u64
+        );
+        assert_eq!(
+            shared.gcd.counters().warm_loads,
+            trained.gcd_memo_entries() as u64
+        );
+        assert_eq!(shared.full.queries(), 0);
     }
 
     #[test]

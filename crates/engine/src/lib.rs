@@ -69,8 +69,7 @@ use std::time::Instant;
 use dda_check::{check_pair, CheckOutcome};
 use dda_core::gcd::{
     expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted,
-    witness_for_problem, EqOutcome,
-    Lattice,
+    witness_for_problem, EqOutcome, Lattice,
 };
 use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey, ShardedMemoTable};
 use dda_core::persist::PersistError;
@@ -80,8 +79,36 @@ use dda_core::{
     AnalyzerConfig, CachedOutcome, MemoMode, PairReport, ProgramReport, SharedMemo, StatsProbe,
 };
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
+use dda_obs::{MemoTableKind, MetricsProbe, MetricsRegistry};
 
-use pool::par_map;
+use pool::par_map_metered;
+
+/// The telemetry verdict of one extended-GCD outcome (`None` is an
+/// overflowed solve).
+fn gcd_verdict_of(out: Option<&EqOutcome>) -> dda_core::pipeline::GcdVerdict {
+    use dda_core::pipeline::GcdVerdict;
+    match out {
+        None => GcdVerdict::Overflow,
+        Some(EqOutcome::Independent { .. }) => GcdVerdict::Independent,
+        Some(EqOutcome::Lattice(_)) => GcdVerdict::Lattice,
+    }
+}
+
+/// [`par_map`] with the wave folded into the metrics registry. Empty
+/// slices are skipped entirely so idle waves don't inflate the counts.
+fn par_map_obs<T, R, F>(obs: &MetricsRegistry, workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let (out, wave) = par_map_metered(workers, items, f);
+    obs.record_wave(&wave);
+    out
+}
 
 /// Batch-engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +182,7 @@ pub struct Engine {
     memo: SharedMemo,
     stats: AnalysisStats,
     timings: StageTimings,
+    obs: MetricsRegistry,
 }
 
 impl Default for Engine {
@@ -272,6 +300,7 @@ impl Engine {
             memo: SharedMemo::new(config.shards),
             stats: AnalysisStats::default(),
             timings: StageTimings::default(),
+            obs: MetricsRegistry::with_workers(config.effective_workers()),
             config,
         }
     }
@@ -305,6 +334,16 @@ impl Engine {
         &self.memo
     }
 
+    /// The always-on metrics registry: stage/GCD latencies, leader
+    /// elections, worker-pool figures. Pure telemetry — nothing in it
+    /// feeds back into results, and the deterministic outputs
+    /// ([`stats`](Self::stats), reports) are identical whether or not
+    /// anyone reads it.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
     /// Number of distinct entries in the full-result memo table.
     #[must_use]
     pub fn memo_entries(&self) -> usize {
@@ -317,11 +356,12 @@ impl Engine {
         self.memo.gcd.unique_entries()
     }
 
-    /// Clears memo tables and statistics.
+    /// Clears memo tables, statistics, and metrics.
     pub fn reset(&mut self) {
         self.memo.clear();
         self.stats = AnalysisStats::default();
         self.timings = StageTimings::default();
+        self.obs.clear();
     }
 
     /// Serializes the memo tables (`dda-memo v1`, interchangeable with
@@ -394,7 +434,7 @@ impl Engine {
         }
 
         // Wave 1: classify every pair (pure).
-        let classified = par_map(workers, &jobs, |_, j| {
+        let classified = par_map_obs(&self.obs, workers, &jobs, |_, j| {
             steps::classify_pair(j.a, j.b, j.common, cfg.symbolic)
         });
 
@@ -402,7 +442,7 @@ impl Engine {
         let (gcd, gcd_timings) = if memo_on {
             self.gcd_wave_memo(&cfg, workers, &jobs, &classified)
         } else {
-            gcd_wave_off(workers, &jobs, &classified)
+            gcd_wave_off(&self.obs, workers, &jobs, &classified)
         };
         let mut batch_timings = gcd_timings;
 
@@ -410,7 +450,7 @@ impl Engine {
         let full = if memo_on {
             self.full_wave_memo(&cfg, workers, &jobs, &classified, &gcd)
         } else {
-            full_wave_off(&cfg, workers, &jobs, &classified, &gcd)
+            full_wave_off(&self.obs, &cfg, workers, &jobs, &classified, &gcd)
         };
 
         // Wave 4: serial in-order assembly, replaying the serial
@@ -455,8 +495,7 @@ impl Engine {
                                     delta.gcd_memo_hits += 1;
                                 }
                                 delta.gcd_independent += 1;
-                                let refutation =
-                                    refutation.or_else(|| refute_equalities(p));
+                                let refutation = refutation.or_else(|| refute_equalities(p));
                                 steps::gcd_independent_report(template, refutation)
                             }
                             GcdRes::Lattice { hit, .. } => {
@@ -522,7 +561,7 @@ impl Engine {
         classified: &[Classified],
     ) -> (Vec<GcdRes>, StageTimings) {
         let improved = cfg.memo == MemoMode::Improved;
-        let nkeys: Vec<Option<NoBoundsKey>> = par_map(workers, jobs, |i, _| {
+        let nkeys: Vec<Option<NoBoundsKey>> = par_map_obs(&self.obs, workers, jobs, |i, _| {
             classified[i].problem().map(|p| nobounds_key(p, improved))
         });
         let key_refs: Vec<Option<&MemoKey>> = nkeys
@@ -536,19 +575,24 @@ impl Engine {
             .enumerate()
             .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
             .collect();
-        let solved: Vec<(Option<EqOutcome>, u64)> = par_map(workers, &leader_jobs, |_, &i| {
-            let p = classified[i].problem().expect("leaders have a problem");
-            let nk = nkeys[i].as_ref().expect("leaders have a key");
-            let start = Instant::now();
-            let out = solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars);
-            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            (out, nanos)
-        });
+        self.obs
+            .record_leader_elections(MemoTableKind::Gcd, leader_jobs.len() as u64);
+        let solved: Vec<(Option<EqOutcome>, u64)> =
+            par_map_obs(&self.obs, workers, &leader_jobs, |_, &i| {
+                let p = classified[i].problem().expect("leaders have a problem");
+                let nk = nkeys[i].as_ref().expect("leaders have a key");
+                let start = Instant::now();
+                let out = solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars);
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                (out, nanos)
+            });
         let mut timings = StageTimings::default();
         let mut leader_out: HashMap<usize, Option<EqOutcome>> =
             HashMap::with_capacity(leader_jobs.len());
         for ((v, nanos), &i) in solved.into_iter().zip(&leader_jobs) {
             timings.record_gcd(nanos);
+            self.obs
+                .record_gcd(gcd_verdict_of(v.as_ref()), false, nanos);
             if let Some(v) = &v {
                 // Matches the serial analyzer: overflows are not cached.
                 self.memo.gcd.insert(
@@ -559,7 +603,7 @@ impl Engine {
             leader_out.insert(i, v);
         }
 
-        let res = par_map(workers, jobs, |i, _| {
+        let res = par_map_obs(&self.obs, workers, jobs, |i, _| {
             let Some(src) = &plan[i] else {
                 return GcdRes::Skip;
             };
@@ -575,10 +619,18 @@ impl Engine {
                     (v, hit)
                 }
             };
+            // Telemetry: non-leader jobs were served without solving
+            // (leaders were recorded when they solved).
+            if !matches!(src, Src::Leader) {
+                self.obs
+                    .record_gcd(gcd_verdict_of(canonical.as_ref()), true, 0);
+            }
             match canonical {
                 None => GcdRes::Overflow,
                 Some(EqOutcome::Independent { refutation }) => {
-                    let p = classified[i].problem().expect("memoized jobs have a problem");
+                    let p = classified[i]
+                        .problem()
+                        .expect("memoized jobs have a problem");
                     let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
                     GcdRes::Independent {
                         hit,
@@ -608,7 +660,7 @@ impl Engine {
         classified: &[Classified],
         gcd: &[GcdRes],
     ) -> Vec<FullRes> {
-        let fkeys = par_map(workers, jobs, |i, _| {
+        let fkeys = par_map_obs(&self.obs, workers, jobs, |i, _| {
             if !matches!(gcd[i], GcdRes::Lattice { .. }) {
                 return None;
             }
@@ -628,8 +680,10 @@ impl Engine {
             .enumerate()
             .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
             .collect();
+        self.obs
+            .record_leader_elections(MemoTableKind::Full, leader_jobs.len() as u64);
         let computed: Vec<(PairReport, ReduceEffects, CachedOutcome, StageTimings)> =
-            par_map(workers, &leader_jobs, |_, &i| {
+            par_map_obs(&self.obs, workers, &leader_jobs, |_, &i| {
                 let job = &jobs[i];
                 let p = classified[i].problem().expect("leaders have a problem");
                 let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
@@ -637,7 +691,7 @@ impl Engine {
                 };
                 let template = steps::pair_template(job.a, job.b, job.common);
                 let mut fx = ReduceEffects::default();
-                let mut probe = StatsProbe::default();
+                let mut probe = MetricsProbe::new(&self.obs);
                 let report =
                     steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
                 let (ck, flipped) = fkeys[i].as_ref().expect("leaders have a key");
@@ -821,7 +875,7 @@ impl Engine {
             }
         }
 
-        let outcomes = par_map(workers, &jobs, |_, j| {
+        let outcomes = par_map_obs(&self.obs, workers, &jobs, |_, j| {
             if j.report.a_access != j.a.id || j.report.b_access != j.b.id {
                 return Resolved::Failed("report pair does not match the enumeration".into());
             }
@@ -933,11 +987,12 @@ pub fn minimize_program<F: Fn(&Program) -> bool>(program: &Program, still_fails:
 /// The GCD wave without memoization: every problem job solves its own
 /// full equality system, exactly like the serial `MemoMode::Off` path.
 fn gcd_wave_off(
+    obs: &MetricsRegistry,
     workers: usize,
     jobs: &[Job<'_>],
     classified: &[Classified],
 ) -> (Vec<GcdRes>, StageTimings) {
-    let solved = par_map(workers, jobs, |i, _| match classified[i].problem() {
+    let solved = par_map_obs(obs, workers, jobs, |i, _| match classified[i].problem() {
         None => (GcdRes::Skip, 0),
         Some(p) => {
             let start = Instant::now();
@@ -963,6 +1018,13 @@ fn gcd_wave_off(
         .map(|(res, nanos)| {
             if !matches!(res, GcdRes::Skip) {
                 timings.record_gcd(nanos);
+                let verdict = match &res {
+                    GcdRes::Overflow => dda_core::pipeline::GcdVerdict::Overflow,
+                    GcdRes::Independent { .. } => dda_core::pipeline::GcdVerdict::Independent,
+                    GcdRes::Lattice { .. } => dda_core::pipeline::GcdVerdict::Lattice,
+                    GcdRes::Skip => unreachable!("filtered above"),
+                };
+                obs.record_gcd(verdict, false, nanos);
             }
             res
         })
@@ -973,20 +1035,21 @@ fn gcd_wave_off(
 /// The full-analysis wave without memoization: every lattice job runs the
 /// cascade itself.
 fn full_wave_off(
+    obs: &MetricsRegistry,
     cfg: &AnalyzerConfig,
     workers: usize,
     jobs: &[Job<'_>],
     classified: &[Classified],
     gcd: &[GcdRes],
 ) -> Vec<FullRes> {
-    par_map(workers, jobs, |i, job| {
+    par_map_obs(obs, workers, jobs, |i, job| {
         let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
             return FullRes::NotReached;
         };
         let p = classified[i].problem().expect("lattice implies a problem");
         let template = steps::pair_template(job.a, job.b, job.common);
         let mut fx = ReduceEffects::default();
-        let mut probe = StatsProbe::default();
+        let mut probe = MetricsProbe::new(obs);
         let report = steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
         FullRes::Computed {
             report,

@@ -9,35 +9,64 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
+
+use dda_obs::{WaveReport, WorkerWork};
 
 /// Applies `f` to every item, spreading work across up to `workers`
-/// threads, and returns the results in item order. Falls back to a plain
-/// serial map when a single worker (or a trivial slice) makes threads
-/// pointless.
-pub(crate) fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+/// threads, and returns the results in item order — plus a measurement
+/// of the wave: wall time and, per worker, items processed, busy
+/// nanoseconds inside `f`, and the delay before the first item was
+/// picked up. Falls back to a plain serial map when a single worker (or
+/// a trivial slice) makes threads pointless; the fallback reports one
+/// worker whose busy time is the wall time.
+///
+/// The report is plain data (see [`WaveReport`]) so this module needs
+/// no knowledge of the metrics registry, and the item-ordered merge
+/// keeps results schedule-independent — only the nanosecond readings
+/// (and, in parallel mode, the per-worker task split) vary run to run.
+pub(crate) fn par_map_metered<T, R, F>(workers: usize, items: &[T], f: F) -> (Vec<R>, WaveReport)
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let wave_start = Instant::now();
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let wall = elapsed_nanos(wave_start);
+        let report = WaveReport {
+            wall_nanos: wall,
+            workers: vec![WorkerWork {
+                tasks: items.len() as u64,
+                busy_nanos: wall,
+                queue_wait_nanos: 0,
+            }],
+        };
+        return (out, report);
     }
     let threads = workers.min(items.len());
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+    let parts: Vec<(Vec<(usize, R)>, WorkerWork)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    let mut work = WorkerWork::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
+                        if work.tasks == 0 {
+                            work.queue_wait_nanos = elapsed_nanos(wave_start);
+                        }
+                        let item_start = Instant::now();
                         local.push((i, f(i, &items[i])));
+                        work.busy_nanos += elapsed_nanos(item_start);
+                        work.tasks += 1;
                     }
-                    local
+                    (local, work)
                 })
             })
             .collect();
@@ -47,20 +76,40 @@ where
             .collect()
     });
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for part in parts {
+    let mut report = WaveReport {
+        wall_nanos: elapsed_nanos(wave_start),
+        workers: Vec::with_capacity(parts.len()),
+    };
+    for (part, work) in parts {
+        report.workers.push(work);
         for (i, r) in part {
             debug_assert!(out[i].is_none(), "index {i} mapped twice");
             out[i] = Some(r);
         }
     }
-    out.into_iter()
+    let out = out
+        .into_iter()
         .map(|r| r.expect("every index mapped exactly once"))
-        .collect()
+        .collect();
+    (out, report)
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        par_map_metered(workers, items, f).0
+    }
 
     #[test]
     fn preserves_item_order() {
@@ -85,5 +134,28 @@ mod tests {
     fn more_workers_than_items() {
         let items = [1u64, 2, 3];
         assert_eq!(par_map(64, &items, |_, &x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn metered_serial_fallback_reports_one_worker() {
+        let items: Vec<u32> = (0..5).collect();
+        let (out, wave) = par_map_metered(1, &items, |_, &x| x + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(wave.workers.len(), 1);
+        assert_eq!(wave.workers[0].tasks, 5);
+        assert_eq!(wave.workers[0].queue_wait_nanos, 0);
+        assert_eq!(wave.workers[0].busy_nanos, wave.wall_nanos);
+    }
+
+    #[test]
+    fn metered_parallel_task_counts_sum_to_items() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [2, 4, 7] {
+            let (out, wave) = par_map_metered(workers, &items, |_, &x| x * 2);
+            assert_eq!(out.len(), 100);
+            assert!(wave.workers.len() <= workers);
+            let total: u64 = wave.workers.iter().map(|w| w.tasks).sum();
+            assert_eq!(total, 100, "every item is counted exactly once");
+        }
     }
 }

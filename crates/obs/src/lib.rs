@@ -1,0 +1,44 @@
+//! Always-on observability for the dependence analyzer.
+//!
+//! The paper's central empirical claim (§6) is that cascaded exact
+//! tests are *cheap in practice*; this crate provides the measurement
+//! layer that defends it. Three pieces:
+//!
+//! 1. **Metrics** ([`Counter`], [`Histogram`], [`MetricsRegistry`]) —
+//!    lock-free atomics, log2-bucketed latency histograms with
+//!    p50/p90/p99 summaries, no allocation on the hot path (pinned by
+//!    `tests/alloc.rs` with a counting global allocator).
+//! 2. **Probes and spans** ([`MetricsProbe`], [`SpanRecorder`]) — both
+//!    implement [`dda_core::pipeline::Probe`]; the former feeds the
+//!    registry, the latter rebuilds the analyze → pair → stage
+//!    hierarchy with monotonic sequence numbers and renders JSONL or
+//!    flamegraph folded stacks.
+//! 3. **Snapshots** ([`MetricsSnapshot`]) — join the registry with the
+//!    authoritative `AnalysisStats` and memo-table counters, rendered
+//!    as Prometheus text exposition or JSON; [`prom`] parses and
+//!    validates the exposition for tests and CI.
+//!
+//! Determinism is a hard invariant: nothing here feeds back into
+//! analysis results, metrics stay outside the bit-compared
+//! `AnalysisStats`, and span/trace output carries **no wall-clock
+//! timestamps** — only the per-phase durations the trace events
+//! already measure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod probe;
+pub mod prom;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{Counter, Histogram, LatencySummary, HISTOGRAM_BUCKETS};
+pub use probe::MetricsProbe;
+pub use registry::{MemoTableKind, MetricsRegistry, WaveReport, WorkerWork};
+pub use snapshot::{
+    EngineSection, GcdSection, MemoSection, MetricsSnapshot, PairsSection, RefinementSection,
+    StageSection,
+};
+pub use span::{Span, SpanRecorder};

@@ -1,0 +1,266 @@
+//! Lock-free metric primitives: atomic counters and log2-bucketed
+//! latency histograms.
+//!
+//! Both types are designed for an *always-on* hot path: recording a
+//! value is a handful of relaxed `fetch_add`s, never takes a lock, and
+//! never allocates. Reading is approximate under concurrent writes
+//! (each atomic is loaded independently) which is fine for telemetry;
+//! every test that needs exact values reads after the writers are done.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: one for the value 0, one per power of
+/// two up to `2^63`, and a final bucket for values `>= 2^63`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in nanos).
+///
+/// Bucket 0 holds the value 0 exactly; bucket `i` (for `1 <= i <= 63`)
+/// holds values in `[2^(i-1), 2^i)`; bucket 64 holds everything at or
+/// above `2^63`. Quantile estimates are therefore exact to within a
+/// factor of two, which is plenty for latency attribution, and the
+/// whole structure is a fixed array of atomics: recording never
+/// allocates and never locks.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time read of a [`Histogram`]: total count and sum plus
+/// the p50/p90/p99 upper-bound estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub sum: u64,
+    /// Upper bound of the bucket containing the 50th percentile.
+    pub p50: u64,
+    /// Upper bound of the bucket containing the 90th percentile.
+    pub p90: u64,
+    /// Upper bound of the bucket containing the 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket that holds `value`.
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Largest value representable by bucket `index` (inclusive).
+    fn bucket_upper(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample. Three relaxed `fetch_add`s; no allocation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Resets every bucket and the count/sum to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// Loads all buckets once and returns count, sum, and the three
+    /// standard quantiles computed from that single consistent view.
+    pub fn summary(&self) -> LatencySummary {
+        let counts: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the sample that realizes quantile q, 1-based.
+            let mut rank = (q * total as f64).ceil() as u64;
+            rank = rank.clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_upper(i);
+                }
+            }
+            Self::bucket_upper(HISTOGRAM_BUCKETS - 1)
+        };
+        LatencySummary {
+            count: total,
+            sum: self.sum(),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1 << 62), 63);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 40, u64::MAX] {
+            let idx = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper(idx), "value {v} bucket {idx}");
+            if idx > 0 {
+                assert!(v > Histogram::bucket_upper(idx - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn summary_on_empty_histogram() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        // 90 samples of ~100ns (bucket [64,128)) and 10 of ~1000ns
+        // (bucket [512,1024)).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 100 + 10 * 1000);
+        assert_eq!(s.p50, 127);
+        assert_eq!(s.p90, 127);
+        assert_eq!(s.p99, 1023);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.p50, s.p90, s.p99), (7, 7, 7));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn concurrent_recording_totals_are_exact() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 4 * (999 * 1000 / 2));
+    }
+}

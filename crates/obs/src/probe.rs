@@ -1,0 +1,107 @@
+//! A [`Probe`] that feeds the metrics registry.
+
+use crate::MetricsRegistry;
+use dda_core::pipeline::{Probe, TraceEvent};
+use dda_core::StageTimings;
+
+/// A pipeline probe that records stage/GCD/refinement telemetry into a
+/// shared [`MetricsRegistry`] while also accumulating the same
+/// [`StageTimings`] a `StatsProbe` would.
+///
+/// Recording is allocation-free: the interesting events carry only
+/// `Copy` payloads and each lands as a few relaxed atomic adds. Events
+/// with owned payloads (`Reduced`, `Witness`, `Directions`, ...) are
+/// consumed by value exactly like every other probe, so the analyzer's
+/// behaviour is identical to running with `NullProbe` — the
+/// determinism proptests in `tests/obs.rs` pin that down.
+#[derive(Debug)]
+pub struct MetricsProbe<'a> {
+    registry: &'a MetricsRegistry,
+    /// The same per-stage wall-time aggregate `StatsProbe` collects,
+    /// so callers swapping `StatsProbe` for `MetricsProbe` keep their
+    /// timing reports unchanged.
+    pub timings: StageTimings,
+}
+
+impl<'a> MetricsProbe<'a> {
+    /// Creates a probe recording into `registry`.
+    pub fn new(registry: &'a MetricsRegistry) -> Self {
+        MetricsProbe {
+            registry,
+            timings: StageTimings::default(),
+        }
+    }
+}
+
+impl Probe for MetricsProbe<'_> {
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Stage {
+                test,
+                verdict,
+                nanos,
+            } => {
+                self.registry.record_stage(test, verdict, nanos);
+                self.timings.record(test, nanos);
+            }
+            TraceEvent::Gcd {
+                verdict,
+                cached,
+                nanos,
+            } => {
+                self.registry.record_gcd(verdict, cached, nanos);
+                // Exactly what `StatsProbe` does: every GCD phase is
+                // timed, cached or not.
+                self.timings.record_gcd(nanos);
+            }
+            TraceEvent::Directions { tests, nanos, .. } => {
+                self.registry.record_refinement(tests, nanos);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_core::pipeline::{GcdVerdict, StageVerdict};
+    use dda_core::result::DistanceVector;
+    use dda_core::TestKind;
+
+    #[test]
+    fn probe_routes_events_into_registry_and_timings() {
+        let reg = MetricsRegistry::new();
+        let mut probe = MetricsProbe::new(&reg);
+        probe.record(TraceEvent::Stage {
+            test: TestKind::Svpc,
+            verdict: StageVerdict::Independent,
+            nanos: 10,
+        });
+        probe.record(TraceEvent::Gcd {
+            verdict: GcdVerdict::Lattice,
+            cached: false,
+            nanos: 20,
+        });
+        probe.record(TraceEvent::Gcd {
+            verdict: GcdVerdict::Lattice,
+            cached: true,
+            nanos: 1,
+        });
+        probe.record(TraceEvent::Directions {
+            vectors: Vec::new(),
+            distance: DistanceVector::default(),
+            tests: 3,
+            exact: true,
+            nanos: 40,
+        });
+        assert_eq!(reg.stage_verdicts(TestKind::Svpc), [1, 0, 0, 0]);
+        assert_eq!(reg.gcd_verdicts(), [0, 2, 0]);
+        assert_eq!(reg.gcd_cache_hits(), 1);
+        assert_eq!(reg.refinement_cascade_tests(), 3);
+        assert_eq!(probe.timings.calls_for(TestKind::Svpc), 1);
+        // Timings mirror StatsProbe: both GCD events count, cached too.
+        assert_eq!(probe.timings.gcd_calls, 2);
+        assert_eq!(probe.timings.gcd_nanos, 21);
+    }
+}

@@ -1,0 +1,808 @@
+//! Point-in-time metric snapshots and their Prometheus/JSON renderings.
+//!
+//! A [`MetricsSnapshot`] is assembled from three sources: the live
+//! [`MetricsRegistry`] (stage/GCD/refinement/engine telemetry), the
+//! authoritative [`AnalysisStats`] (pair outcomes), and the memo
+//! tables' own counters. Keeping pair and memo figures out of the
+//! registry means the rendered numbers are exactly the deterministic
+//! ones the analyzer already reports, with telemetry layered alongside.
+//!
+//! [`AnalysisStats`]: dda_core::stats::AnalysisStats
+
+use crate::metrics::LatencySummary;
+use crate::registry::{
+    MemoTableKind, MetricsRegistry, GCD_VERDICT_LABELS, STAGE_LABELS, STAGE_VERDICT_LABELS,
+};
+use dda_core::stats::AnalysisStats;
+use dda_core::{MemoCounters, TestKind};
+use std::fmt::Write as _;
+
+/// One cascade stage's latency and verdict figures.
+#[derive(Debug, Clone)]
+pub struct StageSection {
+    /// Stage token (`svpc`, `acyclic`, `residue`, `fm`).
+    pub stage: &'static str,
+    /// Latency summary of the stage's invocations.
+    pub latency: LatencySummary,
+    /// Verdict counts, indexed like [`STAGE_VERDICT_LABELS`].
+    pub verdicts: [u64; 4],
+}
+
+/// GCD-phase figures.
+#[derive(Debug, Clone)]
+pub struct GcdSection {
+    /// Latency summary of non-cached solves.
+    pub latency: LatencySummary,
+    /// Verdict counts, indexed like [`GCD_VERDICT_LABELS`].
+    pub verdicts: [u64; 3],
+    /// Results served from the GCD memo.
+    pub cache_hits: u64,
+}
+
+/// Direction-vector refinement figures.
+#[derive(Debug, Clone)]
+pub struct RefinementSection {
+    /// Latency summary of whole refinements.
+    pub latency: LatencySummary,
+    /// Total cascade tests issued during refinement.
+    pub cascade_tests: u64,
+}
+
+/// Pair outcome figures, copied from the authoritative
+/// [`AnalysisStats`].
+#[derive(Debug, Clone)]
+pub struct PairsSection {
+    /// Reference pairs analyzed.
+    pub pairs: u64,
+    /// Pairs with constant subscripts (compared directly).
+    pub constant: u64,
+    /// Pairs where dependence was assumed (no test applied).
+    pub assumed: u64,
+    /// Pairs proven independent by the GCD test alone.
+    pub gcd_independent: u64,
+    /// Full-result memo queries (per-pair accounting).
+    pub memo_queries: u64,
+    /// Full-result memo hits (per-pair accounting).
+    pub memo_hits: u64,
+    /// GCD memo queries (per-pair accounting).
+    pub gcd_memo_queries: u64,
+    /// GCD memo hits (per-pair accounting).
+    pub gcd_memo_hits: u64,
+}
+
+/// One memo table's traffic, plus the per-shard op spread for sharded
+/// tables (empty for the serial analyzer's tables).
+#[derive(Debug, Clone)]
+pub struct MemoSection {
+    /// Table label (`full` or `gcd`).
+    pub table: &'static str,
+    /// The table's own counters.
+    pub counters: MemoCounters,
+    /// Per-shard operation counts; empty when the table is unsharded.
+    pub shard_ops: Vec<u64>,
+}
+
+/// Engine worker-pool figures.
+#[derive(Debug, Clone)]
+pub struct EngineSection {
+    /// Worker slots the engine was configured with.
+    pub workers: u64,
+    /// Parallel waves executed.
+    pub waves: u64,
+    /// Items processed across all waves.
+    pub tasks: u64,
+    /// Nanoseconds workers spent inside mapped closures.
+    pub busy_nanos: u64,
+    /// Wall nanoseconds × participating workers, summed over waves.
+    pub capacity_nanos: u64,
+    /// Nanoseconds workers waited before their first item.
+    pub queue_wait_nanos: u64,
+    /// Leader elections against the full-result table.
+    pub leader_elections_full: u64,
+    /// Leader elections against the GCD table.
+    pub leader_elections_gcd: u64,
+    /// Per-worker task counts.
+    pub worker_tasks: Vec<u64>,
+    /// Per-worker busy nanoseconds.
+    pub worker_busy_nanos: Vec<u64>,
+}
+
+impl EngineSection {
+    /// Fraction of pool capacity spent busy (`busy / capacity`), in
+    /// `[0, 1]`; zero when no capacity was recorded.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_nanos == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.capacity_nanos as f64
+        }
+    }
+}
+
+/// A complete snapshot, ready to render as Prometheus text exposition
+/// or JSON.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-stage figures, in cascade order.
+    pub stages: Vec<StageSection>,
+    /// GCD-phase figures.
+    pub gcd: GcdSection,
+    /// Refinement figures.
+    pub refinement: RefinementSection,
+    /// Pair outcomes, when attached via [`with_pairs`].
+    ///
+    /// [`with_pairs`]: MetricsSnapshot::with_pairs
+    pub pairs: Option<PairsSection>,
+    /// Memo tables, when attached via [`with_memo_table`].
+    ///
+    /// [`with_memo_table`]: MetricsSnapshot::with_memo_table
+    pub memo: Vec<MemoSection>,
+    /// Engine figures, when the registry carries worker slots.
+    pub engine: Option<EngineSection>,
+}
+
+impl MetricsSnapshot {
+    /// Reads the registry into a snapshot. Engine figures are included
+    /// when the registry has worker slots or recorded waves; pair and
+    /// memo sections start empty and are attached with the `with_*`
+    /// builders.
+    #[must_use]
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        let stages = TestKind::ALL
+            .iter()
+            .map(|&t| StageSection {
+                stage: STAGE_LABELS[t.index()],
+                latency: reg.stage_latency(t),
+                verdicts: reg.stage_verdicts(t),
+            })
+            .collect();
+        let engine = if reg.worker_slots() > 0 || reg.waves() > 0 {
+            Some(EngineSection {
+                workers: reg.worker_slots() as u64,
+                waves: reg.waves(),
+                tasks: reg.tasks(),
+                busy_nanos: reg.busy_nanos(),
+                capacity_nanos: reg.capacity_nanos(),
+                queue_wait_nanos: reg.queue_wait_nanos(),
+                leader_elections_full: reg.leader_elections(MemoTableKind::Full),
+                leader_elections_gcd: reg.leader_elections(MemoTableKind::Gcd),
+                worker_tasks: reg.worker_tasks(),
+                worker_busy_nanos: reg.worker_busy_nanos(),
+            })
+        } else {
+            None
+        };
+        MetricsSnapshot {
+            stages,
+            gcd: GcdSection {
+                latency: reg.gcd_latency(),
+                verdicts: reg.gcd_verdicts(),
+                cache_hits: reg.gcd_cache_hits(),
+            },
+            refinement: RefinementSection {
+                latency: reg.refinement_latency(),
+                cascade_tests: reg.refinement_cascade_tests(),
+            },
+            pairs: None,
+            memo: Vec::new(),
+            engine,
+        }
+    }
+
+    /// Attaches pair outcomes from the authoritative stats.
+    #[must_use]
+    pub fn with_pairs(mut self, stats: &AnalysisStats) -> Self {
+        self.pairs = Some(PairsSection {
+            pairs: stats.pairs,
+            constant: stats.constant,
+            assumed: stats.assumed,
+            gcd_independent: stats.gcd_independent,
+            memo_queries: stats.memo_queries,
+            memo_hits: stats.memo_hits,
+            gcd_memo_queries: stats.gcd_memo_queries,
+            gcd_memo_hits: stats.gcd_memo_hits,
+        });
+        self
+    }
+
+    /// Attaches one memo table's traffic. `shard_ops` is empty for
+    /// unsharded tables.
+    #[must_use]
+    pub fn with_memo_table(
+        mut self,
+        table: &'static str,
+        counters: MemoCounters,
+        shard_ops: Vec<u64>,
+    ) -> Self {
+        self.memo.push(MemoSection {
+            table,
+            counters,
+            shard_ops,
+        });
+        self
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (`# HELP`/`# TYPE` headers, summaries with
+    /// `quantile="0.5|0.9|0.99"` samples plus `_sum`/`_count`).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        // --- cascade stages -------------------------------------------------
+        header(
+            &mut out,
+            "dda_stage_latency_nanos",
+            "summary",
+            "Cascade stage latency in nanoseconds.",
+        );
+        for s in &self.stages {
+            summary(
+                &mut out,
+                "dda_stage_latency_nanos",
+                &[("stage", s.stage)],
+                s.latency,
+            );
+        }
+        header(
+            &mut out,
+            "dda_stage_verdicts_total",
+            "counter",
+            "Cascade stage outcomes by verdict.",
+        );
+        for s in &self.stages {
+            for (v, &count) in s.verdicts.iter().enumerate() {
+                sample(
+                    &mut out,
+                    "dda_stage_verdicts_total",
+                    &[("stage", s.stage), ("verdict", STAGE_VERDICT_LABELS[v])],
+                    count,
+                );
+            }
+        }
+
+        // --- GCD phase ------------------------------------------------------
+        header(
+            &mut out,
+            "dda_gcd_latency_nanos",
+            "summary",
+            "Extended GCD solve latency in nanoseconds (non-cached).",
+        );
+        summary(&mut out, "dda_gcd_latency_nanos", &[], self.gcd.latency);
+        header(
+            &mut out,
+            "dda_gcd_verdicts_total",
+            "counter",
+            "Extended GCD outcomes by verdict.",
+        );
+        for (v, &count) in self.gcd.verdicts.iter().enumerate() {
+            sample(
+                &mut out,
+                "dda_gcd_verdicts_total",
+                &[("verdict", GCD_VERDICT_LABELS[v])],
+                count,
+            );
+        }
+        header(
+            &mut out,
+            "dda_gcd_cache_hits_total",
+            "counter",
+            "GCD results served from the no-bounds memo.",
+        );
+        sample(
+            &mut out,
+            "dda_gcd_cache_hits_total",
+            &[],
+            self.gcd.cache_hits,
+        );
+
+        // --- refinement -----------------------------------------------------
+        header(
+            &mut out,
+            "dda_refinement_latency_nanos",
+            "summary",
+            "Direction-vector refinement latency in nanoseconds.",
+        );
+        summary(
+            &mut out,
+            "dda_refinement_latency_nanos",
+            &[],
+            self.refinement.latency,
+        );
+        header(
+            &mut out,
+            "dda_refinement_cascade_tests_total",
+            "counter",
+            "Cascade tests issued during direction-vector refinement.",
+        );
+        sample(
+            &mut out,
+            "dda_refinement_cascade_tests_total",
+            &[],
+            self.refinement.cascade_tests,
+        );
+
+        // --- pairs ----------------------------------------------------------
+        if let Some(p) = &self.pairs {
+            for (name, help, value) in [
+                ("dda_pairs_total", "Reference pairs analyzed.", p.pairs),
+                (
+                    "dda_pairs_constant_total",
+                    "Pairs with constant subscripts.",
+                    p.constant,
+                ),
+                (
+                    "dda_pairs_assumed_total",
+                    "Pairs where dependence was assumed.",
+                    p.assumed,
+                ),
+                (
+                    "dda_pairs_gcd_independent_total",
+                    "Pairs proven independent by the GCD test alone.",
+                    p.gcd_independent,
+                ),
+            ] {
+                header(&mut out, name, "counter", help);
+                sample(&mut out, name, &[], value);
+            }
+            header(
+                &mut out,
+                "dda_pair_memo_queries_total",
+                "counter",
+                "Per-pair memo queries, as counted by AnalysisStats.",
+            );
+            sample(
+                &mut out,
+                "dda_pair_memo_queries_total",
+                &[("table", "full")],
+                p.memo_queries,
+            );
+            sample(
+                &mut out,
+                "dda_pair_memo_queries_total",
+                &[("table", "gcd")],
+                p.gcd_memo_queries,
+            );
+            header(
+                &mut out,
+                "dda_pair_memo_hits_total",
+                "counter",
+                "Per-pair memo hits, as counted by AnalysisStats.",
+            );
+            sample(
+                &mut out,
+                "dda_pair_memo_hits_total",
+                &[("table", "full")],
+                p.memo_hits,
+            );
+            sample(
+                &mut out,
+                "dda_pair_memo_hits_total",
+                &[("table", "gcd")],
+                p.gcd_memo_hits,
+            );
+        }
+
+        // --- memo tables ----------------------------------------------------
+        if !self.memo.is_empty() {
+            header(
+                &mut out,
+                "dda_memo_queries_total",
+                "counter",
+                "Memo table lookups (table traffic).",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_queries_total",
+                    &[("table", m.table)],
+                    m.counters.queries,
+                );
+            }
+            header(
+                &mut out,
+                "dda_memo_hits_total",
+                "counter",
+                "Memo table hits.",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_hits_total",
+                    &[("table", m.table)],
+                    m.counters.hits,
+                );
+            }
+            header(
+                &mut out,
+                "dda_memo_misses_total",
+                "counter",
+                "Memo table misses.",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_misses_total",
+                    &[("table", m.table)],
+                    m.counters.misses(),
+                );
+            }
+            header(
+                &mut out,
+                "dda_memo_warm_loads_total",
+                "counter",
+                "Entries loaded from a persisted memo file.",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_warm_loads_total",
+                    &[("table", m.table)],
+                    m.counters.warm_loads,
+                );
+            }
+            header(
+                &mut out,
+                "dda_memo_entries",
+                "gauge",
+                "Distinct entries currently stored.",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_entries",
+                    &[("table", m.table)],
+                    m.counters.entries,
+                );
+            }
+            if self.memo.iter().any(|m| !m.shard_ops.is_empty()) {
+                header(
+                    &mut out,
+                    "dda_memo_shard_ops_total",
+                    "counter",
+                    "Operations (gets + inserts) per memo shard.",
+                );
+                for m in &self.memo {
+                    for (i, &ops) in m.shard_ops.iter().enumerate() {
+                        let shard = i.to_string();
+                        sample(
+                            &mut out,
+                            "dda_memo_shard_ops_total",
+                            &[("table", m.table), ("shard", &shard)],
+                            ops,
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- engine ---------------------------------------------------------
+        if let Some(e) = &self.engine {
+            header(
+                &mut out,
+                "dda_engine_workers",
+                "gauge",
+                "Worker slots the engine was configured with.",
+            );
+            sample(&mut out, "dda_engine_workers", &[], e.workers);
+            for (name, help, value) in [
+                (
+                    "dda_engine_waves_total",
+                    "Parallel waves executed.",
+                    e.waves,
+                ),
+                (
+                    "dda_engine_tasks_total",
+                    "Items processed across all waves.",
+                    e.tasks,
+                ),
+                (
+                    "dda_engine_busy_nanos_total",
+                    "Nanoseconds workers spent inside mapped closures.",
+                    e.busy_nanos,
+                ),
+                (
+                    "dda_engine_capacity_nanos_total",
+                    "Wall nanoseconds times participating workers.",
+                    e.capacity_nanos,
+                ),
+                (
+                    "dda_engine_queue_wait_nanos_total",
+                    "Nanoseconds workers waited before their first item.",
+                    e.queue_wait_nanos,
+                ),
+            ] {
+                header(&mut out, name, "counter", help);
+                sample(&mut out, name, &[], value);
+            }
+            let _ = writeln!(
+                out,
+                "# HELP dda_engine_utilization_ratio Busy time over pool capacity, 0 to 1."
+            );
+            let _ = writeln!(out, "# TYPE dda_engine_utilization_ratio gauge");
+            let _ = writeln!(out, "dda_engine_utilization_ratio {}", e.utilization());
+            header(
+                &mut out,
+                "dda_engine_leader_elections_total",
+                "counter",
+                "Distinct keys elected a solving leader, by memo table.",
+            );
+            sample(
+                &mut out,
+                "dda_engine_leader_elections_total",
+                &[("table", "full")],
+                e.leader_elections_full,
+            );
+            sample(
+                &mut out,
+                "dda_engine_leader_elections_total",
+                &[("table", "gcd")],
+                e.leader_elections_gcd,
+            );
+            if !e.worker_tasks.is_empty() {
+                header(
+                    &mut out,
+                    "dda_engine_worker_tasks_total",
+                    "counter",
+                    "Items processed per worker slot.",
+                );
+                for (i, &t) in e.worker_tasks.iter().enumerate() {
+                    let w = i.to_string();
+                    sample(
+                        &mut out,
+                        "dda_engine_worker_tasks_total",
+                        &[("worker", &w)],
+                        t,
+                    );
+                }
+                header(
+                    &mut out,
+                    "dda_engine_worker_busy_nanos_total",
+                    "counter",
+                    "Busy nanoseconds per worker slot.",
+                );
+                for (i, &b) in e.worker_busy_nanos.iter().enumerate() {
+                    let w = i.to_string();
+                    sample(
+                        &mut out,
+                        "dda_engine_worker_busy_nanos_total",
+                        &[("worker", &w)],
+                        b,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single JSON object with deterministic
+    /// key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",{},\"verdicts\":{{",
+                s.stage,
+                latency_json(s.latency)
+            );
+            for (v, &count) in s.verdicts.iter().enumerate() {
+                if v > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", STAGE_VERDICT_LABELS[v], count);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"gcd\":{");
+        let _ = write!(out, "{},\"verdicts\":{{", latency_json(self.gcd.latency));
+        for (v, &count) in self.gcd.verdicts.iter().enumerate() {
+            if v > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", GCD_VERDICT_LABELS[v], count);
+        }
+        let _ = write!(out, "}},\"cache_hits\":{}}}", self.gcd.cache_hits);
+        let _ = write!(
+            out,
+            ",\"refinement\":{{{},\"cascade_tests\":{}}}",
+            latency_json(self.refinement.latency),
+            self.refinement.cascade_tests
+        );
+        if let Some(p) = &self.pairs {
+            let _ = write!(
+                out,
+                ",\"pairs\":{{\"pairs\":{},\"constant\":{},\"assumed\":{},\
+                 \"gcd_independent\":{},\"memo_queries\":{},\"memo_hits\":{},\
+                 \"gcd_memo_queries\":{},\"gcd_memo_hits\":{}}}",
+                p.pairs,
+                p.constant,
+                p.assumed,
+                p.gcd_independent,
+                p.memo_queries,
+                p.memo_hits,
+                p.gcd_memo_queries,
+                p.gcd_memo_hits
+            );
+        }
+        if !self.memo.is_empty() {
+            out.push_str(",\"memo\":[");
+            for (i, m) in self.memo.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"table\":\"{}\",\"queries\":{},\"hits\":{},\"misses\":{},\
+                     \"warm_loads\":{},\"entries\":{},\"shard_ops\":[",
+                    m.table,
+                    m.counters.queries,
+                    m.counters.hits,
+                    m.counters.misses(),
+                    m.counters.warm_loads,
+                    m.counters.entries
+                );
+                for (j, &ops) in m.shard_ops.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{ops}");
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        if let Some(e) = &self.engine {
+            let _ = write!(
+                out,
+                ",\"engine\":{{\"workers\":{},\"waves\":{},\"tasks\":{},\
+                 \"busy_nanos\":{},\"capacity_nanos\":{},\"queue_wait_nanos\":{},\
+                 \"utilization\":{},\"leader_elections\":{{\"full\":{},\"gcd\":{}}},\
+                 \"worker_tasks\":[",
+                e.workers,
+                e.waves,
+                e.tasks,
+                e.busy_nanos,
+                e.capacity_nanos,
+                e.queue_wait_nanos,
+                e.utilization(),
+                e.leader_elections_full,
+                e.leader_elections_gcd
+            );
+            for (i, &t) in e.worker_tasks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{t}");
+            }
+            out.push_str("],\"worker_busy_nanos\":[");
+            for (i, &b) in e.worker_busy_nanos.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn latency_json(l: LatencySummary) -> String {
+    format!(
+        "\"latency\":{{\"count\":{},\"sum_nanos\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        l.count, l.sum, l.p50, l.p90, l.p99
+    )
+}
+
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn labels_str(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    let _ = writeln!(out, "{name}{} {value}", labels_str(labels));
+}
+
+fn summary(out: &mut String, name: &str, labels: &[(&str, &str)], l: LatencySummary) {
+    for (q, v) in [("0.5", l.p50), ("0.9", l.p90), ("0.99", l.p99)] {
+        let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+        with_q.push(("quantile", q));
+        let _ = writeln!(out, "{name}{} {v}", labels_str(&with_q));
+    }
+    let _ = writeln!(out, "{name}_sum{} {}", labels_str(labels), l.sum);
+    let _ = writeln!(out, "{name}_count{} {}", labels_str(labels), l.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_core::pipeline::StageVerdict;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::with_workers(2);
+        reg.record_stage(TestKind::Svpc, StageVerdict::Independent, 100);
+        reg.record_gcd(dda_core::pipeline::GcdVerdict::Lattice, false, 50);
+        MetricsSnapshot::from_registry(&reg)
+            .with_pairs(&AnalysisStats::default())
+            .with_memo_table(
+                "full",
+                MemoCounters {
+                    queries: 10,
+                    hits: 4,
+                    warm_loads: 2,
+                    entries: 6,
+                },
+                vec![7, 9],
+            )
+    }
+
+    #[test]
+    fn prometheus_exposition_has_expected_shape() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE dda_stage_latency_nanos summary"));
+        assert!(text.contains("dda_stage_latency_nanos{stage=\"svpc\",quantile=\"0.5\"}"));
+        assert!(text.contains("dda_stage_latency_nanos_count{stage=\"svpc\"} 1"));
+        assert!(text.contains("dda_stage_verdicts_total{stage=\"svpc\",verdict=\"independent\"} 1"));
+        assert!(text.contains("dda_memo_hits_total{table=\"full\"} 4"));
+        assert!(text.contains("dda_memo_misses_total{table=\"full\"} 6"));
+        assert!(text.contains("dda_memo_warm_loads_total{table=\"full\"} 2"));
+        assert!(text.contains("# TYPE dda_memo_entries gauge"));
+        assert!(text.contains("dda_memo_shard_ops_total{table=\"full\",shard=\"1\"} 9"));
+        assert!(text.contains("dda_engine_workers 2"));
+        assert!(text.contains("# TYPE dda_engine_utilization_ratio gauge"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            assert_eq!(
+                line.split_whitespace().count(),
+                2,
+                "bad sample line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_an_object_with_sections() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"stages\":",
+            "\"gcd\":",
+            "\"refinement\":",
+            "\"pairs\":",
+            "\"memo\":",
+            "\"engine\":",
+            "\"shard_ops\":[7,9]",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn serial_snapshot_omits_engine_section() {
+        let reg = MetricsRegistry::new();
+        let snap = MetricsSnapshot::from_registry(&reg);
+        assert!(snap.engine.is_none());
+        let text = snap.to_prometheus();
+        assert!(!text.contains("dda_engine_"));
+        assert!(!snap.to_json().contains("\"engine\":"));
+    }
+}

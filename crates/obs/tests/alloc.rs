@@ -1,0 +1,75 @@
+//! Allocation-free hot path, pinned with a counting global allocator.
+//!
+//! The registry's overhead budget (DESIGN.md §9) rests on the recording
+//! path being a handful of relaxed atomic adds: no locks, no heap. This
+//! binary installs an allocator that counts every `alloc`, exercises
+//! counters, histograms and the probe with `Copy`-payload events, and
+//! asserts the count never moves.
+//!
+//! One test only — the counter is process-global, and a sibling test
+//! allocating concurrently would race the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dda_core::pipeline::{GcdVerdict, Probe, StageVerdict, TraceEvent};
+use dda_core::TestKind;
+use dda_obs::{Counter, Histogram, MetricsProbe, MetricsRegistry};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn recording_hot_path_never_allocates() {
+    // Construction may allocate (per-worker vectors); the hot path is
+    // what happens per event, measured after everything is built.
+    let registry = MetricsRegistry::with_workers(4);
+    let counter = Counter::new();
+    let histogram = Histogram::new();
+    let mut probe = MetricsProbe::new(&registry);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(i);
+        histogram.record(i * 37);
+        registry.record_stage(TestKind::FourierMotzkin, StageVerdict::Unknown, i);
+        registry.record_gcd(GcdVerdict::Lattice, i % 2 == 0, i);
+        registry.record_refinement(3, i);
+        probe.record(TraceEvent::Stage {
+            test: TestKind::Svpc,
+            verdict: StageVerdict::Independent,
+            nanos: i,
+        });
+        probe.record(TraceEvent::Gcd {
+            verdict: GcdVerdict::Independent,
+            cached: false,
+            nanos: i,
+        });
+        probe.record(TraceEvent::CacheHit);
+    }
+    // Reading counters back is also allocation-free.
+    std::hint::black_box((counter.get(), histogram.count(), registry.gcd_cache_hits()));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "metrics hot path allocated {} time(s)",
+        after - before
+    );
+}

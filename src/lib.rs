@@ -17,6 +17,9 @@
 //! - [`engine`]: the parallel batch analysis engine — scoped worker
 //!   threads over a sharded concurrent memo table, with deterministic
 //!   serial-identical output.
+//! - [`obs`]: always-on observability — lock-free metrics registry,
+//!   latency histograms with quantile summaries, hierarchical span
+//!   recording, and Prometheus/JSON snapshot rendering.
 //! - [`baselines`]: the inexact comparators from Section 7 (simple GCD,
 //!   Banerjee inequalities, Wolfe's direction-vector extension).
 //! - [`perfect`]: the synthetic PERFECT Club workload suite used by the
@@ -43,4 +46,5 @@ pub use dda_core as core;
 pub use dda_engine as engine;
 pub use dda_ir as ir;
 pub use dda_linalg as linalg;
+pub use dda_obs as obs;
 pub use dda_perfect as perfect;

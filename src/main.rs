@@ -9,12 +9,13 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use dda::core::pipeline::{ClassifiedKind, GcdVerdict, TraceEvent};
+use dda::core::pipeline::{ClassifiedKind, GcdVerdict, Probe, TraceEvent};
 use dda::core::{
     AnalyzerConfig, DependenceAnalyzer, MemoMode, RecordingProbe, StatsProbe, TestKind,
 };
 use dda::engine::{Engine, EngineConfig};
 use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
+use dda::obs::{MetricsProbe, MetricsRegistry, MetricsSnapshot, SpanRecorder};
 
 const USAGE: &str = "\
 dda — efficient and exact data dependence analysis (PLDI 1991)
@@ -27,10 +28,12 @@ COMMANDS:
                 direction and distance vectors
     parallel    print the program with each loop marked parallel/sequential
     graph       print the oriented dependence graph in Graphviz DOT format
-    batch       analyze every program listed in a manifest file (one DSL
-                path per line; `#` comments and blanks skipped) with the
-                parallel engine, emitting one JSON report per line.
-                Output is byte-identical for any --workers/--shards.
+    batch       analyze every input with the parallel engine, emitting one
+                JSON report per line. Inputs ending in `.loop` are DSL
+                programs; anything else is a manifest file (one DSL path
+                per line; `#` comments and blanks skipped). Multiple
+                inputs are allowed and analyzed in order. Output is
+                byte-identical for any --workers/--shards.
     help        show this message
 
 OPTIONS:
@@ -50,7 +53,20 @@ OPTIONS:
                          run exits nonzero
     --explain            narrate each pair's analysis step by step
     --trace              (analyze) emit the typed trace-event stream as
-                         JSONL instead of the verdict listing
+                         JSONL instead of the verdict listing; every
+                         event carries a monotonic `seq` field and no
+                         wall-clock timestamp, so traces are byte-stable
+    --metrics[=FMT]      print a metrics snapshot to stderr after the
+                         run: stage latencies (p50/p90/p99), verdict
+                         counters, memo traffic, engine utilization.
+                         FMT is `prom` (Prometheus text exposition,
+                         default) or `json`
+    --profile <DIR>      write span profiles to DIR: `spans.jsonl`
+                         (hierarchical analyze → pair → stage spans
+                         with monotonic seq numbers) and
+                         `profile.folded` (flamegraph folded stacks).
+                         Batch profiles replay the programs serially so
+                         span nesting is deterministic
     --tests <LIST>       comma-separated exact-test pipeline, in order
                          (svpc,acyclic,residue,fm — default all four);
                          partial lists are ablations and may assume
@@ -61,9 +77,18 @@ OPTIONS:
                          times for analyze/batch)
 ";
 
+/// Output format for `--metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Prom,
+    Json,
+}
+
 struct Options {
     command: String,
     file: String,
+    /// Additional positional inputs (batch only).
+    extra_files: Vec<String>,
     config: AnalyzerConfig,
     normalize: bool,
     memo_load: Option<String>,
@@ -72,6 +97,8 @@ struct Options {
     explain: bool,
     trace: bool,
     check: bool,
+    metrics: Option<MetricsFormat>,
+    profile: Option<String>,
     workers: usize,
     shards: usize,
 }
@@ -86,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Ok(Options {
             command: "help".into(),
             file: String::new(),
+            extra_files: Vec::new(),
             config: AnalyzerConfig::default(),
             normalize: true,
             memo_load: None,
@@ -94,6 +122,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             explain: false,
             trace: false,
             check: false,
+            metrics: None,
+            profile: None,
             workers: 0,
             shards: 16,
         });
@@ -106,6 +136,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         .ok_or_else(|| "missing input file (use `-` for stdin)".to_owned())?
         .clone();
 
+    let mut extra_files = Vec::new();
     let mut config = AnalyzerConfig::default();
     let mut normalize = true;
     let mut memo_load = None;
@@ -114,12 +145,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut explain = false;
     let mut trace = false;
     let mut check = false;
+    let mut metrics = None;
+    let mut profile = None;
     let mut workers = 0;
     let mut shards = 16;
     while let Some(flag) = it.next() {
         if let Some(list) = flag.strip_prefix("--tests=") {
             config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
             continue;
+        }
+        if let Some(fmt) = flag.strip_prefix("--metrics=") {
+            metrics = Some(match fmt {
+                "prom" => MetricsFormat::Prom,
+                "json" => MetricsFormat::Json,
+                other => return Err(format!("bad metrics format `{other}` (prom or json)")),
+            });
+            continue;
+        }
+        if !flag.starts_with('-') {
+            if command == "batch" {
+                extra_files.push(flag.clone());
+                continue;
+            }
+            return Err(format!(
+                "unexpected extra input `{flag}` (only `batch` accepts multiple inputs)"
+            ));
         }
         match flag.as_str() {
             "--no-directions" => config.compute_directions = false,
@@ -132,6 +182,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--explain" => explain = true,
             "--trace" => trace = true,
             "--check" => check = true,
+            "--metrics" => metrics = Some(MetricsFormat::Prom),
+            "--profile" => {
+                profile = Some(it.next().ok_or("--profile needs a directory")?.clone());
+            }
             "--tests" => {
                 let list = it.next().ok_or("--tests needs a comma-separated list")?;
                 config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
@@ -165,6 +219,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(Options {
         command,
         file,
+        extra_files,
         config,
         normalize,
         memo_load,
@@ -173,6 +228,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         explain,
         trace,
         check,
+        metrics,
+        profile,
         workers,
         shards,
     })
@@ -296,8 +353,18 @@ fn answer_token(answer: &dda::core::Answer) -> &'static str {
     }
 }
 
-/// One JSONL record per trace event (hand-rolled: no serde in this tree).
-fn trace_json_line(event: &TraceEvent) -> String {
+/// One JSONL record per trace event: a monotonic `seq` field followed by
+/// the event payload. Wall-clock timestamps are absent by design — the
+/// stream must be byte-stable run to run, so the only time figures are
+/// the per-phase `nanos` durations the events already measure, and `seq`
+/// gives consumers a total order without one.
+fn trace_json_line(seq: u64, event: &TraceEvent) -> String {
+    let body = trace_event_json(event);
+    format!("{{\"seq\":{seq},{}", &body[1..])
+}
+
+/// The event payload object (hand-rolled: no serde in this tree).
+fn trace_event_json(event: &TraceEvent) -> String {
     use std::fmt::Write as _;
     match event {
         TraceEvent::PairStarted {
@@ -529,22 +596,63 @@ fn run_check(
     ))
 }
 
-/// `dda batch`: analyze every program in the manifest with the parallel
-/// engine and emit one JSON report per line, in manifest order.
-fn run_batch(opts: &Options) -> Result<(), String> {
-    let manifest = read_source(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+/// Prints a metrics snapshot to stderr in the requested format.
+///
+/// Stderr so that `--metrics` composes with the JSONL report stream on
+/// stdout — `dda batch --metrics=prom m 2>metrics.prom | jq` works.
+fn emit_metrics(format: MetricsFormat, snapshot: &MetricsSnapshot) {
+    match format {
+        MetricsFormat::Prom => eprint!("{}", snapshot.to_prometheus()),
+        MetricsFormat::Json => eprintln!("{}", snapshot.to_json()),
+    }
+}
+
+/// Writes `spans.jsonl` and `profile.folded` from a span recording into
+/// `dir`, creating it if needed.
+fn write_profile_dir(dir: &str, spans: &SpanRecorder) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let base = std::path::Path::new(dir);
+    let jsonl = base.join("spans.jsonl");
+    std::fs::write(&jsonl, spans.to_jsonl()).map_err(|e| format!("{}: {e}", jsonl.display()))?;
+    let folded = base.join("profile.folded");
+    std::fs::write(&folded, spans.to_folded()).map_err(|e| format!("{}: {e}", folded.display()))?;
+    Ok(())
+}
+
+/// Loads one batch input: a `.loop` file is a program itself; anything
+/// else is a manifest listing one program path per line.
+fn load_batch_input(
+    opts: &Options,
+    input: &str,
+    files: &mut Vec<String>,
+    programs: &mut Vec<Program>,
+) -> Result<(), String> {
+    let mut push = |label: &str, path: &std::path::Path| -> Result<(), String> {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut program = parse_program(&source)
+            .map_err(|e| format!("{}:\n{}", path.display(), e.render(&source)))?;
+        if opts.normalize {
+            passes::normalize(&mut program);
+        }
+        files.push(label.to_owned());
+        programs.push(program);
+        Ok(())
+    };
+    if input != "-" && input.ends_with(".loop") {
+        return push(input, std::path::Path::new(input));
+    }
+    let manifest = read_source(input).map_err(|e| format!("{input}: {e}"))?;
     // Relative manifest entries resolve against the manifest's directory
     // (or the working directory when reading from stdin).
-    let base = if opts.file == "-" {
+    let base = if input == "-" {
         std::path::PathBuf::new()
     } else {
-        std::path::Path::new(&opts.file)
+        std::path::Path::new(input)
             .parent()
             .map(std::path::Path::to_path_buf)
             .unwrap_or_default()
     };
-    let mut files = Vec::new();
-    let mut programs = Vec::new();
     for entry in manifest.lines() {
         let entry = entry.trim();
         if entry.is_empty() || entry.starts_with('#') {
@@ -555,15 +663,43 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         } else {
             base.join(entry)
         };
-        let source =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let mut program = parse_program(&source)
-            .map_err(|e| format!("{}:\n{}", path.display(), e.render(&source)))?;
-        if opts.normalize {
-            passes::normalize(&mut program);
-        }
-        files.push(entry.to_owned());
-        programs.push(program);
+        push(entry, &path)?;
+    }
+    Ok(())
+}
+
+/// `--profile` for `dda batch`: replay the batch through a serial
+/// analyzer (same analyzer configuration and warm start as the engine's
+/// workers) with a [`SpanRecorder`] attached. The replay is what makes
+/// the span hierarchy deterministic — engine waves interleave pairs
+/// across threads, while the serial replay produces the same verdicts
+/// (pinned by the engine's equivalence proptests) with stable nesting.
+fn profile_batch(opts: &Options, files: &[String], programs: &[Program]) -> Result<(), String> {
+    let dir = opts.profile.as_deref().expect("caller checked --profile");
+    let config = check_engine_config(opts).effective_analyzer_config();
+    let mut analyzer = DependenceAnalyzer::with_config(config);
+    if let Some(path) = &opts.memo_load {
+        analyzer
+            .load_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let mut spans = SpanRecorder::new();
+    for (file, program) in files.iter().zip(programs) {
+        spans.begin_program(file);
+        analyzer.analyze_program_probed(program, &mut spans);
+    }
+    spans.finish();
+    write_profile_dir(dir, &spans)
+}
+
+/// `dda batch`: analyze every program from the inputs with the parallel
+/// engine and emit one JSON report per line, in input order.
+fn run_batch(opts: &Options) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut programs = Vec::new();
+    load_batch_input(opts, &opts.file, &mut files, &mut programs)?;
+    for input in &opts.extra_files {
+        load_batch_input(opts, input, &mut files, &mut programs)?;
     }
 
     let mut engine = Engine::with_config(check_engine_config(opts));
@@ -603,6 +739,18 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         eprintln!("stage times: {}", engine.stage_timings());
     }
 
+    if let Some(format) = opts.metrics {
+        let memo = engine.memo();
+        let snapshot = MetricsSnapshot::from_registry(engine.metrics())
+            .with_pairs(engine.stats())
+            .with_memo_table("full", memo.full.counters(), memo.full.shard_ops())
+            .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops());
+        emit_metrics(format, &snapshot);
+    }
+    if opts.profile.is_some() {
+        profile_batch(opts, &files, &programs)?;
+    }
+
     if let Some(path) = &opts.memo_save {
         engine
             .save_memo_file(path)
@@ -630,23 +778,32 @@ fn run(opts: &Options) -> Result<(), String> {
             .load_memo_file(path)
             .map_err(|e| format!("{path}: {e}"))?;
     }
-    // One analysis, three observation modes: recording (--trace), timing
-    // (--stats), or the zero-cost null probe. Answers are identical in all
-    // three — the probe only watches.
+    // One analysis, observed as needed. When any consumer of the event
+    // stream is active (--trace, --metrics, --profile), record the events
+    // once and replay them into every sink; --stats alone uses the cheap
+    // timing probe, and otherwise the zero-cost null probe runs. Answers
+    // are identical in all modes — the probe only watches (pinned by the
+    // determinism proptests in tests/obs.rs).
+    let record_events = opts.trace || opts.metrics.is_some() || opts.profile.is_some();
     let mut recorder = RecordingProbe::default();
     let mut timer = StatsProbe::default();
-    let report = if opts.trace {
+    let report = if record_events {
         analyzer.analyze_program_probed(&program, &mut recorder)
     } else if opts.stats {
         analyzer.analyze_program_probed(&program, &mut timer)
     } else {
         analyzer.analyze_program(&program)
     };
+    if record_events && opts.stats {
+        for event in &recorder.events {
+            timer.record(event.clone());
+        }
+    }
 
     match opts.command.as_str() {
         "analyze" if opts.trace => {
-            for event in &recorder.events {
-                println!("{}", trace_json_line(event));
+            for (seq, event) in recorder.events.iter().enumerate() {
+                println!("{}", trace_json_line(seq as u64, event));
             }
         }
         "analyze" if opts.explain => {
@@ -743,9 +900,32 @@ fn run(opts: &Options) -> Result<(), String> {
             s.memo_queries,
             s.direction_vectors_found
         );
-        if !opts.trace {
-            println!("stage times: {}", timer.timings);
+        println!("stage times: {}", timer.timings);
+    }
+
+    if let Some(format) = opts.metrics {
+        // Replay the recorded events into the registry, then join it with
+        // the authoritative stats and the analyzer's own memo counters
+        // (no shard spread: the serial tables are unsharded).
+        let registry = MetricsRegistry::new();
+        let mut probe = MetricsProbe::new(&registry);
+        for event in &recorder.events {
+            probe.record(event.clone());
         }
+        let snapshot = MetricsSnapshot::from_registry(&registry)
+            .with_pairs(&report.stats)
+            .with_memo_table("full", analyzer.full_memo_counters(), Vec::new())
+            .with_memo_table("gcd", analyzer.gcd_memo_counters(), Vec::new());
+        emit_metrics(format, &snapshot);
+    }
+    if let Some(dir) = &opts.profile {
+        let mut spans = SpanRecorder::new();
+        spans.begin_program(&opts.file);
+        for event in &recorder.events {
+            spans.record(event.clone());
+        }
+        spans.finish();
+        write_profile_dir(dir, &spans)?;
     }
 
     if let Some(path) = &opts.memo_save {

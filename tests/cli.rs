@@ -220,17 +220,20 @@ fn trace_emits_jsonl_event_stream() {
     );
     assert!(ok);
     let normalized: Vec<String> = stdout.lines().map(normalize_nanos).collect();
+    // `seq` is a monotonic event index; there are deliberately no
+    // wall-clock timestamps, so the stream is byte-stable run to run
+    // (modulo the measured `nanos` durations normalized away here).
     let expected = [
-        r#"{"event":"pair_started","array":"a","a":0,"b":1,"common":1}"#,
-        r#"{"event":"classified","kind":"problem","vars":2,"equations":1,"bounds":4}"#,
-        r#"{"event":"gcd","verdict":"lattice","cached":false,"nanos":0}"#,
-        r#"{"event":"reduced","free_vars":1,"system":["-t0 <= -2","t0 <= 11","-t0 <= -1","t0 <= 10"]}"#,
-        r#"{"event":"stage_entered","test":"svpc","vars":1,"constraints":4,"bounded":0}"#,
-        r#"{"event":"stage","test":"svpc","verdict":"dependent","nanos":0}"#,
-        r#"{"event":"witness","x":[1,2]}"#,
-        r#"{"event":"refinement_started"}"#,
-        r#"{"event":"directions","vectors":["(<)"],"distance":"(1)","tests":0,"exact":true,"nanos":0}"#,
-        r#"{"event":"pair_finished","answer":"dependent","by":"SVPC","cached":false}"#,
+        r#"{"seq":0,"event":"pair_started","array":"a","a":0,"b":1,"common":1}"#,
+        r#"{"seq":1,"event":"classified","kind":"problem","vars":2,"equations":1,"bounds":4}"#,
+        r#"{"seq":2,"event":"gcd","verdict":"lattice","cached":false,"nanos":0}"#,
+        r#"{"seq":3,"event":"reduced","free_vars":1,"system":["-t0 <= -2","t0 <= 11","-t0 <= -1","t0 <= 10"]}"#,
+        r#"{"seq":4,"event":"stage_entered","test":"svpc","vars":1,"constraints":4,"bounded":0}"#,
+        r#"{"seq":5,"event":"stage","test":"svpc","verdict":"dependent","nanos":0}"#,
+        r#"{"seq":6,"event":"witness","x":[1,2]}"#,
+        r#"{"seq":7,"event":"refinement_started"}"#,
+        r#"{"seq":8,"event":"directions","vectors":["(<)"],"distance":"(1)","tests":0,"exact":true,"nanos":0}"#,
+        r#"{"seq":9,"event":"pair_finished","answer":"dependent","by":"SVPC","cached":false}"#,
     ];
     assert_eq!(normalized, expected, "full stream:\n{stdout}");
 }
