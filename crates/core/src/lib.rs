@@ -73,7 +73,7 @@ pub use analyzer::{
     AnalyzerConfig, CachedOutcome, DependenceAnalyzer, MemoMode, PairReport, ProgramReport,
 };
 pub use certificate::Certificate;
-pub use memo::{MemoCounters, ShardedMemoTable, SharedMemo};
+pub use memo::{MemoCounters, MemoWeight, ShardedMemoTable, SharedMemo};
 pub use pipeline::{
     run_pipeline, NullProbe, PipelineConfig, Probe, RecordingProbe, StatsProbe, TraceEvent,
 };

@@ -19,7 +19,7 @@
 //! "chosen so that symmetrical or partially symmetrical references would
 //! not collide"; equality on the full key vector resolves the rest.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -317,6 +317,52 @@ pub fn bounds_key(problem: &DependenceProblem, improved: bool) -> CanonicalKey {
     }
 }
 
+/// Estimated resident size of a memo value, used by the byte-capped
+/// eviction policy of [`ShardedMemoTable`] and the byte accounting of
+/// [`MemoTable`].
+///
+/// Weights are *estimates* of heap plus inline size, not allocator
+/// truth: the point is a stable, deterministic measure so a byte cap
+/// evicts roughly the right number of entries on every platform. All
+/// memoized value types (and the primitives used in tests) implement
+/// this.
+pub trait MemoWeight {
+    /// Approximate size of this value in bytes.
+    fn weight_bytes(&self) -> u64;
+}
+
+macro_rules! primitive_weight {
+    ($($t:ty),* $(,)?) => {
+        $(impl MemoWeight for $t {
+            fn weight_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+
+primitive_weight!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Estimated bytes of a `Vec<i64>`: header plus elements.
+#[must_use]
+pub fn vec_i64_bytes(v: &[i64]) -> u64 {
+    VEC_HEADER_BYTES + 8 * v.len() as u64
+}
+
+/// Size of a `Vec` header (pointer, length, capacity).
+pub(crate) const VEC_HEADER_BYTES: u64 = 24;
+
+/// Fixed per-entry bookkeeping charge: hash-map slot, eviction-queue
+/// slot, and entry metadata. An estimate, like [`MemoWeight`] itself.
+const ENTRY_OVERHEAD_BYTES: u64 = 64;
+
+/// Estimated bytes held by a stored key. The key vector is kept twice
+/// under eviction (map slot and ring slot); the overhead constant
+/// absorbs the second header.
+fn key_bytes(key: &MemoKey) -> u64 {
+    2 * vec_i64_bytes(&key.0)
+}
+
 /// A point-in-time read of one memo table's traffic counters, shared by
 /// [`MemoTable`] and [`ShardedMemoTable`] so observability code can
 /// treat serial and sharded tables uniformly.
@@ -330,6 +376,12 @@ pub struct MemoCounters {
     pub warm_loads: u64,
     /// Distinct entries currently stored.
     pub entries: u64,
+    /// Estimated bytes held by stored entries (see [`MemoWeight`]).
+    pub bytes: u64,
+    /// Entries evicted to stay under the byte capacity.
+    pub evictions: u64,
+    /// Byte capacity (0 = unbounded).
+    pub capacity_bytes: u64,
 }
 
 impl MemoCounters {
@@ -340,13 +392,14 @@ impl MemoCounters {
     }
 }
 
-/// A memo table with hit/miss accounting.
+/// A memo table with hit/miss and byte accounting.
 #[derive(Debug, Clone)]
 pub struct MemoTable<V> {
     map: HashMap<MemoKey, V, PaperHashBuilder>,
     queries: u64,
     hits: u64,
     warm_loads: u64,
+    bytes: u64,
 }
 
 impl<V> Default for MemoTable<V> {
@@ -364,6 +417,7 @@ impl<V> MemoTable<V> {
             queries: 0,
             hits: 0,
             warm_loads: 0,
+            bytes: 0,
         }
     }
 
@@ -378,8 +432,15 @@ impl<V> MemoTable<V> {
     }
 
     /// Inserts a computed result.
-    pub fn insert(&mut self, key: MemoKey, value: V) {
-        self.map.insert(key, value);
+    pub fn insert(&mut self, key: MemoKey, value: V)
+    where
+        V: MemoWeight,
+    {
+        let kb = key_bytes(&key);
+        self.bytes += kb + value.weight_bytes() + ENTRY_OVERHEAD_BYTES;
+        if let Some(old) = self.map.insert(key, value) {
+            self.bytes -= kb + old.weight_bytes() + ENTRY_OVERHEAD_BYTES;
+        }
     }
 
     /// Inserts an entry loaded from a persisted memo file, counting it
@@ -387,9 +448,12 @@ impl<V> MemoTable<V> {
     /// the extra counter only feeds telemetry.
     ///
     /// [`insert`]: MemoTable::insert
-    pub fn insert_warm(&mut self, key: MemoKey, value: V) {
+    pub fn insert_warm(&mut self, key: MemoKey, value: V)
+    where
+        V: MemoWeight,
+    {
         self.warm_loads += 1;
-        self.map.insert(key, value);
+        self.insert(key, value);
     }
 
     /// Number of lookups performed.
@@ -416,7 +480,14 @@ impl<V> MemoTable<V> {
         self.map.len()
     }
 
-    /// All traffic counters in one read.
+    /// Estimated bytes held by stored entries.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// All traffic counters in one read. The serial table is unbounded
+    /// (no eviction), so `evictions` and `capacity_bytes` are zero.
     #[must_use]
     pub fn counters(&self) -> MemoCounters {
         MemoCounters {
@@ -424,6 +495,9 @@ impl<V> MemoTable<V> {
             hits: self.hits,
             warm_loads: self.warm_loads,
             entries: self.map.len() as u64,
+            bytes: self.bytes,
+            evictions: 0,
+            capacity_bytes: 0,
         }
     }
 
@@ -438,7 +512,42 @@ impl<V> MemoTable<V> {
         self.queries = 0;
         self.hits = 0;
         self.warm_loads = 0;
+        self.bytes = 0;
     }
+}
+
+/// One mutex-guarded shard: the entry map plus the second-chance ring
+/// and byte accounting that back the eviction policy.
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<MemoKey, Entry<V>, PaperHashBuilder>,
+    /// Second-chance (CLOCK) ring: keys in insertion order. The "hand"
+    /// is the front; [`Entry::referenced`] is the chance bit.
+    ring: VecDeque<MemoKey>,
+    /// Estimated bytes held by this shard's entries.
+    bytes: u64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Shard<V> {
+        Shard {
+            map: HashMap::with_hasher(PaperHashBuilder),
+            ring: VecDeque::new(),
+            bytes: 0,
+        }
+    }
+}
+
+/// A stored value plus the bookkeeping eviction needs.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Estimated bytes (key, value, and fixed overhead), frozen at
+    /// insert so removal subtracts exactly what insertion added.
+    weight: u64,
+    /// Second-chance bit: set by [`ShardedMemoTable::get`], cleared
+    /// when the eviction hand passes over the entry.
+    referenced: bool,
 }
 
 /// A concurrent memo table: `N` mutex-guarded shards, with the shard
@@ -451,13 +560,30 @@ impl<V> MemoTable<V> {
 /// (one consult per distinct key per batch in the engine), which is a
 /// different notion from the serial-equivalent per-pair accounting in
 /// [`AnalysisStats`](crate::stats::AnalysisStats).
+///
+/// # Bounded capacity
+///
+/// [`with_capacity`](ShardedMemoTable::with_capacity) caps the table's
+/// estimated byte footprint. The budget is split evenly across shards
+/// and each shard enforces its slice with a second-chance (CLOCK)
+/// policy: entries sit in an insertion-ordered ring with a referenced
+/// bit set on every hit; when an insert pushes the shard over budget,
+/// the hand sweeps from the oldest entry, giving referenced entries one
+/// more lap and evicting unreferenced ones until the shard fits.
+/// Eviction only ever discards cached work — an evicted problem is
+/// simply recomputed on its next appearance, so verdicts are unchanged.
 #[derive(Debug)]
 pub struct ShardedMemoTable<V> {
-    shards: Vec<Mutex<HashMap<MemoKey, V, PaperHashBuilder>>>,
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Per-shard byte budget (0 = unbounded).
+    shard_budget: u64,
+    /// Whole-table byte capacity as requested (0 = unbounded).
+    capacity_bytes: u64,
     queries: AtomicU64,
     hits: AtomicU64,
     inserts: AtomicU64,
     warm_loads: AtomicU64,
+    evictions: AtomicU64,
     /// Per-shard operation counts (gets + inserts that touched the
     /// shard's lock) — the contention signal for telemetry. Bumped only
     /// on the hot paths, never by snapshots or entry counts.
@@ -465,18 +591,34 @@ pub struct ShardedMemoTable<V> {
 }
 
 impl<V> ShardedMemoTable<V> {
-    /// Creates a table with `shards` shards (clamped to at least 1).
+    /// Creates an unbounded table with `shards` shards (clamped to at
+    /// least 1).
     #[must_use]
     pub fn new(shards: usize) -> ShardedMemoTable<V> {
+        ShardedMemoTable::with_capacity(shards, 0)
+    }
+
+    /// Creates a table capped at roughly `max_bytes` estimated bytes
+    /// (0 = unbounded). The cap is split evenly across shards, so a
+    /// pathologically skewed key distribution can under-fill the table,
+    /// but the paper hash plus avalanche mix spreads keys well in
+    /// practice.
+    #[must_use]
+    pub fn with_capacity(shards: usize, max_bytes: u64) -> ShardedMemoTable<V> {
         let n = shards.max(1);
         ShardedMemoTable {
-            shards: (0..n)
-                .map(|_| Mutex::new(HashMap::with_hasher(PaperHashBuilder)))
-                .collect(),
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: if max_bytes == 0 {
+                0
+            } else {
+                max_bytes.div_ceil(n as u64)
+            },
+            capacity_bytes: max_bytes,
             queries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             warm_loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             shard_ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -485,6 +627,12 @@ impl<V> ShardedMemoTable<V> {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The configured byte capacity (0 = unbounded).
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
     }
 
     /// Shard index for a key: the paper hash, finalized through an
@@ -500,22 +648,27 @@ impl<V> ShardedMemoTable<V> {
     }
 
     /// Locks the shard for `key`, counting the operation against it.
-    fn shard(
-        &self,
-        key: &MemoKey,
-    ) -> std::sync::MutexGuard<'_, HashMap<MemoKey, V, PaperHashBuilder>> {
+    fn shard(&self, key: &MemoKey) -> std::sync::MutexGuard<'_, Shard<V>> {
         let idx = self.shard_of(key);
         self.shard_ops[idx].fetch_add(1, Ordering::Relaxed);
         self.shards[idx].lock().expect("memo shard poisoned")
     }
 
-    /// Looks up a key, counting the query (and the hit) atomically.
+    /// Looks up a key, counting the query (and the hit) atomically. A
+    /// hit sets the entry's second-chance bit, shielding it from the
+    /// next eviction sweep.
     pub fn get(&self, key: &MemoKey) -> Option<V>
     where
         V: Clone,
     {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let hit = self.shard(key).get(key).cloned();
+        let hit = {
+            let mut shard = self.shard(key);
+            shard.map.get_mut(key).map(|e| {
+                e.referenced = true;
+                e.value.clone()
+            })
+        };
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -523,15 +676,64 @@ impl<V> ShardedMemoTable<V> {
     }
 
     /// Inserts a computed result (last writer wins on collision; values
-    /// for equal keys are identical by construction, so order is moot).
-    pub fn insert(&self, key: MemoKey, value: V) {
+    /// for equal keys are identical by construction, so order is moot),
+    /// then evicts via second chance until the shard fits its budget.
+    pub fn insert(&self, key: MemoKey, value: V)
+    where
+        V: MemoWeight,
+    {
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.shard(&key).insert(key, value);
+        let weight = key_bytes(&key) + value.weight_bytes() + ENTRY_OVERHEAD_BYTES;
+        let entry = Entry {
+            value,
+            weight,
+            referenced: false,
+        };
+        let mut shard = self.shard(&key);
+        match shard.map.insert(key.clone(), entry) {
+            Some(old) => shard.bytes = shard.bytes - old.weight + weight,
+            None => {
+                shard.bytes += weight;
+                shard.ring.push_back(key);
+            }
+        }
+        if self.shard_budget > 0 {
+            let mut evicted = 0u64;
+            while shard.bytes > self.shard_budget {
+                let Some(hand) = shard.ring.pop_front() else {
+                    break;
+                };
+                match shard.map.get_mut(&hand) {
+                    Some(e) if e.referenced => {
+                        // Second chance: clear the bit, move the entry
+                        // behind the hand. The sweep still terminates —
+                        // each pass clears bits, and an empty map means
+                        // bytes == 0 <= budget.
+                        e.referenced = false;
+                        shard.ring.push_back(hand);
+                    }
+                    Some(_) => {
+                        let e = shard.map.remove(&hand).expect("entry present");
+                        shard.bytes -= e.weight;
+                        evicted += 1;
+                    }
+                    // Ring slots always have a live entry today; guard
+                    // so a future removal path cannot wedge the sweep.
+                    None => {}
+                }
+            }
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Inserts an entry loaded from a persisted memo file, counting it
     /// as a warm-start load on top of the regular insert accounting.
-    pub fn insert_warm(&self, key: MemoKey, value: V) {
+    pub fn insert_warm(&self, key: MemoKey, value: V)
+    where
+        V: MemoWeight,
+    {
         self.warm_loads.fetch_add(1, Ordering::Relaxed);
         self.insert(key, value);
     }
@@ -541,7 +743,16 @@ impl<V> ShardedMemoTable<V> {
     pub fn unique_entries(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Estimated bytes held across all shards.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").bytes)
             .sum()
     }
 
@@ -575,6 +786,12 @@ impl<V> ShardedMemoTable<V> {
         self.warm_loads.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to stay under the byte capacity.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Per-shard operation counts (gets + inserts), indexed by shard.
     /// Their sum always equals `queries() + inserts()`.
     #[must_use]
@@ -593,18 +810,25 @@ impl<V> ShardedMemoTable<V> {
             hits: self.hits(),
             warm_loads: self.warm_loads(),
             entries: self.unique_entries() as u64,
+            bytes: self.bytes(),
+            evictions: self.evictions(),
+            capacity_bytes: self.capacity_bytes,
         }
     }
 
-    /// Clears contents and counters.
+    /// Clears contents and counters (the configured capacity stays).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("memo shard poisoned").clear();
+            let mut shard = s.lock().expect("memo shard poisoned");
+            shard.map.clear();
+            shard.ring.clear();
+            shard.bytes = 0;
         }
         self.queries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.inserts.store(0, Ordering::Relaxed);
         self.warm_loads.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
         for c in &self.shard_ops {
             c.store(0, Ordering::Relaxed);
         }
@@ -623,8 +847,9 @@ impl<V> ShardedMemoTable<V> {
             .flat_map(|s| {
                 s.lock()
                     .expect("memo shard poisoned")
+                    .map
                     .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .map(|(k, e)| (k.clone(), e.value.clone()))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -648,19 +873,149 @@ pub struct SharedMemo {
 }
 
 impl SharedMemo {
-    /// Creates empty tables with `shards` shards each.
+    /// Creates empty unbounded tables with `shards` shards each.
     #[must_use]
     pub fn new(shards: usize) -> SharedMemo {
+        SharedMemo::with_capacity(shards, 0)
+    }
+
+    /// Creates empty tables capped at roughly `max_bytes` estimated
+    /// bytes combined (0 = unbounded). The budget is split evenly
+    /// between the full-result and GCD tables.
+    #[must_use]
+    pub fn with_capacity(shards: usize, max_bytes: u64) -> SharedMemo {
+        let half = max_bytes / 2;
         SharedMemo {
-            full: ShardedMemoTable::new(shards),
-            gcd: ShardedMemoTable::new(shards),
+            full: ShardedMemoTable::with_capacity(shards, half),
+            gcd: ShardedMemoTable::with_capacity(shards, max_bytes - half),
         }
+    }
+
+    /// Combined byte capacity of both tables (0 = unbounded).
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.full.capacity_bytes() + self.gcd.capacity_bytes()
+    }
+
+    /// Combined estimated bytes held by both tables.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.full.bytes() + self.gcd.bytes()
+    }
+
+    /// Combined evictions across both tables.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.full.evictions() + self.gcd.evictions()
     }
 
     /// Clears both tables.
     pub fn clear(&self) {
         self.full.clear();
         self.gcd.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Weights of the values the engine actually memoizes. All estimates
+// (see [`MemoWeight`]): fixed charges for enum discriminants and small
+// scalars, header + elements for vectors, recursion for proof trees.
+
+fn matrix_bytes(m: &dda_linalg::Matrix) -> u64 {
+    16 + VEC_HEADER_BYTES + 8 * (m.rows() * m.cols()) as u64
+}
+
+fn rule_bytes(r: &crate::certificate::Rule) -> u64 {
+    match r {
+        crate::certificate::Rule::Premise { coeffs, .. } => 40 + vec_i64_bytes(coeffs),
+        crate::certificate::Rule::Comb { .. } | crate::certificate::Rule::Div { .. } => 40,
+    }
+}
+
+fn derivation_bytes(d: &crate::certificate::Derivation) -> u64 {
+    VEC_HEADER_BYTES + 8 + d.rules.iter().map(rule_bytes).sum::<u64>()
+}
+
+fn fm_tree_bytes(t: &crate::certificate::FmTree) -> u64 {
+    match t {
+        crate::certificate::FmTree::Sealed(d) => 8 + derivation_bytes(d),
+        crate::certificate::FmTree::Split { left, right, .. } => {
+            40 + fm_tree_bytes(left) + fm_tree_bytes(right)
+        }
+    }
+}
+
+fn refutation_bytes(r: &crate::certificate::SystemRefutation) -> u64 {
+    let arena = VEC_HEADER_BYTES + r.arena.iter().map(rule_bytes).sum::<u64>();
+    let proof = match &r.proof {
+        crate::certificate::RefProof::Arena { .. } => 16,
+        crate::certificate::RefProof::Fm { tree } => 8 + fm_tree_bytes(tree),
+    };
+    arena + proof
+}
+
+fn dir_tree_bytes(t: &crate::certificate::DirTree) -> u64 {
+    match t {
+        crate::certificate::DirTree::Refuted(r) => 8 + refutation_bytes(r),
+        crate::certificate::DirTree::Split { lt, eq, gt, .. } => {
+            40 + dir_tree_bytes(lt) + dir_tree_bytes(eq) + dir_tree_bytes(gt)
+        }
+    }
+}
+
+impl MemoWeight for crate::certificate::Certificate {
+    fn weight_bytes(&self) -> u64 {
+        use crate::certificate::Certificate as C;
+        match self {
+            C::Conservative | C::Unverified | C::ConstantsEqual | C::ConstantsDiffer => 8,
+            C::Witness { x } => 8 + vec_i64_bytes(x),
+            C::GcdRefutation { numer, .. } => 16 + vec_i64_bytes(numer),
+            C::Refuted {
+                particular,
+                basis,
+                refutation,
+            } => 8 + vec_i64_bytes(particular) + matrix_bytes(basis) + refutation_bytes(refutation),
+            C::DirectionsExhausted {
+                particular,
+                basis,
+                tree,
+            } => 8 + vec_i64_bytes(particular) + matrix_bytes(basis) + dir_tree_bytes(tree),
+        }
+    }
+}
+
+impl MemoWeight for crate::gcd::EqOutcome {
+    fn weight_bytes(&self) -> u64 {
+        match self {
+            crate::gcd::EqOutcome::Independent { refutation } => {
+                8 + refutation
+                    .as_ref()
+                    .map_or(0, |(numer, _)| 8 + vec_i64_bytes(numer))
+            }
+            crate::gcd::EqOutcome::Lattice(l) => {
+                8 + vec_i64_bytes(&l.particular) + matrix_bytes(&l.basis)
+            }
+        }
+    }
+}
+
+impl MemoWeight for crate::analyzer::CachedOutcome {
+    fn weight_bytes(&self) -> u64 {
+        let result = 16
+            + match &self.result.answer {
+                crate::result::Answer::Dependent(Some(w)) => vec_i64_bytes(w),
+                _ => 0,
+            };
+        let witness = self.witness.as_ref().map_or(0, |w| vec_i64_bytes(w));
+        // One byte per direction component, 16 per optional distance.
+        let directions = VEC_HEADER_BYTES
+            + self
+                .direction_vectors
+                .iter()
+                .map(|d| VEC_HEADER_BYTES + d.0.len() as u64)
+                .sum::<u64>();
+        let distance = VEC_HEADER_BYTES + 16 * self.distance.0.len() as u64;
+        result + witness + directions + distance + self.certificate.weight_bytes()
     }
 }
 
@@ -906,8 +1261,12 @@ mod tests {
                 hits: 2,
                 warm_loads: 1,
                 entries: 2,
+                bytes: t.bytes(),
+                evictions: 0,
+                capacity_bytes: 0,
             }
         );
+        assert!(c.bytes > 0, "stored entries must be accounted");
         assert_eq!(c.misses(), 2);
         t.clear();
         assert_eq!(t.counters(), MemoCounters::default());
@@ -931,8 +1290,12 @@ mod tests {
                 hits: 2,
                 warm_loads: 1,
                 entries: 2,
+                bytes: t.bytes(),
+                evictions: 0,
+                capacity_bytes: 0,
             }
         );
+        assert!(c.bytes > 0, "stored entries must be accounted");
         assert_eq!(t.inserts(), 2);
         // Shard ops count exactly the gets + inserts, per shard.
         let ops = t.shard_ops();
@@ -941,6 +1304,118 @@ mod tests {
         t.clear();
         assert_eq!(t.counters(), MemoCounters::default());
         assert_eq!(t.shard_ops(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_and_replacements() {
+        let mut t: MemoTable<u32> = MemoTable::new();
+        assert_eq!(t.bytes(), 0);
+        t.insert(MemoKey(vec![1, 2]), 5);
+        let one = t.bytes();
+        assert!(one > 0);
+        // Replacing the same key must not grow the accounting.
+        t.insert(MemoKey(vec![1, 2]), 9);
+        assert_eq!(t.bytes(), one);
+        t.insert(MemoKey(vec![3]), 1);
+        assert!(t.bytes() > one);
+        t.clear();
+        assert_eq!(t.bytes(), 0);
+    }
+
+    #[test]
+    fn capped_table_evicts_to_budget() {
+        // One shard so the budget math is exact. Each u32 entry with a
+        // one-element key weighs the same; cap the table to roughly
+        // three entries and insert ten.
+        let probe: ShardedMemoTable<u32> = ShardedMemoTable::new(1);
+        probe.insert(MemoKey(vec![0]), 0);
+        let per_entry = probe.bytes();
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::with_capacity(1, 3 * per_entry);
+        for i in 0..10 {
+            t.insert(MemoKey(vec![i]), i as u32);
+        }
+        assert!(t.bytes() <= 3 * per_entry, "byte cap enforced");
+        assert_eq!(t.unique_entries(), 3);
+        assert_eq!(t.evictions(), 7);
+        assert_eq!(t.counters().capacity_bytes, 3 * per_entry);
+        // The survivors are the most recent inserts (nothing was read,
+        // so no second chances were granted).
+        for i in 7..10 {
+            assert_eq!(t.get(&MemoKey(vec![i])), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn second_chance_shields_referenced_entries() {
+        let probe: ShardedMemoTable<u32> = ShardedMemoTable::new(1);
+        probe.insert(MemoKey(vec![0]), 0);
+        let per_entry = probe.bytes();
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::with_capacity(1, 3 * per_entry);
+        t.insert(MemoKey(vec![1]), 1);
+        t.insert(MemoKey(vec![2]), 2);
+        t.insert(MemoKey(vec![3]), 3);
+        // Touch the oldest entry: the hit sets its chance bit.
+        assert_eq!(t.get(&MemoKey(vec![1])), Some(1));
+        // The next insert overflows the budget. Without second chance
+        // key [1] (the oldest) would go; with it, [2] goes instead.
+        t.insert(MemoKey(vec![4]), 4);
+        assert_eq!(t.get(&MemoKey(vec![1])), Some(1), "referenced entry kept");
+        assert!(
+            t.get(&MemoKey(vec![2])).is_none(),
+            "unreferenced oldest evicted"
+        );
+        assert_eq!(t.unique_entries(), 3);
+    }
+
+    #[test]
+    fn oversized_entry_does_not_wedge_the_sweep() {
+        // A single entry larger than the whole budget is evicted right
+        // after insertion; the sweep terminates and the table stays
+        // usable.
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::with_capacity(1, 8);
+        t.insert(MemoKey(vec![1, 2, 3, 4, 5, 6, 7, 8]), 1);
+        assert_eq!(t.unique_entries(), 0);
+        assert!(t.evictions() >= 1);
+        t.insert(MemoKey(vec![9]), 2);
+        assert_eq!(t.unique_entries(), 0, "still over budget, still evicts");
+    }
+
+    #[test]
+    fn eviction_forces_recompute_not_wrong_answers() {
+        // The memo contract under eviction: a missing entry means the
+        // caller recomputes, and recomputation yields the same value
+        // (values are pure functions of keys). Model that here: evict,
+        // re-insert the recomputed value, and observe the same reads.
+        let probe: ShardedMemoTable<u32> = ShardedMemoTable::new(1);
+        probe.insert(MemoKey(vec![0]), 0);
+        let per_entry = probe.bytes();
+        let value_of = |k: i64| (k * k) as u32;
+        let t: ShardedMemoTable<u32> = ShardedMemoTable::with_capacity(1, 2 * per_entry);
+        for round in 0..3 {
+            for k in 0..6i64 {
+                let key = MemoKey(vec![k]);
+                let got = match t.get(&key) {
+                    Some(v) => v,
+                    None => {
+                        let v = value_of(k);
+                        t.insert(key, v);
+                        v
+                    }
+                };
+                assert_eq!(got, value_of(k), "round {round} key {k}");
+            }
+        }
+        assert!(t.evictions() > 0, "the cap must actually have bitten");
+    }
+
+    #[test]
+    fn shared_memo_capacity_splits_between_tables() {
+        let m = SharedMemo::with_capacity(2, 1001);
+        assert_eq!(m.capacity_bytes(), 1001);
+        assert_eq!(m.full.capacity_bytes(), 500);
+        assert_eq!(m.gcd.capacity_bytes(), 501);
+        let unbounded = SharedMemo::new(2);
+        assert_eq!(unbounded.capacity_bytes(), 0);
     }
 
     #[test]

@@ -22,6 +22,26 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
+/// Writes `contents` to `path` crash-safely: the bytes go to a
+/// temporary file in the same directory (same filesystem, so the final
+/// step is a true rename) and are atomically renamed over the target.
+/// A process killed mid-write leaves either the old file or a stray
+/// `.tmp` — never a truncated memo.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no half-written temp file behind on failure.
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 use dda_linalg::Matrix;
 
 use crate::analyzer::{CachedOutcome, DependenceAnalyzer};
@@ -703,13 +723,15 @@ impl DependenceAnalyzer {
         Ok(())
     }
 
-    /// Writes [`export_memo`](Self::export_memo) to a file.
+    /// Writes [`export_memo`](Self::export_memo) to a file atomically
+    /// (temp file in the same directory plus rename), so an interrupted
+    /// save never corrupts an existing memo.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        fs::write(path, self.export_memo())
+        write_atomic(path.as_ref(), &self.export_memo())
     }
 
     /// Reads a file into the memo tables (see
@@ -783,13 +805,15 @@ impl SharedMemo {
         Ok(())
     }
 
-    /// Writes [`export_memo`](Self::export_memo) to a file.
+    /// Writes [`export_memo`](Self::export_memo) to a file atomically
+    /// (temp file in the same directory plus rename), so a killed
+    /// server or batch run never corrupts an existing memo.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        fs::write(path, self.export_memo())
+        write_atomic(path.as_ref(), &self.export_memo())
     }
 
     /// Reads a file into the sharded tables (see
@@ -1044,6 +1068,63 @@ mod tests {
         let mut fresh = DependenceAnalyzer::new();
         fresh.load_memo_file(&path).unwrap();
         assert_eq!(fresh.export_memo(), trained.export_memo());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_save_leaves_old_file_intact() {
+        // Simulate a crash mid-save: the temp file exists with a
+        // truncated payload, but the target was never renamed over.
+        // The old memo must load unchanged, and a subsequent complete
+        // save must replace both.
+        let dir = std::env::temp_dir().join("dda_persist_partial_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("memo.txt");
+        let tmp = dir.join("memo.txt.tmp");
+
+        let trained = trained_analyzer();
+        trained.save_memo_file(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+        assert!(!tmp.exists(), "no temp file after save");
+
+        // A partial write dies after a few bytes of the new payload.
+        let partial = &good[..good.len() / 3];
+        std::fs::write(&tmp, partial).unwrap();
+
+        // The old file survives the crash byte-for-byte and still loads.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), good);
+        let mut fresh = DependenceAnalyzer::new();
+        fresh.load_memo_file(&path).unwrap();
+        assert_eq!(fresh.export_memo(), trained.export_memo());
+
+        // The next successful save replaces the target and consumes the
+        // stale temp file.
+        trained.save_memo_file(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), good);
+        assert!(
+            !tmp.exists(),
+            "temp file renamed away by the completed save"
+        );
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn sharded_save_is_atomic_too() {
+        let dir = std::env::temp_dir().join("dda_persist_sharded_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("memo.txt");
+        let memo = SharedMemo::new(2);
+        memo.import_memo(&trained_analyzer().export_memo()).unwrap();
+        memo.save_memo_file(&path).unwrap();
+        assert!(
+            !dir.join("memo.txt.tmp").exists(),
+            "no temp file left behind"
+        );
+        let fresh = SharedMemo::new(2);
+        fresh.load_memo_file(&path).unwrap();
+        assert_eq!(fresh.export_memo(), memo.export_memo());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -64,7 +64,7 @@ mod pool;
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dda_check::{check_pair, CheckOutcome};
 use dda_core::gcd::{
@@ -170,6 +170,63 @@ impl EngineConfig {
     }
 }
 
+/// A wall-clock cancellation point threaded through the engine's wave
+/// loop. `Deadline::none()` never expires; [`Deadline::after`] expires a
+/// fixed duration from now.
+///
+/// Expiry is checked between waves and before every *leader* solve, so
+/// a timed-out batch returns promptly with partial results: pairs whose
+/// computation was skipped come back as assumed dependences with
+/// [`Certificate::Conservative`](dda_core::Certificate) — sound, just
+/// not exact — and [`BatchOutcome::deadline_exceeded`] reports that it
+/// happened. Cached (warm) values are still used after expiry; only new
+/// computation is cancelled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// A deadline that never expires.
+    #[must_use]
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// Expires `limit` from now.
+    #[must_use]
+    pub fn after(limit: Duration) -> Deadline {
+        Deadline(Some(Instant::now() + limit))
+    }
+
+    /// At a specific instant.
+    #[must_use]
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline(Some(instant))
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+}
+
+/// Everything one [`analyze_batch`] call produced: per-program reports
+/// plus the batch's aggregate accounting, so callers that share one
+/// memo table across requests (the `dda serve` service) can accumulate
+/// engine state without owning an [`Engine`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One report per program, in input order.
+    pub reports: Vec<ProgramReport>,
+    /// Statistics summed over the batch (program enumeration order).
+    pub stats: AnalysisStats,
+    /// Stage wall-time accumulated over the batch.
+    pub timings: StageTimings,
+    /// Whether the deadline expired: some pairs carry conservative
+    /// partial results instead of exact verdicts.
+    pub deadline_exceeded: bool,
+}
+
 /// The parallel batch analyzer.
 ///
 /// Like [`DependenceAnalyzer`](dda_core::DependenceAnalyzer), an engine
@@ -215,6 +272,9 @@ enum GcdRes {
     Skip,
     /// The solve overflowed; dependence is assumed.
     Overflow,
+    /// The deadline expired before this job's solve could run;
+    /// dependence is conservatively assumed (partial result).
+    Cancelled,
     /// Proven independent. `hit` mirrors the serial analyzer's
     /// `gcd_memo_hits` increment for this pair.
     Independent {
@@ -238,6 +298,8 @@ enum GcdRes {
 enum FullRes {
     /// The job never reached the full phase (no lattice).
     NotReached,
+    /// The deadline expired before this job's cascade could run.
+    Cancelled,
     /// Freshly computed (leader, or memoization off).
     Computed {
         report: PairReport,
@@ -412,310 +474,410 @@ impl Engine {
     /// [`EngineConfig::effective_analyzer_config`] and the same warm
     /// state) over the batch, for any worker or shard count.
     pub fn analyze_programs(&mut self, programs: &[Program]) -> Vec<ProgramReport> {
-        let cfg = self.config.effective_analyzer_config();
-        let workers = self.config.effective_workers();
-        let memo_on = cfg.memo != MemoMode::Off;
+        let out = analyze_batch(
+            &self.config,
+            &self.memo,
+            &self.obs,
+            programs,
+            Deadline::none(),
+        );
+        self.stats.add(&out.stats);
+        self.timings.add(&out.timings);
+        out.reports
+    }
+}
 
-        // Flatten the batch into one global job list; each program owns a
-        // contiguous range, so enumeration order is (program, pair).
-        let sets: Vec<_> = programs.iter().map(extract_accesses).collect();
-        let mut jobs: Vec<Job<'_>> = Vec::new();
-        let mut ranges = Vec::with_capacity(programs.len());
-        for set in &sets {
-            let start = jobs.len();
-            for pair in reference_pairs(set, cfg.include_input_deps) {
-                jobs.push(Job {
-                    a: pair.a,
-                    b: pair.b,
-                    common: pair.common,
-                });
-            }
-            ranges.push(start..jobs.len());
+/// Analyzes a batch of programs against an externally owned memo table
+/// and metrics registry — the long-running service entry point.
+///
+/// With [`Deadline::none()`] this is exactly [`Engine::analyze_programs`]
+/// (which delegates here): bit-identical to a serial
+/// [`DependenceAnalyzer`](dda_core::DependenceAnalyzer) with the same
+/// warm state, for any worker or shard count. The difference is
+/// ownership — `memo` and `obs` outlive any engine, so a caller like
+/// `dda serve` keeps one warm [`SharedMemo`] across requests while each
+/// request brings its own config and deadline.
+///
+/// When `deadline` expires mid-batch, remaining computation is skipped:
+/// every affected pair reports `Answer::Unknown`, resolved-by-assumed,
+/// with a `Conservative` certificate (sound, not exact); nothing is
+/// inserted into the memo tables for it and no memo counters are
+/// bumped; [`BatchOutcome::deadline_exceeded`] is set. Warm table
+/// entries still resolve after expiry — only fresh solves are
+/// cancelled. When `config.check` is on, the auto-check is skipped for
+/// deadline-exceeded batches (conservative partials re-analyze to
+/// different, exact answers by design).
+pub fn analyze_batch(
+    config: &EngineConfig,
+    memo: &SharedMemo,
+    obs: &MetricsRegistry,
+    programs: &[Program],
+    deadline: Deadline,
+) -> BatchOutcome {
+    let cfg = config.effective_analyzer_config();
+    let workers = config.effective_workers();
+    let memo_on = cfg.memo != MemoMode::Off;
+
+    // Flatten the batch into one global job list; each program owns a
+    // contiguous range, so enumeration order is (program, pair).
+    let sets: Vec<_> = programs.iter().map(extract_accesses).collect();
+    let mut jobs: Vec<Job<'_>> = Vec::new();
+    let mut ranges = Vec::with_capacity(programs.len());
+    for set in &sets {
+        let start = jobs.len();
+        for pair in reference_pairs(set, cfg.include_input_deps) {
+            jobs.push(Job {
+                a: pair.a,
+                b: pair.b,
+                common: pair.common,
+            });
         }
-
-        // Wave 1: classify every pair (pure).
-        let classified = par_map_obs(&self.obs, workers, &jobs, |_, j| {
-            steps::classify_pair(j.a, j.b, j.common, cfg.symbolic)
-        });
-
-        // Wave 2: extended GCD.
-        let (gcd, gcd_timings) = if memo_on {
-            self.gcd_wave_memo(&cfg, workers, &jobs, &classified)
-        } else {
-            gcd_wave_off(&self.obs, workers, &jobs, &classified)
-        };
-        let mut batch_timings = gcd_timings;
-
-        // Wave 3: full analysis of the surviving (lattice) jobs.
-        let full = if memo_on {
-            self.full_wave_memo(&cfg, workers, &jobs, &classified, &gcd)
-        } else {
-            full_wave_off(&self.obs, &cfg, workers, &jobs, &classified, &gcd)
-        };
-
-        // Wave 4: serial in-order assembly, replaying the serial
-        // analyzer's counting discipline per program.
-        let mut out = Vec::with_capacity(programs.len());
-        let mut gcd_it = gcd.into_iter();
-        let mut full_it = full.into_iter();
-        for range in ranges {
-            let mut delta = AnalysisStats::default();
-            let mut pair_reports = Vec::with_capacity(range.len());
-            for i in range {
-                let job = &jobs[i];
-                let g = gcd_it.next().expect("one GCD outcome per job");
-                let f = full_it.next().expect("one full outcome per job");
-                delta.pairs += 1;
-                let template = steps::pair_template(job.a, job.b, job.common);
-                let report = match &classified[i] {
-                    Classified::Constant { dependent } => {
-                        delta.constant += 1;
-                        steps::constant_report(template, *dependent, cfg.compute_directions)
-                    }
-                    Classified::Unbuildable => {
-                        delta.assumed += 1;
-                        steps::assumed_report(template, cfg.compute_directions)
-                    }
-                    Classified::Problem(p) => {
-                        if memo_on {
-                            delta.gcd_memo_queries += 1;
-                        }
-                        match g {
-                            GcdRes::Skip => {
-                                unreachable!("problem jobs always run the GCD wave")
-                            }
-                            // Overflows are never cached, so they are
-                            // never hits.
-                            GcdRes::Overflow => {
-                                delta.assumed += 1;
-                                template
-                            }
-                            GcdRes::Independent { hit, refutation } => {
-                                if hit {
-                                    delta.gcd_memo_hits += 1;
-                                }
-                                delta.gcd_independent += 1;
-                                let refutation = refutation.or_else(|| refute_equalities(p));
-                                steps::gcd_independent_report(template, refutation)
-                            }
-                            GcdRes::Lattice { hit, .. } => {
-                                if hit {
-                                    delta.gcd_memo_hits += 1;
-                                }
-                                if memo_on {
-                                    delta.memo_queries += 1;
-                                }
-                                match f {
-                                    FullRes::NotReached => {
-                                        unreachable!("lattice jobs always run the full wave")
-                                    }
-                                    FullRes::Computed {
-                                        report,
-                                        fx,
-                                        timings,
-                                    } => {
-                                        fx.apply_to(&mut delta);
-                                        batch_timings.add(&timings);
-                                        report
-                                    }
-                                    FullRes::Cached {
-                                        cached,
-                                        ck,
-                                        flipped,
-                                    } => {
-                                        delta.memo_hits += 1;
-                                        steps::rehydrate_hit(
-                                            cfg.memo, cached, &ck, flipped, template,
-                                        )
-                                    }
-                                }
-                            }
-                        }
-                    }
-                };
-                steps::note_outcome(&mut delta, &report);
-                pair_reports.push(report);
-            }
-            self.stats.add(&delta);
-            out.push(ProgramReport::from_parts(pair_reports, delta));
-        }
-        self.timings.add(&batch_timings);
-        if self.config.check {
-            let summary = self.check_programs(programs, &out);
-            assert!(
-                summary.failures.is_empty(),
-                "certificate check failed: {:?}",
-                summary.failures
-            );
-        }
-        out
+        ranges.push(start..jobs.len());
     }
 
-    /// The memoized GCD wave: parallel key construction, serial leader
-    /// election, parallel leader solves, parallel per-job resolution.
-    fn gcd_wave_memo(
-        &self,
-        cfg: &AnalyzerConfig,
-        workers: usize,
-        jobs: &[Job<'_>],
-        classified: &[Classified],
-    ) -> (Vec<GcdRes>, StageTimings) {
-        let improved = cfg.memo == MemoMode::Improved;
-        let nkeys: Vec<Option<NoBoundsKey>> = par_map_obs(&self.obs, workers, jobs, |i, _| {
-            classified[i].problem().map(|p| nobounds_key(p, improved))
-        });
-        let key_refs: Vec<Option<&MemoKey>> = nkeys
-            .iter()
-            .map(|nk| nk.as_ref().map(|nk| &nk.key))
-            .collect();
-        let plan = elect_leaders(&key_refs, &self.memo.gcd);
+    // Wave 1: classify every pair (pure).
+    let classified = par_map_obs(obs, workers, &jobs, |_, j| {
+        steps::classify_pair(j.a, j.b, j.common, cfg.symbolic)
+    });
 
-        let leader_jobs: Vec<usize> = plan
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
-            .collect();
-        self.obs
-            .record_leader_elections(MemoTableKind::Gcd, leader_jobs.len() as u64);
-        let solved: Vec<(Option<EqOutcome>, u64)> =
-            par_map_obs(&self.obs, workers, &leader_jobs, |_, &i| {
-                let p = classified[i].problem().expect("leaders have a problem");
-                let nk = nkeys[i].as_ref().expect("leaders have a key");
-                let start = Instant::now();
-                let out = solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars);
-                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                (out, nanos)
-            });
-        let mut timings = StageTimings::default();
-        let mut leader_out: HashMap<usize, Option<EqOutcome>> =
-            HashMap::with_capacity(leader_jobs.len());
-        for ((v, nanos), &i) in solved.into_iter().zip(&leader_jobs) {
-            timings.record_gcd(nanos);
-            self.obs
-                .record_gcd(gcd_verdict_of(v.as_ref()), false, nanos);
-            if let Some(v) = &v {
-                // Matches the serial analyzer: overflows are not cached.
-                self.memo.gcd.insert(
-                    nkeys[i].as_ref().expect("leaders have a key").key.clone(),
-                    v.clone(),
-                );
-            }
-            leader_out.insert(i, v);
-        }
+    // Wave 2: extended GCD.
+    let (gcd, gcd_timings) = if memo_on {
+        gcd_wave_memo(obs, memo, &cfg, workers, &jobs, &classified, deadline)
+    } else {
+        gcd_wave_off(obs, workers, &jobs, &classified, deadline)
+    };
+    let mut batch_timings = gcd_timings;
 
-        let res = par_map_obs(&self.obs, workers, jobs, |i, _| {
-            let Some(src) = &plan[i] else {
-                return GcdRes::Skip;
+    // Wave 3: full analysis of the surviving (lattice) jobs.
+    let full = if memo_on {
+        full_wave_memo(obs, memo, &cfg, workers, &jobs, &classified, &gcd, deadline)
+    } else {
+        full_wave_off(obs, &cfg, workers, &jobs, &classified, &gcd, deadline)
+    };
+
+    // Wave 4: serial in-order assembly, replaying the serial
+    // analyzer's counting discipline per program. Cancelled pairs are
+    // handled up front: a bare conservative template, counted as
+    // assumed, with none of the memo accounting a completed visit
+    // would have done.
+    let mut batch_stats = AnalysisStats::default();
+    let mut deadline_exceeded = false;
+    let mut reports = Vec::with_capacity(programs.len());
+    let mut gcd_it = gcd.into_iter();
+    let mut full_it = full.into_iter();
+    for range in ranges {
+        let mut delta = AnalysisStats::default();
+        let mut pair_reports = Vec::with_capacity(range.len());
+        for i in range {
+            let job = &jobs[i];
+            let g = gcd_it.next().expect("one GCD outcome per job");
+            let f = full_it.next().expect("one full outcome per job");
+            delta.pairs += 1;
+            let template = steps::pair_template(job.a, job.b, job.common);
+            let report = match &classified[i] {
+                Classified::Constant { dependent } => {
+                    delta.constant += 1;
+                    steps::constant_report(template, *dependent, cfg.compute_directions)
+                }
+                Classified::Unbuildable => {
+                    delta.assumed += 1;
+                    steps::assumed_report(template, cfg.compute_directions)
+                }
+                Classified::Problem(_)
+                    if matches!(g, GcdRes::Cancelled) || matches!(f, FullRes::Cancelled) =>
+                {
+                    deadline_exceeded = true;
+                    delta.assumed += 1;
+                    template
+                }
+                Classified::Problem(p) => {
+                    if memo_on {
+                        delta.gcd_memo_queries += 1;
+                    }
+                    match g {
+                        GcdRes::Skip => {
+                            unreachable!("problem jobs always run the GCD wave")
+                        }
+                        GcdRes::Cancelled => unreachable!("handled by the guard above"),
+                        // Overflows are never cached, so they are
+                        // never hits.
+                        GcdRes::Overflow => {
+                            delta.assumed += 1;
+                            template
+                        }
+                        GcdRes::Independent { hit, refutation } => {
+                            if hit {
+                                delta.gcd_memo_hits += 1;
+                            }
+                            delta.gcd_independent += 1;
+                            let refutation = refutation.or_else(|| refute_equalities(p));
+                            steps::gcd_independent_report(template, refutation)
+                        }
+                        GcdRes::Lattice { hit, .. } => {
+                            if hit {
+                                delta.gcd_memo_hits += 1;
+                            }
+                            if memo_on {
+                                delta.memo_queries += 1;
+                            }
+                            match f {
+                                FullRes::NotReached => {
+                                    unreachable!("lattice jobs always run the full wave")
+                                }
+                                FullRes::Cancelled => {
+                                    unreachable!("handled by the guard above")
+                                }
+                                FullRes::Computed {
+                                    report,
+                                    fx,
+                                    timings,
+                                } => {
+                                    fx.apply_to(&mut delta);
+                                    batch_timings.add(&timings);
+                                    report
+                                }
+                                FullRes::Cached {
+                                    cached,
+                                    ck,
+                                    flipped,
+                                } => {
+                                    delta.memo_hits += 1;
+                                    steps::rehydrate_hit(cfg.memo, cached, &ck, flipped, template)
+                                }
+                            }
+                        }
+                    }
+                }
             };
-            let (canonical, hit) = match src {
-                Src::Warm(v) => (Some(v.clone()), true),
-                Src::Leader => (leader_out[&i].clone(), false),
-                Src::Share(j) => {
-                    let v = leader_out[j].clone();
+            steps::note_outcome(&mut delta, &report);
+            pair_reports.push(report);
+        }
+        batch_stats.add(&delta);
+        reports.push(ProgramReport::from_parts(pair_reports, delta));
+    }
+    if config.check && !deadline_exceeded {
+        let summary = check_batch(config, obs, programs, &reports);
+        assert!(
+            summary.failures.is_empty(),
+            "certificate check failed: {:?}",
+            summary.failures
+        );
+    }
+    BatchOutcome {
+        reports,
+        stats: batch_stats,
+        timings: batch_timings,
+        deadline_exceeded,
+    }
+}
+
+/// The memoized GCD wave: parallel key construction, serial leader
+/// election, parallel leader solves, parallel per-job resolution. A
+/// leader whose turn comes after `deadline` skips its solve; it and
+/// every job sharing its key resolve to [`GcdRes::Cancelled`].
+#[allow(clippy::too_many_arguments)]
+fn gcd_wave_memo(
+    obs: &MetricsRegistry,
+    memo: &SharedMemo,
+    cfg: &AnalyzerConfig,
+    workers: usize,
+    jobs: &[Job<'_>],
+    classified: &[Classified],
+    deadline: Deadline,
+) -> (Vec<GcdRes>, StageTimings) {
+    let improved = cfg.memo == MemoMode::Improved;
+    let nkeys: Vec<Option<NoBoundsKey>> = par_map_obs(obs, workers, jobs, |i, _| {
+        classified[i].problem().map(|p| nobounds_key(p, improved))
+    });
+    let key_refs: Vec<Option<&MemoKey>> = nkeys
+        .iter()
+        .map(|nk| nk.as_ref().map(|nk| &nk.key))
+        .collect();
+    let plan = elect_leaders(&key_refs, &memo.gcd);
+
+    let leader_jobs: Vec<usize> = plan
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
+        .collect();
+    obs.record_leader_elections(MemoTableKind::Gcd, leader_jobs.len() as u64);
+    let solved: Vec<Option<(Option<EqOutcome>, u64)>> =
+        par_map_obs(obs, workers, &leader_jobs, |_, &i| {
+            if deadline.expired() {
+                return None;
+            }
+            let p = classified[i].problem().expect("leaders have a problem");
+            let nk = nkeys[i].as_ref().expect("leaders have a key");
+            let start = Instant::now();
+            let out = solve_equalities_restricted(&p.eq_coeffs, &p.eq_rhs, &nk.kept_vars);
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            Some((out, nanos))
+        });
+    let mut timings = StageTimings::default();
+    // Leaders absent from the map were cancelled by the deadline.
+    let mut leader_out: HashMap<usize, Option<EqOutcome>> =
+        HashMap::with_capacity(leader_jobs.len());
+    for (slot, &i) in solved.into_iter().zip(&leader_jobs) {
+        let Some((v, nanos)) = slot else {
+            continue;
+        };
+        timings.record_gcd(nanos);
+        obs.record_gcd(gcd_verdict_of(v.as_ref()), false, nanos);
+        if let Some(v) = &v {
+            // Matches the serial analyzer: overflows are not cached.
+            memo.gcd.insert(
+                nkeys[i].as_ref().expect("leaders have a key").key.clone(),
+                v.clone(),
+            );
+        }
+        leader_out.insert(i, v);
+    }
+
+    let res = par_map_obs(obs, workers, jobs, |i, _| {
+        let Some(src) = &plan[i] else {
+            return GcdRes::Skip;
+        };
+        let (canonical, hit) = match src {
+            Src::Warm(v) => (Some(v.clone()), true),
+            Src::Leader => match leader_out.get(&i) {
+                None => return GcdRes::Cancelled,
+                Some(v) => (v.clone(), false),
+            },
+            Src::Share(j) => match leader_out.get(j) {
+                None => return GcdRes::Cancelled,
+                Some(v) => {
                     // The leader's overflow was not inserted, so a serial
                     // run would miss here and recompute the identical
                     // `None`; anything cached is a hit.
                     let hit = v.is_some();
-                    (v, hit)
+                    (v.clone(), hit)
                 }
-            };
-            // Telemetry: non-leader jobs were served without solving
-            // (leaders were recorded when they solved).
-            if !matches!(src, Src::Leader) {
-                self.obs
-                    .record_gcd(gcd_verdict_of(canonical.as_ref()), true, 0);
-            }
-            match canonical {
-                None => GcdRes::Overflow,
-                Some(EqOutcome::Independent { refutation }) => {
-                    let p = classified[i]
-                        .problem()
-                        .expect("memoized jobs have a problem");
-                    let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
-                    GcdRes::Independent {
-                        hit,
-                        refutation: refutation
-                            .and_then(|w| witness_for_problem(p, &nk.kept_vars, &w)),
-                    }
-                }
-                Some(EqOutcome::Lattice(l)) => {
-                    let p = classified[i].problem().expect("lattice implies a problem");
-                    let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
-                    GcdRes::Lattice {
-                        lattice: expand_lattice(&l, &nk.kept_vars, p.num_vars()),
-                        hit,
-                    }
+            },
+        };
+        // Telemetry: non-leader jobs were served without solving
+        // (leaders were recorded when they solved).
+        if !matches!(src, Src::Leader) {
+            obs.record_gcd(gcd_verdict_of(canonical.as_ref()), true, 0);
+        }
+        match canonical {
+            None => GcdRes::Overflow,
+            Some(EqOutcome::Independent { refutation }) => {
+                let p = classified[i]
+                    .problem()
+                    .expect("memoized jobs have a problem");
+                let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
+                GcdRes::Independent {
+                    hit,
+                    refutation: refutation.and_then(|w| witness_for_problem(p, &nk.kept_vars, &w)),
                 }
             }
-        });
-        (res, timings)
-    }
+            Some(EqOutcome::Lattice(l)) => {
+                let p = classified[i].problem().expect("lattice implies a problem");
+                let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
+                GcdRes::Lattice {
+                    lattice: expand_lattice(&l, &nk.kept_vars, p.num_vars()),
+                    hit,
+                }
+            }
+        }
+    });
+    (res, timings)
+}
 
-    /// The memoized full-analysis wave over lattice jobs.
-    fn full_wave_memo(
-        &self,
-        cfg: &AnalyzerConfig,
-        workers: usize,
-        jobs: &[Job<'_>],
-        classified: &[Classified],
-        gcd: &[GcdRes],
-    ) -> Vec<FullRes> {
-        let fkeys = par_map_obs(&self.obs, workers, jobs, |i, _| {
-            if !matches!(gcd[i], GcdRes::Lattice { .. }) {
+/// The memoized full-analysis wave over lattice jobs. Leaders whose
+/// turn comes after `deadline` skip the cascade; they and every job
+/// sharing their key resolve to [`FullRes::Cancelled`].
+#[allow(clippy::too_many_arguments)]
+fn full_wave_memo(
+    obs: &MetricsRegistry,
+    memo: &SharedMemo,
+    cfg: &AnalyzerConfig,
+    workers: usize,
+    jobs: &[Job<'_>],
+    classified: &[Classified],
+    gcd: &[GcdRes],
+    deadline: Deadline,
+) -> Vec<FullRes> {
+    let fkeys = par_map_obs(obs, workers, jobs, |i, _| {
+        if !matches!(gcd[i], GcdRes::Lattice { .. }) {
+            return None;
+        }
+        steps::full_key(
+            cfg,
+            classified[i].problem().expect("lattice implies a problem"),
+        )
+    });
+    let key_refs: Vec<Option<&MemoKey>> = fkeys
+        .iter()
+        .map(|f| f.as_ref().map(|(ck, _)| &ck.key))
+        .collect();
+    let plan = elect_leaders(&key_refs, &memo.full);
+
+    let leader_jobs: Vec<usize> = plan
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
+        .collect();
+    obs.record_leader_elections(MemoTableKind::Full, leader_jobs.len() as u64);
+    let computed: Vec<Option<(PairReport, ReduceEffects, CachedOutcome, StageTimings)>> =
+        par_map_obs(obs, workers, &leader_jobs, |_, &i| {
+            if deadline.expired() {
                 return None;
             }
-            steps::full_key(
-                cfg,
-                classified[i].problem().expect("lattice implies a problem"),
-            )
+            let job = &jobs[i];
+            let p = classified[i].problem().expect("leaders have a problem");
+            let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
+                unreachable!("full-wave leaders have a lattice")
+            };
+            let template = steps::pair_template(job.a, job.b, job.common);
+            let mut fx = ReduceEffects::default();
+            let mut probe = MetricsProbe::new(obs);
+            let report =
+                steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
+            let (ck, flipped) = fkeys[i].as_ref().expect("leaders have a key");
+            let cached = steps::canonical_outcome(&report, ck, *flipped);
+            Some((report, fx, cached, probe.timings))
         });
-        let key_refs: Vec<Option<&MemoKey>> = fkeys
-            .iter()
-            .map(|f| f.as_ref().map(|(ck, _)| &ck.key))
-            .collect();
-        let plan = elect_leaders(&key_refs, &self.memo.full);
 
-        let leader_jobs: Vec<usize> = plan
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| matches!(s, Some(Src::Leader)).then_some(i))
-            .collect();
-        self.obs
-            .record_leader_elections(MemoTableKind::Full, leader_jobs.len() as u64);
-        let computed: Vec<(PairReport, ReduceEffects, CachedOutcome, StageTimings)> =
-            par_map_obs(&self.obs, workers, &leader_jobs, |_, &i| {
-                let job = &jobs[i];
-                let p = classified[i].problem().expect("leaders have a problem");
-                let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
-                    unreachable!("full-wave leaders have a lattice")
-                };
-                let template = steps::pair_template(job.a, job.b, job.common);
-                let mut fx = ReduceEffects::default();
-                let mut probe = MetricsProbe::new(&self.obs);
-                let report =
-                    steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
-                let (ck, flipped) = fkeys[i].as_ref().expect("leaders have a key");
-                let cached = steps::canonical_outcome(&report, ck, *flipped);
-                (report, fx, cached, probe.timings)
-            });
+    // Leaders absent from both maps were cancelled by the deadline.
+    let mut leader_reports: HashMap<usize, (PairReport, ReduceEffects, StageTimings)> =
+        HashMap::with_capacity(leader_jobs.len());
+    let mut leader_cached: HashMap<usize, CachedOutcome> =
+        HashMap::with_capacity(leader_jobs.len());
+    for (slot, &i) in computed.into_iter().zip(&leader_jobs) {
+        let Some((report, fx, cached, timings)) = slot else {
+            continue;
+        };
+        let (ck, _) = fkeys[i].as_ref().expect("leaders have a key");
+        memo.full.insert(ck.key.clone(), cached.clone());
+        leader_reports.insert(i, (report, fx, timings));
+        leader_cached.insert(i, cached);
+    }
 
-        let mut leader_reports: HashMap<usize, (PairReport, ReduceEffects, StageTimings)> =
-            HashMap::with_capacity(leader_jobs.len());
-        let mut leader_cached: HashMap<usize, CachedOutcome> =
-            HashMap::with_capacity(leader_jobs.len());
-        for ((report, fx, cached, timings), &i) in computed.into_iter().zip(&leader_jobs) {
-            let (ck, _) = fkeys[i].as_ref().expect("leaders have a key");
-            self.memo.full.insert(ck.key.clone(), cached.clone());
-            leader_reports.insert(i, (report, fx, timings));
-            leader_cached.insert(i, cached);
-        }
-
-        plan.iter()
-            .zip(fkeys)
-            .enumerate()
-            .map(|(i, (src, fk))| match src {
-                None => FullRes::NotReached,
-                Some(Src::Warm(c)) => {
+    plan.iter()
+        .zip(fkeys)
+        .enumerate()
+        .map(|(i, (src, fk))| match src {
+            None => FullRes::NotReached,
+            Some(Src::Warm(c)) => {
+                let (ck, flipped) = fk.expect("planned jobs have a key");
+                FullRes::Cached {
+                    cached: c.clone(),
+                    ck,
+                    flipped,
+                }
+            }
+            Some(Src::Leader) => match leader_reports.remove(&i) {
+                None => FullRes::Cancelled,
+                Some((report, fx, timings)) => FullRes::Computed {
+                    report,
+                    fx,
+                    timings,
+                },
+            },
+            Some(Src::Share(j)) => match leader_cached.get(j) {
+                None => FullRes::Cancelled,
+                Some(c) => {
                     let (ck, flipped) = fk.expect("planned jobs have a key");
                     FullRes::Cached {
                         cached: c.clone(),
@@ -723,27 +885,9 @@ impl Engine {
                         flipped,
                     }
                 }
-                Some(Src::Leader) => {
-                    let (report, fx, timings) = leader_reports
-                        .remove(&i)
-                        .expect("leader computed exactly once");
-                    FullRes::Computed {
-                        report,
-                        fx,
-                        timings,
-                    }
-                }
-                Some(Src::Share(j)) => {
-                    let (ck, flipped) = fk.expect("planned jobs have a key");
-                    FullRes::Cached {
-                        cached: leader_cached[j].clone(),
-                        ck,
-                        flipped,
-                    }
-                }
-            })
-            .collect()
-    }
+            },
+        })
+        .collect()
 }
 
 /// One pair whose certificate failed independent verification — either
@@ -829,93 +973,107 @@ impl Engine {
     /// fresh certificate is checked in its place.
     #[must_use]
     pub fn check_programs(&self, programs: &[Program], reports: &[ProgramReport]) -> CheckSummary {
-        let cfg = self.config.effective_analyzer_config();
-        let resolve_cfg = AnalyzerConfig {
-            memo: MemoMode::Off,
-            ..cfg
-        };
-        let workers = self.config.effective_workers();
+        check_batch(&self.config, &self.obs, programs, reports)
+    }
+}
 
-        struct CheckJob<'a> {
-            program: usize,
-            pair: usize,
-            a: &'a Access,
-            b: &'a Access,
-            common: usize,
-            report: &'a PairReport,
+/// Runs the independent `dda-check` kernel over a batch's reports
+/// against an externally owned metrics registry — the free-function
+/// counterpart of [`Engine::check_programs`] (which delegates here),
+/// for callers like `dda serve` that have no engine.
+#[must_use]
+pub fn check_batch(
+    config: &EngineConfig,
+    obs: &MetricsRegistry,
+    programs: &[Program],
+    reports: &[ProgramReport],
+) -> CheckSummary {
+    let cfg = config.effective_analyzer_config();
+    let resolve_cfg = AnalyzerConfig {
+        memo: MemoMode::Off,
+        ..cfg
+    };
+    let workers = config.effective_workers();
+
+    struct CheckJob<'a> {
+        program: usize,
+        pair: usize,
+        a: &'a Access,
+        b: &'a Access,
+        common: usize,
+        report: &'a PairReport,
+    }
+
+    let mut summary = CheckSummary::default();
+    let sets: Vec<_> = programs.iter().map(extract_accesses).collect();
+    let mut jobs: Vec<CheckJob<'_>> = Vec::new();
+    for (pi, (set, rep)) in sets.iter().zip(reports).enumerate() {
+        let pairs = reference_pairs(set, cfg.include_input_deps);
+        if pairs.len() != rep.pairs().len() {
+            summary.failures.push(CheckFailure {
+                program: pi,
+                pair: 0,
+                array: String::new(),
+                reason: format!(
+                    "report covers {} pairs but the program enumerates {}",
+                    rep.pairs().len(),
+                    pairs.len()
+                ),
+            });
+            continue;
         }
-
-        let mut summary = CheckSummary::default();
-        let sets: Vec<_> = programs.iter().map(extract_accesses).collect();
-        let mut jobs: Vec<CheckJob<'_>> = Vec::new();
-        for (pi, (set, rep)) in sets.iter().zip(reports).enumerate() {
-            let pairs = reference_pairs(set, cfg.include_input_deps);
-            if pairs.len() != rep.pairs().len() {
-                summary.failures.push(CheckFailure {
-                    program: pi,
-                    pair: 0,
-                    array: String::new(),
-                    reason: format!(
-                        "report covers {} pairs but the program enumerates {}",
-                        rep.pairs().len(),
-                        pairs.len()
-                    ),
-                });
-                continue;
-            }
-            for (qi, (pair, pr)) in pairs.iter().zip(rep.pairs()).enumerate() {
-                jobs.push(CheckJob {
-                    program: pi,
-                    pair: qi,
-                    a: pair.a,
-                    b: pair.b,
-                    common: pair.common,
-                    report: pr,
-                });
-            }
+        for (qi, (pair, pr)) in pairs.iter().zip(rep.pairs()).enumerate() {
+            jobs.push(CheckJob {
+                program: pi,
+                pair: qi,
+                a: pair.a,
+                b: pair.b,
+                common: pair.common,
+                report: pr,
+            });
         }
+    }
 
-        let outcomes = par_map_obs(&self.obs, workers, &jobs, |_, j| {
-            if j.report.a_access != j.a.id || j.report.b_access != j.b.id {
-                return Resolved::Failed("report pair does not match the enumeration".into());
-            }
-            match check_pair(j.a, j.b, j.common, j.report) {
-                CheckOutcome::Verified => Resolved::Verified,
-                CheckOutcome::Rejected(e) => Resolved::Failed(e),
-                CheckOutcome::Unverified => {
-                    let fresh = fresh_pair_report(&resolve_cfg, j.a, j.b, j.common);
-                    if std::mem::discriminant(&fresh.result.answer)
-                        != std::mem::discriminant(&j.report.result.answer)
-                    {
-                        return Resolved::Failed(format!(
-                            "memo-free re-analysis answered {:?} but the report says {:?}",
-                            fresh.result.answer, j.report.result.answer
-                        ));
-                    }
-                    match check_pair(j.a, j.b, j.common, &fresh) {
-                        CheckOutcome::Verified => Resolved::Verified,
-                        CheckOutcome::Unverified => Resolved::Unverified,
-                        CheckOutcome::Rejected(e) => {
-                            Resolved::Failed(format!("fresh certificate rejected: {e}"))
-                        }
+    let outcomes = par_map_obs(obs, workers, &jobs, |_, j| {
+        if j.report.a_access != j.a.id || j.report.b_access != j.b.id {
+            return Resolved::Failed("report pair does not match the enumeration".into());
+        }
+        match check_pair(j.a, j.b, j.common, j.report) {
+            CheckOutcome::Verified => Resolved::Verified,
+            CheckOutcome::Rejected(e) => Resolved::Failed(e),
+            CheckOutcome::Unverified => {
+                let fresh = fresh_pair_report(&resolve_cfg, j.a, j.b, j.common);
+                if std::mem::discriminant(&fresh.result.answer)
+                    != std::mem::discriminant(&j.report.result.answer)
+                {
+                    return Resolved::Failed(format!(
+                        "memo-free re-analysis answered {:?} but the report says {:?}",
+                        fresh.result.answer, j.report.result.answer
+                    ));
+                }
+                match check_pair(j.a, j.b, j.common, &fresh) {
+                    CheckOutcome::Verified => Resolved::Verified,
+                    CheckOutcome::Unverified => Resolved::Unverified,
+                    CheckOutcome::Rejected(e) => {
+                        Resolved::Failed(format!("fresh certificate rejected: {e}"))
                     }
                 }
             }
-        });
-        for (job, outcome) in jobs.iter().zip(outcomes) {
-            match outcome {
-                Resolved::Verified => summary.verified += 1,
-                Resolved::Unverified => summary.unverified += 1,
-                Resolved::Failed(reason) => summary.failures.push(CheckFailure {
-                    program: job.program,
-                    pair: job.pair,
-                    array: job.report.array.clone(),
-                    reason,
-                }),
-            }
         }
-        summary
+    });
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        match outcome {
+            Resolved::Verified => summary.verified += 1,
+            Resolved::Unverified => summary.unverified += 1,
+            Resolved::Failed(reason) => summary.failures.push(CheckFailure {
+                program: job.program,
+                pair: job.pair,
+                array: job.report.array.clone(),
+                reason,
+            }),
+        }
     }
+    summary
 }
 
 /// Number of statements in a statement list, counting nested bodies.
@@ -991,9 +1149,11 @@ fn gcd_wave_off(
     workers: usize,
     jobs: &[Job<'_>],
     classified: &[Classified],
+    deadline: Deadline,
 ) -> (Vec<GcdRes>, StageTimings) {
     let solved = par_map_obs(obs, workers, jobs, |i, _| match classified[i].problem() {
         None => (GcdRes::Skip, 0),
+        Some(_) if deadline.expired() => (GcdRes::Cancelled, 0),
         Some(p) => {
             let start = Instant::now();
             let out = solve_equalities(p);
@@ -1016,13 +1176,13 @@ fn gcd_wave_off(
     let res = solved
         .into_iter()
         .map(|(res, nanos)| {
-            if !matches!(res, GcdRes::Skip) {
+            if !matches!(res, GcdRes::Skip | GcdRes::Cancelled) {
                 timings.record_gcd(nanos);
                 let verdict = match &res {
                     GcdRes::Overflow => dda_core::pipeline::GcdVerdict::Overflow,
                     GcdRes::Independent { .. } => dda_core::pipeline::GcdVerdict::Independent,
                     GcdRes::Lattice { .. } => dda_core::pipeline::GcdVerdict::Lattice,
-                    GcdRes::Skip => unreachable!("filtered above"),
+                    GcdRes::Skip | GcdRes::Cancelled => unreachable!("filtered above"),
                 };
                 obs.record_gcd(verdict, false, nanos);
             }
@@ -1041,11 +1201,15 @@ fn full_wave_off(
     jobs: &[Job<'_>],
     classified: &[Classified],
     gcd: &[GcdRes],
+    deadline: Deadline,
 ) -> Vec<FullRes> {
     par_map_obs(obs, workers, jobs, |i, job| {
         let GcdRes::Lattice { lattice, .. } = &gcd[i] else {
             return FullRes::NotReached;
         };
+        if deadline.expired() {
+            return FullRes::Cancelled;
+        }
         let p = classified[i].problem().expect("lattice implies a problem");
         let template = steps::pair_template(job.a, job.b, job.common);
         let mut fx = ReduceEffects::default();
@@ -1258,6 +1422,86 @@ mod tests {
         // A predicate the original never satisfies leaves it untouched.
         let untouched = minimize_program(&program, |_| false);
         assert_eq!(stmt_count(&untouched.stmts), stmt_count(&program.stmts));
+    }
+
+    #[test]
+    fn analyze_batch_with_no_deadline_matches_the_engine_path() {
+        let programs = batch();
+        let config = EngineConfig {
+            workers: 3,
+            check: false,
+            ..EngineConfig::default()
+        };
+        let memo = SharedMemo::new(config.shards);
+        let obs = MetricsRegistry::with_workers(3);
+        let out = analyze_batch(&config, &memo, &obs, &programs, Deadline::none());
+        assert!(!out.deadline_exceeded);
+        let want = serial_reports(config.effective_analyzer_config(), &programs);
+        assert_eq!(out.reports, want);
+    }
+
+    #[test]
+    fn expired_deadline_yields_conservative_partial_results() {
+        let programs = batch();
+        for memo_mode in [MemoMode::Off, MemoMode::Improved] {
+            let config = EngineConfig {
+                workers: 2,
+                memo_mode,
+                check: false,
+                ..EngineConfig::default()
+            };
+            let memo = SharedMemo::new(config.shards);
+            let obs = MetricsRegistry::with_workers(2);
+            let out = analyze_batch(
+                &config,
+                &memo,
+                &obs,
+                &programs,
+                Deadline::after(Duration::ZERO),
+            );
+            assert!(out.deadline_exceeded, "memo={memo_mode:?}");
+            assert_eq!(out.reports.len(), programs.len());
+            // Cancelled leaders insert nothing into the shared tables.
+            assert_eq!(memo.full.unique_entries(), 0);
+            assert_eq!(memo.gcd.unique_entries(), 0);
+            // Every pair either short-circuited as constant (those still
+            // resolve exactly — classification ran before the deadline
+            // check) or came back as a conservative assumed dependence.
+            for r in &out.reports {
+                assert_eq!(r.stats.assumed + r.stats.constant, r.stats.pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_table_entries_still_resolve_past_the_deadline() {
+        // Only fresh computation is cancelled: a fully warm table
+        // answers the whole batch even with an already-expired deadline.
+        let programs = batch();
+        let config = EngineConfig {
+            workers: 2,
+            check: false,
+            ..EngineConfig::default()
+        };
+        let memo = SharedMemo::new(config.shards);
+        let obs = MetricsRegistry::with_workers(2);
+        let cold = analyze_batch(&config, &memo, &obs, &programs, Deadline::none());
+        let warm = analyze_batch(
+            &config,
+            &memo,
+            &obs,
+            &programs,
+            Deadline::after(Duration::ZERO),
+        );
+        assert!(!warm.deadline_exceeded, "no fresh solves were needed");
+        for (c, w) in cold.reports.iter().zip(&warm.reports) {
+            for (cp, wp) in c.pairs().iter().zip(w.pairs()) {
+                assert_eq!(
+                    std::mem::discriminant(&cp.result.answer),
+                    std::mem::discriminant(&wp.result.answer)
+                );
+            }
+        }
     }
 
     #[test]

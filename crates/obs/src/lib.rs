@@ -34,11 +34,11 @@ pub mod registry;
 pub mod snapshot;
 pub mod span;
 
-pub use metrics::{Counter, Histogram, LatencySummary, HISTOGRAM_BUCKETS};
+pub use metrics::{Counter, Gauge, Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use probe::MetricsProbe;
 pub use registry::{MemoTableKind, MetricsRegistry, WaveReport, WorkerWork};
 pub use snapshot::{
     EngineSection, GcdSection, MemoSection, MetricsSnapshot, PairsSection, RefinementSection,
-    StageSection,
+    ServiceSection, StageSection,
 };
 pub use span::{Span, SpanRecorder};

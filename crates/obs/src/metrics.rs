@@ -7,7 +7,50 @@
 //! (each atomic is loaded independently) which is fine for telemetry;
 //! every test that needs exact values reads after the writers are done.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A value that can go up and down: in-flight requests, resident
+/// bytes, queue depths. Same discipline as [`Counter`] — relaxed
+/// atomics, no locks, no allocation on the hot path.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the gauge to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
@@ -170,6 +213,38 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_basics() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.add(4);
+        g.dec();
+        assert_eq!(g.get(), 4);
+        g.add(-10);
+        assert_eq!(g.get(), -6, "gauges may go negative");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_concurrent_inc_dec_balances() {
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
+    }
 
     #[test]
     fn counter_basics() {

@@ -162,6 +162,13 @@ pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
             if !KNOWN_TYPES.contains(&kind) {
                 return Err(format!("line {line_no}: unknown type `{kind}`"));
             }
+            // The `_total` suffix is the counter convention; a gauge
+            // wearing it would read as monotone to every scraper.
+            if kind == "gauge" && name.ends_with("_total") {
+                return Err(format!(
+                    "line {line_no}: `{name}` declared gauge but named like a counter (`_total`)"
+                ));
+            }
             if exp
                 .types
                 .insert(name.to_string(), kind.to_string())
@@ -302,6 +309,19 @@ dda_lat_count 2
     fn gauges_may_be_fractional() {
         let exp = parse_exposition("# TYPE u gauge\nu 0.8333333333333334\n").unwrap();
         assert!((exp.value("u", &[]).unwrap() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauges_may_be_negative_but_not_named_total() {
+        // Negative gauge values are legal (unlike counters)…
+        let exp = parse_exposition("# TYPE inflight gauge\ninflight -2\n").unwrap();
+        assert_eq!(exp.value("inflight", &[]), Some(-2.0));
+        // …but a gauge must not wear the counter naming convention.
+        assert!(parse_exposition("# TYPE x_total gauge\nx_total 1\n")
+            .unwrap_err()
+            .contains("named like a counter"));
+        // Counters named `_total` stay fine.
+        assert!(parse_exposition("# TYPE x_total counter\nx_total 1\n").is_ok());
     }
 
     #[test]

@@ -82,6 +82,22 @@ pub struct MemoSection {
     pub shard_ops: Vec<u64>,
 }
 
+/// Analysis-service figures (`dda serve`): request traffic, admission
+/// control, and deadline outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSection {
+    /// Requests currently being processed.
+    pub in_flight: i64,
+    /// Maximum concurrent requests before shedding.
+    pub max_in_flight: u64,
+    /// Requests accepted and answered.
+    pub requests: u64,
+    /// Requests shed (429) by admission control.
+    pub shed: u64,
+    /// Requests whose deadline expired (answered with partial results).
+    pub deadline_exceeded: u64,
+}
+
 /// Engine worker-pool figures.
 #[derive(Debug, Clone)]
 pub struct EngineSection {
@@ -140,6 +156,10 @@ pub struct MetricsSnapshot {
     pub memo: Vec<MemoSection>,
     /// Engine figures, when the registry carries worker slots.
     pub engine: Option<EngineSection>,
+    /// Service figures, when attached via [`with_service`].
+    ///
+    /// [`with_service`]: MetricsSnapshot::with_service
+    pub service: Option<ServiceSection>,
 }
 
 impl MetricsSnapshot {
@@ -187,6 +207,7 @@ impl MetricsSnapshot {
             pairs: None,
             memo: Vec::new(),
             engine,
+            service: None,
         }
     }
 
@@ -220,6 +241,13 @@ impl MetricsSnapshot {
             counters,
             shard_ops,
         });
+        self
+    }
+
+    /// Attaches service (request-handling) figures.
+    #[must_use]
+    pub fn with_service(mut self, service: ServiceSection) -> Self {
+        self.service = Some(service);
         self
     }
 
@@ -456,6 +484,48 @@ impl MetricsSnapshot {
                     m.counters.entries,
                 );
             }
+            header(
+                &mut out,
+                "dda_memo_bytes",
+                "gauge",
+                "Estimated bytes held by stored entries.",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_bytes",
+                    &[("table", m.table)],
+                    m.counters.bytes,
+                );
+            }
+            header(
+                &mut out,
+                "dda_memo_capacity_bytes",
+                "gauge",
+                "Configured byte capacity (0 = unbounded).",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_capacity_bytes",
+                    &[("table", m.table)],
+                    m.counters.capacity_bytes,
+                );
+            }
+            header(
+                &mut out,
+                "dda_memo_evictions_total",
+                "counter",
+                "Entries evicted to stay under the byte capacity.",
+            );
+            for m in &self.memo {
+                sample(
+                    &mut out,
+                    "dda_memo_evictions_total",
+                    &[("table", m.table)],
+                    m.counters.evictions,
+                );
+            }
             if self.memo.iter().any(|m| !m.shard_ops.is_empty()) {
                 header(
                     &mut out,
@@ -474,6 +544,48 @@ impl MetricsSnapshot {
                         );
                     }
                 }
+            }
+        }
+
+        // --- service --------------------------------------------------------
+        if let Some(sv) = &self.service {
+            let _ = writeln!(
+                out,
+                "# HELP dda_serve_in_flight_requests Requests currently being processed."
+            );
+            let _ = writeln!(out, "# TYPE dda_serve_in_flight_requests gauge");
+            let _ = writeln!(out, "dda_serve_in_flight_requests {}", sv.in_flight);
+            header(
+                &mut out,
+                "dda_serve_max_in_flight_requests",
+                "gauge",
+                "Maximum concurrent requests before shedding.",
+            );
+            sample(
+                &mut out,
+                "dda_serve_max_in_flight_requests",
+                &[],
+                sv.max_in_flight,
+            );
+            for (name, help, value) in [
+                (
+                    "dda_serve_requests_total",
+                    "Requests accepted and answered.",
+                    sv.requests,
+                ),
+                (
+                    "dda_serve_shed_total",
+                    "Requests shed (429) by admission control.",
+                    sv.shed,
+                ),
+                (
+                    "dda_serve_deadline_exceeded_total",
+                    "Requests whose deadline expired before analysis finished.",
+                    sv.deadline_exceeded,
+                ),
+            ] {
+                header(&mut out, name, "counter", help);
+                sample(&mut out, name, &[], value);
             }
         }
 
@@ -640,13 +752,17 @@ impl MetricsSnapshot {
                 let _ = write!(
                     out,
                     "{{\"table\":\"{}\",\"queries\":{},\"hits\":{},\"misses\":{},\
-                     \"warm_loads\":{},\"entries\":{},\"shard_ops\":[",
+                     \"warm_loads\":{},\"entries\":{},\"bytes\":{},\"evictions\":{},\
+                     \"capacity_bytes\":{},\"shard_ops\":[",
                     m.table,
                     m.counters.queries,
                     m.counters.hits,
                     m.counters.misses(),
                     m.counters.warm_loads,
-                    m.counters.entries
+                    m.counters.entries,
+                    m.counters.bytes,
+                    m.counters.evictions,
+                    m.counters.capacity_bytes
                 );
                 for (j, &ops) in m.shard_ops.iter().enumerate() {
                     if j > 0 {
@@ -657,6 +773,14 @@ impl MetricsSnapshot {
                 out.push_str("]}");
             }
             out.push(']');
+        }
+        if let Some(sv) = &self.service {
+            let _ = write!(
+                out,
+                ",\"service\":{{\"in_flight\":{},\"max_in_flight\":{},\"requests\":{},\
+                 \"shed\":{},\"deadline_exceeded\":{}}}",
+                sv.in_flight, sv.max_in_flight, sv.requests, sv.shed, sv.deadline_exceeded
+            );
         }
         if let Some(e) = &self.engine {
             let _ = write!(
@@ -747,9 +871,19 @@ mod tests {
                     hits: 4,
                     warm_loads: 2,
                     entries: 6,
+                    bytes: 2048,
+                    evictions: 3,
+                    capacity_bytes: 4096,
                 },
                 vec![7, 9],
             )
+            .with_service(ServiceSection {
+                in_flight: 1,
+                max_in_flight: 8,
+                requests: 12,
+                shed: 2,
+                deadline_exceeded: 1,
+            })
     }
 
     #[test]
@@ -763,6 +897,15 @@ mod tests {
         assert!(text.contains("dda_memo_misses_total{table=\"full\"} 6"));
         assert!(text.contains("dda_memo_warm_loads_total{table=\"full\"} 2"));
         assert!(text.contains("# TYPE dda_memo_entries gauge"));
+        assert!(text.contains("# TYPE dda_memo_bytes gauge"));
+        assert!(text.contains("dda_memo_bytes{table=\"full\"} 2048"));
+        assert!(text.contains("# TYPE dda_memo_capacity_bytes gauge"));
+        assert!(text.contains("dda_memo_capacity_bytes{table=\"full\"} 4096"));
+        assert!(text.contains("dda_memo_evictions_total{table=\"full\"} 3"));
+        assert!(text.contains("# TYPE dda_serve_in_flight_requests gauge"));
+        assert!(text.contains("dda_serve_in_flight_requests 1"));
+        assert!(text.contains("dda_serve_shed_total 2"));
+        assert!(text.contains("dda_serve_deadline_exceeded_total 1"));
         assert!(text.contains("dda_memo_shard_ops_total{table=\"full\",shard=\"1\"} 9"));
         assert!(text.contains("dda_engine_workers 2"));
         assert!(text.contains("# TYPE dda_engine_utilization_ratio gauge"));
@@ -791,6 +934,10 @@ mod tests {
             "\"memo\":",
             "\"engine\":",
             "\"shard_ops\":[7,9]",
+            "\"bytes\":2048",
+            "\"evictions\":3",
+            "\"capacity_bytes\":4096",
+            "\"service\":{\"in_flight\":1,\"max_in_flight\":8,\"requests\":12,\"shed\":2,\"deadline_exceeded\":1}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

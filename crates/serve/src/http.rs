@@ -1,0 +1,237 @@
+//! A deliberately minimal HTTP/1.1 implementation over `std::net` —
+//! just enough for the analysis service: one request per connection
+//! (`Connection: close`), `Content-Length` bodies only, bounded header
+//! and body sizes. No external dependencies; the container is offline.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (a batch manifest or one program).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Largest accepted header block.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// One parsed request: method, path, decoded query pairs, UTF-8 body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Query parameters (`?a=b&c` → `{a: "b", c: ""}`; no %-decoding —
+    /// the service's parameters are plain tokens).
+    pub query: HashMap<String, String>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: String,
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// Returns a human-readable reason on malformed or oversized input —
+/// callers answer 400 with it.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(&*stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let target = parts.next().ok_or("missing request target")?.to_owned();
+
+    let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
+    loop {
+        let mut h = String::new();
+        let n = reader
+            .read_line(&mut h)
+            .map_err(|e| format!("read header: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err("headers too large".into());
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length".to_owned())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".into());
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+
+    let (path, query) = match target.split_once('?') {
+        None => (target, HashMap::new()),
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn parse_query(q: &str) -> HashMap<String, String> {
+    q.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (kv.to_owned(), String::new()),
+        })
+        .collect()
+}
+
+/// One response to write back.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with the given body and content type.
+    #[must_use]
+    pub fn ok(body: String, content_type: &'static str) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response with an explicit status.
+    #[must_use]
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain",
+            headers: Vec::new(),
+            body: body.to_owned(),
+        }
+    }
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Writes `resp` and flushes. Connections are single-use
+/// (`Connection: close`).
+///
+/// # Errors
+///
+/// Propagates I/O errors (the peer may have gone away).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason_of(resp.status),
+        resp.content_type,
+        resp.body.len(),
+    );
+    for (name, value) in &resp.headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_strings() {
+        let q = parse_query("check=1&file=a.loop&flag");
+        assert_eq!(q["check"], "1");
+        assert_eq!(q["file"], "a.loop");
+        assert_eq!(q["flag"], "");
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn request_response_round_trip_over_a_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/analyze");
+            assert_eq!(req.query["check"], "1");
+            assert_eq!(req.body, "hello body");
+            write_response(&mut stream, &Response::ok("resp\n".into(), "text/plain")).unwrap();
+        });
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let body = "hello body";
+        let msg = format!(
+            "POST /analyze?check=1 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        client.write_all(msg.as_bytes()).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        server.join().unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Connection: close"), "{reply}");
+        assert!(reply.ends_with("\r\n\r\nresp\n"), "{reply}");
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream).expect_err("oversized body must be rejected")
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let msg = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        client.write_all(msg.as_bytes()).unwrap();
+        let err = server.join().unwrap();
+        assert!(err.contains("too large"), "{err}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Batch-input loading shared by `dda batch` and the `/batch` endpoint:
+//! `.loop` program files and manifest files (one program path per line).
+//!
+//! Every failure is *located*: the error string names the offending
+//! path and the reason (unreadable file, parse error with a rendered
+//! source excerpt), so both the CLI and the service can surface it
+//! verbatim — `dda batch` exits nonzero with it, the service answers
+//! 400 with it.
+
+use std::path::{Path, PathBuf};
+
+use dda_ir::{parse_program, passes, Program};
+
+/// The accumulated batch: one label (what the user named the input —
+/// the path or manifest entry as written) per parsed program.
+#[derive(Debug, Default)]
+pub struct BatchInput {
+    /// Input labels, in order; these become the `"file"` field of the
+    /// JSONL output.
+    pub labels: Vec<String>,
+    /// Parsed (and optionally normalized) programs, in order.
+    pub programs: Vec<Program>,
+}
+
+/// Parses `source` as a DSL program and appends it under `label`.
+///
+/// # Errors
+///
+/// Returns the rendered parse error.
+pub fn push_program_source(
+    label: &str,
+    source: &str,
+    normalize: bool,
+    out: &mut BatchInput,
+) -> Result<(), String> {
+    let mut program = parse_program(source).map_err(|e| e.render(source))?;
+    if normalize {
+        passes::normalize(&mut program);
+    }
+    out.labels.push(label.to_owned());
+    out.programs.push(program);
+    Ok(())
+}
+
+/// Reads and parses one `.loop` file and appends it under `label`.
+///
+/// # Errors
+///
+/// Returns a located error — `<path>: <io reason>` for unreadable
+/// files, `<path>:\n<rendered parse error>` for malformed programs.
+pub fn push_program_file(
+    label: &str,
+    path: &Path,
+    normalize: bool,
+    out: &mut BatchInput,
+) -> Result<(), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut program = parse_program(&source)
+        .map_err(|e| format!("{}:\n{}", path.display(), e.render(&source)))?;
+    if normalize {
+        passes::normalize(&mut program);
+    }
+    out.labels.push(label.to_owned());
+    out.programs.push(program);
+    Ok(())
+}
+
+/// Loads every entry of a manifest: one program path per line, `#`
+/// comments and blank lines skipped. Relative entries resolve against
+/// `base`; the entry string as written is the program's label.
+///
+/// # Errors
+///
+/// The first missing, unreadable, or unparsable entry aborts the whole
+/// load with its located error — a batch with a broken entry never
+/// half-loads.
+pub fn load_manifest_text(
+    manifest: &str,
+    base: &Path,
+    normalize: bool,
+    out: &mut BatchInput,
+) -> Result<(), String> {
+    for entry in manifest.lines() {
+        let entry = entry.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let path = if Path::new(entry).is_absolute() {
+            PathBuf::from(entry)
+        } else {
+            base.join(entry)
+        };
+        push_program_file(entry, &path, normalize, out)?;
+    }
+    Ok(())
+}
+
+/// Loads one batch input file: a `.loop` path is a program itself;
+/// anything else is a manifest whose relative entries resolve against
+/// the manifest's own directory.
+///
+/// # Errors
+///
+/// Located, as in [`push_program_file`] / [`load_manifest_text`].
+pub fn load_input_file(input: &str, normalize: bool, out: &mut BatchInput) -> Result<(), String> {
+    if input.ends_with(".loop") {
+        return push_program_file(input, Path::new(input), normalize, out);
+    }
+    let manifest = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let base = Path::new(input)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    load_manifest_text(&manifest, &base, normalize, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dda_serve_manifest_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_loop_files_and_manifests() {
+        let dir = tmpdir("ok");
+        std::fs::write(dir.join("a.loop"), "for i = 1 to 9 { a[i + 1] = a[i]; }").unwrap();
+        std::fs::write(dir.join("b.loop"), "for i = 1 to 9 { b[i] = b[i]; }").unwrap();
+        std::fs::write(dir.join("m.txt"), "# comment\na.loop\n\nb.loop\n").unwrap();
+
+        let mut batch = BatchInput::default();
+        load_input_file(dir.join("m.txt").to_str().unwrap(), true, &mut batch).unwrap();
+        assert_eq!(batch.labels, vec!["a.loop", "b.loop"]);
+        assert_eq!(batch.programs.len(), 2);
+    }
+
+    #[test]
+    fn missing_manifest_entry_is_a_located_error() {
+        let dir = tmpdir("missing");
+        std::fs::write(dir.join("m.txt"), "nope.loop\n").unwrap();
+        let mut batch = BatchInput::default();
+        let err = load_input_file(dir.join("m.txt").to_str().unwrap(), true, &mut batch)
+            .expect_err("missing entry must fail");
+        assert!(err.contains("nope.loop"), "{err}");
+        assert!(err.contains("No such file"), "{err}");
+        assert!(batch.programs.is_empty(), "nothing half-loads");
+    }
+
+    #[test]
+    fn parse_errors_carry_the_path_and_rendered_excerpt() {
+        let dir = tmpdir("parse");
+        std::fs::write(dir.join("bad.loop"), "for i = 1 to { }").unwrap();
+        let mut batch = BatchInput::default();
+        let err = push_program_file("bad.loop", &dir.join("bad.loop"), true, &mut batch)
+            .expect_err("parse error must fail");
+        assert!(err.contains("bad.loop"), "{err}");
+        assert!(err.contains("parse error"), "{err}");
+    }
+}

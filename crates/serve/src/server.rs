@@ -1,0 +1,477 @@
+//! The long-running analysis server: a bounded accept queue feeding a
+//! fixed pool of request workers, all sharing one warm
+//! [`SharedMemo`] with bounded-capacity eviction, one
+//! [`MetricsRegistry`], and one cumulative statistics accumulator.
+//!
+//! ```text
+//! acceptor ──try_send──▶ bounded queue ──▶ worker × max_in_flight
+//!    │ (full → 429 shed)                        │
+//!    ▼                                          ▼
+//! SIGTERM / /shutdown ──▶ drain ──▶ atomic memo persist
+//! ```
+//!
+//! Admission control is two-layered: the queue bound caps waiting
+//! connections (overflow is shed with 429 and counted), and the worker
+//! count caps in-flight analysis. Each request runs under a
+//! [`Deadline`] — the server default, or a per-request
+//! `?deadline_ms=` override — and a timed-out request still answers
+//! with sound conservative partial results (see
+//! [`dda_engine::analyze_batch`]).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use dda_core::stats::AnalysisStats;
+use dda_core::SharedMemo;
+use dda_engine::{analyze_batch, check_batch, Deadline, EngineConfig};
+use dda_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, ServiceSection};
+
+use crate::http::{self, Request, Response};
+use crate::manifest::{self, BatchInput};
+use crate::render;
+
+/// Server configuration. `Default` gives a localhost server with an
+/// unbounded memo table, no default deadline, and a small worker pool.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8053` (`:0` picks a free port).
+    pub addr: String,
+    /// Engine worker threads per request (`0` = one per core).
+    pub workers: usize,
+    /// Memo-table shard count (contention knob only).
+    pub shards: usize,
+    /// Memo capacity in bytes across both tables; `0` = unbounded.
+    /// When bounded, second-chance eviction keeps resident bytes at or
+    /// under the cap without ever changing verdicts (evicted entries
+    /// are simply recomputed).
+    pub memo_max_bytes: u64,
+    /// Default per-request deadline in milliseconds; `0` = none.
+    /// Requests may override with `?deadline_ms=N`.
+    pub deadline_ms: u64,
+    /// Memo persistence path: loaded at startup when present, written
+    /// back atomically (temp file + rename) on graceful shutdown.
+    pub memo_path: Option<PathBuf>,
+    /// Request workers = maximum in-flight requests.
+    pub max_in_flight: usize,
+    /// Bounded accept queue depth; connections beyond it are shed with
+    /// 429. Clamped to at least 1 — a zero-capacity (rendezvous) queue
+    /// would shed whenever every worker is merely *between* requests,
+    /// not actually backlogged.
+    pub queue_depth: usize,
+    /// Run the normalization prepasses on submitted programs (matches
+    /// the CLI default).
+    pub normalize: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8053".into(),
+            workers: 0,
+            shards: 16,
+            memo_max_bytes: 0,
+            deadline_ms: 0,
+            memo_path: None,
+            max_in_flight: 4,
+            queue_depth: 64,
+            normalize: true,
+        }
+    }
+}
+
+/// Shared server state: everything a request worker needs.
+#[derive(Debug)]
+struct State {
+    engine: EngineConfig,
+    memo: SharedMemo,
+    obs: MetricsRegistry,
+    stats: Mutex<AnalysisStats>,
+    in_flight: Gauge,
+    requests: Counter,
+    shed: Counter,
+    deadline_exceeded: Counter,
+    shutdown: AtomicBool,
+    default_deadline_ms: u64,
+    max_in_flight: u64,
+    normalize: bool,
+}
+
+/// A cloneable handle onto a running (or not-yet-run) server: request
+/// shutdown and read service counters without HTTP. Used by tests and
+/// by embedders that run the server on a background thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle(Arc<State>);
+
+impl ServerHandle {
+    /// Asks the accept loop to stop; in-flight and queued requests
+    /// drain first, then the memo table is persisted.
+    pub fn shutdown(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests handled so far (shed connections not included).
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.0.requests.get()
+    }
+
+    /// Requests being processed right now.
+    #[must_use]
+    pub fn in_flight(&self) -> i64 {
+        self.0.in_flight.get()
+    }
+
+    /// Connections shed with 429 because the accept queue was full.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.0.shed.get()
+    }
+
+    /// Requests whose deadline expired (they answered with partials).
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.0.deadline_exceeded.get()
+    }
+
+    /// Estimated resident bytes across both memo tables.
+    #[must_use]
+    pub fn memo_bytes(&self) -> u64 {
+        self.0.memo.bytes()
+    }
+
+    /// Entries evicted from the memo tables so far.
+    #[must_use]
+    pub fn memo_evictions(&self) -> u64 {
+        self.0.memo.evictions()
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+    memo_path: Option<PathBuf>,
+    max_in_flight: usize,
+    queue_depth: usize,
+}
+
+impl Server {
+    /// Binds the listen socket, builds the shared memo table (loading
+    /// `memo_path` when it exists), and prepares the worker state.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and unreadable/corrupt memo files, located.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("{}: {e}", cfg.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let shards = cfg.shards.max(1);
+        let memo = SharedMemo::with_capacity(shards, cfg.memo_max_bytes);
+        if let Some(path) = &cfg.memo_path {
+            if path.exists() {
+                memo.load_memo_file(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+        }
+        let engine = EngineConfig {
+            workers: cfg.workers,
+            shards,
+            check: false,
+            ..EngineConfig::default()
+        };
+        let engine_workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let state = Arc::new(State {
+            obs: MetricsRegistry::with_workers(engine_workers),
+            engine,
+            memo,
+            stats: Mutex::new(AnalysisStats::default()),
+            in_flight: Gauge::new(),
+            requests: Counter::new(),
+            shed: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            shutdown: AtomicBool::new(false),
+            default_deadline_ms: cfg.deadline_ms,
+            max_in_flight: cfg.max_in_flight.max(1) as u64,
+            normalize: cfg.normalize,
+        });
+        Ok(Server {
+            listener,
+            state,
+            memo_path: cfg.memo_path.clone(),
+            max_in_flight: cfg.max_in_flight.max(1),
+            queue_depth: cfg.queue_depth,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutdown and counter reads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle(Arc::clone(&self.state))
+    }
+
+    /// Runs the accept loop until shutdown (SIGTERM/SIGINT, a
+    /// `/shutdown` request, or [`ServerHandle::shutdown`]), then drains
+    /// queued and in-flight requests and atomically persists the memo
+    /// table when a `memo_path` is configured.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept errors and memo-persistence failures.
+    pub fn run(self) -> Result<(), String> {
+        #[cfg(unix)]
+        signals::install();
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.max_in_flight);
+        for _ in 0..self.max_in_flight {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            workers.push(std::thread::spawn(move || loop {
+                // Hold the lock only to dequeue, not while handling.
+                let next = rx.lock().expect("queue lock").recv();
+                match next {
+                    Ok(stream) => handle_connection(&state, stream),
+                    Err(_) => break, // acceptor dropped the sender: drain done
+                }
+            }));
+        }
+
+        loop {
+            let stop = self.state.shutdown.load(Ordering::SeqCst);
+            #[cfg(unix)]
+            let stop = stop || signals::triggered();
+            if stop {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(stream)) => {
+                        self.state.shed.inc();
+                        shed_connection(stream);
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+
+        // Graceful drain: close the queue, let the workers finish
+        // everything already accepted, then persist the warm table.
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        if let Some(path) = &self.memo_path {
+            self.state
+                .memo
+                .save_memo_file(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+/// SIGTERM/SIGINT handling without external crates: a `signal(2)` FFI
+/// binding flips an atomic the accept loop polls. Store-only handler —
+/// async-signal-safe by construction.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+/// Refuses a connection with 429 without blocking the acceptor on
+/// analysis work. The request bytes already in flight are drained
+/// (briefly, bounded by a short timeout) before the socket drops —
+/// closing with unread data would RST the peer before it reads the
+/// response.
+fn shed_connection(mut stream: TcpStream) {
+    let resp = Response::text(429, "server busy: accept queue full\n");
+    let _ = http::write_response(&mut stream, &resp);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    state.in_flight.inc();
+    state.requests.inc();
+    let resp = match http::read_request(&mut stream) {
+        Err(e) => Response::text(400, &format!("{e}\n")),
+        Ok(req) => route(state, &req),
+    };
+    let _ = http::write_response(&mut stream, &resp);
+    state.in_flight.dec();
+}
+
+fn route(state: &State, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/analyze") => analyze(state, req, InputKind::Program),
+        ("POST", "/batch") => analyze(state, req, InputKind::Manifest),
+        ("GET", "/metrics") => Response::ok(metrics_text(state), "text/plain; version=0.0.4"),
+        ("GET", "/healthz") => Response::ok("ok\n".into(), "text/plain"),
+        ("GET" | "POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::ok("shutting down\n".into(), "text/plain")
+        }
+        ("GET" | "POST", _) => Response::text(404, "not found\n"),
+        _ => Response::text(405, "method not allowed\n"),
+    }
+}
+
+/// What the request body holds.
+enum InputKind {
+    /// One `.loop` program (label from `?file=`, default `-`).
+    Program,
+    /// A batch manifest; relative entries resolve against the server's
+    /// working directory.
+    Manifest,
+}
+
+fn analyze(state: &State, req: &Request, kind: InputKind) -> Response {
+    let mut input = BatchInput::default();
+    let loaded = match kind {
+        InputKind::Program => {
+            let label = req.query.get("file").map_or("-", String::as_str);
+            manifest::push_program_source(label, &req.body, state.normalize, &mut input)
+        }
+        InputKind::Manifest => {
+            manifest::load_manifest_text(&req.body, Path::new(""), state.normalize, &mut input)
+        }
+    };
+    if let Err(e) = loaded {
+        return Response::text(400, &format!("{e}\n"));
+    }
+
+    let deadline = match req.query.get("deadline_ms") {
+        None => deadline_from_ms(state.default_deadline_ms),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => deadline_from_ms(ms),
+            Err(_) => return Response::text(400, &format!("bad deadline_ms `{v}`\n")),
+        },
+    };
+
+    let out = analyze_batch(
+        &state.engine,
+        &state.memo,
+        &state.obs,
+        &input.programs,
+        deadline,
+    );
+    if out.deadline_exceeded {
+        state.deadline_exceeded.inc();
+    }
+    state.stats.lock().expect("stats lock").add(&out.stats);
+
+    if req.query.get("check").is_some_and(|v| v != "0") {
+        if out.deadline_exceeded {
+            return Response::text(
+                422,
+                "deadline exceeded: partial results are conservative, not checkable\n",
+            );
+        }
+        let summary = check_batch(&state.engine, &state.obs, &input.programs, &out.reports);
+        if !summary.failures.is_empty() {
+            return Response::text(
+                422,
+                &format!("check: {} certificate failure(s)\n", summary.failures.len()),
+            );
+        }
+    }
+
+    let mut body = String::new();
+    for (label, report) in input.labels.iter().zip(&out.reports) {
+        body.push_str(&render::batch_json_line(label, report));
+        body.push('\n');
+    }
+    let mut resp = Response::ok(body, "application/x-ndjson");
+    if out.deadline_exceeded {
+        resp.headers
+            .push(("X-DDA-Deadline-Exceeded".into(), "true".into()));
+    }
+    resp
+}
+
+fn deadline_from_ms(ms: u64) -> Deadline {
+    if ms == 0 {
+        Deadline::none()
+    } else {
+        Deadline::after(Duration::from_millis(ms))
+    }
+}
+
+fn metrics_text(state: &State) -> String {
+    let service = ServiceSection {
+        in_flight: state.in_flight.get(),
+        max_in_flight: state.max_in_flight,
+        requests: state.requests.get(),
+        shed: state.shed.get(),
+        deadline_exceeded: state.deadline_exceeded.get(),
+    };
+    let stats = state.stats.lock().expect("stats lock");
+    MetricsSnapshot::from_registry(&state.obs)
+        .with_pairs(&stats)
+        .with_memo_table(
+            "full",
+            state.memo.full.counters(),
+            state.memo.full.shard_ops(),
+        )
+        .with_memo_table("gcd", state.memo.gcd.counters(), state.memo.gcd.shard_ops())
+        .with_service(service)
+        .to_prometheus()
+}

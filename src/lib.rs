@@ -20,6 +20,9 @@
 //! - [`obs`]: always-on observability — lock-free metrics registry,
 //!   latency histograms with quantile summaries, hierarchical span
 //!   recording, and Prometheus/JSON snapshot rendering.
+//! - [`serve`]: the long-running analysis service — an HTTP front end
+//!   over the engine with one warm shared memo table (bounded-capacity
+//!   eviction), per-request deadlines, and admission control.
 //! - [`baselines`]: the inexact comparators from Section 7 (simple GCD,
 //!   Banerjee inequalities, Wolfe's direction-vector extension).
 //! - [`perfect`]: the synthetic PERFECT Club workload suite used by the
@@ -48,3 +51,4 @@ pub use dda_ir as ir;
 pub use dda_linalg as linalg;
 pub use dda_obs as obs;
 pub use dda_perfect as perfect;
+pub use dda_serve as serve;

@@ -3,6 +3,7 @@
 //! ```text
 //! dda analyze kernel.loop            # per-pair verdicts + vectors
 //! dda parallel kernel.loop           # loop-level parallelism annotation
+//! dda serve --addr 127.0.0.1:8053    # long-running analysis service
 //! echo 'for i = 1 to 9 { a[i+1] = a[i]; }' | dda analyze -
 //! ```
 
@@ -16,12 +17,15 @@ use dda::core::{
 use dda::engine::{Engine, EngineConfig};
 use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
 use dda::obs::{MetricsProbe, MetricsRegistry, MetricsSnapshot, SpanRecorder};
+use dda::serve::manifest::{self, BatchInput};
+use dda::serve::render::{batch_json_line, json_escape};
 
 const USAGE: &str = "\
 dda — efficient and exact data dependence analysis (PLDI 1991)
 
 USAGE:
     dda <COMMAND> <FILE|-> [OPTIONS]
+    dda serve [OPTIONS]
 
 COMMANDS:
     analyze     report every reference pair: verdict, resolving test,
@@ -34,6 +38,14 @@ COMMANDS:
                 per line; `#` comments and blanks skipped). Multiple
                 inputs are allowed and analyzed in order. Output is
                 byte-identical for any --workers/--shards.
+    serve       run a persistent analysis service over HTTP: POST .loop
+                programs to /analyze (or manifests to /batch) and read
+                the same JSONL `batch` emits. All requests share one
+                warm memo table (optionally byte-capped with eviction),
+                run under per-request deadlines, and are admission-
+                controlled; GET /metrics serves the Prometheus
+                exposition, /healthz liveness, /shutdown (or SIGTERM)
+                drains and persists the memo atomically
     help        show this message
 
 OPTIONS:
@@ -75,6 +87,22 @@ OPTIONS:
     --memo-save <FILE>   export the memo table afterwards
     --stats              print analysis statistics (with per-stage wall
                          times for analyze/batch)
+
+SERVE OPTIONS:
+    --addr <HOST:PORT>     bind address (default 127.0.0.1:8053; port 0
+                           picks a free port, printed on stderr)
+    --memo <FILE>          memo persistence path: loaded at startup when
+                           present, written back atomically on graceful
+                           shutdown (for serve, --memo is a path; the
+                           service always memoizes in improved mode)
+    --memo-max-bytes <N>   cap the warm memo tables at ~N bytes with
+                           second-chance eviction (0 = unbounded;
+                           eviction never changes verdicts)
+    --deadline-ms <N>      default per-request deadline (0 = none;
+                           requests may override with ?deadline_ms=N).
+                           Timed-out requests answer with sound
+                           conservative partial results
+    --workers / --shards   as for batch
 ";
 
 /// Output format for `--metrics`.
@@ -101,6 +129,14 @@ struct Options {
     profile: Option<String>,
     workers: usize,
     shards: usize,
+    /// `serve`: bind address.
+    addr: String,
+    /// `serve`: memo persistence path (`--memo` means a path here).
+    memo_path: Option<String>,
+    /// `serve`: memo byte cap (0 = unbounded).
+    memo_max_bytes: u64,
+    /// `serve`: default per-request deadline in ms (0 = none).
+    deadline_ms: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -126,15 +162,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             profile: None,
             workers: 0,
             shards: 16,
+            addr: String::new(),
+            memo_path: None,
+            memo_max_bytes: 0,
+            deadline_ms: 0,
         });
     }
-    if command != "analyze" && command != "parallel" && command != "graph" && command != "batch" {
+    if command != "analyze"
+        && command != "parallel"
+        && command != "graph"
+        && command != "batch"
+        && command != "serve"
+    {
         return Err(format!("unknown command `{command}`"));
     }
-    let file = it
-        .next()
-        .ok_or_else(|| "missing input file (use `-` for stdin)".to_owned())?
-        .clone();
+    // `serve` binds a socket instead of reading an input file.
+    let file = if command == "serve" {
+        String::new()
+    } else {
+        it.next()
+            .ok_or_else(|| "missing input file (use `-` for stdin)".to_owned())?
+            .clone()
+    };
 
     let mut extra_files = Vec::new();
     let mut config = AnalyzerConfig::default();
@@ -149,6 +198,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut profile = None;
     let mut workers = 0;
     let mut shards = 16;
+    let mut addr = "127.0.0.1:8053".to_owned();
+    let mut memo_path = None;
+    let mut memo_max_bytes = 0u64;
+    let mut deadline_ms = 0u64;
     while let Some(flag) = it.next() {
         if let Some(list) = flag.strip_prefix("--tests=") {
             config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
@@ -190,6 +243,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let list = it.next().ok_or("--tests needs a comma-separated list")?;
                 config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
             }
+            "--memo" if command == "serve" => {
+                // For the service, `--memo` is the persistence path;
+                // the memo *mode* is always improved server-side.
+                memo_path = Some(it.next().ok_or("--memo needs a path")?.clone());
+            }
             "--memo" => {
                 let mode = it.next().ok_or("--memo needs a mode")?;
                 config.memo = match mode.as_str() {
@@ -198,6 +256,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "improved" => MemoMode::Improved,
                     other => return Err(format!("bad memo mode `{other}`")),
                 };
+            }
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--memo-max-bytes" => {
+                let n = it.next().ok_or("--memo-max-bytes needs a byte count")?;
+                memo_max_bytes = n.parse().map_err(|_| format!("bad byte count `{n}`"))?;
+            }
+            "--deadline-ms" => {
+                let n = it.next().ok_or("--deadline-ms needs a count")?;
+                deadline_ms = n.parse().map_err(|_| format!("bad deadline `{n}`"))?;
             }
             "--memo-load" => {
                 memo_load = Some(it.next().ok_or("--memo-load needs a path")?.clone());
@@ -232,6 +301,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile,
         workers,
         shards,
+        addr,
+        memo_path,
+        memo_max_bytes,
+        deadline_ms,
     })
 }
 
@@ -314,23 +387,6 @@ fn print_annotated(program: &Program, carried: &std::collections::BTreeSet<usize
     }
     let mut next_id = 0;
     go(&program.stmts, 0, &mut next_id, carried);
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Canonical lowercase token for a test, matching `--tests` syntax.
@@ -475,64 +531,6 @@ fn trace_event_json(event: &TraceEvent) -> String {
     }
 }
 
-/// One JSONL record for a program's report.
-fn batch_json_line(file: &str, report: &dda::core::ProgramReport) -> String {
-    use std::fmt::Write as _;
-    let mut line = format!("{{\"file\":\"{}\",\"pairs\":[", json_escape(file));
-    for (i, pair) in report.pairs().iter().enumerate() {
-        if i > 0 {
-            line.push(',');
-        }
-        let answer = if pair.result.answer.is_independent() {
-            "independent"
-        } else if pair.result.answer.is_dependent() {
-            "dependent"
-        } else {
-            "unknown"
-        };
-        let directions: Vec<String> = pair
-            .direction_vectors
-            .iter()
-            .map(|v| format!("\"{}\"", json_escape(&v.to_string())))
-            .collect();
-        let _ = write!(
-            line,
-            "{{\"array\":\"{}\",\"a\":{},\"b\":{},\"answer\":\"{answer}\",\
-             \"by\":\"{}\",\"cached\":{},\"directions\":[{}],\"distance\":\"{}\"}}",
-            json_escape(&pair.array),
-            pair.a_access,
-            pair.b_access,
-            json_escape(&pair.result.resolved_by.to_string()),
-            pair.from_cache,
-            directions.join(","),
-            json_escape(&pair.distance.to_string()),
-        );
-    }
-    let s = &report.stats;
-    let _ = write!(
-        line,
-        "],\"stats\":{{\"pairs\":{},\"constant\":{},\"gcd_independent\":{},\
-         \"assumed\":{},\"base_tests\":{},\"direction_tests\":{},\
-         \"memo_queries\":{},\"memo_hits\":{},\"gcd_memo_queries\":{},\
-         \"gcd_memo_hits\":{},\"independent_pairs\":{},\"dependent_pairs\":{},\
-         \"direction_vectors_found\":{}}}}}",
-        s.pairs,
-        s.constant,
-        s.gcd_independent,
-        s.assumed,
-        s.base_tests.total(),
-        s.direction_tests.total(),
-        s.memo_queries,
-        s.memo_hits,
-        s.gcd_memo_queries,
-        s.gcd_memo_hits,
-        s.independent_pairs,
-        s.dependent_pairs,
-        s.direction_vectors_found,
-    );
-    line
-}
-
 /// Engine configuration used for `--check` verification runs: same
 /// analyzer settings as the main run, but with the engine's own
 /// panic-on-failure hook off — the CLI reports rejections itself.
@@ -619,53 +617,19 @@ fn write_profile_dir(dir: &str, spans: &SpanRecorder) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads one batch input: a `.loop` file is a program itself; anything
-/// else is a manifest listing one program path per line.
-fn load_batch_input(
-    opts: &Options,
-    input: &str,
-    files: &mut Vec<String>,
-    programs: &mut Vec<Program>,
-) -> Result<(), String> {
-    let mut push = |label: &str, path: &std::path::Path| -> Result<(), String> {
-        let source =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let mut program = parse_program(&source)
-            .map_err(|e| format!("{}:\n{}", path.display(), e.render(&source)))?;
-        if opts.normalize {
-            passes::normalize(&mut program);
-        }
-        files.push(label.to_owned());
-        programs.push(program);
-        Ok(())
-    };
-    if input != "-" && input.ends_with(".loop") {
-        return push(input, std::path::Path::new(input));
+/// Loads one batch input via the shared loader in `dda-serve` (also
+/// behind the service's `/batch` endpoint): a `.loop` file is a program
+/// itself; anything else is a manifest listing one program path per
+/// line, relative entries resolving against the manifest's directory.
+/// `-` reads a manifest from stdin, entries resolving against the
+/// working directory. Errors are located (path + reason) and abort the
+/// load — a batch with a broken entry never half-runs.
+fn load_batch_input(opts: &Options, input: &str, out: &mut BatchInput) -> Result<(), String> {
+    if input == "-" {
+        let text = read_source(input).map_err(|e| format!("{input}: {e}"))?;
+        return manifest::load_manifest_text(&text, std::path::Path::new(""), opts.normalize, out);
     }
-    let manifest = read_source(input).map_err(|e| format!("{input}: {e}"))?;
-    // Relative manifest entries resolve against the manifest's directory
-    // (or the working directory when reading from stdin).
-    let base = if input == "-" {
-        std::path::PathBuf::new()
-    } else {
-        std::path::Path::new(input)
-            .parent()
-            .map(std::path::Path::to_path_buf)
-            .unwrap_or_default()
-    };
-    for entry in manifest.lines() {
-        let entry = entry.trim();
-        if entry.is_empty() || entry.starts_with('#') {
-            continue;
-        }
-        let path = if std::path::Path::new(entry).is_absolute() {
-            std::path::PathBuf::from(entry)
-        } else {
-            base.join(entry)
-        };
-        push(entry, &path)?;
-    }
-    Ok(())
+    manifest::load_input_file(input, opts.normalize, out)
 }
 
 /// `--profile` for `dda batch`: replay the batch through a serial
@@ -695,12 +659,12 @@ fn profile_batch(opts: &Options, files: &[String], programs: &[Program]) -> Resu
 /// `dda batch`: analyze every program from the inputs with the parallel
 /// engine and emit one JSON report per line, in input order.
 fn run_batch(opts: &Options) -> Result<(), String> {
-    let mut files = Vec::new();
-    let mut programs = Vec::new();
-    load_batch_input(opts, &opts.file, &mut files, &mut programs)?;
+    let mut batch = BatchInput::default();
+    load_batch_input(opts, &opts.file, &mut batch)?;
     for input in &opts.extra_files {
-        load_batch_input(opts, input, &mut files, &mut programs)?;
+        load_batch_input(opts, input, &mut batch)?;
     }
+    let (files, programs) = (batch.labels, batch.programs);
 
     let mut engine = Engine::with_config(check_engine_config(opts));
     if let Some(path) = &opts.memo_load {
@@ -762,7 +726,31 @@ fn run_batch(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `dda serve`: run the persistent analysis service until SIGTERM,
+/// SIGINT, or a `/shutdown` request, then drain and persist the memo.
+fn run_serve(opts: &Options) -> Result<(), String> {
+    let cfg = dda::serve::ServeConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        shards: opts.shards,
+        memo_max_bytes: opts.memo_max_bytes,
+        deadline_ms: opts.deadline_ms,
+        memo_path: opts.memo_path.clone().map(Into::into),
+        normalize: opts.normalize,
+        ..dda::serve::ServeConfig::default()
+    };
+    let server = dda::serve::Server::bind(&cfg)?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    eprintln!("dda serve: listening on {addr}");
+    server.run()
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    if opts.command == "serve" {
+        return run_serve(opts);
+    }
     if opts.command == "batch" {
         return run_batch(opts);
     }

@@ -287,3 +287,96 @@ fn conditional_programs_analyze() {
     assert!(ok);
     assert!(stdout.contains("Independent"), "{stdout}");
 }
+
+/// Satellite regression: a manifest with a broken entry must fail the
+/// whole batch with a located error — the path as written plus the OS
+/// reason — and never emit partial JSONL for the entries before it.
+#[test]
+fn batch_bad_manifest_entry_is_a_located_error_and_nothing_half_runs() {
+    let dir = std::env::temp_dir().join("dda_cli_batch_located");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("ok.loop"), "for i = 1 to 9 { a[i + 1] = a[i]; }").unwrap();
+    let manifest = dir.join("m.txt");
+    std::fs::write(&manifest, "ok.loop\nmissing.loop\n").unwrap();
+
+    let (stdout, stderr, ok) = run_cli(&["batch", manifest.to_str().unwrap()], "");
+    assert!(!ok, "broken manifest entry must exit nonzero");
+    assert!(stderr.contains("missing.loop"), "{stderr}");
+    assert!(stderr.contains("No such file"), "{stderr}");
+    assert!(stdout.is_empty(), "no partial output: {stdout}");
+
+    // A parse error is located too: path plus rendered excerpt.
+    std::fs::write(dir.join("bad.loop"), "for i = 1 to { }").unwrap();
+    std::fs::write(&manifest, "bad.loop\n").unwrap();
+    let (_, stderr, ok) = run_cli(&["batch", manifest.to_str().unwrap()], "");
+    assert!(!ok);
+    assert!(stderr.contains("bad.loop"), "{stderr}");
+    assert!(stderr.contains("parse error"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `dda serve` end to end through the binary: the service's JSONL for a
+/// cold sequential submission is byte-identical to `dda batch` on the
+/// same input, and graceful shutdown persists the memo table.
+#[test]
+fn serve_smoke_matches_batch_and_persists_memo() {
+    use std::io::{BufRead, BufReader, Read as _};
+
+    let dir = std::env::temp_dir().join("dda_cli_serve_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("p.loop");
+    std::fs::write(&program, "for i = 1 to 9 { a[i + 1] = a[i]; }").unwrap();
+    let memo = dir.join("memo.dda");
+
+    let (want, _, ok) = run_cli(&["batch", program.to_str().unwrap()], "");
+    assert!(ok);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dda"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--memo",
+            memo.to_str().unwrap(),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("startup banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("listening address")
+        .to_owned();
+
+    let post = |target: &str, body: &str| -> String {
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(
+            conn,
+            "POST {target} HTTP/1.1\r\nHost: dda\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).expect("recv");
+        reply
+    };
+
+    // The manifest route, loading the same file `dda batch` read.
+    let reply = post("/batch?check=1", &format!("{}\n", program.display()));
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let body = reply.split_once("\r\n\r\n").expect("body").1;
+    assert_eq!(body, want, "service JSONL must match `dda batch` exactly");
+
+    let reply = post("/shutdown", "");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "clean shutdown");
+    assert!(memo.exists(), "shutdown persists the memo");
+    std::fs::remove_dir_all(&dir).ok();
+}
