@@ -145,6 +145,10 @@ impl Trace {
 }
 
 /// Outcome of the Acyclic test.
+// Boxing the `Stuck` payload would put a heap allocation back on the hot
+// path that the inline-storage refactor removed; the enum lives briefly on
+// the stack inside the cascade, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AcyclicOutcome {
     /// A contradiction surfaced during elimination: independent (exact).

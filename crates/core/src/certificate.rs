@@ -209,12 +209,40 @@ impl Certificate {
 
 // --- provenance tracking (solver side) ------------------------------------
 
+use dda_linalg::SmallVec;
+
 use crate::system::Constraint;
 
-/// Provenance state threaded through the solve pipeline. `rules` is the
-/// growing derivation arena; `row_step` maps each live residual row to
-/// its arena step; `lb_step`/`ub_step` map each variable's current bound
-/// to the arena step whose row is exactly `−v ≤ −lb` / `v ≤ ub`.
+/// A derived (non-premise) rule, `Copy` so the trail can log derivations
+/// without touching the heap. Mirrors [`Rule::Comb`] / [`Rule::Div`].
+#[derive(Debug, Clone, Copy)]
+enum DerivedRule {
+    /// `ca · step[a] + cb · step[b]`.
+    Comb {
+        a: usize,
+        ca: i64,
+        b: usize,
+        cb: i64,
+    },
+    /// Step `of` divided by `d`.
+    Div { of: usize, d: i64 },
+}
+
+impl Default for DerivedRule {
+    fn default() -> DerivedRule {
+        DerivedRule::Div { of: 0, d: 1 }
+    }
+}
+
+/// Provenance state threaded through the solve pipeline. Arena steps
+/// `0..n_premises` are the base system's rows, held *implicitly* — they
+/// are cloned into [`Rule::Premise`] values only when a certificate is
+/// actually emitted, so the dependent/undecided fast paths never pay for
+/// them. `derived` logs the `Comb`/`Div` steps appended after the
+/// premises (inline up to 8, covering every single-stage refutation);
+/// `row_step` maps each live residual row to its arena step;
+/// `lb_step`/`ub_step` map each variable's current bound to the arena
+/// step whose row is exactly `−v ≤ −lb` / `v ≤ ub`.
 ///
 /// `ok` poisons the trail: when a stage cannot account for a derivation
 /// (a bound with no recorded step, an unextractable negative cycle), it
@@ -222,10 +250,11 @@ use crate::system::Constraint;
 /// certificate is simply withheld.
 #[derive(Debug, Clone)]
 pub(crate) struct Trail {
-    pub rules: Vec<Rule>,
-    pub row_step: Vec<usize>,
-    pub lb_step: Vec<Option<usize>>,
-    pub ub_step: Vec<Option<usize>>,
+    n_premises: usize,
+    derived: SmallVec<DerivedRule, 8>,
+    pub row_step: SmallVec<usize, 12>,
+    pub lb_step: SmallVec<Option<usize>, 6>,
+    pub ub_step: SmallVec<Option<usize>, 6>,
     /// Arena step holding a sealed contradiction, set by the stage that
     /// proved infeasibility.
     pub seal: Option<usize>,
@@ -233,39 +262,62 @@ pub(crate) struct Trail {
 }
 
 impl Trail {
-    /// Seeds a trail from a constraint list: one `Premise` per row.
+    /// Seeds a trail from a constraint list: one implicit premise per row.
     pub fn for_rows(num_vars: usize, rows: &[Constraint]) -> Trail {
         Trail {
-            rules: rows
-                .iter()
-                .map(|c| Rule::Premise {
-                    coeffs: c.coeffs.clone(),
-                    rhs: c.rhs,
-                })
-                .collect(),
+            n_premises: rows.len(),
+            derived: SmallVec::new(),
             row_step: (0..rows.len()).collect(),
-            lb_step: vec![None; num_vars],
-            ub_step: vec![None; num_vars],
+            lb_step: SmallVec::from_elem(None, num_vars),
+            ub_step: SmallVec::from_elem(None, num_vars),
             seal: None,
             ok: true,
         }
     }
 
-    /// Appends a rule, returning its arena index.
+    /// Appends a derived rule, returning its arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Rule::Premise`]: premises are implicit (the base rows,
+    /// in order) and must not be re-introduced mid-derivation.
     pub fn push(&mut self, rule: Rule) -> usize {
-        self.rules.push(rule);
-        self.rules.len() - 1
+        let d = match rule {
+            Rule::Comb { a, ca, b, cb } => DerivedRule::Comb { a, ca, b, cb },
+            Rule::Div { of, d } => DerivedRule::Div { of, d },
+            Rule::Premise { .. } => panic!("trail premises are implicit"),
+        };
+        self.derived.push(d);
+        self.n_premises + self.derived.len() - 1
+    }
+
+    /// Materializes the arena: one [`Rule::Premise`] per `base` row (which
+    /// must be the row list the trail was seeded from), then the logged
+    /// derivations. Step numbering is identical to the eager construction
+    /// this replaced, so certificates come out byte-for-byte the same.
+    pub fn materialize(&self, base: &[Constraint]) -> Vec<Rule> {
+        debug_assert_eq!(base.len(), self.n_premises);
+        let mut rules = Vec::with_capacity(self.n_premises + self.derived.len());
+        rules.extend(base.iter().map(|c| Rule::Premise {
+            coeffs: c.coeffs.to_vec(),
+            rhs: c.rhs,
+        }));
+        rules.extend(self.derived.iter().map(|d| match *d {
+            DerivedRule::Comb { a, ca, b, cb } => Rule::Comb { a, ca, b, cb },
+            DerivedRule::Div { of, d } => Rule::Div { of, d },
+        }));
+        rules
     }
 
     /// Converts the trail into a refutation sealed in the arena itself,
     /// if the trail stayed accountable.
-    pub fn into_arena_refutation(self) -> Option<SystemRefutation> {
+    pub fn into_arena_refutation(self, base: &[Constraint]) -> Option<SystemRefutation> {
         if !self.ok {
             return None;
         }
         let seal = self.seal?;
         Some(SystemRefutation {
-            arena: self.rules,
+            arena: self.materialize(base),
             proof: RefProof::Arena { seal },
         })
     }
@@ -288,10 +340,49 @@ mod tests {
     fn trail_seals_only_when_ok() {
         let rows = vec![Constraint::new(vec![1], 0)];
         let mut t = Trail::for_rows(1, &rows);
-        assert!(t.clone().into_arena_refutation().is_none(), "no seal yet");
+        assert!(
+            t.clone().into_arena_refutation(&rows).is_none(),
+            "no seal yet"
+        );
         t.seal = Some(0);
-        assert!(t.clone().into_arena_refutation().is_some());
+        assert!(t.clone().into_arena_refutation(&rows).is_some());
         t.ok = false;
-        assert!(t.into_arena_refutation().is_none(), "poisoned");
+        assert!(t.into_arena_refutation(&rows).is_none(), "poisoned");
+    }
+
+    #[test]
+    fn trail_materializes_premises_then_derivations() {
+        let rows = vec![Constraint::new(vec![2], 5), Constraint::new(vec![-1], -3)];
+        let mut t = Trail::for_rows(1, &rows);
+        let div = t.push(Rule::Div { of: 0, d: 2 });
+        assert_eq!(div, 2, "first derived step follows the premises");
+        let comb = t.push(Rule::Comb {
+            a: div,
+            ca: 1,
+            b: 1,
+            cb: 1,
+        });
+        assert_eq!(comb, 3);
+        let arena = t.materialize(&rows);
+        assert_eq!(
+            arena,
+            vec![
+                Rule::Premise {
+                    coeffs: vec![2],
+                    rhs: 5
+                },
+                Rule::Premise {
+                    coeffs: vec![-1],
+                    rhs: -3
+                },
+                Rule::Div { of: 0, d: 2 },
+                Rule::Comb {
+                    a: 2,
+                    ca: 1,
+                    b: 1,
+                    cb: 1
+                },
+            ]
+        );
     }
 }

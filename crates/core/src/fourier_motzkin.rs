@@ -14,14 +14,24 @@
 //! - otherwise branch and bound splits on the empty range and recurses,
 //!   giving up (`Unknown`) after a bounded number of steps.
 //!
-//! Two engineering details keep the arithmetic small and the test sharp:
+//! Engineering details that keep the arithmetic small and the test sharp:
 //! every derived row is gcd-normalized with a floored right-hand side
 //! (preserving exactly the integer solutions), and the elimination order
-//! greedily minimizes the number of generated rows (`p·q`).
+//! greedily minimizes the number of generated rows (`p·q`). The hot loop
+//! is storage- and certificate-frugal: rows live in inline
+//! [`CoeffVec`] storage (cloning one is a `memcpy`), each elimination
+//! step moves its bound rows into a bump arena and records *ranges*
+//! instead of per-step vectors, back-substitution compares bounds in the
+//! tiered [`Coeff`] arithmetic (`i64`-component fast path, no gcd), and
+//! derivation steps are logged as `Copy` values that materialize into
+//! [`Rule`]s only when a refutation is actually returned.
 
 #![warn(clippy::arithmetic_side_effects)]
 
-use dda_linalg::{num, Rational};
+use std::mem;
+use std::ops::Range;
+
+use dda_linalg::{num, Coeff, CoeffVec};
 
 use crate::certificate::{Derivation, FmTree, Rule};
 use crate::system::Constraint;
@@ -56,16 +66,48 @@ impl Default for FmLimits {
     }
 }
 
-/// One elimination step, recorded for back-substitution. The `*_steps`
-/// vectors mirror `lowers`/`uppers` with each row's index in the local
-/// derivation arena.
+/// A derived elimination step, logged as a `Copy` value. Premises are
+/// implicit — the input rows, in order — so the derivation arena is built
+/// ([`materialize`]) only when a refutation is actually emitted; the
+/// dependent and `Unknown` paths never construct a single [`Rule`].
+#[derive(Debug, Clone, Copy)]
+enum DStep {
+    /// `ca · step[a] + cb · step[b]`.
+    Comb {
+        a: usize,
+        ca: i64,
+        b: usize,
+        cb: i64,
+    },
+    /// Step `of` divided by `d`.
+    Div { of: usize, d: i64 },
+}
+
+/// Builds the local derivation arena: one [`Rule::Premise`] per input
+/// row, then the logged derivations. Step numbering matches the indices
+/// recorded during elimination (`inputs.len() + log position`), so the
+/// output is byte-for-byte what the eager construction used to produce.
+fn materialize(inputs: &[Constraint], derived: &[DStep]) -> Vec<Rule> {
+    let mut rules = Vec::with_capacity(inputs.len().saturating_add(derived.len()));
+    rules.extend(inputs.iter().map(|c| Rule::Premise {
+        coeffs: c.coeffs.to_vec(),
+        rhs: c.rhs,
+    }));
+    rules.extend(derived.iter().map(|d| match *d {
+        DStep::Comb { a, ca, b, cb } => Rule::Comb { a, ca, b, cb },
+        DStep::Div { of, d } => Rule::Div { of, d },
+    }));
+    rules
+}
+
+/// One elimination step, recorded for back-substitution: the eliminated
+/// variable plus the ranges of its lower/upper bound rows in the bound
+/// arena (where partitioning moved them).
 #[derive(Debug, Clone)]
 struct Step {
     var: usize,
-    lowers: Vec<Constraint>,
-    uppers: Vec<Constraint>,
-    lower_steps: Vec<usize>,
-    upper_steps: Vec<usize>,
+    lo: Range<usize>,
+    up: Range<usize>,
 }
 
 /// Runs Fourier–Motzkin with default limits.
@@ -102,7 +144,11 @@ pub fn fourier_motzkin_with(
 
 /// Runs Fourier–Motzkin and, on `Infeasible`, also returns a refutation
 /// tree whose leaf premises are drawn (by value) from `constraints`.
-pub(crate) fn fourier_motzkin_cert(
+///
+/// Public for the differential test oracle; not a stable API.
+#[doc(hidden)]
+#[must_use]
+pub fn fourier_motzkin_cert(
     num_vars: usize,
     constraints: &[Constraint],
     limits: FmLimits,
@@ -110,14 +156,15 @@ pub(crate) fn fourier_motzkin_cert(
     solve(num_vars, constraints, limits, 0)
 }
 
-/// The elimination core. Alongside the outcome it maintains a local
-/// derivation arena (seeded with one `Premise` per input row) and, when
-/// the answer is `Infeasible`, returns a tree whose sealed derivations
+/// The elimination core. Alongside the outcome it keeps a `Copy` log of
+/// derived steps (premises are the input rows, implicitly) and, when the
+/// answer is `Infeasible`, materializes a tree whose sealed derivations
 /// refute `constraints`; branch hypotheses become the premises of the
 /// recursive subtrees.
-// Unchecked ops here are structurally safe: `len() - 1` immediately after
-// a push, a `Comb` multiplier whose negation `combine` already proved
-// representable, and i128 midpoint arithmetic on in-range bounds.
+// Unchecked ops here are structurally safe: arena step numbering bounded
+// by `max_constraints`, a `Comb` multiplier whose negation `combine`
+// already proved representable, and i128 midpoint arithmetic guarded by
+// checked addition.
 #[allow(clippy::arithmetic_side_effects)]
 fn solve(
     num_vars: usize,
@@ -125,127 +172,121 @@ fn solve(
     limits: FmLimits,
     depth: usize,
 ) -> (FmOutcome, Option<FmTree>) {
-    let mut lrules: Vec<Rule> = constraints
-        .iter()
-        .map(|c| Rule::Premise {
-            coeffs: c.coeffs.clone(),
-            rhs: c.rhs,
-        })
-        .collect();
-    let mut rows: Vec<Constraint> = Vec::with_capacity(constraints.len());
-    let mut row_steps: Vec<usize> = Vec::with_capacity(constraints.len());
+    let n_inputs = constraints.len();
+    let mut derived: Vec<DStep> = Vec::new();
+    // The live working set: (row, local derivation step).
+    let mut rows: Vec<(Constraint, usize)> = Vec::with_capacity(n_inputs);
     for (i, c) in constraints.iter().enumerate() {
         let mut step = i;
         let mut c = c.clone();
         let g = num::gcd_slice(&c.coeffs);
         c.normalize();
         if g > 1 {
-            lrules.push(Rule::Div { of: step, d: g });
-            step = lrules.len() - 1;
+            derived.push(DStep::Div { of: step, d: g });
+            step = n_inputs + derived.len() - 1;
         }
         if c.is_trivial() {
             if !c.trivially_satisfied() {
                 let tree = FmTree::Sealed(Derivation {
-                    rules: lrules,
+                    rules: materialize(constraints, &derived),
                     seal: step,
                 });
                 return (FmOutcome::Infeasible, Some(tree));
             }
             continue;
         }
-        rows.push(c);
-        row_steps.push(step);
+        rows.push((c, step));
     }
 
     let mut remaining: Vec<usize> = (0..num_vars)
-        .filter(|&v| rows.iter().any(|c| c.coeffs[v] != 0))
+        .filter(|&v| rows.iter().any(|(c, _)| c.coeffs[v] != 0))
         .collect();
+    // Bump arena of bound rows: each elimination step moves its lower and
+    // upper rows here (contiguously) and records ranges, so the per-step
+    // row sets cost no per-step allocations and survive untouched for
+    // back-substitution.
+    let mut arena: Vec<(Constraint, usize)> = Vec::new();
     let mut steps: Vec<Step> = Vec::new();
 
     while let Some(pick_idx) = pick_variable(&rows, &remaining) {
         let v = remaining.swap_remove(pick_idx);
-        let mut lowers = Vec::new();
-        let mut uppers = Vec::new();
-        let mut rest = Vec::new();
-        let mut lower_steps = Vec::new();
-        let mut upper_steps = Vec::new();
-        let mut rest_steps = Vec::new();
-        for (c, s) in rows.into_iter().zip(row_steps) {
-            match c.coeffs[v].cmp(&0) {
-                std::cmp::Ordering::Less => {
-                    lowers.push(c);
-                    lower_steps.push(s);
-                }
-                std::cmp::Ordering::Greater => {
-                    uppers.push(c);
-                    upper_steps.push(s);
-                }
-                std::cmp::Ordering::Equal => {
-                    rest.push(c);
-                    rest_steps.push(s);
-                }
+        // Partition: move `v`'s lower rows into the arena, then its upper
+        // rows, then compact the untouched rest in place. Taken slots are
+        // recognizable by their empty coefficient vectors.
+        let lo_start = arena.len();
+        for (c, s) in &mut rows {
+            if c.coeffs.get(v).is_some_and(|&a| a < 0) {
+                arena.push((mem::take(c), *s));
             }
         }
-        for (lo, lo_s) in lowers.iter().zip(&lower_steps) {
-            for (up, up_s) in uppers.iter().zip(&upper_steps) {
+        let lo_end = arena.len();
+        for (c, s) in &mut rows {
+            if c.coeffs.get(v).is_some_and(|&a| a > 0) {
+                arena.push((mem::take(c), *s));
+            }
+        }
+        let up_end = arena.len();
+        rows.retain(|(c, _)| !c.coeffs.is_empty());
+
+        for li in lo_start..lo_end {
+            for ui in lo_end..up_end {
+                let (lo, lo_s) = &arena[li];
+                let (up, up_s) = &arena[ui];
                 let Some(mut combined) = combine(lo, up, v) else {
                     return (FmOutcome::Unknown, None); // overflow
                 };
                 // combine succeeding proves `−a_lo` did not overflow.
-                lrules.push(Rule::Comb {
+                derived.push(DStep::Comb {
                     a: *lo_s,
                     ca: up.coeffs[v],
                     b: *up_s,
                     cb: -lo.coeffs[v],
                 });
-                let mut cstep = lrules.len() - 1;
+                let mut cstep = n_inputs + derived.len() - 1;
                 let g = num::gcd_slice(&combined.coeffs);
                 combined.normalize();
                 if g > 1 {
-                    lrules.push(Rule::Div { of: cstep, d: g });
-                    cstep = lrules.len() - 1;
+                    derived.push(DStep::Div { of: cstep, d: g });
+                    cstep = n_inputs + derived.len() - 1;
                 }
                 if combined.is_trivial() {
                     if !combined.trivially_satisfied() {
                         let tree = FmTree::Sealed(Derivation {
-                            rules: lrules,
+                            rules: materialize(constraints, &derived),
                             seal: cstep,
                         });
                         return (FmOutcome::Infeasible, Some(tree));
                     }
                 } else {
-                    rest.push(combined);
-                    rest_steps.push(cstep);
+                    rows.push((combined, cstep));
                 }
-                if rest.len() > limits.max_constraints {
+                if rows.len() > limits.max_constraints {
                     return (FmOutcome::Unknown, None);
                 }
             }
         }
         steps.push(Step {
             var: v,
-            lowers,
-            uppers,
-            lower_steps,
-            upper_steps,
+            lo: lo_start..lo_end,
+            up: lo_end..up_end,
         });
-        rows = rest;
-        row_steps = rest_steps;
     }
-    debug_assert!(rows.is_empty() || rows.iter().all(Constraint::is_trivial));
+    debug_assert!(rows.iter().all(|(c, _)| c.is_trivial()));
 
     // Real-feasible. Back-substitute in reverse elimination order.
     let mut sample = vec![0i64; num_vars];
     let mut assigned = vec![false; num_vars];
     for (k, step) in steps.iter().rev().enumerate() {
-        let lo = tightest(&step.lowers, step.var, &sample, &assigned, true);
-        let up = tightest(&step.uppers, step.var, &sample, &assigned, false);
+        let lowers = &arena[step.lo.clone()];
+        let uppers = &arena[step.up.clone()];
+        let lo = tightest(lowers, step.var, &sample, &assigned, true);
+        let up = tightest(uppers, step.var, &sample, &assigned, false);
         let (lo, up) = match (lo, up) {
             (Err(()), _) | (_, Err(())) => return (FmOutcome::Unknown, None), // overflow
             (Ok(l), Ok(u)) => (l, u),
         };
-        let lo_int = lo.as_ref().map(Rational::ceil);
-        let up_int = up.as_ref().map(Rational::floor);
+        let lo_int = lo.as_ref().map(Coeff::ceil);
+        let up_int = up.as_ref().map(Coeff::floor);
         let value = match (lo_int, up_int) {
             (Some(l), Some(u)) if l > u => {
                 // Empty integer range.
@@ -253,7 +294,7 @@ fn solve(
                     // No other choices constrain the first back-substituted
                     // variable: its real range is the exact projection, so
                     // an empty integer range proves independence.
-                    let tree = seal_last_var(lrules, step);
+                    let tree = seal_last_var(constraints, derived, lowers, uppers, step.var);
                     return (FmOutcome::Infeasible, tree);
                 }
                 if depth >= limits.max_branch_depth {
@@ -271,8 +312,13 @@ fn solve(
                 );
             }
             (Some(l), Some(u)) => {
-                // The integer nearest the middle of the allowed range.
-                let mid = Rational::new(l + u, 2).map_or(l, |m| m.round_nearest());
+                // The integer nearest the middle of the allowed range:
+                // ⌊(l + u + 1) / 2⌋, computed with checked addition so
+                // extreme bounds fall back to `l` instead of wrapping.
+                let mid = l
+                    .checked_add(u)
+                    .and_then(|s| s.checked_add(1))
+                    .map_or(l, |s| s.div_euclid(2));
                 mid.clamp(l, u)
             }
             (Some(l), None) => l,
@@ -293,41 +339,46 @@ fn solve(
 /// variable was eliminated before it, zeroing its coefficient), so the
 /// tightest lower row `−v ≤ −l` plus the tightest upper row `v ≤ u` sums
 /// to `0 ≤ u − l < 0`. Returns `None` if the rows violate that shape.
-// i128-widened row constants and `len() - 1` after a push cannot overflow.
+// i128-widened row constants and in-bounds step numbering cannot overflow.
 #[allow(clippy::arithmetic_side_effects)]
-fn seal_last_var(mut lrules: Vec<Rule>, step: &Step) -> Option<FmTree> {
-    let v = step.var;
+fn seal_last_var(
+    inputs: &[Constraint],
+    mut derived: Vec<DStep>,
+    lowers: &[(Constraint, usize)],
+    uppers: &[(Constraint, usize)],
+    v: usize,
+) -> Option<FmTree> {
     let mut best_lo: Option<(i128, usize)> = None; // (l, arena step)
-    for (c, &s) in step.lowers.iter().zip(&step.lower_steps) {
+    for (c, s) in lowers {
         if c.single_var() != Some(v) || c.coeffs[v] != -1 {
             return None;
         }
         let l = -i128::from(c.rhs);
         if best_lo.is_none_or(|(b, _)| l > b) {
-            best_lo = Some((l, s));
+            best_lo = Some((l, *s));
         }
     }
     let mut best_up: Option<(i128, usize)> = None; // (u, arena step)
-    for (c, &s) in step.uppers.iter().zip(&step.upper_steps) {
+    for (c, s) in uppers {
         if c.single_var() != Some(v) || c.coeffs[v] != 1 {
             return None;
         }
         let u = i128::from(c.rhs);
         if best_up.is_none_or(|(b, _)| u < b) {
-            best_up = Some((u, s));
+            best_up = Some((u, *s));
         }
     }
     let ((l, lo_s), (u, up_s)) = (best_lo?, best_up?);
     debug_assert!(l > u, "range was reported empty");
-    lrules.push(Rule::Comb {
+    derived.push(DStep::Comb {
         a: up_s,
         ca: 1,
         b: lo_s,
         cb: 1,
     });
-    let seal = lrules.len() - 1;
+    let seal = inputs.len() + derived.len() - 1;
     Some(FmTree::Sealed(Derivation {
-        rules: lrules,
+        rules: materialize(inputs, &derived),
         seal,
     }))
 }
@@ -338,13 +389,13 @@ fn seal_last_var(mut lrules: Vec<Rule>, step: &Step) -> Option<FmTree> {
 // `p`, `q` are row counts capped by `FmLimits::max_constraints`, so the
 // i64 growth measure `p*q - p - q` stays far from overflow.
 #[allow(clippy::arithmetic_side_effects)]
-fn pick_variable(rows: &[Constraint], remaining: &[usize]) -> Option<usize> {
+fn pick_variable(rows: &[(Constraint, usize)], remaining: &[usize]) -> Option<usize> {
     remaining
         .iter()
         .enumerate()
         .map(|(idx, &v)| {
-            let p = rows.iter().filter(|c| c.coeffs[v] > 0).count() as i64;
-            let q = rows.iter().filter(|c| c.coeffs[v] < 0).count() as i64;
+            let p = rows.iter().filter(|(c, _)| c.coeffs[v] > 0).count() as i64;
+            let q = rows.iter().filter(|(c, _)| c.coeffs[v] < 0).count() as i64;
             (idx, p * q - p - q)
         })
         .min_by_key(|&(_, growth)| growth)
@@ -358,7 +409,7 @@ fn combine(lo: &Constraint, up: &Constraint, v: usize) -> Option<Constraint> {
     let a_up = up.coeffs[v]; // > 0
     let m_lo = a_up; // multiply lower row by the upper coefficient
     let m_up = a_lo.checked_neg()?; // and the upper row by |lower coefficient|
-    let mut coeffs = Vec::with_capacity(lo.coeffs.len());
+    let mut coeffs = CoeffVec::new();
     for (l, u) in lo.coeffs.iter().zip(&up.coeffs) {
         let term = l.checked_mul(m_lo)?.checked_add(u.checked_mul(m_up)?)?;
         coeffs.push(term);
@@ -374,16 +425,20 @@ fn combine(lo: &Constraint, up: &Constraint, v: usize) -> Option<Constraint> {
 /// The tightest bound on `var` over `rows`, given the already-assigned
 /// sample values. `is_lower` selects max-of-lowers vs min-of-uppers.
 /// `Ok(None)` means unbounded; `Err(())` signals overflow.
+///
+/// Bounds are built as [`Coeff`]s: the dominant small-coefficient rows
+/// stay on the `i64`-component fast path (two multiplies per comparison,
+/// no gcd), promoting only when components actually outgrow it.
 #[allow(clippy::result_unit_err)]
 fn tightest(
-    rows: &[Constraint],
+    rows: &[(Constraint, usize)],
     var: usize,
     sample: &[i64],
     assigned: &[bool],
     is_lower: bool,
-) -> Result<Option<Rational>, ()> {
-    let mut best: Option<Rational> = None;
-    for c in rows {
+) -> Result<Option<Coeff>, ()> {
+    let mut best: Option<Coeff> = None;
+    for (c, _) in rows {
         let a = c.coeffs[var];
         debug_assert_ne!(a, 0);
         let mut rest = i128::from(c.rhs);
@@ -402,7 +457,7 @@ fn tightest(
                     .ok_or(())?;
             }
         }
-        let bound = Rational::new(rest, i128::from(a)).map_err(|_| ())?;
+        let bound = Coeff::ratio128(rest, i128::from(a)).map_err(|_| ())?;
         best = Some(match best {
             None => bound,
             Some(b) if is_lower => b.max(bound),
@@ -426,11 +481,13 @@ fn branch(
     let (Ok(le_val), Ok(ge_val)) = (i64::try_from(le_val), i64::try_from(ge_val)) else {
         return (FmOutcome::Unknown, None);
     };
-    let mut left = constraints.to_vec();
-    let mut coeffs = vec![0i64; num_vars];
+    let mut left = Vec::with_capacity(constraints.len() + 1);
+    left.extend_from_slice(constraints);
+    let mut coeffs = CoeffVec::from_elem(0, num_vars);
     coeffs[var] = 1;
     left.push(Constraint::new(coeffs.clone(), le_val));
-    let mut right = constraints.to_vec();
+    let mut right = Vec::with_capacity(constraints.len() + 1);
+    right.extend_from_slice(constraints);
     coeffs[var] = -1;
     let Some(neg) = ge_val.checked_neg() else {
         return (FmOutcome::Unknown, None);
@@ -605,6 +662,19 @@ mod tests {
             panic!()
         };
         assert_eq!(t, vec![5]);
+    }
+
+    #[test]
+    fn midpoint_survives_extreme_bounds() {
+        // The widest range the elimination itself survives: the midpoint
+        // arithmetic must not wrap (the old `Rational::new(l + u, 2)` used
+        // an unchecked i128 addition). Here l + u = -1: midpoint 0.
+        let half = i64::MAX / 2;
+        let (n, cs) = sys(&[(&[-1], half), (&[1], half - 1)]);
+        let FmOutcome::Sample(t) = fourier_motzkin(n, &cs) else {
+            panic!()
+        };
+        assert_eq!(t, vec![0], "midpoint of [-MAX/2, MAX/2 - 1]");
     }
 
     #[test]

@@ -88,6 +88,9 @@ impl Reduced {
 }
 
 /// Outcome of the preprocessing step.
+// `Reduced` holds an inline-storage `System`; boxing it would trade one
+// stack copy for a heap allocation on every GCD-stage exit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum GcdOutcome {
     /// The equality system has no integer solution: independent, exact,
@@ -110,6 +113,9 @@ pub struct Lattice {
 }
 
 /// Outcome of solving the equality system alone.
+// Same trade-off as `GcdOutcome`: the lattice payload uses inline storage
+// deliberately, and the enum is transient within a single analysis.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EqOutcome {
     /// No integer solution (GCD-independent).
@@ -140,7 +146,7 @@ pub fn solve_equalities(problem: &DependenceProblem) -> Option<EqOutcome> {
     let a = if problem.eq_coeffs.is_empty() {
         Matrix::zeros(0, problem.num_vars())
     } else {
-        Matrix::from_rows(&problem.eq_coeffs)
+        Matrix::try_from_rows(&problem.eq_coeffs).ok()?
     };
     match diophantine::solve(&a, &problem.eq_rhs) {
         Ok(Some(s)) => Some(EqOutcome::Lattice(Lattice {
@@ -246,7 +252,7 @@ pub fn solve_equalities_restricted(
     let a = if restricted.is_empty() {
         Matrix::zeros(0, kept.len())
     } else {
-        Matrix::from_rows(&restricted)
+        Matrix::try_from_rows(&restricted).ok()?
     };
     match diophantine::solve(&a, rhs) {
         Ok(Some(s)) => Some(EqOutcome::Lattice(Lattice {
@@ -279,7 +285,7 @@ pub fn refute_equalities(problem: &DependenceProblem) -> Option<(Vec<i64>, i64)>
     let a = if problem.eq_coeffs.is_empty() {
         Matrix::zeros(0, problem.num_vars())
     } else {
-        Matrix::from_rows(&problem.eq_coeffs)
+        Matrix::try_from_rows(&problem.eq_coeffs).ok()?
     };
     diophantine::refute(&a, &problem.eq_rhs)
 }

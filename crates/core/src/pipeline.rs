@@ -16,6 +16,7 @@
 //! configuration the pipeline is answer-for-answer identical to the
 //! original cascade (property-tested in `tests/prop_tests.rs`).
 
+use std::borrow::Cow;
 use std::fmt;
 use std::str::FromStr;
 use std::time::Instant;
@@ -411,7 +412,10 @@ pub fn run_pipeline<P: Probe>(
     limits: FmLimits,
     probe: &mut P,
 ) -> CascadeOutcome {
-    run_pipeline_collect(system, config, limits, probe).0
+    // COLLECT = false: the answer-only path skips certificate
+    // materialization entirely (the provenance trail still records, but
+    // no `Rule`s are ever built).
+    run_pipeline_impl::<P, false>(system, config, limits, probe).0
 }
 
 /// [`run_pipeline`], additionally returning a refutation certificate when
@@ -428,9 +432,24 @@ pub fn run_pipeline_collect<P: Probe>(
     limits: FmLimits,
     probe: &mut P,
 ) -> (CascadeOutcome, Option<SystemRefutation>) {
+    run_pipeline_impl::<P, true>(system, config, limits, probe)
+}
+
+/// The shared pipeline body. `COLLECT` gates certificate construction at
+/// compile time: the residual starts as a borrow of the system's rows
+/// (first materialized by whichever stage shrinks it) and the trail logs
+/// provenance inline, so with `COLLECT = false` a pair that resolves in
+/// the early stages completes without a single heap allocation beyond
+/// its witness.
+fn run_pipeline_impl<P: Probe, const COLLECT: bool>(
+    system: &System,
+    config: &PipelineConfig,
+    limits: FmLimits,
+    probe: &mut P,
+) -> (CascadeOutcome, Option<SystemRefutation>) {
     let n = system.num_vars;
     let mut bounds = VarBounds::unbounded(n);
-    let mut residual = system.constraints.clone();
+    let mut residual: Cow<'_, [Constraint]> = Cow::Borrowed(&system.constraints);
     let mut trace = Trace::default();
     let mut trail = Trail::for_rows(n, &system.constraints);
     let mut fm_tree: Option<FmTree> = None;
@@ -467,7 +486,7 @@ pub fn run_pipeline_collect<P: Probe>(
                     })
                 }
                 SvpcStep::Residual(rest) => {
-                    residual = rest;
+                    residual = Cow::Owned(rest);
                     StepOutcome::Continue
                 }
             },
@@ -485,7 +504,7 @@ pub fn run_pipeline_collect<P: Probe>(
                     trace: t,
                 } => {
                     bounds = b;
-                    residual = r;
+                    residual = Cow::Owned(r);
                     trace.extend(t);
                     StepOutcome::Continue
                 }
@@ -529,16 +548,16 @@ pub fn run_pipeline_collect<P: Probe>(
         }
 
         if let StepOutcome::Decided(answer) = step {
-            let refutation = if answer.is_independent() {
+            let refutation = if COLLECT && answer.is_independent() {
                 match fm_tree {
                     // FM refuted: its tree rides on the arena built so far.
                     Some(tree) if trail.ok => Some(SystemRefutation {
-                        arena: trail.rules,
+                        arena: trail.materialize(&system.constraints),
                         proof: RefProof::Fm { tree },
                     }),
                     Some(_) => None,
                     // An earlier stage refuted: the arena itself sealed.
-                    None => trail.into_arena_refutation(),
+                    None => trail.into_arena_refutation(&system.constraints),
                 }
             } else {
                 None
@@ -574,10 +593,12 @@ fn run_fm_stage(
     trail: &mut Trail,
     fm_tree: &mut Option<FmTree>,
 ) -> StepOutcome {
-    let mut constraints = residual.to_vec();
+    let bound_rows = bounds.lb.iter().chain(bounds.ub.iter()).flatten().count();
+    let mut constraints = Vec::with_capacity(residual.len() + bound_rows);
+    constraints.extend_from_slice(residual);
     for v in 0..n {
         if let Some(u) = bounds.ub[v] {
-            let mut row = vec![0i64; n];
+            let mut row = dda_linalg::CoeffVec::from_elem(0, n);
             row[v] = 1;
             constraints.push(Constraint::new(row, u));
             if trail.ub_step[v].is_none() {
@@ -585,7 +606,7 @@ fn run_fm_stage(
             }
         }
         if let Some(l) = bounds.lb[v] {
-            let mut row = vec![0i64; n];
+            let mut row = dda_linalg::CoeffVec::from_elem(0, n);
             row[v] = -1;
             let Some(neg) = l.checked_neg() else {
                 return StepOutcome::Undecided;

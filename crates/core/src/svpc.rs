@@ -13,12 +13,15 @@
 
 #![warn(clippy::arithmetic_side_effects)]
 
-use dda_linalg::num;
+use dda_linalg::{num, SmallVec};
 
 use crate::certificate::{Rule, Trail};
 use crate::system::{Constraint, System, VarBounds};
 
 /// Outcome of the SVPC pass.
+// Boxing the large variant would allocate on the independence fast path,
+// which is required to stay allocation-free (crates/core/tests/alloc.rs).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SvpcOutcome {
     /// Some variable's range is empty, or a variable-free constraint is
@@ -110,7 +113,7 @@ pub(crate) fn svpc_into(
     trail: &mut Trail,
 ) -> SvpcStep {
     let mut residual = Vec::new();
-    let mut residual_steps = Vec::new();
+    let mut residual_steps: SmallVec<usize, 12> = SmallVec::new();
     for (i, c) in constraints.iter().enumerate() {
         let mut step = trail.row_step[i];
         let mut c = c.clone();

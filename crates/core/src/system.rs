@@ -8,22 +8,30 @@
 
 use std::fmt;
 
-use dda_linalg::num;
+use dda_linalg::{num, CoeffVec, SmallVec};
 
 /// A single linear inequality `coeffs · t ≤ rhs`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Coefficients live in inline [`CoeffVec`] storage: the dominant
+/// dependence systems have at most six columns, so cloning a row inside
+/// the solver stages is a plain `memcpy` with no heap traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Constraint {
     /// Coefficient per variable (dense; length = number of variables).
-    pub coeffs: Vec<i64>,
+    pub coeffs: CoeffVec,
     /// The inclusive right-hand side.
     pub rhs: i64,
 }
 
 impl Constraint {
-    /// Creates a constraint.
+    /// Creates a constraint. Accepts any coefficient container that
+    /// converts into [`CoeffVec`] (`Vec<i64>`, slices, arrays).
     #[must_use]
-    pub fn new(coeffs: Vec<i64>, rhs: i64) -> Constraint {
-        Constraint { coeffs, rhs }
+    pub fn new(coeffs: impl Into<CoeffVec>, rhs: i64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.into(),
+            rhs,
+        }
     }
 
     /// Number of variables with non-zero coefficients.
@@ -123,9 +131,9 @@ impl fmt::Display for Constraint {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VarBounds {
     /// Lower bound per variable.
-    pub lb: Vec<Option<i64>>,
+    pub lb: SmallVec<Option<i64>, 6>,
     /// Upper bound per variable.
-    pub ub: Vec<Option<i64>>,
+    pub ub: SmallVec<Option<i64>, 6>,
 }
 
 impl VarBounds {
@@ -133,8 +141,8 @@ impl VarBounds {
     #[must_use]
     pub fn unbounded(n: usize) -> VarBounds {
         VarBounds {
-            lb: vec![None; n],
-            ub: vec![None; n],
+            lb: SmallVec::from_elem(None, n),
+            ub: SmallVec::from_elem(None, n),
         }
     }
 

@@ -1,0 +1,79 @@
+//! Zero-allocation steady state for the SVPC fast path, pinned with a
+//! counting global allocator.
+//!
+//! The dominant dependence queries resolve in the SVPC stage (the
+//! paper's measurement, reproduced by the batch engine's stats). After
+//! the tiered-numeric/inline-storage refactor, an answer-only pipeline
+//! run over an SVPC-decided system must not touch the heap at all:
+//! constraint rows clone into inline [`CoeffVec`] storage, scalar
+//! bounds and the derivation trail live in inline `SmallVec`s, and the
+//! non-collecting path never materializes a certificate arena.
+//!
+//! One test only — the counter is process-global, and a sibling test
+//! allocating concurrently would race the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dda_core::fourier_motzkin::FmLimits;
+use dda_core::pipeline::run_pipeline;
+use dda_core::system::{Constraint, System};
+use dda_core::{Answer, NullProbe, PipelineConfig, TestKind};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        SystemAlloc.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        SystemAlloc.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn svpc_fast_path_never_allocates() {
+    // The paper's Section 3.2 worked example: four single-variable
+    // ranges collapsing to 11 ≤ t1 ≤ 10 — independent, decided by SVPC.
+    let mut s = System::new(2);
+    s.push(Constraint::new(vec![-1, 0], -1));
+    s.push(Constraint::new(vec![1, 0], 10));
+    s.push(Constraint::new(vec![0, -1], -1));
+    s.push(Constraint::new(vec![0, 1], 10));
+    s.push(Constraint::new(vec![0, 1], 1));
+    s.push(Constraint::new(vec![-1, 0], -11));
+
+    let config = PipelineConfig::full();
+    let limits = FmLimits::default();
+
+    // Warm up once (first-call laziness, if any), then measure.
+    let out = run_pipeline(&s, &config, limits, &mut NullProbe);
+    assert_eq!(out.answer, Answer::Independent);
+    assert_eq!(out.used, TestKind::Svpc);
+
+    // The counter is process-global, so a harness thread can add a few
+    // stray counts to any single window. Measure several windows and
+    // take the minimum: background noise misses some window, while a
+    // genuine per-call allocation shows up ≥1000 times in every one.
+    let mut min_delta = u64::MAX;
+    for _ in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..1_000 {
+            let out = run_pipeline(&s, &config, limits, &mut NullProbe);
+            std::hint::black_box(&out);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
+    }
+    assert_eq!(
+        min_delta, 0,
+        "SVPC fast path allocated {min_delta} time(s) in every 1000-run window"
+    );
+}

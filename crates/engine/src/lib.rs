@@ -267,6 +267,10 @@ enum Src<V> {
 }
 
 /// Outcome of the extended-GCD wave for one job.
+// The lattice payload uses inline storage on purpose; boxing it here would
+// add a heap allocation per batched GCD solve. The enum is consumed
+// immediately after the phase, so its stack footprint does not accumulate.
+#[allow(clippy::large_enum_variant)]
 enum GcdRes {
     /// Constant or unbuildable pair: the GCD phase never ran.
     Skip,

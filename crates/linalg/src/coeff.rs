@@ -1,0 +1,472 @@
+//! Tiered exact coefficients: `i64` fast path, `i128` on demand,
+//! [`Rational`] only as the last resort.
+//!
+//! The pre-refactor Fourier–Motzkin back-substitution built a normalized
+//! [`Rational`] (one `gcd` over `i128` per row) for *every* bound it
+//! examined, even though almost all dependence systems have single-digit
+//! coefficients. A [`Coeff`] starts in the `Small` tier — an unnormalized
+//! `i64`-component fraction whose cross products always fit `i128`, so
+//! comparisons cost two multiplies and no gcd — and promotes through
+//! `Wide` (`i128` components, checked ops) to `Rat` (normalized
+//! [`Rational`], which reduces magnitudes and so extends the usable
+//! range) only when an operation actually overflows. Values are exact in
+//! every tier; only `Rat`-tier *arithmetic* can report
+//! [`Error::Overflow`], and that is the same precision ceiling the
+//! rational-first code had. Comparisons never fail: when cross
+//! multiplication would overflow, [`Coeff::cmp`] falls back to a
+//! continued-fraction descent that is exact for any operands.
+
+#![warn(clippy::arithmetic_side_effects)]
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{Error, Rational, Result};
+
+/// An exact fraction that keeps its components in the cheapest tier able
+/// to hold them. The denominator is always positive.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::Coeff;
+///
+/// let a = Coeff::ratio(7, -2)?; // -7/2, Small tier
+/// assert_eq!(a.floor(), -4);
+/// assert_eq!(a.ceil(), -3);
+/// assert!(a < Coeff::from_int(0));
+/// # Ok::<(), dda_linalg::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum Coeff {
+    /// `i64` numerator and (positive) denominator: products fit `i128`,
+    /// so arithmetic and comparison are exact without any checks.
+    Small {
+        /// Numerator (sign-carrying).
+        num: i64,
+        /// Denominator, always positive.
+        den: i64,
+    },
+    /// `i128` components after a promotion; operations are checked.
+    Wide {
+        /// Numerator (sign-carrying).
+        num: i128,
+        /// Denominator, always positive.
+        den: i128,
+    },
+    /// The last tier: a normalized [`Rational`]. Reduction to lowest
+    /// terms shrinks components, extending range beyond `Wide`.
+    Rat(Rational),
+}
+
+impl Coeff {
+    /// The integer zero (Small tier).
+    pub const ZERO: Coeff = Coeff::Small { num: 0, den: 1 };
+
+    /// Creates an integer coefficient in the `Small` tier.
+    #[must_use]
+    pub fn from_int(v: i64) -> Coeff {
+        Coeff::Small { num: v, den: 1 }
+    }
+
+    /// Creates the fraction `num / den` in the `Small` tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] when `den == 0`; promotes to
+    /// `Wide` only when fixing the denominator's sign would overflow
+    /// `i64` (i.e. a `±i64::MIN` component).
+    pub fn ratio(num: i64, den: i64) -> Result<Coeff> {
+        if den == 0 {
+            return Err(Error::DivisionByZero);
+        }
+        if den > 0 {
+            return Ok(Coeff::Small { num, den });
+        }
+        match (num.checked_neg(), den.checked_neg()) {
+            (Some(n), Some(d)) => Ok(Coeff::Small { num: n, den: d }),
+            // i64::MIN components: widen instead of losing the value.
+            _ => Coeff::ratio128(i128::from(num), i128::from(den)),
+        }
+    }
+
+    /// Creates the fraction `num / den` in the cheapest tier that fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] when `den == 0`, or
+    /// [`Error::Overflow`] for the unrepresentable `±i128::MIN`
+    /// denominator sign fix.
+    pub fn ratio128(num: i128, den: i128) -> Result<Coeff> {
+        if den == 0 {
+            return Err(Error::DivisionByZero);
+        }
+        let (num, den) = if den > 0 {
+            (num, den)
+        } else {
+            (
+                num.checked_neg().ok_or(Error::Overflow)?,
+                den.checked_neg().ok_or(Error::Overflow)?,
+            )
+        };
+        Ok(Coeff::demoted(num, den))
+    }
+
+    /// Picks `Small` when both components fit `i64`, else `Wide`.
+    /// `den` must already be positive.
+    fn demoted(num: i128, den: i128) -> Coeff {
+        debug_assert!(den > 0);
+        match (i64::try_from(num), i64::try_from(den)) {
+            (Ok(n), Ok(d)) => Coeff::Small { num: n, den: d },
+            _ => Coeff::Wide { num, den },
+        }
+    }
+
+    /// The components as `(numerator, denominator)` with the denominator
+    /// positive, exact in every tier.
+    #[must_use]
+    pub fn parts(&self) -> (i128, i128) {
+        match *self {
+            Coeff::Small { num, den } => (i128::from(num), i128::from(den)),
+            Coeff::Wide { num, den } => (num, den),
+            Coeff::Rat(r) => (r.numer(), r.denom()),
+        }
+    }
+
+    /// Whether the value is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        let (n, d) = self.parts();
+        n.rem_euclid(d) == 0
+    }
+
+    /// The largest integer `<= self`. Exact in every tier; never fails.
+    #[must_use]
+    pub fn floor(&self) -> i128 {
+        let (n, d) = self.parts();
+        n.div_euclid(d)
+    }
+
+    /// The smallest integer `>= self`. Exact in every tier; never fails.
+    #[must_use]
+    pub fn ceil(&self) -> i128 {
+        let (n, d) = self.parts();
+        let q = n.div_euclid(d);
+        if n.rem_euclid(d) == 0 {
+            q
+        } else {
+            // `q < n/d <= i128::MAX / 1`, so `q + 1` cannot overflow.
+            q.wrapping_add(1)
+        }
+    }
+
+    /// Promotes to the normalized [`Rational`] tier (always exact — the
+    /// value does not change, only the representation).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid `Coeff` (positive denominator); the
+    /// `Result` mirrors [`Rational::new`].
+    pub fn to_rational(&self) -> Result<Rational> {
+        match *self {
+            Coeff::Rat(r) => Ok(r),
+            _ => {
+                let (n, d) = self.parts();
+                Rational::new(n, d)
+            }
+        }
+    }
+
+    /// Checked addition with transparent tier promotion: `Small` operands
+    /// never fail; wider operands normalize into the `Rat` tier before
+    /// giving up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] when even the normalized rational
+    /// computation overflows `i128` — the same ceiling the rational-first
+    /// implementation had.
+    pub fn try_add(&self, rhs: &Coeff) -> Result<Coeff> {
+        if let (Coeff::Small { num: n1, den: d1 }, Coeff::Small { num: n2, den: d2 }) = (self, rhs)
+        {
+            // i64 cross products fit i128; the sum of two i126-bounded
+            // terms fits i128 as well (|n·d| < 2^126).
+            let num = i128::from(*n1)
+                .wrapping_mul(i128::from(*d2))
+                .wrapping_add(i128::from(*n2).wrapping_mul(i128::from(*d1)));
+            let den = i128::from(*d1).wrapping_mul(i128::from(*d2));
+            return Ok(Coeff::demoted(num, den));
+        }
+        let (n1, d1) = self.parts();
+        let (n2, d2) = rhs.parts();
+        let wide = || -> Option<Coeff> {
+            let num = n1.checked_mul(d2)?.checked_add(n2.checked_mul(d1)?)?;
+            let den = d1.checked_mul(d2)?;
+            Some(Coeff::demoted(num, den))
+        };
+        match wide() {
+            Some(c) => Ok(c),
+            // Promote: normalization shrinks components, so this succeeds
+            // exactly when the rational-first code would have.
+            None => Ok(Coeff::Rat(
+                self.to_rational()?.try_add(&rhs.to_rational()?)?,
+            )),
+        }
+    }
+
+    /// Checked subtraction; see [`Coeff::try_add`] for the tier rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] past the `Rat`-tier ceiling.
+    pub fn try_sub(&self, rhs: &Coeff) -> Result<Coeff> {
+        self.try_add(&rhs.try_neg()?)
+    }
+
+    /// Checked multiplication; see [`Coeff::try_add`] for the tier rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] past the `Rat`-tier ceiling.
+    pub fn try_mul(&self, rhs: &Coeff) -> Result<Coeff> {
+        if let (Coeff::Small { num: n1, den: d1 }, Coeff::Small { num: n2, den: d2 }) = (self, rhs)
+        {
+            let num = i128::from(*n1).wrapping_mul(i128::from(*n2));
+            let den = i128::from(*d1).wrapping_mul(i128::from(*d2));
+            return Ok(Coeff::demoted(num, den));
+        }
+        let (n1, d1) = self.parts();
+        let (n2, d2) = rhs.parts();
+        match (n1.checked_mul(n2), d1.checked_mul(d2)) {
+            (Some(num), Some(den)) => Ok(Coeff::demoted(num, den)),
+            _ => Ok(Coeff::Rat(
+                self.to_rational()?.try_mul(&rhs.to_rational()?)?,
+            )),
+        }
+    }
+
+    /// Checked negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overflow`] only for an `i128::MIN` numerator in
+    /// the `Wide` tier whose normalization does not shrink it.
+    pub fn try_neg(&self) -> Result<Coeff> {
+        match *self {
+            Coeff::Small { num, den } => match num.checked_neg() {
+                Some(n) => Ok(Coeff::Small { num: n, den }),
+                // Negating any i64 cannot overflow once widened to i128.
+                None => Ok(Coeff::demoted(
+                    i128::from(num).wrapping_neg(),
+                    i128::from(den),
+                )),
+            },
+            Coeff::Wide { num, den } => match num.checked_neg() {
+                Some(n) => Ok(Coeff::demoted(n, den)),
+                None => Ok(Coeff::Rat(self.to_rational()?.try_neg()?)),
+            },
+            Coeff::Rat(r) => Ok(Coeff::Rat(r.try_neg()?)),
+        }
+    }
+}
+
+/// Exact cross-denominator comparison of `a/b` and `c/d` (`b, d > 0`)
+/// that cannot overflow: a continued-fraction descent whose denominators
+/// strictly shrink, so it terminates with the exact ordering.
+pub(crate) fn cmp_frac(mut a: i128, mut b: i128, mut c: i128, mut d: i128) -> Ordering {
+    debug_assert!(b > 0 && d > 0);
+    loop {
+        let (qa, ra) = (a.div_euclid(b), a.rem_euclid(b));
+        let (qc, rc) = (c.div_euclid(d), c.rem_euclid(d));
+        if qa != qc {
+            return qa.cmp(&qc);
+        }
+        match (ra == 0, rc == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                // Equal integer parts; compare ra/b vs rc/d in (0,1),
+                // which is the *inverted* comparison of d/rc vs b/ra.
+                (a, b, c, d) = (d, rc, b, ra);
+            }
+        }
+    }
+}
+
+impl PartialEq for Coeff {
+    fn eq(&self, other: &Coeff) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Coeff {}
+
+impl PartialOrd for Coeff {
+    fn partial_cmp(&self, other: &Coeff) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Coeff {
+    /// Exact value ordering across tiers; never panics or wraps. `Small`
+    /// comparisons are two `i128` multiplies; wider operands fall back to
+    /// a continued-fraction descent when cross products would overflow.
+    fn cmp(&self, other: &Coeff) -> Ordering {
+        if let (Coeff::Small { num: n1, den: d1 }, Coeff::Small { num: n2, den: d2 }) =
+            (self, other)
+        {
+            let lhs = i128::from(*n1).wrapping_mul(i128::from(*d2));
+            let rhs = i128::from(*n2).wrapping_mul(i128::from(*d1));
+            return lhs.cmp(&rhs);
+        }
+        let (n1, d1) = self.parts();
+        let (n2, d2) = other.parts();
+        match (n1.checked_mul(d2), n2.checked_mul(d1)) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => cmp_frac(n1, d1, n2, d2),
+        }
+    }
+}
+
+impl From<i64> for Coeff {
+    fn from(v: i64) -> Coeff {
+        Coeff::from_int(v)
+    }
+}
+
+impl From<Rational> for Coeff {
+    fn from(r: Rational) -> Coeff {
+        Coeff::Rat(r)
+    }
+}
+
+impl fmt::Display for Coeff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (n, d) = self.parts();
+        if d == 1 {
+            write!(f, "{n}")
+        } else {
+            write!(f, "{n}/{d}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_tier_basics() {
+        let a = Coeff::ratio(7, 2).unwrap();
+        assert_eq!(a.floor(), 3);
+        assert_eq!(a.ceil(), 4);
+        assert!(!a.is_integer());
+        assert!(Coeff::ratio(6, 2).unwrap().is_integer());
+        assert_eq!(Coeff::ratio(-7, 2).unwrap().floor(), -4);
+        assert_eq!(Coeff::ratio(-7, 2).unwrap().ceil(), -3);
+        assert_eq!(Coeff::ratio(7, -2).unwrap(), Coeff::ratio(-7, 2).unwrap());
+        assert!(Coeff::ratio(1, 0).is_err());
+    }
+
+    #[test]
+    fn cross_tier_equality_and_ordering() {
+        let small = Coeff::ratio(1, 2).unwrap();
+        let wide = Coeff::Wide {
+            num: i128::from(i64::MAX) + 1,
+            den: (i128::from(i64::MAX) + 1) * 2,
+        };
+        let rat = Coeff::Rat(Rational::new(1, 2).unwrap());
+        assert_eq!(small, wide);
+        assert_eq!(small, rat);
+        assert!(small < Coeff::ratio(2, 3).unwrap());
+        assert!(Coeff::from_int(-1) < Coeff::ZERO);
+    }
+
+    #[test]
+    fn cmp_survives_extreme_components() {
+        // Cross products here overflow i128; the continued-fraction
+        // fallback must still order them exactly.
+        // With MAX = 2^127 - 1: a = MAX/(MAX/2) = (2^127-1)/(2^126-1),
+        // which exceeds 2 by 1/(2^126-1); b = MAX/(MAX/2+1) =
+        // (2^127-1)/2^126, which falls short of 2 by 1/2^126.
+        let a = Coeff::Wide {
+            num: i128::MAX,
+            den: i128::MAX / 2,
+        };
+        let b = Coeff::Wide {
+            num: i128::MAX,
+            den: i128::MAX / 2 + 1,
+        };
+        let ord = a.cmp(&b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(b.cmp(&b), Ordering::Equal);
+        let two = Coeff::from_int(2);
+        assert!(a > two);
+        assert!(b < two);
+        assert_eq!(ord, Ordering::Greater);
+    }
+
+    #[test]
+    fn small_arithmetic_is_exact() {
+        let a = Coeff::ratio(1, 2).unwrap();
+        let b = Coeff::ratio(1, 3).unwrap();
+        assert_eq!(a.try_add(&b).unwrap(), Coeff::ratio(5, 6).unwrap());
+        assert_eq!(a.try_sub(&b).unwrap(), Coeff::ratio(1, 6).unwrap());
+        assert_eq!(a.try_mul(&b).unwrap(), Coeff::ratio(1, 6).unwrap());
+        assert_eq!(a.try_neg().unwrap(), Coeff::ratio(-1, 2).unwrap());
+    }
+
+    #[test]
+    fn promotion_small_to_wide() {
+        let big = Coeff::from_int(i64::MAX);
+        let sum = big.try_add(&Coeff::from_int(1)).unwrap();
+        assert!(matches!(sum, Coeff::Wide { .. }));
+        assert_eq!(sum.parts(), (i128::from(i64::MAX) + 1, 1));
+    }
+
+    #[test]
+    fn promotion_wide_to_rat_via_normalization() {
+        // Unnormalized wide operands whose cross products overflow i128
+        // but whose reduced forms are tiny: the Rat tier rescues the op.
+        let a = Coeff::Wide {
+            num: i128::MAX / 2,
+            den: i128::MAX / 2,
+        }; // == 1
+        let b = Coeff::Wide {
+            num: i128::MAX / 3,
+            den: i128::MAX / 3,
+        }; // == 1
+        let sum = a.try_add(&b).unwrap();
+        assert_eq!(sum, Coeff::from_int(2));
+        assert!(matches!(sum, Coeff::Rat(_)));
+    }
+
+    #[test]
+    fn rat_tier_ceiling_matches_rational() {
+        // Normalized operands that overflow even the Rational tier must
+        // error exactly like Rational does.
+        let a = Coeff::Rat(Rational::new(i128::MAX, 1).unwrap());
+        let b = Coeff::Rat(Rational::new(1, 1).unwrap());
+        assert_eq!(a.try_add(&b), Err(Error::Overflow));
+        assert_eq!(
+            Rational::new(i128::MAX, 1)
+                .unwrap()
+                .try_add(&Rational::new(1, 1).unwrap()),
+            Err(Error::Overflow)
+        );
+    }
+
+    #[test]
+    fn i64_min_den_widens() {
+        let c = Coeff::ratio(1, i64::MIN).unwrap();
+        assert_eq!(c.parts(), (-1, 1i128 << 63));
+        assert!(c < Coeff::ZERO);
+    }
+
+    #[test]
+    fn display_matches_value() {
+        assert_eq!(Coeff::from_int(3).to_string(), "3");
+        assert_eq!(Coeff::ratio(-1, 2).unwrap().to_string(), "-1/2");
+    }
+}

@@ -7,7 +7,13 @@
 //!   division) over `i64`.
 //! - [`Rational`]: an exact rational number used by the Fourier–Motzkin
 //!   backup test.
-//! - [`Matrix`]: a small dense integer matrix.
+//! - [`Coeff`]: a tiered exact fraction — `i64` fast path promoting
+//!   through `i128` to [`Rational`] only on overflow — used by the
+//!   Fourier–Motzkin back-substitution hot path.
+//! - [`SmallVec`]: inline small-vector storage sized for the dominant
+//!   ≤3-variable / ≤6-column dependence systems, so row clones and
+//!   matrix construction stop heap-allocating.
+//! - [`Matrix`]: a small dense integer matrix (inline storage).
 //! - [`factor`]: the unimodular × echelon factorization (`A · U = E`)
 //!   computed by an extension of Gaussian elimination, the engine behind
 //!   Banerjee's extended GCD test.
@@ -36,16 +42,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod coeff;
 pub mod diophantine;
 mod error;
 pub mod factor;
 mod matrix;
 pub mod num;
 mod rational;
+mod smallvec;
 
+pub use coeff::Coeff;
 pub use error::Error;
 pub use matrix::Matrix;
 pub use rational::Rational;
+pub use smallvec::SmallVec;
+
+/// Inline-capacity row type for constraint coefficients: sized for the
+/// dominant ≤6-column dependence systems (≤3 loop variables after the
+/// extended-GCD reduction, doubled for the pairwise problems), so row
+/// clones in the solver stages stay off the heap.
+pub type CoeffVec = SmallVec<i64, 6>;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -3,12 +3,18 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use crate::{num, Error, Result};
+use crate::{num, Error, Result, SmallVec};
+
+/// Inline storage sized for the dominant tiny systems: a 3×6 equality
+/// system, small lattice bases, and unimodular factors all fit without
+/// touching the heap.
+type MatrixData = SmallVec<i64, 24>;
 
 /// A dense row-major matrix of `i64` values.
 ///
 /// Dependence systems are tiny (a handful of rows and columns), so this
-/// type favours clarity and checked arithmetic over performance tricks.
+/// type favours clarity and checked arithmetic — and keeps entries in
+/// inline [`SmallVec`] storage so the common case never allocates.
 ///
 /// # Examples
 ///
@@ -24,7 +30,7 @@ use crate::{num, Error, Result};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<i64>,
+    data: MatrixData,
 }
 
 impl Matrix {
@@ -34,7 +40,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0; rows * cols],
+            data: MatrixData::from_elem(0, rows * cols),
         }
     }
 
@@ -52,19 +58,48 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if the rows do not all have the same length.
+    /// Panics if the rows do not all have the same length; see
+    /// [`Matrix::try_from_rows`] for the fallible form.
     #[must_use]
     pub fn from_rows(rows: &[Vec<i64>]) -> Matrix {
-        let ncols = rows.first().map_or(0, Vec::len);
-        assert!(
-            rows.iter().all(|r| r.len() == ncols),
-            "all rows must have the same length"
-        );
-        Matrix {
+        Matrix::try_from_rows(rows).expect("all rows must have the same length")
+    }
+
+    /// Creates a matrix from explicit rows, rejecting ragged input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the rows do not all have the
+    /// same length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dda_linalg::Matrix;
+    ///
+    /// let m = Matrix::try_from_rows(&[[1, 2], [3, 4]])?;
+    /// assert_eq!(m[(1, 1)], 4);
+    /// assert!(Matrix::try_from_rows(&[vec![1], vec![2, 3]]).is_err());
+    /// # Ok::<(), dda_linalg::Error>(())
+    /// ```
+    pub fn try_from_rows<R: AsRef<[i64]>>(rows: &[R]) -> Result<Matrix> {
+        let ncols = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut data = MatrixData::new();
+        for r in rows {
+            let r = r.as_ref();
+            if r.len() != ncols {
+                return Err(Error::ShapeMismatch {
+                    expected: format!("rows of len {ncols}"),
+                    found: format!("a row of len {}", r.len()),
+                });
+            }
+            data.extend(r.iter().copied());
+        }
+        Ok(Matrix {
             rows: rows.len(),
             cols: ncols,
-            data: rows.concat(),
-        }
+            data,
+        })
     }
 
     /// Number of rows.
@@ -234,6 +269,23 @@ mod tests {
     #[should_panic(expected = "same length")]
     fn ragged_rows_panic() {
         let _ = Matrix::from_rows(&[vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn try_from_rows_rejects_ragged() {
+        assert!(matches!(
+            Matrix::try_from_rows(&[vec![1], vec![2, 3]]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Matrix::try_from_rows(&[vec![], vec![1]]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let m = Matrix::try_from_rows(&[[1i64, 2], [3, 4]]).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.row(1), &[3, 4]);
+        let empty = Matrix::try_from_rows::<Vec<i64>>(&[]).unwrap();
+        assert_eq!((empty.rows(), empty.cols()), (0, 0));
     }
 
     #[test]

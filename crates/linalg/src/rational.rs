@@ -197,7 +197,16 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
         // Compare via cross-multiplication; denominators are positive.
-        (self.num * other.den).cmp(&(other.num * self.den))
+        // Extreme components can overflow the i128 products (a latent
+        // wrap/panic in the old unchecked code); fall back to the exact
+        // continued-fraction comparison when they do.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => crate::coeff::cmp_frac(self.num, self.den, other.num, other.den),
+        }
     }
 }
 

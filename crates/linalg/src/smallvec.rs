@@ -1,0 +1,385 @@
+//! Inline small-vector storage for the dominant tiny systems.
+//!
+//! Dependence systems are overwhelmingly ≤3 variables / ≤6 columns (the
+//! paper's own premise: the systems are tiny, which is why exact analysis
+//! is affordable). A heap `Vec` per row means every constraint clone,
+//! every Fourier–Motzkin combination, and every per-stage row rebuild
+//! pays an allocator round-trip. [`SmallVec`] stores up to `N` elements
+//! inline and spills to a heap `Vec` only past that, so the common case
+//! never allocates. Hand-rolled because the build is offline (no external
+//! deps): restricting `T: Copy + Default` keeps it safe — no `unsafe`,
+//! no `MaybeUninit`, no drop bookkeeping.
+//!
+//! Equality, ordering, and hashing all have **slice semantics** (and
+//! [`Hash`] matches `Vec`'s, length-prefixed), so types that previously
+//! derived them over a `Vec` field keep identical behavior after
+//! swapping in a `SmallVec`.
+
+#![warn(clippy::arithmetic_side_effects)]
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// A vector of `Copy` elements with inline storage for up to `N` of them.
+///
+/// # Examples
+///
+/// ```
+/// use dda_linalg::SmallVec;
+///
+/// let mut v: SmallVec<i64, 4> = SmallVec::new();
+/// v.push(3);
+/// v.push(5);
+/// assert_eq!(&v[..], &[3, 5]);
+/// assert!(!v.spilled());
+/// for x in 0..10 {
+///     v.push(x);
+/// }
+/// assert!(v.spilled());
+/// assert_eq!(v.len(), 12);
+/// ```
+#[derive(Clone)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+#[derive(Clone)]
+enum Repr<T: Copy, const N: usize> {
+    Inline { len: usize, buf: [T; N] },
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// Creates an empty vector (no allocation).
+    #[must_use]
+    pub fn new() -> SmallVec<T, N> {
+        SmallVec {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [T::default(); N],
+            },
+        }
+    }
+
+    /// The inline capacity `N`.
+    #[must_use]
+    pub const fn inline_capacity() -> usize {
+        N
+    }
+
+    /// Creates a vector of `n` copies of `value`, inline when `n <= N`.
+    #[must_use]
+    pub fn from_elem(value: T, n: usize) -> SmallVec<T, N> {
+        if n <= N {
+            let mut buf = [T::default(); N];
+            for slot in buf.iter_mut().take(n) {
+                *slot = value;
+            }
+            SmallVec {
+                repr: Repr::Inline { len: n, buf },
+            }
+        } else {
+            SmallVec {
+                repr: Repr::Heap(vec![value; n]),
+            }
+        }
+    }
+
+    /// Copies a slice, inline when it fits.
+    #[must_use]
+    pub fn from_slice(values: &[T]) -> SmallVec<T, N> {
+        if values.len() <= N {
+            let mut buf = [T::default(); N];
+            buf[..values.len()].copy_from_slice(values);
+            SmallVec {
+                repr: Repr::Inline {
+                    len: values.len(),
+                    buf,
+                },
+            }
+        } else {
+            SmallVec {
+                repr: Repr::Heap(values.to_vec()),
+            }
+        }
+    }
+
+    /// Whether the contents have spilled to the heap.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// Appends an element, spilling to the heap when the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len = len.wrapping_add(1);
+                } else {
+                    let mut v = Vec::with_capacity(N.saturating_mul(2).max(4));
+                    v.extend_from_slice(&buf[..N]);
+                    v.push(value);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the element at `index`, replacing it with the
+    /// last element (`O(1)`, order not preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn swap_remove(&mut self, index: usize) -> T {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                assert!(index < *len, "swap_remove index out of bounds");
+                let out = buf[index];
+                *len = len.wrapping_sub(1);
+                buf[index] = buf[*len];
+                out
+            }
+            Repr::Heap(v) => v.swap_remove(index),
+        }
+    }
+
+    /// Shortens the vector to `len` elements (no-op when already shorter).
+    pub fn truncate(&mut self, new_len: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = (*len).min(new_len),
+            Repr::Heap(v) => v.truncate(new_len),
+        }
+    }
+
+    /// Removes all elements, keeping the storage.
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// The contents as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The contents as a mutable slice.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len],
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + PartialOrd, const N: usize> PartialOrd for SmallVec<T, N> {
+    fn partial_cmp(&self, other: &SmallVec<T, N>) -> Option<std::cmp::Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Default + Ord, const N: usize> Ord for SmallVec<T, N> {
+    fn cmp(&self, other: &SmallVec<T, N>) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Default + Hash, const N: usize> Hash for SmallVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Same as Vec / slice: length prefix then elements, so a struct
+        // that swaps a Vec field for a SmallVec keeps its derived hash.
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> SmallVec<T, N> {
+        if v.len() > N {
+            SmallVec {
+                repr: Repr::Heap(v),
+            }
+        } else {
+            SmallVec::from_slice(&v)
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for SmallVec<T, N> {
+    fn from(v: &[T]) -> SmallVec<T, N> {
+        SmallVec::from_slice(v)
+    }
+}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for SmallVec<T, N> {
+    fn from(v: [T; M]) -> SmallVec<T, N> {
+        SmallVec::from_slice(&v)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a mut SmallVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<H: Hash>(v: &H) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: SmallVec<i64, 3> = SmallVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert!(!v.spilled());
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_vec_keeps_large_allocation() {
+        let v: SmallVec<i64, 2> = vec![1, 2, 3].into();
+        assert!(v.spilled());
+        let v: SmallVec<i64, 4> = vec![1, 2, 3].into();
+        assert!(!v.spilled());
+        assert_eq!(&v[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn hash_matches_vec() {
+        let vecs = [vec![], vec![1i64], vec![1, -2, 3], vec![0; 10]];
+        for v in vecs {
+            let s: SmallVec<i64, 4> = v.clone().into();
+            assert_eq!(hash_of(&s), hash_of(&v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn slice_ops_and_mutation() {
+        let mut v: SmallVec<i64, 4> = SmallVec::from_elem(7, 3);
+        v[1] = 9;
+        for x in &mut v {
+            *x += 1;
+        }
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![8, 10, 8]);
+        assert_eq!(v.swap_remove(0), 8);
+        assert_eq!(&v[..], &[8, 10]);
+        v.truncate(1);
+        assert_eq!(&v[..], &[8]);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_on_heap() {
+        let mut v: SmallVec<i64, 2> = vec![1, 2, 3, 4].into();
+        assert_eq!(v.swap_remove(0), 1);
+        assert_eq!(&v[..], &[4, 2, 3]);
+    }
+
+    #[test]
+    fn eq_and_ord_have_slice_semantics() {
+        let a: SmallVec<i64, 2> = vec![1, 2, 3].into(); // heap
+        let b: SmallVec<i64, 8> = vec![1, 2, 3].into(); // inline
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c: SmallVec<i64, 2> = vec![1, 2, 4].into();
+        assert!(a.as_slice() < c.as_slice());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: SmallVec<i64, 4> = (0..3).collect();
+        assert_eq!(&v[..], &[0, 1, 2]);
+        let mut v: SmallVec<i64, 2> = SmallVec::new();
+        v.extend(0..5);
+        assert_eq!(v.len(), 5);
+        assert!(v.spilled());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn swap_remove_out_of_bounds_panics() {
+        let mut v: SmallVec<i64, 2> = SmallVec::from_elem(1, 1);
+        let _ = v.swap_remove(1);
+    }
+}

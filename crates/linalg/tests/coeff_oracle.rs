@@ -1,0 +1,197 @@
+//! Differential oracle tests for the tiered [`Coeff`] arithmetic.
+//!
+//! The solver core replaced rational-first arithmetic with a tiered
+//! representation (`i64` components → `i128` components → normalized
+//! [`Rational`]). These tests force every promotion and check, against
+//! two independent oracles, that the tiers never change a value:
+//!
+//! - a hand-rolled 256-bit signed multiply (`wide_mul`) that compares
+//!   fractions by full-width cross-multiplication, with no shared code
+//!   (and no shared overflow ceiling) with the implementation under test;
+//! - the pre-refactor [`Rational`] arithmetic itself, which must agree
+//!   bit-for-bit wherever it is defined, including *where it fails*: the
+//!   tiered path must overflow exactly when rational-first did.
+
+use std::cmp::Ordering;
+
+use dda_linalg::{Coeff, Rational};
+use proptest::prelude::*;
+
+/// Sign (−1, 0, +1) and 256-bit magnitude of an `i128 × i128` product.
+/// Schoolbook limb multiplication — an oracle independent of the
+/// checked/continued-fraction machinery under test.
+fn wide_mul(a: i128, b: i128) -> (i8, u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (ua, ub) = (a.unsigned_abs(), b.unsigned_abs());
+    if ua == 0 || ub == 0 {
+        return (0, 0, 0);
+    }
+    let sign = if (a < 0) != (b < 0) { -1 } else { 1 };
+    let (a0, a1) = (ua & MASK, ua >> 64);
+    let (b0, b1) = (ub & MASK, ub >> 64);
+    let ll = a0 * b0;
+    let lh = a0 * b1;
+    let hl = a1 * b0;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (ll & MASK) | ((mid & MASK) << 64);
+    let hi = a1 * b1 + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (sign, hi, lo)
+}
+
+/// Exact comparison of `n1/d1` vs `n2/d2` (`d1, d2 > 0`) by full-width
+/// cross-multiplication.
+fn cmp_ratio(n1: i128, d1: i128, n2: i128, d2: i128) -> Ordering {
+    assert!(d1 > 0 && d2 > 0);
+    let (s1, h1, l1) = wide_mul(n1, d2);
+    let (s2, h2, l2) = wide_mul(n2, d1);
+    s1.cmp(&s2).then_with(|| match s1 {
+        1 => (h1, l1).cmp(&(h2, l2)),
+        -1 => (h2, l2).cmp(&(h1, l1)),
+        _ => Ordering::Equal,
+    })
+}
+
+/// Asserts `c` holds exactly the value `n/d`.
+fn assert_value(c: &Coeff, n: i128, d: i128, ctx: &str) {
+    let (cn, cd) = c.parts();
+    assert_eq!(
+        cmp_ratio(cn, cd, n, d),
+        Ordering::Equal,
+        "{ctx}: {cn}/{cd} != {n}/{d}"
+    );
+}
+
+/// A component drawn from one of three magnitude bands, chosen so pairs
+/// cover all tier transitions: products of two small bands stay `Small`,
+/// small × large and large × large need `Wide`, and huge × huge
+/// overflows `i128`, forcing the `Rat` tier.
+fn arb_component() -> impl Strategy<Value = i128> {
+    (
+        0u8..7,
+        -1_000i128..=1_000,
+        (i64::MAX as i128 / 2)..=(i64::MAX as i128),
+        (1i128 << 90)..(1i128 << 100),
+    )
+        .prop_map(|(band, small, large, huge)| match band {
+            0..=2 => small,
+            3 => large,
+            4 => -large,
+            5 => huge,
+            _ => -huge,
+        })
+}
+
+/// A positive denominator from the same bands.
+fn arb_den() -> impl Strategy<Value = i128> {
+    arb_component().prop_map(|v| if v == 0 { 1 } else { v.abs() })
+}
+
+/// `(num, den)` pairs plus their tiered and rational forms.
+fn arb_fraction() -> impl Strategy<Value = (i128, i128)> {
+    (arb_component(), arb_den())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4000))]
+
+    /// The 256-bit oracle itself agrees with native i128 multiplication
+    /// wherever the product fits.
+    #[test]
+    fn wide_mul_matches_i128(a in -(1i128 << 62)..(1i128 << 62),
+                             b in -(1i128 << 62)..(1i128 << 62)) {
+        let (s, hi, lo) = wide_mul(a, b);
+        prop_assert_eq!(hi, 0);
+        let expect = a * b;
+        prop_assert_eq!(i128::from(s).signum(), expect.signum());
+        prop_assert_eq!(lo, expect.unsigned_abs());
+    }
+
+    /// Construction keeps the exact value in every tier, and floor /
+    /// ceil / is_integer agree with the rational-first implementation.
+    #[test]
+    fn construction_exact_in_every_tier((n, d) in arb_fraction()) {
+        let c = Coeff::ratio128(n, d).expect("positive denominator");
+        assert_value(&c, n, d, "ratio128");
+        let r = Rational::new(n, d).expect("positive denominator");
+        prop_assert_eq!(c.floor(), r.floor());
+        prop_assert_eq!(c.ceil(), r.ceil());
+        prop_assert_eq!(c.is_integer(), r.is_integer());
+        prop_assert_eq!(c.to_rational().unwrap(), r);
+    }
+
+    /// `Coeff::cmp` is exact across all tier combinations — checked
+    /// against the independent 256-bit oracle, including the
+    /// continued-fraction fallback territory where cross products
+    /// overflow i128.
+    #[test]
+    fn cmp_matches_wide_oracle((n1, d1) in arb_fraction(), (n2, d2) in arb_fraction()) {
+        let a = Coeff::ratio128(n1, d1).unwrap();
+        let b = Coeff::ratio128(n2, d2).unwrap();
+        prop_assert_eq!(a.cmp(&b), cmp_ratio(n1, d1, n2, d2));
+        prop_assert_eq!(b.cmp(&a), cmp_ratio(n2, d2, n1, d1));
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    /// Addition, subtraction, and multiplication agree with the
+    /// rational-first arithmetic bit-for-bit: same values where both are
+    /// defined, and the *same overflow boundary* — the tiered path fails
+    /// exactly when the pre-refactor `Rational` path failed.
+    #[test]
+    fn arithmetic_matches_rational_first((n1, d1) in arb_fraction(), (n2, d2) in arb_fraction()) {
+        let a = Coeff::ratio128(n1, d1).unwrap();
+        let b = Coeff::ratio128(n2, d2).unwrap();
+        let ra = Rational::new(n1, d1).unwrap();
+        let rb = Rational::new(n2, d2).unwrap();
+        let cases: [(&str, Result<Coeff, _>, Result<Rational, _>); 4] = [
+            ("add", a.try_add(&b), ra.try_add(&rb)),
+            ("sub", a.try_sub(&b), ra.try_sub(&rb)),
+            ("mul", a.try_mul(&b), ra.try_mul(&rb)),
+            ("neg", a.try_neg(), ra.try_neg()),
+        ];
+        for (op, tiered, rational) in cases {
+            match (tiered, rational) {
+                (Ok(c), Ok(r)) => assert_value(&c, r.numer(), r.denom(), op),
+                (Err(e), Err(re)) => prop_assert_eq!(e, re, "{} error kind", op),
+                (Ok(c), Err(e)) => prop_assert!(
+                    false, "{} diverged: tiered Ok({c}), rational Err({e})", op),
+                (Err(e), Ok(r)) => prop_assert!(
+                    false, "{} diverged: tiered Err({e}), rational Ok({r})", op),
+            }
+        }
+    }
+}
+
+/// The promotion chain itself: a computation that starts `Small`, is
+/// pushed into `Wide` by an i64-overflowing product, and finally into
+/// `Rat` when even i128 components overflow — with the exact value
+/// preserved at every hop.
+#[test]
+fn promotion_chain_small_wide_rat() {
+    // Small stays Small while products fit i64 components.
+    let s = Coeff::ratio(3, 2).unwrap();
+    let ss = s.try_mul(&s).unwrap();
+    assert!(matches!(ss, Coeff::Small { .. }), "got {ss:?}");
+    assert_value(&ss, 9, 4, "small*small");
+
+    // i64-overflowing components promote to Wide.
+    let big = Coeff::from_int(1i64 << 40);
+    let wide = big.try_mul(&big).unwrap();
+    assert!(matches!(wide, Coeff::Wide { .. }), "got {wide:?}");
+    assert_value(&wide, 1i128 << 80, 1, "2^40 * 2^40");
+
+    // i128-overflowing components promote to Rat, where normalization
+    // shrinks them back into range.
+    let a = Coeff::ratio128(3 << 100, 2 << 100).unwrap(); // 3/2, unreduced
+    assert!(matches!(a, Coeff::Wide { .. }), "got {a:?}");
+    let rat = a.try_mul(&a).unwrap();
+    assert!(matches!(rat, Coeff::Rat(_)), "got {rat:?}");
+    assert_value(&rat, 9, 4, "unreduced 3/2 squared");
+
+    // The same chain through addition.
+    let wide_sum = big.try_mul(&big).unwrap().try_add(&s).unwrap();
+    assert!(matches!(wide_sum, Coeff::Wide { .. }), "got {wide_sum:?}");
+    assert_value(&wide_sum, (1i128 << 81) + 3, 2, "2^80 + 3/2");
+    let rat_sum = a.try_add(&a).unwrap();
+    assert!(matches!(rat_sum, Coeff::Rat(_)), "got {rat_sum:?}");
+    assert_value(&rat_sum, 3, 1, "unreduced 3/2 doubled");
+}

@@ -43,33 +43,39 @@ fn recording_hot_path_never_allocates() {
     let histogram = Histogram::new();
     let mut probe = MetricsProbe::new(&registry);
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for i in 0..10_000u64 {
-        counter.inc();
-        counter.add(i);
-        histogram.record(i * 37);
-        registry.record_stage(TestKind::FourierMotzkin, StageVerdict::Unknown, i);
-        registry.record_gcd(GcdVerdict::Lattice, i % 2 == 0, i);
-        registry.record_refinement(3, i);
-        probe.record(TraceEvent::Stage {
-            test: TestKind::Svpc,
-            verdict: StageVerdict::Independent,
-            nanos: i,
-        });
-        probe.record(TraceEvent::Gcd {
-            verdict: GcdVerdict::Independent,
-            cached: false,
-            nanos: i,
-        });
-        probe.record(TraceEvent::CacheHit);
+    // The counter is process-global, so stray allocations from libtest's
+    // harness threads can land inside any single window. A genuine per-event
+    // allocation shows up in every window (10k events each); noise does not,
+    // so assert on the minimum delta across several windows.
+    let mut min_delta = u64::MAX;
+    for _ in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            counter.inc();
+            counter.add(i);
+            histogram.record(i * 37);
+            registry.record_stage(TestKind::FourierMotzkin, StageVerdict::Unknown, i);
+            registry.record_gcd(GcdVerdict::Lattice, i % 2 == 0, i);
+            registry.record_refinement(3, i);
+            probe.record(TraceEvent::Stage {
+                test: TestKind::Svpc,
+                verdict: StageVerdict::Independent,
+                nanos: i,
+            });
+            probe.record(TraceEvent::Gcd {
+                verdict: GcdVerdict::Independent,
+                cached: false,
+                nanos: i,
+            });
+            probe.record(TraceEvent::CacheHit);
+        }
+        // Reading counters back is also allocation-free.
+        std::hint::black_box((counter.get(), histogram.count(), registry.gcd_cache_hits()));
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_delta = min_delta.min(after - before);
     }
-    // Reading counters back is also allocation-free.
-    std::hint::black_box((counter.get(), histogram.count(), registry.gcd_cache_hits()));
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
-        "metrics hot path allocated {} time(s)",
-        after - before
+        min_delta, 0,
+        "metrics hot path allocated {min_delta} time(s) in the quietest window"
     );
 }
