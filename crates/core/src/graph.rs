@@ -12,12 +12,16 @@
 use dda_ir::AccessSet;
 
 use crate::analyzer::ProgramReport;
-use crate::result::{DependenceKind, Direction, DirectionVector};
-use crate::symmetry::flip_vectors;
+use crate::result::{DependenceKind, Direction, DirectionVector, DistanceVector};
+use crate::symmetry::{flip_distance, flip_vectors};
 
 /// One oriented dependence edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DependenceEdge {
+    /// Index of the [`PairReport`](crate::PairReport) this edge was
+    /// lowered from (into [`ProgramReport::pairs`]) — the handle that
+    /// lets a consumer fetch the certificate backing the edge.
+    pub pair: usize,
     /// Access id of the source (executes first).
     pub source: usize,
     /// Access id of the sink.
@@ -26,6 +30,9 @@ pub struct DependenceEdge {
     pub kind: DependenceKind,
     /// Direction vector oriented source → sink.
     pub vector: DirectionVector,
+    /// Distance vector oriented source → sink (per-level `None` where
+    /// the distance is not constant).
+    pub distance: DistanceVector,
     /// The loop level carrying the dependence (outermost first), or
     /// `None` for a loop-independent edge.
     pub carrying_level: Option<usize>,
@@ -95,55 +102,84 @@ fn execution_pos(set: &AccessSet, access: usize) -> (usize, usize) {
 #[must_use]
 pub fn dependence_graph(report: &ProgramReport, set: &AccessSet) -> Vec<DependenceEdge> {
     let mut edges = Vec::new();
-    for pair in report.pairs() {
+    for (pair_index, pair) in report.pairs().iter().enumerate() {
         if pair.result.is_independent() {
             continue;
         }
         let vectors: &[DirectionVector] = &pair.direction_vectors;
         let a = pair.a_access;
         let b = pair.b_access;
-        let push = |edges: &mut Vec<DependenceEdge>, src: usize, dst: usize, v: DirectionVector| {
+        let distance = &pair.distance;
+        let push = |edges: &mut Vec<DependenceEdge>,
+                    src: usize,
+                    dst: usize,
+                    v: DirectionVector,
+                    flipped: bool| {
             let kind =
                 DependenceKind::classify(set.accesses[src].is_write, set.accesses[dst].is_write);
             let carrying_level = carrying_level(&v);
             edges.push(DependenceEdge {
+                pair: pair_index,
                 source: src,
                 sink: dst,
                 kind,
                 vector: v,
+                distance: if flipped {
+                    flip_distance(distance)
+                } else {
+                    distance.clone()
+                },
                 carrying_level,
             });
         };
         if vectors.is_empty() {
             // Unrefined (assumed) dependence: conservative both ways.
             let n = pair.common_loop_ids.len();
-            push(&mut edges, a, b, DirectionVector::any(n));
-            push(&mut edges, b, a, DirectionVector::any(n));
+            push(&mut edges, a, b, DirectionVector::any(n), false);
+            push(&mut edges, b, a, DirectionVector::any(n), true);
             continue;
         }
         for v in vectors {
             match leading(v) {
                 Ok(Some(Direction::Lt)) | Ok(Some(Direction::Any)) => {
-                    push(&mut edges, a, b, v.clone());
+                    push(&mut edges, a, b, v.clone(), false);
                 }
                 Ok(Some(Direction::Gt)) => {
                     let flipped = flip_vectors(std::slice::from_ref(v));
-                    push(&mut edges, b, a, flipped.into_iter().next().expect("one"));
+                    push(
+                        &mut edges,
+                        b,
+                        a,
+                        flipped.into_iter().next().expect("one"),
+                        true,
+                    );
                 }
                 Ok(Some(Direction::Eq)) | Ok(None) => {
                     // Loop-independent: order by execution position.
                     if execution_pos(set, a) <= execution_pos(set, b) {
-                        push(&mut edges, a, b, v.clone());
+                        push(&mut edges, a, b, v.clone(), false);
                     } else {
                         let flipped = flip_vectors(std::slice::from_ref(v));
-                        push(&mut edges, b, a, flipped.into_iter().next().expect("one"));
+                        push(
+                            &mut edges,
+                            b,
+                            a,
+                            flipped.into_iter().next().expect("one"),
+                            true,
+                        );
                     }
                 }
                 Err(()) => {
                     // Leading `*`: could run either way.
-                    push(&mut edges, a, b, v.clone());
+                    push(&mut edges, a, b, v.clone(), false);
                     let flipped = flip_vectors(std::slice::from_ref(v));
-                    push(&mut edges, b, a, flipped.into_iter().next().expect("one"));
+                    push(
+                        &mut edges,
+                        b,
+                        a,
+                        flipped.into_iter().next().expect("one"),
+                        true,
+                    );
                 }
             }
         }
@@ -174,6 +210,8 @@ mod tests {
         assert_eq!(e.sink, 1);
         assert_eq!(e.vector.to_string(), "(<)");
         assert_eq!(e.carrying_level, Some(0));
+        assert_eq!(e.pair, 0);
+        assert_eq!(e.distance.0, vec![Some(1)]);
     }
 
     #[test]
@@ -187,6 +225,8 @@ mod tests {
         assert_eq!(e.source, 1); // the read executes (one iteration) first
         assert_eq!(e.sink, 0);
         assert_eq!(e.vector.to_string(), "(<)");
+        // The stored pair distance is mirrored along with the vector.
+        assert_eq!(e.distance.0, vec![Some(1)]);
     }
 
     #[test]

@@ -76,8 +76,10 @@ use dda_core::persist::PersistError;
 use dda_core::stats::{AnalysisStats, StageTimings};
 use dda_core::steps::{self, Classified, ReduceEffects};
 use dda_core::{
-    AnalyzerConfig, CachedOutcome, MemoMode, PairReport, ProgramReport, SharedMemo, StatsProbe,
+    AnalyzerConfig, CachedOutcome, DependenceKind, MemoMode, PairReport, ProgramReport, SharedMemo,
+    StatsProbe,
 };
+use dda_graph::{build_graph, ProgramGraph};
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
 use dda_obs::{MemoTableKind, MetricsProbe, MetricsRegistry};
 
@@ -1080,6 +1082,96 @@ pub fn check_batch(
     summary
 }
 
+/// A graph-construction batch: one dependence graph per program, plus
+/// the analysis outcome the graphs were lowered from.
+#[derive(Debug)]
+pub struct GraphOutcome {
+    /// One dependence graph per program, in input order.
+    pub graphs: Vec<ProgramGraph>,
+    /// The underlying analysis outcome (reports, stats, timings,
+    /// deadline flag) — `graphs[i]` was built from
+    /// `batch.reports[i]`.
+    pub batch: BatchOutcome,
+}
+
+/// Dense index for a [`DependenceKind`], matching
+/// [`dda_obs::GRAPH_EDGE_LABELS`].
+fn edge_kind_index(kind: DependenceKind) -> usize {
+    match kind {
+        DependenceKind::Flow => 0,
+        DependenceKind::Anti => 1,
+        DependenceKind::Output => 2,
+        DependenceKind::Input => 3,
+    }
+}
+
+/// Analyzes a batch and lowers every report to its dependence graph —
+/// the engine entry point behind `dda graph`, `dda parallel`, and the
+/// service's `/parallel` endpoint.
+///
+/// Graph construction is a pure function of (program, report), so the
+/// graphs inherit the analysis batch's determinism: bit-identical for
+/// any worker or shard count and to a serial
+/// [`build_graph`] loop over the same reports. Per-graph telemetry
+/// (edge counts by kind, parallel/sequential loop verdicts, build
+/// latency) is folded into `obs`.
+#[must_use]
+pub fn graph_batch(
+    config: &EngineConfig,
+    memo: &SharedMemo,
+    obs: &MetricsRegistry,
+    programs: &[Program],
+    deadline: Deadline,
+) -> GraphOutcome {
+    let batch = analyze_batch(config, memo, obs, programs, deadline);
+    let workers = config.effective_workers();
+    let items: Vec<(&Program, &ProgramReport)> = programs.iter().zip(&batch.reports).collect();
+    let built = par_map_obs(obs, workers, &items, |_, (program, report)| {
+        let start = Instant::now();
+        let graph = build_graph(program, report);
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (graph, nanos)
+    });
+    let mut graphs = Vec::with_capacity(built.len());
+    for (graph, nanos) in built {
+        let mut by_kind = [0u64; 4];
+        for e in &graph.edges {
+            by_kind[edge_kind_index(e.kind)] += 1;
+        }
+        let (mut parallel, mut sequential) = (0u64, 0u64);
+        for l in graph.loops.loops() {
+            if graph.is_parallel(l.id) {
+                parallel += 1;
+            } else {
+                sequential += 1;
+            }
+        }
+        obs.record_graph(by_kind, parallel, sequential, nanos);
+        graphs.push(graph);
+    }
+    GraphOutcome { graphs, batch }
+}
+
+impl Engine {
+    /// Analyzes a batch and builds every program's dependence graph
+    /// (see [`graph_batch`]); reports are folded into the engine's
+    /// cumulative stats exactly as
+    /// [`analyze_programs`](Self::analyze_programs) would.
+    #[must_use]
+    pub fn graph_programs(&mut self, programs: &[Program]) -> GraphOutcome {
+        let out = graph_batch(
+            &self.config,
+            &self.memo,
+            &self.obs,
+            programs,
+            Deadline::none(),
+        );
+        self.stats.add(&out.batch.stats);
+        self.timings.add(&out.batch.timings);
+        out
+    }
+}
+
 /// Number of statements in a statement list, counting nested bodies.
 fn stmt_count(stmts: &[dda_ir::Stmt]) -> usize {
     use dda_ir::Stmt;
@@ -1271,6 +1363,41 @@ mod tests {
                 let want = serial_reports(config.effective_analyzer_config(), &programs);
                 assert_eq!(got, want, "memo={memo_mode:?} workers={workers}");
             }
+        }
+    }
+
+    #[test]
+    fn graph_batch_matches_serial_build_and_records_metrics() {
+        let programs = batch();
+        let want: Vec<ProgramGraph> = {
+            let config = EngineConfig::default();
+            let reports = serial_reports(config.effective_analyzer_config(), &programs);
+            programs
+                .iter()
+                .zip(&reports)
+                .map(|(p, r)| build_graph(p, r))
+                .collect()
+        };
+        for workers in [1, 3] {
+            let config = EngineConfig {
+                workers,
+                shards: 4,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::with_config(config);
+            let out = engine.graph_programs(&programs);
+            assert_eq!(out.graphs, want, "workers={workers}");
+            let edges: u64 = engine.metrics().graph_edges().iter().sum();
+            let total: usize = want.iter().map(|g| g.edges.len()).sum();
+            assert_eq!(edges, total as u64);
+            assert_eq!(
+                engine.metrics().graph_build_latency().count,
+                programs.len() as u64
+            );
+            let loops: u64 =
+                engine.metrics().graph_parallel_loops() + engine.metrics().graph_sequential_loops();
+            let total_loops: usize = want.iter().map(|g| g.loops.len()).sum();
+            assert_eq!(loops, total_loops as u64);
         }
     }
 

@@ -45,6 +45,7 @@ mod ast;
 mod expr;
 pub mod interp;
 mod lexer;
+mod loops;
 mod parser;
 pub mod passes;
 
@@ -54,4 +55,5 @@ pub use access::{
 pub use ast::{ArrayAssign, ForLoop, IfStmt, Program, RelOp, ScalarAssign, Stmt};
 pub use expr::{AffineExpr, ArrayRef, Expr};
 pub use lexer::{tokenize, SpannedToken, Token};
+pub use loops::{loop_table, LoopMeta, LoopTable};
 pub use parser::{parse_expr, parse_program, ParseError, Span};

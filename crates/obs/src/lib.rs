@@ -36,9 +36,9 @@ pub mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use probe::MetricsProbe;
-pub use registry::{MemoTableKind, MetricsRegistry, WaveReport, WorkerWork};
+pub use registry::{MemoTableKind, MetricsRegistry, WaveReport, WorkerWork, GRAPH_EDGE_LABELS};
 pub use snapshot::{
-    EngineSection, GcdSection, MemoSection, MetricsSnapshot, PairsSection, RefinementSection,
-    ServiceSection, StageSection,
+    EngineSection, GcdSection, GraphSection, MemoSection, MetricsSnapshot, PairsSection,
+    RefinementSection, ServiceSection, StageSection,
 };
 pub use span::{Span, SpanRecorder};

@@ -24,6 +24,11 @@ pub const STAGE_VERDICT_LABELS: [&str; 4] = ["independent", "dependent", "unknow
 /// Label tokens for GCD verdicts, indexed by [`gcd_verdict_index`].
 pub const GCD_VERDICT_LABELS: [&str; 3] = ["independent", "lattice", "overflow"];
 
+/// Label tokens for dependence-graph edge kinds, in
+/// [`DependenceKind`](dda_core::DependenceKind) declaration order
+/// (flow, anti, output, input).
+pub const GRAPH_EDGE_LABELS: [&str; 4] = ["flow", "anti", "output", "input"];
+
 /// Dense index for a [`StageVerdict`], matching [`STAGE_VERDICT_LABELS`].
 pub fn stage_verdict_index(verdict: StageVerdict) -> usize {
     match verdict {
@@ -115,6 +120,10 @@ pub struct MetricsRegistry {
     queue_wait_nanos: Counter,
     leader_elections_full: Counter,
     leader_elections_gcd: Counter,
+    graph_edges: [Counter; 4],
+    graph_parallel_loops: Counter,
+    graph_sequential_loops: Counter,
+    graph_build_latency: Histogram,
     worker_slots: Vec<WorkerSlot>,
 }
 
@@ -187,6 +196,24 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one built dependence graph: edge counts by kind (indexed
+    /// like [`GRAPH_EDGE_LABELS`]), per-loop verdict counts, and the
+    /// build wall time.
+    pub fn record_graph(
+        &self,
+        edges_by_kind: [u64; 4],
+        parallel: u64,
+        sequential: u64,
+        nanos: u64,
+    ) {
+        for (c, n) in self.graph_edges.iter().zip(edges_by_kind) {
+            c.add(n);
+        }
+        self.graph_parallel_loops.add(parallel);
+        self.graph_sequential_loops.add(sequential);
+        self.graph_build_latency.record(nanos);
+    }
+
     /// Latency summary for one cascade stage.
     pub fn stage_latency(&self, test: TestKind) -> crate::LatencySummary {
         self.stage_latency[test.index()].summary()
@@ -256,6 +283,27 @@ impl MetricsRegistry {
         }
     }
 
+    /// Dependence-graph edge counts by kind, indexed like
+    /// [`GRAPH_EDGE_LABELS`].
+    pub fn graph_edges(&self) -> [u64; 4] {
+        std::array::from_fn(|k| self.graph_edges[k].get())
+    }
+
+    /// Loops judged parallel across all built graphs.
+    pub fn graph_parallel_loops(&self) -> u64 {
+        self.graph_parallel_loops.get()
+    }
+
+    /// Loops judged sequential across all built graphs.
+    pub fn graph_sequential_loops(&self) -> u64 {
+        self.graph_sequential_loops.get()
+    }
+
+    /// Latency summary of graph builds (count = graphs built).
+    pub fn graph_build_latency(&self) -> crate::LatencySummary {
+        self.graph_build_latency.summary()
+    }
+
     /// Per-worker task counts (one entry per slot).
     pub fn worker_tasks(&self) -> Vec<u64> {
         self.worker_slots.iter().map(|s| s.tasks.get()).collect()
@@ -293,6 +341,12 @@ impl MetricsRegistry {
         self.queue_wait_nanos.reset();
         self.leader_elections_full.reset();
         self.leader_elections_gcd.reset();
+        for c in &self.graph_edges {
+            c.reset();
+        }
+        self.graph_parallel_loops.reset();
+        self.graph_sequential_loops.reset();
+        self.graph_build_latency.reset();
         for slot in &self.worker_slots {
             slot.tasks.reset();
             slot.busy_nanos.reset();
@@ -361,9 +415,24 @@ mod tests {
         let reg = MetricsRegistry::with_workers(3);
         reg.record_stage(TestKind::Acyclic, StageVerdict::Unknown, 5);
         reg.record_leader_elections(MemoTableKind::Full, 7);
+        reg.record_graph([1, 0, 0, 0], 1, 0, 10);
         reg.clear();
         assert_eq!(reg.stage_verdicts(TestKind::Acyclic), [0; 4]);
         assert_eq!(reg.leader_elections(MemoTableKind::Full), 0);
         assert_eq!(reg.worker_slots(), 3);
+        assert_eq!(reg.graph_edges(), [0; 4]);
+        assert_eq!(reg.graph_build_latency().count, 0);
+    }
+
+    #[test]
+    fn graph_recording_accumulates_by_kind() {
+        let reg = MetricsRegistry::new();
+        reg.record_graph([2, 1, 0, 0], 3, 1, 500);
+        reg.record_graph([1, 0, 1, 0], 0, 2, 700);
+        assert_eq!(reg.graph_edges(), [3, 1, 1, 0]);
+        assert_eq!(reg.graph_parallel_loops(), 3);
+        assert_eq!(reg.graph_sequential_loops(), 3);
+        assert_eq!(reg.graph_build_latency().count, 2);
+        assert_eq!(reg.graph_build_latency().sum, 1200);
     }
 }

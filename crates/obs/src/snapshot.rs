@@ -11,7 +11,8 @@
 
 use crate::metrics::LatencySummary;
 use crate::registry::{
-    MemoTableKind, MetricsRegistry, GCD_VERDICT_LABELS, STAGE_LABELS, STAGE_VERDICT_LABELS,
+    MemoTableKind, MetricsRegistry, GCD_VERDICT_LABELS, GRAPH_EDGE_LABELS, STAGE_LABELS,
+    STAGE_VERDICT_LABELS,
 };
 use dda_core::stats::AnalysisStats;
 use dda_core::{MemoCounters, TestKind};
@@ -46,6 +47,20 @@ pub struct RefinementSection {
     pub latency: LatencySummary,
     /// Total cascade tests issued during refinement.
     pub cascade_tests: u64,
+}
+
+/// Dependence-graph figures, present when at least one graph was
+/// built.
+#[derive(Debug, Clone)]
+pub struct GraphSection {
+    /// Edge counts by kind, indexed like [`GRAPH_EDGE_LABELS`].
+    pub edges: [u64; 4],
+    /// Loops judged parallel.
+    pub parallel_loops: u64,
+    /// Loops judged sequential.
+    pub sequential_loops: u64,
+    /// Latency summary of graph builds (count = graphs built).
+    pub build_latency: LatencySummary,
 }
 
 /// Pair outcome figures, copied from the authoritative
@@ -146,6 +161,8 @@ pub struct MetricsSnapshot {
     pub gcd: GcdSection,
     /// Refinement figures.
     pub refinement: RefinementSection,
+    /// Dependence-graph figures, when at least one graph was built.
+    pub graph: Option<GraphSection>,
     /// Pair outcomes, when attached via [`with_pairs`].
     ///
     /// [`with_pairs`]: MetricsSnapshot::with_pairs
@@ -193,6 +210,15 @@ impl MetricsSnapshot {
         } else {
             None
         };
+        // Present only when a graph was actually built, so plain
+        // analyze/batch expositions are unchanged.
+        let build_latency = reg.graph_build_latency();
+        let graph = (build_latency.count > 0).then(|| GraphSection {
+            edges: reg.graph_edges(),
+            parallel_loops: reg.graph_parallel_loops(),
+            sequential_loops: reg.graph_sequential_loops(),
+            build_latency,
+        });
         MetricsSnapshot {
             stages,
             gcd: GcdSection {
@@ -204,6 +230,7 @@ impl MetricsSnapshot {
                 latency: reg.refinement_latency(),
                 cascade_tests: reg.refinement_cascade_tests(),
             },
+            graph,
             pairs: None,
             memo: Vec::new(),
             engine,
@@ -350,6 +377,51 @@ impl MetricsSnapshot {
             &[],
             self.refinement.cascade_tests,
         );
+
+        // --- dependence graph -----------------------------------------------
+        if let Some(g) = &self.graph {
+            header(
+                &mut out,
+                "dda_graph_edges_total",
+                "counter",
+                "Dependence-graph edges by kind.",
+            );
+            for (k, &count) in g.edges.iter().enumerate() {
+                sample(
+                    &mut out,
+                    "dda_graph_edges_total",
+                    &[("kind", GRAPH_EDGE_LABELS[k])],
+                    count,
+                );
+            }
+            for (name, help, value) in [
+                (
+                    "dda_graph_parallel_loops_total",
+                    "Loops judged parallel (no carried dependence).",
+                    g.parallel_loops,
+                ),
+                (
+                    "dda_graph_sequential_loops_total",
+                    "Loops judged sequential (some carried dependence).",
+                    g.sequential_loops,
+                ),
+            ] {
+                header(&mut out, name, "counter", help);
+                sample(&mut out, name, &[], value);
+            }
+            header(
+                &mut out,
+                "dda_graph_build_latency_nanos",
+                "summary",
+                "Dependence-graph build latency in nanoseconds.",
+            );
+            summary(
+                &mut out,
+                "dda_graph_build_latency_nanos",
+                &[],
+                g.build_latency,
+            );
+        }
 
         // --- pairs ----------------------------------------------------------
         if let Some(p) = &self.pairs {
@@ -727,6 +799,22 @@ impl MetricsSnapshot {
             latency_json(self.refinement.latency),
             self.refinement.cascade_tests
         );
+        if let Some(g) = &self.graph {
+            let _ = write!(out, ",\"graph\":{{\"edges\":{{");
+            for (k, &count) in g.edges.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", GRAPH_EDGE_LABELS[k], count);
+            }
+            let _ = write!(
+                out,
+                "}},\"parallel_loops\":{},\"sequential_loops\":{},{}}}",
+                g.parallel_loops,
+                g.sequential_loops,
+                latency_json(g.build_latency).replacen("\"latency\"", "\"build_latency\"", 1)
+            );
+        }
         if let Some(p) = &self.pairs {
             let _ = write!(
                 out,
@@ -941,6 +1029,38 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn graph_section_appears_only_after_a_build() {
+        let reg = MetricsRegistry::new();
+        let without = MetricsSnapshot::from_registry(&reg);
+        assert!(without.graph.is_none());
+        assert!(!without.to_prometheus().contains("dda_graph_"));
+        assert!(!without.to_json().contains("\"graph\":"));
+
+        reg.record_graph([3, 1, 2, 0], 4, 2, 1500);
+        let with = MetricsSnapshot::from_registry(&reg);
+        let text = with.to_prometheus();
+        assert!(text.contains("# TYPE dda_graph_edges_total counter"));
+        assert!(text.contains("dda_graph_edges_total{kind=\"flow\"} 3"));
+        assert!(text.contains("dda_graph_edges_total{kind=\"anti\"} 1"));
+        assert!(text.contains("dda_graph_edges_total{kind=\"output\"} 2"));
+        assert!(text.contains("dda_graph_parallel_loops_total 4"));
+        assert!(text.contains("dda_graph_sequential_loops_total 2"));
+        assert!(text.contains("dda_graph_build_latency_nanos_count 1"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            assert_eq!(
+                line.split_whitespace().count(),
+                2,
+                "bad sample line: {line}"
+            );
+        }
+        let json = with.to_json();
+        assert!(json.contains("\"graph\":{\"edges\":{\"flow\":3,\"anti\":1,\"output\":2,\"input\":0},\"parallel_loops\":4,\"sequential_loops\":2,\"build_latency\":"));
     }
 
     #[test]

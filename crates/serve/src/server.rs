@@ -26,7 +26,8 @@ use std::time::Duration;
 
 use dda_core::stats::AnalysisStats;
 use dda_core::SharedMemo;
-use dda_engine::{analyze_batch, check_batch, Deadline, EngineConfig};
+use dda_engine::{analyze_batch, check_batch, graph_batch, Deadline, EngineConfig};
+use dda_graph::render::parallel_json_line;
 use dda_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, ServiceSection};
 
 use crate::http::{self, Request, Response};
@@ -361,8 +362,18 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
 
 fn route(state: &State, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/analyze") => analyze(state, req, InputKind::Program),
-        ("POST", "/batch") => analyze(state, req, InputKind::Manifest),
+        ("POST", "/analyze") => analyze(state, req, InputKind::Program, Output::Reports),
+        ("POST", "/batch") => analyze(state, req, InputKind::Manifest, Output::Reports),
+        ("POST", "/parallel") => {
+            // Body is one program by default; `?manifest=1` switches to
+            // a manifest body, mirroring the /analyze–/batch split.
+            let kind = if req.query.get("manifest").is_some_and(|v| v != "0") {
+                InputKind::Manifest
+            } else {
+                InputKind::Program
+            };
+            analyze(state, req, kind, Output::Parallel)
+        }
         ("GET", "/metrics") => Response::ok(metrics_text(state), "text/plain; version=0.0.4"),
         ("GET", "/healthz") => Response::ok("ok\n".into(), "text/plain"),
         ("GET" | "POST", "/shutdown") => {
@@ -383,7 +394,16 @@ enum InputKind {
     Manifest,
 }
 
-fn analyze(state: &State, req: &Request, kind: InputKind) -> Response {
+/// What the response stream carries.
+enum Output {
+    /// Per-pair dependence reports (`/analyze`, `/batch`).
+    Reports,
+    /// Per-loop parallelism verdicts from the dependence graph
+    /// (`/parallel`), byte-identical to `dda parallel` on a cold memo.
+    Parallel,
+}
+
+fn analyze(state: &State, req: &Request, kind: InputKind, output: Output) -> Response {
     let mut input = BatchInput::default();
     let loaded = match kind {
         InputKind::Program => {
@@ -406,13 +426,28 @@ fn analyze(state: &State, req: &Request, kind: InputKind) -> Response {
         },
     };
 
-    let out = analyze_batch(
-        &state.engine,
-        &state.memo,
-        &state.obs,
-        &input.programs,
-        deadline,
-    );
+    let (out, graphs) = match output {
+        Output::Reports => (
+            analyze_batch(
+                &state.engine,
+                &state.memo,
+                &state.obs,
+                &input.programs,
+                deadline,
+            ),
+            None,
+        ),
+        Output::Parallel => {
+            let g = graph_batch(
+                &state.engine,
+                &state.memo,
+                &state.obs,
+                &input.programs,
+                deadline,
+            );
+            (g.batch, Some(g.graphs))
+        }
+    };
     if out.deadline_exceeded {
         state.deadline_exceeded.inc();
     }
@@ -435,9 +470,16 @@ fn analyze(state: &State, req: &Request, kind: InputKind) -> Response {
     }
 
     let mut body = String::new();
-    for (label, report) in input.labels.iter().zip(&out.reports) {
-        body.push_str(&render::batch_json_line(label, report));
-        body.push('\n');
+    if let Some(graphs) = &graphs {
+        for (label, graph) in input.labels.iter().zip(graphs) {
+            body.push_str(&parallel_json_line(label, graph));
+            body.push('\n');
+        }
+    } else {
+        for (label, report) in input.labels.iter().zip(&out.reports) {
+            body.push_str(&render::batch_json_line(label, report));
+            body.push('\n');
+        }
     }
     let mut resp = Response::ok(body, "application/x-ndjson");
     if out.deadline_exceeded {

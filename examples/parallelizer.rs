@@ -1,74 +1,23 @@
 //! A mini auto-parallelizer: the paper's motivating application.
 //!
 //! Normalizes a small scientific kernel, runs exact dependence analysis,
-//! and annotates each loop as `parallel` or `sequential` based on whether
-//! any dependence is carried at its level — demonstrating why exactness
-//! matters: an inexact "assume dependent" would serialize the outer loop.
+//! builds the program dependence graph with [`dda::graph`], and prints
+//! the source with each loop annotated `parallel` or `sequential` —
+//! demonstrating why exactness matters: an inexact "assume dependent"
+//! would serialize the outer loop.
+//!
+//! The whole pipeline is three library calls (`analyze_program` →
+//! `build_graph` → `annotate_source`); this file is deliberately a thin
+//! wrapper so the graph crate, not the example, owns the verdict logic.
+//! `tests/parallelizer.rs` pins this output as a snapshot.
 //!
 //! ```text
 //! cargo run --example parallelizer
 //! ```
 
-use std::collections::BTreeSet;
-
 use dda::core::DependenceAnalyzer;
-use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
-
-/// Prints the program with a parallelism annotation per loop, using the
-/// same pre-order loop numbering as access extraction.
-fn print_annotated(program: &Program, carried: &BTreeSet<usize>) {
-    fn go(stmts: &[Stmt], depth: usize, next_id: &mut usize, carried: &BTreeSet<usize>) {
-        for s in stmts {
-            match s {
-                Stmt::For(ForLoop {
-                    var,
-                    lower,
-                    upper,
-                    body,
-                    ..
-                }) => {
-                    let id = *next_id;
-                    *next_id += 1;
-                    let tag = if carried.contains(&id) {
-                        "sequential"
-                    } else {
-                        "parallel"
-                    };
-                    println!(
-                        "{:indent$}for {var} = {lower} to {upper} {{   // {tag}",
-                        "",
-                        indent = depth * 4
-                    );
-                    go(body, depth + 1, next_id, carried);
-                    println!("{:indent$}}}", "", indent = depth * 4);
-                }
-                Stmt::If(i) => {
-                    println!(
-                        "{:indent$}if ({} {} {}) {{ ... }}",
-                        "",
-                        i.lhs,
-                        i.op.as_str(),
-                        i.rhs,
-                        indent = depth * 4
-                    );
-                    go(&i.then_body, depth + 1, next_id, carried);
-                    go(&i.else_body, depth + 1, next_id, carried);
-                }
-                other_stmt => {
-                    let text = match other_stmt {
-                        Stmt::ArrayAssign(a) => format!("{} = {};", a.target, a.value),
-                        Stmt::ScalarAssign(a) => format!("{} = {};", a.name, a.value),
-                        Stmt::Read(n) => format!("read({n});"),
-                        Stmt::For(_) | Stmt::If(_) => unreachable!(),
-                    };
-                    println!("{:indent$}{text}", "", indent = depth * 4);
-                }
-            }
-        }
-    }
-    let mut next_id = 0;
-    go(&program.stmts, 0, &mut next_id, carried);
-}
+use dda::graph::{build_graph, render::annotate_source};
+use dda::ir::{parse_program, passes};
 
 fn analyze(label: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== {label} ===");
@@ -76,8 +25,8 @@ fn analyze(label: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
     passes::normalize(&mut program);
     let mut analyzer = DependenceAnalyzer::new();
     let report = analyzer.analyze_program(&program);
-    let carried = report.carried_dependence_loops();
-    print_annotated(&program, &carried);
+    let graph = build_graph(&program, &report);
+    print!("{}", annotate_source(&program, &graph));
     println!(
         "({} pairs, {} independent)\n",
         report.pairs().len(),

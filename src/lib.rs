@@ -14,6 +14,9 @@
 //! - [`check`]: the independent proof-checking kernel that re-verifies
 //!   every verdict's certificate by substitution and exact arithmetic,
 //!   sharing no solver code with `core`.
+//! - [`graph`]: the dependence-graph static analysis — a program
+//!   dependence graph built from certificate-carrying pair reports,
+//!   with per-loop parallelism verdicts and interchange legality.
 //! - [`engine`]: the parallel batch analysis engine — scoped worker
 //!   threads over a sharded concurrent memo table, with deterministic
 //!   serial-identical output.
@@ -47,6 +50,7 @@ pub use dda_baselines as baselines;
 pub use dda_check as check;
 pub use dda_core as core;
 pub use dda_engine as engine;
+pub use dda_graph as graph;
 pub use dda_ir as ir;
 pub use dda_linalg as linalg;
 pub use dda_obs as obs;

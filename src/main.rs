@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dda analyze kernel.loop            # per-pair verdicts + vectors
-//! dda parallel kernel.loop           # loop-level parallelism annotation
+//! dda parallel kernel.loop           # per-loop verdict JSONL (+ interchange)
+//! dda graph kernel.loop              # dependence graph (DOT or --json)
 //! dda serve --addr 127.0.0.1:8053    # long-running analysis service
 //! echo 'for i = 1 to 9 { a[i+1] = a[i]; }' | dda analyze -
 //! ```
@@ -15,7 +16,8 @@ use dda::core::{
     AnalyzerConfig, DependenceAnalyzer, MemoMode, RecordingProbe, StatsProbe, TestKind,
 };
 use dda::engine::{Engine, EngineConfig};
-use dda::ir::{parse_program, passes, ForLoop, Program, Stmt};
+use dda::graph::render::{annotate_source, graph_json_line, parallel_json_line, to_dot};
+use dda::ir::{parse_program, passes, Program};
 use dda::obs::{MetricsProbe, MetricsRegistry, MetricsSnapshot, SpanRecorder};
 use dda::serve::manifest::{self, BatchInput};
 use dda::serve::render::{batch_json_line, json_escape};
@@ -30,8 +32,21 @@ USAGE:
 COMMANDS:
     analyze     report every reference pair: verdict, resolving test,
                 direction and distance vectors
-    parallel    print the program with each loop marked parallel/sequential
-    graph       print the oriented dependence graph in Graphviz DOT format
+    parallel    per-loop parallelism verdicts as JSONL: each loop is
+                Parallel or Sequential with the blocking dependence
+                edges cited by pair index, plus interchange legality
+                for every directly nested loop pair. `--annotate`
+                prints the program source with each loop marked
+                parallel/sequential instead. Accepts multiple inputs
+                like `batch` (`.loop` = program, else manifest;
+                `-` reads one program from stdin) and runs on the
+                parallel engine — output is byte-identical for any
+                --workers/--shards
+    graph       print the oriented dependence graph: Graphviz DOT by
+                default, one JSON object per program with `--json`
+                (nodes, classified edges with distance/direction and
+                carrying level, loop table). Same inputs and engine
+                as `parallel`
     batch       analyze every input with the parallel engine, emitting one
                 JSON report per line. Inputs ending in `.loop` are DSL
                 programs; anything else is a manifest file (one DSL path
@@ -58,6 +73,10 @@ OPTIONS:
     --symmetric          enable symmetric-pair memoization
     --separable          enable dimension-by-dimension direction vectors
     --input-deps         also test read-read pairs
+    --json               (graph) emit one JSON object per program
+                         instead of DOT
+    --annotate           (parallel) print annotated source instead of
+                         the JSONL verdict stream
     --check              (analyze/batch) re-verify every verdict's
                          certificate with the independent proof-checking
                          kernel; rejections are listed on stderr, a
@@ -115,8 +134,12 @@ enum MetricsFormat {
 struct Options {
     command: String,
     file: String,
-    /// Additional positional inputs (batch only).
+    /// Additional positional inputs (batch/graph/parallel).
     extra_files: Vec<String>,
+    /// `graph`: emit JSONL instead of DOT.
+    json: bool,
+    /// `parallel`: print annotated source instead of JSONL.
+    annotate: bool,
     config: AnalyzerConfig,
     normalize: bool,
     memo_load: Option<String>,
@@ -150,6 +173,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             command: "help".into(),
             file: String::new(),
             extra_files: Vec::new(),
+            json: false,
+            annotate: false,
             config: AnalyzerConfig::default(),
             normalize: true,
             memo_load: None,
@@ -186,6 +211,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     };
 
     let mut extra_files = Vec::new();
+    let mut json = false;
+    let mut annotate = false;
     let mut config = AnalyzerConfig::default();
     let mut normalize = true;
     let mut memo_load = None;
@@ -216,12 +243,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             continue;
         }
         if !flag.starts_with('-') {
-            if command == "batch" {
+            if command == "batch" || command == "graph" || command == "parallel" {
                 extra_files.push(flag.clone());
                 continue;
             }
             return Err(format!(
-                "unexpected extra input `{flag}` (only `batch` accepts multiple inputs)"
+                "unexpected extra input `{flag}` (only `batch`, `graph`, and \
+                 `parallel` accept multiple inputs)"
             ));
         }
         match flag.as_str() {
@@ -231,6 +259,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--symmetric" => config.memo_symmetry = true,
             "--separable" => config.separable_directions = true,
             "--input-deps" => config.include_input_deps = true,
+            "--json" => json = true,
+            "--annotate" => annotate = true,
             "--stats" => stats = true,
             "--explain" => explain = true,
             "--trace" => trace = true,
@@ -289,6 +319,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         command,
         file,
         extra_files,
+        json,
+        annotate,
         config,
         normalize,
         memo_load,
@@ -316,77 +348,6 @@ fn read_source(file: &str) -> std::io::Result<String> {
     } else {
         std::fs::read_to_string(file)
     }
-}
-
-fn print_annotated(program: &Program, carried: &std::collections::BTreeSet<usize>) {
-    fn go(
-        stmts: &[Stmt],
-        depth: usize,
-        next_id: &mut usize,
-        carried: &std::collections::BTreeSet<usize>,
-    ) {
-        for s in stmts {
-            match s {
-                Stmt::For(ForLoop {
-                    var,
-                    lower,
-                    upper,
-                    body,
-                    ..
-                }) => {
-                    let id = *next_id;
-                    *next_id += 1;
-                    let tag = if carried.contains(&id) {
-                        "sequential"
-                    } else {
-                        "parallel"
-                    };
-                    println!(
-                        "{:indent$}for {var} = {lower} to {upper} {{   // {tag}",
-                        "",
-                        indent = depth * 4
-                    );
-                    go(body, depth + 1, next_id, carried);
-                    println!("{:indent$}}}", "", indent = depth * 4);
-                }
-                Stmt::ArrayAssign(a) => println!(
-                    "{:indent$}{} = {};",
-                    "",
-                    a.target,
-                    a.value,
-                    indent = depth * 4
-                ),
-                Stmt::ScalarAssign(a) => {
-                    println!(
-                        "{:indent$}{} = {};",
-                        "",
-                        a.name,
-                        a.value,
-                        indent = depth * 4
-                    )
-                }
-                Stmt::Read(n) => println!("{:indent$}read({n});", "", indent = depth * 4),
-                Stmt::If(i) => {
-                    println!(
-                        "{:indent$}if ({} {} {}) {{",
-                        "",
-                        i.lhs,
-                        i.op.as_str(),
-                        i.rhs,
-                        indent = depth * 4
-                    );
-                    go(&i.then_body, depth + 1, next_id, carried);
-                    if !i.else_body.is_empty() {
-                        println!("{:indent$}}} else {{", "", indent = depth * 4);
-                        go(&i.else_body, depth + 1, next_id, carried);
-                    }
-                    println!("{:indent$}}}", "", indent = depth * 4);
-                }
-            }
-        }
-    }
-    let mut next_id = 0;
-    go(&program.stmts, 0, &mut next_id, carried);
 }
 
 /// Canonical lowercase token for a test, matching `--tests` syntax.
@@ -726,6 +687,102 @@ fn run_batch(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `dda graph` / `dda parallel`: build the dependence graph for every
+/// input with the parallel engine and render per-program output in
+/// input order. Inputs load exactly as for `batch` (`.loop` = program,
+/// anything else = manifest) except that `-` reads a single program
+/// from stdin, matching the other single-program commands. Graph
+/// construction is a pure function of each (program, report), so the
+/// rendered output is byte-identical for any --workers/--shards and to
+/// the service's `/parallel` endpoint on a cold memo.
+fn run_graph(opts: &Options) -> Result<(), String> {
+    let mut batch = BatchInput::default();
+    for input in std::iter::once(&opts.file).chain(&opts.extra_files) {
+        if input == "-" {
+            let text = read_source(input).map_err(|e| format!("{input}: {e}"))?;
+            manifest::push_program_source("-", &text, opts.normalize, &mut batch)?;
+        } else {
+            manifest::load_input_file(input, opts.normalize, &mut batch)?;
+        }
+    }
+    let (files, programs) = (batch.labels, batch.programs);
+
+    let mut engine = Engine::with_config(check_engine_config(opts));
+    if let Some(path) = &opts.memo_load {
+        engine
+            .load_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let out = engine.graph_programs(&programs);
+
+    let mut stdout = String::new();
+    for ((file, program), graph) in files.iter().zip(&programs).zip(&out.graphs) {
+        if opts.command == "graph" {
+            if opts.json {
+                stdout.push_str(&graph_json_line(file, graph));
+                stdout.push('\n');
+            } else {
+                stdout.push_str(&to_dot(graph));
+            }
+        } else if opts.annotate {
+            stdout.push_str(&annotate_source(program, graph));
+        } else {
+            stdout.push_str(&parallel_json_line(file, graph));
+            stdout.push('\n');
+        }
+    }
+    print!("{stdout}");
+
+    if opts.stats {
+        let s = engine.stats();
+        let (mut parallel, mut sequential) = (0usize, 0usize);
+        for graph in &out.graphs {
+            for l in graph.loops.loops() {
+                if graph.is_parallel(l.id) {
+                    parallel += 1;
+                } else {
+                    sequential += 1;
+                }
+            }
+        }
+        let edges: usize = out.graphs.iter().map(|g| g.edges.len()).sum();
+        eprintln!(
+            "graph: {} programs, {} edges | {} parallel loops, {} sequential",
+            out.graphs.len(),
+            edges,
+            parallel,
+            sequential
+        );
+        eprintln!(
+            "pairs: {} | constant {} | gcd-independent {} | assumed {}",
+            s.pairs, s.constant, s.gcd_independent, s.assumed
+        );
+        eprintln!("stage times: {}", engine.stage_timings());
+    }
+
+    if let Some(format) = opts.metrics {
+        let memo = engine.memo();
+        let snapshot = MetricsSnapshot::from_registry(engine.metrics())
+            .with_pairs(engine.stats())
+            .with_memo_table("full", memo.full.counters(), memo.full.shard_ops())
+            .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops());
+        emit_metrics(format, &snapshot);
+    }
+    if opts.profile.is_some() {
+        profile_batch(opts, &files, &programs)?;
+    }
+
+    if let Some(path) = &opts.memo_save {
+        engine
+            .save_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.check {
+        run_check(opts, &files, &programs, &out.batch.reports)?;
+    }
+    Ok(())
+}
+
 /// `dda serve`: run the persistent analysis service until SIGTERM,
 /// SIGINT, or a `/shutdown` request, then drain and persist the memo.
 fn run_serve(opts: &Options) -> Result<(), String> {
@@ -753,6 +810,9 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if opts.command == "batch" {
         return run_batch(opts);
+    }
+    if opts.command == "graph" || opts.command == "parallel" {
+        return run_graph(opts);
     }
     let source = read_source(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     let mut program = parse_program(&source).map_err(|e| e.render(&source))?;
@@ -833,43 +893,6 @@ fn run(opts: &Options) -> Result<(), String> {
                     );
                 }
             }
-        }
-        "parallel" => {
-            let carried = report.carried_dependence_loops();
-            print_annotated(&program, &carried);
-        }
-        "graph" => {
-            let set = dda::ir::extract_accesses(&program);
-            let edges = dda::core::graph::dependence_graph(&report, &set);
-            println!("digraph dependences {{");
-            println!("    rankdir=LR;");
-            let mut nodes = std::collections::BTreeSet::new();
-            for e in &edges {
-                nodes.insert(e.source);
-                nodes.insert(e.sink);
-            }
-            for n in nodes {
-                let acc = &set.accesses[n];
-                println!(
-                    "    n{n} [label=\"#{n} {acc}\" shape={}];",
-                    if acc.is_write { "box" } else { "ellipse" }
-                );
-            }
-            for e in &edges {
-                let style = if e.is_loop_carried() {
-                    "solid"
-                } else {
-                    "dashed"
-                };
-                let level = e
-                    .carrying_level
-                    .map_or(String::new(), |l| format!(" @L{l}"));
-                println!(
-                    "    n{} -> n{} [label=\"{} {}{level}\" style={style}];",
-                    e.source, e.sink, e.kind, e.vector
-                );
-            }
-            println!("}}");
         }
         other => return Err(format!("unknown command `{other}`")),
     }

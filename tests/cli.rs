@@ -41,12 +41,63 @@ fn analyze_reports_pairs() {
 #[test]
 fn parallel_annotates_loops() {
     let (stdout, _, ok) = run_cli(
-        &["parallel", "-"],
+        &["parallel", "-", "--annotate"],
         "for i = 1 to 9 { for j = 1 to 9 { a[i][j + 1] = a[i][j]; } }",
     );
     assert!(ok);
     assert!(stdout.contains("// parallel"), "{stdout}");
     assert!(stdout.contains("// sequential"), "{stdout}");
+}
+
+#[test]
+fn parallel_defaults_to_verdict_jsonl_with_blocking_citations() {
+    let (stdout, _, ok) = run_cli(
+        &["parallel", "-"],
+        "for i = 1 to 9 { for j = 1 to 9 { a[i][j + 1] = a[i][j]; } }",
+    );
+    assert!(ok);
+    let line = stdout.lines().next().expect("one JSONL record");
+    assert!(line.starts_with("{\"file\":\"-\",\"loops\":["), "{stdout}");
+    // The i-loop is parallel; the j-loop is sequential and must cite
+    // the blocking edge back to its pair report (the certificate).
+    assert!(
+        line.contains("\"id\":0,\"var\":\"i\",\"depth\":0,\"parallel\":true,\"blocking\":[]"),
+        "{stdout}"
+    );
+    assert!(
+        line.contains("\"id\":1,\"var\":\"j\",\"depth\":1,\"parallel\":false"),
+        "{stdout}"
+    );
+    assert!(
+        line.contains("\"pair\":0,\"array\":\"a\"") && line.contains("\"level\":1"),
+        "{stdout}"
+    );
+    assert!(line.contains("\"interchange\":["), "{stdout}");
+}
+
+#[test]
+fn parallel_reports_interchange_legality() {
+    // (<, >): interchange would reverse the dependence — illegal.
+    let (stdout, _, ok) = run_cli(
+        &["parallel", "-"],
+        "for i = 1 to 9 { for j = 1 to 9 { b[i + 1][j] = b[i][j + 1]; } }",
+    );
+    assert!(ok);
+    assert!(
+        stdout.contains("\"interchange\":[{\"outer\":0,\"inner\":1,\"legal\":false"),
+        "{stdout}"
+    );
+    // (<, <): stays lexicographically positive under the swap — legal.
+    let (stdout, _, ok) = run_cli(
+        &["parallel", "-"],
+        "for i = 1 to 9 { for j = 1 to 9 { b[i + 1][j + 1] = b[i][j]; } }",
+    );
+    assert!(ok);
+    assert!(
+        stdout
+            .contains("\"interchange\":[{\"outer\":0,\"inner\":1,\"legal\":true,\"blocking\":[]}]"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -102,6 +153,58 @@ fn graph_emits_dot() {
     assert!(stdout.contains("digraph dependences"), "{stdout}");
     assert!(stdout.contains("flow (<) @L0"), "{stdout}");
     assert!(stdout.contains("shape=box"), "{stdout}");
+}
+
+#[test]
+fn graph_json_emits_nodes_edges_and_loops() {
+    let (stdout, _, ok) = run_cli(
+        &["graph", "-", "--json"],
+        "for i = 1 to 9 { a[i + 1] = a[i]; }",
+    );
+    assert!(ok);
+    let line = stdout.lines().next().expect("one JSONL record");
+    assert!(line.starts_with("{\"file\":\"-\",\"nodes\":["), "{stdout}");
+    assert!(
+        line.contains("\"label\":\"a[i + 1] (write)\",\"write\":true"),
+        "{stdout}"
+    );
+    assert!(
+        line.contains(
+            "\"pair\":0,\"array\":\"a\",\"source\":0,\"sink\":1,\"kind\":\"flow\",\
+             \"vector\":\"(<)\",\"distance\":\"(1)\",\"level\":0"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        line.contains("\"loops\":[{\"id\":0,\"var\":\"i\",\"depth\":0,\"parent\":null}]"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn graph_and_parallel_are_byte_identical_across_worker_counts() {
+    let dir = std::env::temp_dir().join("dda_cli_graph_workers");
+    let manifest = write_perfect_batch(&dir, 0.2);
+    let manifest = manifest.to_str().unwrap();
+
+    for command in ["graph", "parallel"] {
+        let (serial, _, ok) = run_cli(&[command, manifest, "--workers", "1"], "");
+        assert!(ok);
+        let (parallel, _, ok) = run_cli(&[command, manifest, "--workers", "4"], "");
+        assert!(ok);
+        assert_eq!(
+            serial, parallel,
+            "{command}: workers must not change output"
+        );
+        let (sharded, _, ok) = run_cli(&[command, manifest, "--workers", "4", "--shards", "3"], "");
+        assert!(ok);
+        assert_eq!(serial, sharded, "{command}: shards must not change output");
+    }
+
+    let (jsonl, _, ok) = run_cli(&["parallel", manifest], "");
+    assert!(ok);
+    assert_eq!(jsonl.lines().count(), 13, "one JSONL record per program");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Writes the 13 synthetic PERFECT programs to `dir` and returns a
@@ -379,4 +482,71 @@ fn serve_smoke_matches_batch_and_persists_memo() {
     assert!(status.success(), "clean shutdown");
     assert!(memo.exists(), "shutdown persists the memo");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `POST /parallel` answers with the same per-loop verdict JSONL as
+/// `dda parallel` on a cold memo, and the graph metrics show up in the
+/// service's `/metrics` exposition afterwards.
+#[test]
+fn serve_parallel_matches_cli_and_exposes_graph_metrics() {
+    use std::io::{BufRead, BufReader, Read as _};
+
+    let src = "for i = 1 to 9 { for j = 1 to 9 { b[i + 1][j] = b[i][j + 1]; } }";
+    let (want, _, ok) = run_cli(&["parallel", "-"], src);
+    assert!(ok);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dda"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("startup banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("listening address")
+        .to_owned();
+
+    let request = |method: &str, target: &str, body: &str| -> String {
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(
+            conn,
+            "{method} {target} HTTP/1.1\r\nHost: dda\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).expect("recv");
+        reply
+    };
+
+    let reply = request("POST", "/parallel?check=1", src);
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let body = reply.split_once("\r\n\r\n").expect("body").1;
+    assert_eq!(
+        body, want,
+        "service JSONL must match `dda parallel` exactly"
+    );
+
+    let metrics = request("GET", "/metrics", "");
+    assert!(
+        metrics.contains("dda_graph_edges_total{kind=\"flow\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("dda_graph_sequential_loops_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("dda_graph_parallel_loops_total 1"),
+        "{metrics}"
+    );
+
+    let reply = request("POST", "/shutdown", "");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "clean shutdown");
 }

@@ -136,6 +136,50 @@ fn batch_prom_exposition_is_valid_and_covers_the_pipeline() {
 }
 
 #[test]
+fn parallel_exposition_includes_the_graph_section() {
+    // `dda parallel` routes through the engine's graph batch, so the
+    // exposition gains the graph section: edge counters by dependence
+    // class, loop verdict counters, and the build-time summary. The
+    // parser validates shape; the values must match the manifest's
+    // known contents (9 pairs over 6 programs, 12 loops of which 4 are
+    // parallel — see tests/cli.rs and the CI smoke step).
+    let manifest = manifest_path();
+    let (_, stderr, ok) = run_cli(&["parallel", manifest.as_str(), "--metrics=prom"], "");
+    assert!(ok, "parallel run failed:\n{stderr}");
+    let exp =
+        parse_exposition(&stderr).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{stderr}"));
+
+    assert_eq!(
+        exp.types.get("dda_graph_edges_total").map(String::as_str),
+        Some("counter")
+    );
+    let flow = exp
+        .value("dda_graph_edges_total", &[("kind", "flow")])
+        .expect("flow edge counter present");
+    assert!(flow > 0.0, "manifest programs have flow dependences");
+    let parallel = exp
+        .value("dda_graph_parallel_loops_total", &[])
+        .expect("parallel loop counter");
+    let sequential = exp
+        .value("dda_graph_sequential_loops_total", &[])
+        .expect("sequential loop counter");
+    assert_eq!(parallel, 4.0, "parallel loops over examples/loops");
+    assert_eq!(sequential, 8.0, "sequential loops over examples/loops");
+    let builds = exp
+        .value("dda_graph_build_latency_nanos_count", &[])
+        .expect("build latency count");
+    assert_eq!(builds, 6.0, "one graph build per manifest program");
+
+    // A plain batch run must NOT grow a graph section: graph metrics
+    // exist only once a graph has actually been built.
+    let exp = batch_exposition(&[]);
+    assert!(
+        !exp.types.contains_key("dda_graph_edges_total"),
+        "batch exposition must not contain graph metrics"
+    );
+}
+
+#[test]
 fn counters_are_monotone_across_warm_started_runs() {
     let memo = scratch("warm.memo");
     let memo_str = memo.to_string_lossy().into_owned();

@@ -1,0 +1,100 @@
+//! Snapshot tests for the `parallelizer` example's annotated output.
+//!
+//! The example is a thin wrapper over `dda::graph` (`analyze_program` →
+//! `build_graph` → `annotate_source`); these tests run the same four
+//! kernels through the same three calls and pin the annotated source
+//! byte for byte, so a change to loop numbering, verdict logic, or the
+//! annotation format shows up as a readable diff here.
+
+use dda::core::DependenceAnalyzer;
+use dda::graph::{build_graph, render::annotate_source};
+use dda::ir::parse_program;
+
+/// The example's pipeline: normalize, analyze, build the graph,
+/// annotate.
+fn annotated(src: &str) -> String {
+    let mut program = parse_program(src).expect("kernel parses");
+    dda::ir::passes::normalize(&mut program);
+    let mut analyzer = DependenceAnalyzer::new();
+    let report = analyzer.analyze_program(&program);
+    let graph = build_graph(&program, &report);
+    annotate_source(&program, &graph)
+}
+
+#[test]
+fn stencil_keeps_the_outer_loop_parallel() {
+    let out = annotated(
+        "for i = 1 to 100 {
+             for j = 1 to 100 {
+                 a[i][j + 1] = a[i][j] + b[i][j];
+             }
+         }",
+    );
+    assert_eq!(
+        out,
+        "for i = 1 to 100 {   // parallel\n\
+         \x20   for j = 1 to 100 {   // sequential\n\
+         \x20       a[i][j + 1] = a[i][j] + b[i][j];\n\
+         \x20   }\n\
+         }\n"
+    );
+}
+
+#[test]
+fn transpose_copy_is_fully_parallel() {
+    let out = annotated(
+        "for i = 1 to 100 {
+             for j = 1 to 100 {
+                 c[i][j] = d[j][i];
+             }
+         }",
+    );
+    assert_eq!(
+        out,
+        "for i = 1 to 100 {   // parallel\n\
+         \x20   for j = 1 to 100 {   // parallel\n\
+         \x20       c[i][j] = d[j][i];\n\
+         \x20   }\n\
+         }\n"
+    );
+}
+
+#[test]
+fn wavefront_serializes_both_loops() {
+    let out = annotated(
+        "for i = 2 to 100 {
+             for j = 2 to 100 {
+                 a[i][j] = a[i - 1][j] + a[i][j - 1];
+             }
+         }",
+    );
+    assert_eq!(
+        out,
+        "for i = 2 to 100 {   // sequential\n\
+         \x20   for j = 2 to 100 {   // sequential\n\
+         \x20       a[i][j] = a[i - 1][j] + a[i][j - 1];\n\
+         \x20   }\n\
+         }\n"
+    );
+}
+
+#[test]
+fn induction_kernel_round_trips_through_the_prepasses() {
+    let out = annotated(
+        "read(n);
+         iz = 0;
+         for i = 1 to 10 {
+             iz = iz + 2;
+             a[iz + n] = a[iz + 2 * n + 1] + 3;
+         }",
+    );
+    assert_eq!(
+        out,
+        "read(n);\n\
+         iz = 0;\n\
+         for i = 1 to 10 {   // sequential\n\
+         \x20   iz = iz + 2;\n\
+         \x20   a[2 * (i - 1 + 1) + n] = a[2 * (i - 1 + 1) + 2 * n + 1] + 3;\n\
+         }\n"
+    );
+}
