@@ -59,6 +59,7 @@ pub mod graph;
 pub mod loop_residue;
 pub mod memo;
 pub mod persist;
+pub mod persist_v3;
 pub mod pipeline;
 pub mod problem;
 pub mod result;
@@ -73,7 +74,9 @@ pub use analyzer::{
     AnalyzerConfig, CachedOutcome, DependenceAnalyzer, MemoMode, PairReport, ProgramReport,
 };
 pub use certificate::Certificate;
-pub use memo::{MemoCounters, MemoWeight, ShardedMemoTable, SharedMemo};
+pub use memo::{MemoCounters, MemoLoadStats, MemoWeight, ShardedMemoTable, SharedMemo};
+pub use persist::MemoFormat;
+pub use persist_v3::{MemoArchive, PersistV3Error, ShardInfo, ShardSection};
 pub use pipeline::{
     run_pipeline, NullProbe, PipelineConfig, Probe, RecordingProbe, StatsProbe, TraceEvent,
 };

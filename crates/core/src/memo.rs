@@ -151,6 +151,19 @@ impl MemoKey {
     }
 }
 
+/// Routing hash for a key: the paper hash, finalized through an
+/// avalanche mix so the low bits used by a shard modulo are influenced
+/// by every element (the raw `h(x) = size + Σ 2ⁱ·xᵢ` concentrates
+/// low-index elements in the low bits). Shared by [`ShardedMemoTable`]
+/// and the v3 archive writer so both partition keys identically.
+pub(crate) fn route_hash(key: &MemoKey) -> u64 {
+    let mut h = PaperHashBuilder.hash_one(key);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
 /// Computes the set of *used* variables: those in a subscript equation,
 /// closed under co-occurrence in bound constraints.
 fn used_mask(problem: &DependenceProblem) -> Vec<bool> {
@@ -635,16 +648,9 @@ impl<V> ShardedMemoTable<V> {
         self.capacity_bytes
     }
 
-    /// Shard index for a key: the paper hash, finalized through an
-    /// avalanche mix so the low bits used by the modulo are influenced by
-    /// every element (the raw `h(x) = size + Σ 2ⁱ·xᵢ` concentrates
-    /// low-index elements in the low bits).
+    /// Shard index for a key (see [`route_hash`]).
     fn shard_of(&self, key: &MemoKey) -> usize {
-        let mut h = PaperHashBuilder.hash_one(key);
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        (h % self.shards.len() as u64) as usize
+        (route_hash(key) % self.shards.len() as u64) as usize
     }
 
     /// Locks the shard for `key`, counting the operation against it.
@@ -870,6 +876,33 @@ pub struct SharedMemo {
     pub full: ShardedMemoTable<crate::analyzer::CachedOutcome>,
     /// No-bounds (extended GCD) table.
     pub gcd: ShardedMemoTable<crate::gcd::EqOutcome>,
+    /// Cold tier: a lazily-faulted v3 archive attached by a binary warm
+    /// start. Records fault into the tables above on first use (and can
+    /// be evicted back out — the archive keeps them).
+    archive: std::sync::OnceLock<crate::persist_v3::MemoArchive>,
+    load_files: AtomicU64,
+    load_records: AtomicU64,
+    load_bytes: AtomicU64,
+    load_nanos: AtomicU64,
+    archive_faults: AtomicU64,
+}
+
+/// Telemetry for memo warm starts: one row per [`SharedMemo`], covering
+/// both text (eager) and binary (lazy) loads plus archive faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoLoadStats {
+    /// Memo files loaded into this table.
+    pub files: u64,
+    /// Records made available by those loads (parsed for text, indexed
+    /// for binary).
+    pub records: u64,
+    /// Bytes read or mapped.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds spent loading.
+    pub nanos: u64,
+    /// Lookups answered by faulting a record out of the cold archive
+    /// tier into the resident tables.
+    pub archive_faults: u64,
 }
 
 impl SharedMemo {
@@ -888,7 +921,76 @@ impl SharedMemo {
         SharedMemo {
             full: ShardedMemoTable::with_capacity(shards, half),
             gcd: ShardedMemoTable::with_capacity(shards, max_bytes - half),
+            archive: std::sync::OnceLock::new(),
+            load_files: AtomicU64::new(0),
+            load_records: AtomicU64::new(0),
+            load_bytes: AtomicU64::new(0),
+            load_nanos: AtomicU64::new(0),
+            archive_faults: AtomicU64::new(0),
         }
+    }
+
+    /// Looks up a full-result entry through both residency tiers: the
+    /// resident table first, then the attached v3 archive (if any),
+    /// faulting an archive hit into the table so repeat lookups are
+    /// resident — and so the byte-capped CLOCK eviction governs how much
+    /// of the archive stays hot.
+    #[must_use]
+    pub fn lookup_full(&self, key: &MemoKey) -> Option<crate::analyzer::CachedOutcome> {
+        if let Some(v) = self.full.get(key) {
+            return Some(v);
+        }
+        let v = self.archive.get()?.get_full(key)?;
+        self.archive_faults.fetch_add(1, Ordering::Relaxed);
+        self.full.insert_warm(key.clone(), v.clone());
+        Some(v)
+    }
+
+    /// Looks up a gcd entry through both residency tiers (see
+    /// [`SharedMemo::lookup_full`]).
+    #[must_use]
+    pub fn lookup_gcd(&self, key: &MemoKey) -> Option<crate::gcd::EqOutcome> {
+        if let Some(v) = self.gcd.get(key) {
+            return Some(v);
+        }
+        let v = self.archive.get()?.get_gcd(key)?;
+        self.archive_faults.fetch_add(1, Ordering::Relaxed);
+        self.gcd.insert_warm(key.clone(), v.clone());
+        Some(v)
+    }
+
+    /// Warm-start telemetry for this table.
+    #[must_use]
+    pub fn memo_load_stats(&self) -> MemoLoadStats {
+        MemoLoadStats {
+            files: self.load_files.load(Ordering::Relaxed),
+            records: self.load_records.load(Ordering::Relaxed),
+            bytes: self.load_bytes.load(Ordering::Relaxed),
+            nanos: self.load_nanos.load(Ordering::Relaxed),
+            archive_faults: self.archive_faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Attaches a cold archive tier; fails (returning the archive) if
+    /// one is already attached.
+    pub(crate) fn attach_archive(
+        &self,
+        archive: crate::persist_v3::MemoArchive,
+    ) -> Result<(), crate::persist_v3::MemoArchive> {
+        self.archive.set(archive)
+    }
+
+    /// The attached cold tier, if any.
+    pub(crate) fn archive_ref(&self) -> Option<&crate::persist_v3::MemoArchive> {
+        self.archive.get()
+    }
+
+    /// Records one completed memo load.
+    pub(crate) fn note_load(&self, records: u64, bytes: u64, nanos: u64) {
+        self.load_files.fetch_add(1, Ordering::Relaxed);
+        self.load_records.fetch_add(records, Ordering::Relaxed);
+        self.load_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.load_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Combined byte capacity of both tables (0 = unbounded).
@@ -909,7 +1011,9 @@ impl SharedMemo {
         self.full.evictions() + self.gcd.evictions()
     }
 
-    /// Clears both tables.
+    /// Clears both resident tables. An attached archive tier stays
+    /// attached: evicting the hot tier never loses cold records. Callers
+    /// that need a fully cold table should build a fresh [`SharedMemo`].
     pub fn clear(&self) {
         self.full.clear();
         self.gcd.clear();

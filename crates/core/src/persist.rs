@@ -22,24 +22,40 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-/// Writes `contents` to `path` crash-safely: the bytes go to a
-/// temporary file in the same directory (same filesystem, so the final
-/// step is a true rename) and are atomically renamed over the target.
-/// A process killed mid-write leaves either the old file or a stray
-/// `.tmp` — never a truncated memo.
-fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+/// Streams bytes to `path` crash-safely: `write` receives a buffered
+/// writer over a temporary file in the same directory (same
+/// filesystem, so the final step is a true rename), and the temp file
+/// is atomically renamed over the target only after the stream is
+/// flushed. A process killed mid-write leaves either the old file or a
+/// stray `.tmp` — never a truncated memo. The streaming shape lets
+/// large payloads (the v3 binary shards) go to disk without being
+/// buffered as one giant in-memory string first.
+pub(crate) fn write_atomic_with(
+    path: &Path,
+    write: impl FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    fs::write(&tmp, contents)?;
-    match fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            // Leave no half-written temp file behind on failure.
-            let _ = fs::remove_file(&tmp);
-            Err(e)
-        }
+    let result = (|| {
+        let mut out = std::io::BufWriter::new(fs::File::create(&tmp)?);
+        write(&mut out)?;
+        out.flush()?;
+        drop(out);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Leave no half-written temp file behind on failure.
+        let _ = fs::remove_file(&tmp);
     }
+    result
+}
+
+/// [`write_atomic_with`] for callers that already hold the whole
+/// payload as one string (the v2 text format).
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    write_atomic_with(path, |out| out.write_all(contents.as_bytes()))
 }
 
 use dda_linalg::Matrix;
@@ -75,6 +91,16 @@ impl fmt::Display for PersistError {
 }
 
 impl std::error::Error for PersistError {}
+
+/// Which on-disk memo format a load found, as sniffed from the file's
+/// first bytes (`DDAMEMO3` magic → binary, anything else → text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoFormat {
+    /// Line-oriented `dda-memo v2` text (v1 still accepted).
+    V2Text,
+    /// Binary sharded `dda-memo v3` archive (see [`crate::persist_v3`]).
+    V3Binary,
+}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, PersistError> {
     Err(PersistError {
@@ -734,17 +760,29 @@ impl DependenceAnalyzer {
         write_atomic(path.as_ref(), &self.export_memo())
     }
 
-    /// Reads a file into the memo tables (see
-    /// [`import_memo`](Self::import_memo)).
+    /// Reads a memo file — either text (see
+    /// [`import_memo`](Self::import_memo)) or a binary v3 archive, which
+    /// is decoded eagerly since the serial analyzer's tables are not
+    /// shared — and reports which format it found.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; format errors are wrapped as
     /// [`std::io::ErrorKind::InvalidData`].
-    pub fn load_memo_file(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn load_memo_file(&mut self, path: impl AsRef<Path>) -> std::io::Result<MemoFormat> {
+        let path = path.as_ref();
+        if crate::persist_v3::is_v3_file(path)? {
+            let archive = crate::persist_v3::MemoArchive::open(path)?;
+            archive
+                .for_each_gcd(|k, v| self.gcd_memo.insert_warm(k, v))
+                .and_then(|()| archive.for_each_full(|k, v| self.full_memo.insert_warm(k, v)))
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            return Ok(MemoFormat::V3Binary);
+        }
         let text = fs::read_to_string(path)?;
         self.import_memo(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(MemoFormat::V2Text)
     }
 }
 
@@ -754,15 +792,49 @@ impl SharedMemo {
     /// batch run can warm-start a serial analyzer and vice versa.
     #[must_use]
     pub fn export_memo(&self) -> String {
+        let (gcd, full) = self.merged_entries();
         let mut out = String::from(HEADER);
         out.push('\n');
-        for (k, v) in self.gcd.snapshot() {
-            encode_gcd(&k, &v, &mut out);
+        for (k, v) in &gcd {
+            encode_gcd(k, v, &mut out);
         }
-        for (k, v) in self.full.snapshot() {
-            encode_full(&k, &v, &mut out);
+        for (k, v) in &full {
+            encode_full(k, v, &mut out);
         }
         out
+    }
+
+    /// Every entry visible through both residency tiers, sorted by key:
+    /// the attached archive (if any) overlaid by the resident tables —
+    /// so persisting a lazily-loaded memo never drops records that were
+    /// simply never faulted in.
+    #[allow(clippy::type_complexity)]
+    fn merged_entries(&self) -> (Vec<(MemoKey, EqOutcome)>, Vec<(MemoKey, CachedOutcome)>) {
+        use std::collections::BTreeMap;
+        let mut gcd: BTreeMap<MemoKey, EqOutcome> = BTreeMap::new();
+        let mut full: BTreeMap<MemoKey, CachedOutcome> = BTreeMap::new();
+        if let Some(archive) = self.archive_ref() {
+            // The archive's payload checksums were verified at open, so
+            // a record that fails to decode here is a writer bug, not
+            // file corruption — surface it loudly.
+            archive
+                .for_each_gcd(|k, v| {
+                    gcd.insert(k, v);
+                })
+                .and_then(|()| {
+                    archive.for_each_full(|k, v| {
+                        full.insert(k, v);
+                    })
+                })
+                .expect("checksummed archive records decode");
+        }
+        for (k, v) in self.gcd.snapshot() {
+            gcd.insert(k, v);
+        }
+        for (k, v) in self.full.snapshot() {
+            full.insert(k, v);
+        }
+        (gcd.into_iter().collect(), full.into_iter().collect())
     }
 
     /// Loads entries from a previously exported table (from either a
@@ -816,17 +888,64 @@ impl SharedMemo {
         write_atomic(path.as_ref(), &self.export_memo())
     }
 
-    /// Reads a file into the sharded tables (see
-    /// [`import_memo`](Self::import_memo)).
+    /// Writes both tiers as a binary v3 archive with `shard_count`
+    /// payload shards per section, atomically (see
+    /// [`crate::persist_v3`]). Like [`export_memo`](Self::export_memo),
+    /// the output merges the resident tables over any attached archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_memo_file_v3(
+        &self,
+        path: impl AsRef<Path>,
+        shard_count: usize,
+    ) -> std::io::Result<()> {
+        let (gcd, full) = self.merged_entries();
+        crate::persist_v3::write_memo_v3(path.as_ref(), &gcd, &full, shard_count)
+    }
+
+    /// Reads a memo file into the sharded tables and reports which
+    /// format it found. Text files (see
+    /// [`import_memo`](Self::import_memo)) decode eagerly. A binary v3
+    /// archive is validated, then *attached* as a cold tier: records
+    /// fault into the resident tables on first lookup instead of being
+    /// decoded up front. If an archive is already attached (a second v3
+    /// load), the new file is decoded eagerly instead.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; format errors are wrapped as
     /// [`std::io::ErrorKind::InvalidData`].
-    pub fn load_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn load_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<MemoFormat> {
+        let started = std::time::Instant::now();
+        let path = path.as_ref();
+        if crate::persist_v3::is_v3_file(path)? {
+            let archive = crate::persist_v3::MemoArchive::open(path)?;
+            let records = archive.total_records();
+            let bytes = archive.file_len();
+            if let Err(second) = self.attach_archive(archive) {
+                second
+                    .for_each_gcd(|k, v| self.gcd.insert_warm(k, v))
+                    .and_then(|()| second.for_each_full(|k, v| self.full.insert_warm(k, v)))
+                    .map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })?;
+            }
+            self.note_load(records, bytes, started.elapsed().as_nanos() as u64);
+            return Ok(MemoFormat::V3Binary);
+        }
         let text = fs::read_to_string(path)?;
+        let before = self.gcd.warm_loads() + self.full.warm_loads();
         self.import_memo(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let records = self.gcd.warm_loads() + self.full.warm_loads() - before;
+        self.note_load(
+            records,
+            text.len() as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+        Ok(MemoFormat::V2Text)
     }
 }
 

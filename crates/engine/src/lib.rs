@@ -71,13 +71,13 @@ use dda_core::gcd::{
     expand_lattice, refute_equalities, solve_equalities, solve_equalities_restricted,
     witness_for_problem, EqOutcome, Lattice,
 };
-use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey, ShardedMemoTable};
+use dda_core::memo::{nobounds_key, MemoKey, NoBoundsKey};
 use dda_core::persist::PersistError;
 use dda_core::stats::{AnalysisStats, StageTimings};
 use dda_core::steps::{self, Classified, ReduceEffects};
 use dda_core::{
-    AnalyzerConfig, CachedOutcome, DependenceKind, MemoMode, PairReport, ProgramReport, SharedMemo,
-    StatsProbe,
+    AnalyzerConfig, CachedOutcome, DependenceKind, MemoFormat, MemoMode, PairReport, ProgramReport,
+    SharedMemo, StatsProbe,
 };
 use dda_graph::{build_graph, ProgramGraph};
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
@@ -227,6 +227,13 @@ pub struct BatchOutcome {
     /// Whether the deadline expired: some pairs carry conservative
     /// partial results instead of exact verdicts.
     pub deadline_exceeded: bool,
+    /// Pairs whose verdicts were spliced straight from warm memo
+    /// entries (including cold-tier archive faults) — the incremental
+    /// fast path. `spliced + resolved == stats.pairs`.
+    pub spliced: u64,
+    /// Pairs actually re-solved this batch (including constant-resolved
+    /// and deadline-cancelled conservative pairs).
+    pub resolved: u64,
 }
 
 /// The parallel batch analyzer.
@@ -286,6 +293,10 @@ enum GcdRes {
     Independent {
         /// Whether a serial run would count this as a no-bounds memo hit.
         hit: bool,
+        /// Whether the verdict came from a warm table/archive entry
+        /// (not from a leader elected in this batch) — the pair was
+        /// spliced, not re-solved.
+        warm: bool,
         /// The solve's refutation witness, remapped to this problem's row
         /// order (absent when the witness did not transfer, e.g. a v1
         /// warm entry — assembly re-derives it).
@@ -318,17 +329,21 @@ enum FullRes {
         cached: CachedOutcome,
         ck: dda_core::memo::CanonicalKey,
         flipped: bool,
+        /// Warm table/archive entry (spliced) vs a leader's freshly
+        /// inserted result (re-solved this batch).
+        warm: bool,
     },
 }
 
 /// For each job's (optional) memo key, decide — serially, in enumeration
-/// order — whether the value comes from the shared table, from this job
-/// as the elected leader, or from an earlier leader. The shared table is
-/// consulted exactly once per distinct key, so its own traffic counters
-/// track *table* load, not per-pair accounting.
+/// order — whether the value comes from the warm memo (resident table or
+/// cold archive tier, via `lookup`), from this job as the elected
+/// leader, or from an earlier leader. The memo is consulted exactly once
+/// per distinct key, so its own traffic counters track *table* load, not
+/// per-pair accounting.
 fn elect_leaders<V: Clone>(
     keys: &[Option<&MemoKey>],
-    table: &ShardedMemoTable<V>,
+    lookup: impl Fn(&MemoKey) -> Option<V>,
 ) -> Vec<Option<Src<V>>> {
     let mut seen: HashMap<&MemoKey, Src<V>> = HashMap::new();
     let mut plan = Vec::with_capacity(keys.len());
@@ -343,7 +358,7 @@ fn elect_leaders<V: Clone>(
                 Src::Share(j) => Src::Share(*j),
                 Src::Leader => unreachable!("leaders are recorded as Share"),
             }));
-        } else if let Some(v) = table.get(k) {
+        } else if let Some(v) = lookup(k) {
             seen.insert(k, Src::Warm(v.clone()));
             plan.push(Some(Src::Warm(v)));
         } else {
@@ -457,14 +472,30 @@ impl Engine {
         self.memo.save_memo_file(path)
     }
 
-    /// Warm-starts the memo tables from a file.
+    /// Warm-starts the memo tables from a file — `dda-memo v2` text or a
+    /// v3 binary archive (attached as a lazily-faulted read tier) — and
+    /// reports which format was found.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; format errors surface as
     /// [`std::io::ErrorKind::InvalidData`].
-    pub fn load_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn load_memo_file(&self, path: impl AsRef<Path>) -> std::io::Result<MemoFormat> {
         self.memo.load_memo_file(path)
+    }
+
+    /// Writes the memo tables (including any attached archive tier) as a
+    /// sharded `dda-memo v3` binary archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_memo_file_v3(
+        &self,
+        path: impl AsRef<Path>,
+        shard_count: usize,
+    ) -> std::io::Result<()> {
+        self.memo.save_memo_file_v3(path, shard_count)
     }
 
     /// Analyzes one program (a batch of one).
@@ -568,6 +599,8 @@ pub fn analyze_batch(
     // would have done.
     let mut batch_stats = AnalysisStats::default();
     let mut deadline_exceeded = false;
+    let mut batch_spliced = 0u64;
+    let mut batch_resolved = 0u64;
     let mut reports = Vec::with_capacity(programs.len());
     let mut gcd_it = gcd.into_iter();
     let mut full_it = full.into_iter();
@@ -579,6 +612,11 @@ pub fn analyze_batch(
             let g = gcd_it.next().expect("one GCD outcome per job");
             let f = full_it.next().expect("one full outcome per job");
             delta.pairs += 1;
+            // Incremental accounting: a pair is *spliced* when its
+            // verdict came straight from a warm memo entry (table or
+            // archive tier), *re-solved* otherwise. Flipped below by
+            // the warm arms.
+            let mut spliced = false;
             let template = steps::pair_template(job.a, job.b, job.common);
             let report = match &classified[i] {
                 Classified::Constant { dependent } => {
@@ -611,10 +649,15 @@ pub fn analyze_batch(
                             delta.assumed += 1;
                             template
                         }
-                        GcdRes::Independent { hit, refutation } => {
+                        GcdRes::Independent {
+                            hit,
+                            warm,
+                            refutation,
+                        } => {
                             if hit {
                                 delta.gcd_memo_hits += 1;
                             }
+                            spliced = warm;
                             delta.gcd_independent += 1;
                             let refutation = refutation.or_else(|| refute_equalities(p));
                             steps::gcd_independent_report(template, refutation)
@@ -646,8 +689,10 @@ pub fn analyze_batch(
                                     cached,
                                     ck,
                                     flipped,
+                                    warm,
                                 } => {
                                     delta.memo_hits += 1;
+                                    spliced = warm;
                                     steps::rehydrate_hit(cfg.memo, cached, &ck, flipped, template)
                                 }
                             }
@@ -655,12 +700,19 @@ pub fn analyze_batch(
                     }
                 }
             };
+            if spliced {
+                batch_spliced += 1;
+            } else {
+                batch_resolved += 1;
+            }
             steps::note_outcome(&mut delta, &report);
             pair_reports.push(report);
         }
         batch_stats.add(&delta);
         reports.push(ProgramReport::from_parts(pair_reports, delta));
     }
+    debug_assert_eq!(batch_spliced + batch_resolved, batch_stats.pairs);
+    obs.record_incremental(batch_spliced, batch_resolved);
     if config.check && !deadline_exceeded {
         let summary = check_batch(config, obs, programs, &reports);
         assert!(
@@ -674,6 +726,8 @@ pub fn analyze_batch(
         stats: batch_stats,
         timings: batch_timings,
         deadline_exceeded,
+        spliced: batch_spliced,
+        resolved: batch_resolved,
     }
 }
 
@@ -699,7 +753,7 @@ fn gcd_wave_memo(
         .iter()
         .map(|nk| nk.as_ref().map(|nk| &nk.key))
         .collect();
-    let plan = elect_leaders(&key_refs, &memo.gcd);
+    let plan = elect_leaders(&key_refs, |k| memo.lookup_gcd(k));
 
     let leader_jobs: Vec<usize> = plan
         .iter()
@@ -743,11 +797,11 @@ fn gcd_wave_memo(
         let Some(src) = &plan[i] else {
             return GcdRes::Skip;
         };
-        let (canonical, hit) = match src {
-            Src::Warm(v) => (Some(v.clone()), true),
+        let (canonical, hit, warm) = match src {
+            Src::Warm(v) => (Some(v.clone()), true, true),
             Src::Leader => match leader_out.get(&i) {
                 None => return GcdRes::Cancelled,
-                Some(v) => (v.clone(), false),
+                Some(v) => (v.clone(), false, false),
             },
             Src::Share(j) => match leader_out.get(j) {
                 None => return GcdRes::Cancelled,
@@ -756,7 +810,7 @@ fn gcd_wave_memo(
                     // run would miss here and recompute the identical
                     // `None`; anything cached is a hit.
                     let hit = v.is_some();
-                    (v.clone(), hit)
+                    (v.clone(), hit, false)
                 }
             },
         };
@@ -774,6 +828,7 @@ fn gcd_wave_memo(
                 let nk = nkeys[i].as_ref().expect("memoized jobs have a key");
                 GcdRes::Independent {
                     hit,
+                    warm,
                     refutation: refutation.and_then(|w| witness_for_problem(p, &nk.kept_vars, &w)),
                 }
             }
@@ -817,7 +872,7 @@ fn full_wave_memo(
         .iter()
         .map(|f| f.as_ref().map(|(ck, _)| &ck.key))
         .collect();
-    let plan = elect_leaders(&key_refs, &memo.full);
+    let plan = elect_leaders(&key_refs, |k| memo.lookup_full(k));
 
     let leader_jobs: Vec<usize> = plan
         .iter()
@@ -871,6 +926,7 @@ fn full_wave_memo(
                     cached: c.clone(),
                     ck,
                     flipped,
+                    warm: true,
                 }
             }
             Some(Src::Leader) => match leader_reports.remove(&i) {
@@ -889,6 +945,7 @@ fn full_wave_memo(
                         cached: c.clone(),
                         ck,
                         flipped,
+                        warm: false,
                     }
                 }
             },
@@ -1258,6 +1315,7 @@ fn gcd_wave_off(
                 None => GcdRes::Overflow,
                 Some(EqOutcome::Independent { refutation }) => GcdRes::Independent {
                     hit: false,
+                    warm: false,
                     refutation,
                 },
                 Some(EqOutcome::Lattice(l)) => GcdRes::Lattice {
@@ -1443,6 +1501,102 @@ mod tests {
             .collect();
         assert_eq!(got, want);
         assert!(got.iter().any(|r| r.pairs().iter().any(|p| p.from_cache)));
+    }
+
+    #[test]
+    fn v3_warm_start_is_bit_identical_to_v2_at_any_workers_and_shards() {
+        let programs = batch();
+        let dir = std::env::temp_dir().join("dda_engine_v3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v2 = dir.join("bit_identical.dda-memo");
+        let v3 = dir.join("bit_identical.dda-memo3");
+
+        let mut cold = Engine::with_config(EngineConfig::default());
+        cold.analyze_programs(&programs);
+        cold.save_memo_file(&v2).unwrap();
+        cold.save_memo_file_v3(&v3, 4).unwrap();
+
+        // The reference: a warm serial analyzer replaying the batch.
+        let mut analyzer =
+            DependenceAnalyzer::with_config(EngineConfig::default().effective_analyzer_config());
+        analyzer.load_memo_file(&v2).unwrap();
+        let want: Vec<ProgramReport> = programs
+            .iter()
+            .map(|p| analyzer.analyze_program(p))
+            .collect();
+
+        for workers in [1, 3] {
+            for shards in [1, 8] {
+                let config = EngineConfig {
+                    workers,
+                    shards,
+                    ..EngineConfig::default()
+                };
+                let mut from_v2 = Engine::with_config(config);
+                assert_eq!(from_v2.load_memo_file(&v2).unwrap(), MemoFormat::V2Text);
+                let got_v2 = from_v2.analyze_programs(&programs);
+
+                let mut from_v3 = Engine::with_config(config);
+                assert_eq!(from_v3.load_memo_file(&v3).unwrap(), MemoFormat::V3Binary);
+                let got_v3 = from_v3.analyze_programs(&programs);
+
+                assert_eq!(got_v2, want, "v2 warm, workers={workers} shards={shards}");
+                assert_eq!(got_v3, want, "v3 warm, workers={workers} shards={shards}");
+                // The archive tier serves the same hits the resident
+                // v2 table does, so splice accounting agrees too.
+                assert_eq!(
+                    from_v3.metrics().incremental_spliced(),
+                    from_v2.metrics().incremental_spliced(),
+                );
+            }
+        }
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v3).ok();
+    }
+
+    #[test]
+    fn incremental_reanalysis_splices_unchanged_pairs_and_passes_check() {
+        let programs = batch();
+        let dir = std::env::temp_dir().join("dda_engine_v3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v3 = dir.join("incremental.dda-memo3");
+
+        let config = EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        let mut cold = Engine::with_config(config);
+        cold.analyze_programs(&programs);
+        cold.save_memo_file_v3(&v3, 2).unwrap();
+
+        // Edit one program; the rest of the batch is unchanged and its
+        // verdicts splice straight from the archive.
+        let mut edited = programs.clone();
+        edited[3] = parse_program("for i = 1 to 10 { a[5] = a[6] + a[5]; }").unwrap();
+
+        let mut warm = Engine::with_config(config);
+        warm.load_memo_file(&v3).unwrap();
+        let reports = warm.analyze_programs(&edited);
+
+        let spliced = warm.metrics().incremental_spliced();
+        let resolved = warm.metrics().incremental_resolved();
+        let pairs: u64 = reports.iter().map(|r| r.stats.pairs).sum();
+        assert_eq!(spliced + resolved, pairs);
+        assert!(spliced > 0, "unchanged pairs must splice from the memo");
+        assert!(resolved > 0, "the edited program must re-solve");
+
+        // Spliced verdicts carry certificates the independent kernel
+        // accepts.
+        let summary = warm.check_programs(&edited, &reports);
+        assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+
+        // Incremental replay is bit-identical to analyzing the edited
+        // batch cold-plus-warm-table (the serial analyzer's view).
+        let mut analyzer = DependenceAnalyzer::with_config(config.effective_analyzer_config());
+        analyzer.load_memo_file(&v3).unwrap();
+        let want: Vec<ProgramReport> = edited.iter().map(|p| analyzer.analyze_program(p)).collect();
+        assert_eq!(reports, want);
+        std::fs::remove_file(&v3).ok();
     }
 
     #[test]

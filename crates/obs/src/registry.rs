@@ -120,6 +120,8 @@ pub struct MetricsRegistry {
     queue_wait_nanos: Counter,
     leader_elections_full: Counter,
     leader_elections_gcd: Counter,
+    incremental_spliced: Counter,
+    incremental_resolved: Counter,
     graph_edges: [Counter; 4],
     graph_parallel_loops: Counter,
     graph_sequential_loops: Counter,
@@ -177,6 +179,14 @@ impl MetricsRegistry {
             MemoTableKind::Full => self.leader_elections_full.add(n),
             MemoTableKind::Gcd => self.leader_elections_gcd.add(n),
         }
+    }
+
+    /// Records one batch's incremental split: pairs spliced straight
+    /// from a warm memo entry vs pairs actually re-solved. Together the
+    /// two sum to the batch's pair count.
+    pub fn record_incremental(&self, spliced: u64, resolved: u64) {
+        self.incremental_spliced.add(spliced);
+        self.incremental_resolved.add(resolved);
     }
 
     /// Folds one parallel wave into the engine aggregates and, where a
@@ -283,6 +293,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Pairs spliced from warm memo entries across all batches.
+    pub fn incremental_spliced(&self) -> u64 {
+        self.incremental_spliced.get()
+    }
+
+    /// Pairs actually re-solved across all batches.
+    pub fn incremental_resolved(&self) -> u64 {
+        self.incremental_resolved.get()
+    }
+
     /// Dependence-graph edge counts by kind, indexed like
     /// [`GRAPH_EDGE_LABELS`].
     pub fn graph_edges(&self) -> [u64; 4] {
@@ -341,6 +361,8 @@ impl MetricsRegistry {
         self.queue_wait_nanos.reset();
         self.leader_elections_full.reset();
         self.leader_elections_gcd.reset();
+        self.incremental_spliced.reset();
+        self.incremental_resolved.reset();
         for c in &self.graph_edges {
             c.reset();
         }
@@ -422,6 +444,18 @@ mod tests {
         assert_eq!(reg.worker_slots(), 3);
         assert_eq!(reg.graph_edges(), [0; 4]);
         assert_eq!(reg.graph_build_latency().count, 0);
+    }
+
+    #[test]
+    fn incremental_counters_accumulate_and_clear() {
+        let reg = MetricsRegistry::new();
+        reg.record_incremental(5, 2);
+        reg.record_incremental(0, 3);
+        assert_eq!(reg.incremental_spliced(), 5);
+        assert_eq!(reg.incremental_resolved(), 5);
+        reg.clear();
+        assert_eq!(reg.incremental_spliced(), 0);
+        assert_eq!(reg.incremental_resolved(), 0);
     }
 
     #[test]

@@ -97,6 +97,32 @@ pub struct MemoSection {
     pub shard_ops: Vec<u64>,
 }
 
+/// Incremental re-analysis accounting: how many pairs were answered by
+/// splicing a warm memo verdict versus actually re-solved.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalSection {
+    /// Pairs whose verdict was spliced from a warm memo entry.
+    pub spliced: u64,
+    /// Pairs that were re-solved this session.
+    pub resolved: u64,
+}
+
+/// Persisted-memo load figures, present when at least one memo file was
+/// loaded.
+#[derive(Debug, Clone, Default)]
+pub struct MemoLoadSection {
+    /// Memo files loaded (v2 text or v3 binary).
+    pub files: u64,
+    /// Records made available by those loads.
+    pub records: u64,
+    /// Bytes read or mapped.
+    pub bytes: u64,
+    /// Nanoseconds spent loading.
+    pub nanos: u64,
+    /// Records lazily faulted out of an attached v3 archive.
+    pub archive_faults: u64,
+}
+
 /// Analysis-service figures (`dda serve`): request traffic, admission
 /// control, and deadline outcomes.
 #[derive(Debug, Clone, Default)]
@@ -171,6 +197,13 @@ pub struct MetricsSnapshot {
     ///
     /// [`with_memo_table`]: MetricsSnapshot::with_memo_table
     pub memo: Vec<MemoSection>,
+    /// Incremental re-analysis accounting, read from the registry.
+    pub incremental: IncrementalSection,
+    /// Persisted-memo load figures, when attached via [`with_memo_load`]
+    /// and at least one file was loaded.
+    ///
+    /// [`with_memo_load`]: MetricsSnapshot::with_memo_load
+    pub memo_load: Option<MemoLoadSection>,
     /// Engine figures, when the registry carries worker slots.
     pub engine: Option<EngineSection>,
     /// Service figures, when attached via [`with_service`].
@@ -233,6 +266,11 @@ impl MetricsSnapshot {
             graph,
             pairs: None,
             memo: Vec::new(),
+            incremental: IncrementalSection {
+                spliced: reg.incremental_spliced(),
+                resolved: reg.incremental_resolved(),
+            },
+            memo_load: None,
             engine,
             service: None,
         }
@@ -267,6 +305,21 @@ impl MetricsSnapshot {
             table,
             counters,
             shard_ops,
+        });
+        self
+    }
+
+    /// Attaches persisted-memo load figures. The section is rendered
+    /// only when at least one file was loaded, so cold expositions are
+    /// unchanged; calling this unconditionally is fine.
+    #[must_use]
+    pub fn with_memo_load(mut self, stats: dda_core::MemoLoadStats) -> Self {
+        self.memo_load = (stats.files > 0).then_some(MemoLoadSection {
+            files: stats.files,
+            records: stats.records,
+            bytes: stats.bytes,
+            nanos: stats.nanos,
+            archive_faults: stats.archive_faults,
         });
         self
     }
@@ -619,6 +672,57 @@ impl MetricsSnapshot {
             }
         }
 
+        // --- incremental re-analysis ----------------------------------------
+        for (name, help, value) in [
+            (
+                "dda_incremental_spliced_total",
+                "Pairs whose verdict was spliced from a warm memo entry.",
+                self.incremental.spliced,
+            ),
+            (
+                "dda_incremental_resolved_total",
+                "Pairs re-solved this session (not spliced).",
+                self.incremental.resolved,
+            ),
+        ] {
+            header(&mut out, name, "counter", help);
+            sample(&mut out, name, &[], value);
+        }
+
+        // --- persisted-memo loads -------------------------------------------
+        if let Some(l) = &self.memo_load {
+            for (name, help, value) in [
+                (
+                    "dda_memo_load_files_total",
+                    "Memo files loaded (v2 text or v3 binary).",
+                    l.files,
+                ),
+                (
+                    "dda_memo_load_records_total",
+                    "Records made available by memo file loads.",
+                    l.records,
+                ),
+                (
+                    "dda_memo_load_bytes_total",
+                    "Bytes read or mapped while loading memo files.",
+                    l.bytes,
+                ),
+                (
+                    "dda_memo_load_nanos_total",
+                    "Nanoseconds spent loading memo files.",
+                    l.nanos,
+                ),
+                (
+                    "dda_memo_archive_faults_total",
+                    "Records lazily faulted out of an attached v3 archive.",
+                    l.archive_faults,
+                ),
+            ] {
+                header(&mut out, name, "counter", help);
+                sample(&mut out, name, &[], value);
+            }
+        }
+
         // --- service --------------------------------------------------------
         if let Some(sv) = &self.service {
             let _ = writeln!(
@@ -862,6 +966,19 @@ impl MetricsSnapshot {
             }
             out.push(']');
         }
+        let _ = write!(
+            out,
+            ",\"incremental\":{{\"spliced\":{},\"resolved\":{}}}",
+            self.incremental.spliced, self.incremental.resolved
+        );
+        if let Some(l) = &self.memo_load {
+            let _ = write!(
+                out,
+                ",\"memo_load\":{{\"files\":{},\"records\":{},\"bytes\":{},\
+                 \"nanos\":{},\"archive_faults\":{}}}",
+                l.files, l.records, l.bytes, l.nanos, l.archive_faults
+            );
+        }
         if let Some(sv) = &self.service {
             let _ = write!(
                 out,
@@ -950,8 +1067,16 @@ mod tests {
         let reg = MetricsRegistry::with_workers(2);
         reg.record_stage(TestKind::Svpc, StageVerdict::Independent, 100);
         reg.record_gcd(dda_core::pipeline::GcdVerdict::Lattice, false, 50);
+        reg.record_incremental(5, 11);
         MetricsSnapshot::from_registry(&reg)
             .with_pairs(&AnalysisStats::default())
+            .with_memo_load(dda_core::MemoLoadStats {
+                files: 1,
+                records: 16,
+                bytes: 4096,
+                nanos: 777,
+                archive_faults: 3,
+            })
             .with_memo_table(
                 "full",
                 MemoCounters {
@@ -995,6 +1120,13 @@ mod tests {
         assert!(text.contains("dda_serve_shed_total 2"));
         assert!(text.contains("dda_serve_deadline_exceeded_total 1"));
         assert!(text.contains("dda_memo_shard_ops_total{table=\"full\",shard=\"1\"} 9"));
+        assert!(text.contains("dda_incremental_spliced_total 5"));
+        assert!(text.contains("dda_incremental_resolved_total 11"));
+        assert!(text.contains("dda_memo_load_files_total 1"));
+        assert!(text.contains("dda_memo_load_records_total 16"));
+        assert!(text.contains("dda_memo_load_bytes_total 4096"));
+        assert!(text.contains("dda_memo_load_nanos_total 777"));
+        assert!(text.contains("dda_memo_archive_faults_total 3"));
         assert!(text.contains("dda_engine_workers 2"));
         assert!(text.contains("# TYPE dda_engine_utilization_ratio gauge"));
         // Every non-comment line is `name[{labels}] value`.
@@ -1025,10 +1157,29 @@ mod tests {
             "\"bytes\":2048",
             "\"evictions\":3",
             "\"capacity_bytes\":4096",
+            "\"incremental\":{\"spliced\":5,\"resolved\":11}",
+            "\"memo_load\":{\"files\":1,\"records\":16,\"bytes\":4096,\"nanos\":777,\"archive_faults\":3}",
             "\"service\":{\"in_flight\":1,\"max_in_flight\":8,\"requests\":12,\"shed\":2,\"deadline_exceeded\":1}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn memo_load_section_appears_only_after_a_load() {
+        let reg = MetricsRegistry::new();
+        let snap =
+            MetricsSnapshot::from_registry(&reg).with_memo_load(dda_core::MemoLoadStats::default());
+        assert!(snap.memo_load.is_none());
+        assert!(!snap.to_prometheus().contains("dda_memo_load_"));
+        assert!(!snap.to_json().contains("\"memo_load\":"));
+        // The incremental section is always present, even when zero.
+        assert!(snap
+            .to_prometheus()
+            .contains("dda_incremental_spliced_total 0"));
+        assert!(snap
+            .to_json()
+            .contains("\"incremental\":{\"spliced\":0,\"resolved\":0}"));
     }
 
     #[test]

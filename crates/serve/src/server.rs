@@ -25,7 +25,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use dda_core::stats::AnalysisStats;
-use dda_core::SharedMemo;
+use dda_core::{MemoFormat, SharedMemo};
 use dda_engine::{analyze_batch, check_batch, graph_batch, Deadline, EngineConfig};
 use dda_graph::render::parallel_json_line;
 use dda_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, ServiceSection};
@@ -156,6 +156,8 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<State>,
     memo_path: Option<PathBuf>,
+    memo_format: MemoFormat,
+    memo_shards: usize,
     max_in_flight: usize,
     queue_depth: usize,
 }
@@ -174,9 +176,14 @@ impl Server {
             .map_err(|e| format!("set_nonblocking: {e}"))?;
         let shards = cfg.shards.max(1);
         let memo = SharedMemo::with_capacity(shards, cfg.memo_max_bytes);
+        // A memo loaded from a v3 archive persists back as v3 on
+        // shutdown; v2 text stays v2 (one-way migration is explicit,
+        // via `dda memo convert`).
+        let mut memo_format = MemoFormat::V2Text;
         if let Some(path) = &cfg.memo_path {
             if path.exists() {
-                memo.load_memo_file(path)
+                memo_format = memo
+                    .load_memo_file(path)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
             }
         }
@@ -211,6 +218,8 @@ impl Server {
             listener,
             state,
             memo_path: cfg.memo_path.clone(),
+            memo_format,
+            memo_shards: shards,
             max_in_flight: cfg.max_in_flight.max(1),
             queue_depth: cfg.queue_depth,
         })
@@ -289,10 +298,11 @@ impl Server {
             let _ = worker.join();
         }
         if let Some(path) = &self.memo_path {
-            self.state
-                .memo
-                .save_memo_file(path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            match self.memo_format {
+                MemoFormat::V2Text => self.state.memo.save_memo_file(path),
+                MemoFormat::V3Binary => self.state.memo.save_memo_file_v3(path, self.memo_shards),
+            }
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         }
         Ok(())
     }
@@ -514,6 +524,7 @@ fn metrics_text(state: &State) -> String {
             state.memo.full.shard_ops(),
         )
         .with_memo_table("gcd", state.memo.gcd.counters(), state.memo.gcd.shard_ops())
+        .with_memo_load(state.memo.memo_load_stats())
         .with_service(service)
         .to_prometheus()
 }

@@ -369,6 +369,69 @@ fn graceful_shutdown_drains_and_persists_the_memo_atomically() {
     stop(addr2, &handle2, join2);
 }
 
+/// A server started on a v3 binary memo serves warm verdicts, exposes
+/// load/fault metrics, and persists back in v3 on shutdown.
+#[test]
+fn v3_memo_restart_serves_warm_and_persists_v3() {
+    let dir = tmpdir("persist_v3");
+    let v2_path = dir.join("memo.dda");
+    let v3_path = dir.join("memo.dda3");
+
+    // Produce a warm v2 memo the usual way, then convert it to v3.
+    let cfg_v2 = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        memo_path: Some(v2_path.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = start(cfg_v2);
+    let (status, _, cold) = request(addr, "POST", "/analyze?file=flow.loop", FLOW);
+    assert_eq!(status, 200);
+    stop(addr, &handle, join);
+    let memo = SharedMemo::new(4);
+    memo.load_memo_file(&v2_path).expect("v2 loads");
+    memo.save_memo_file_v3(&v3_path, 4).expect("v3 saves");
+
+    // Restart on the archive: warm verdicts, load metrics exposed.
+    let cfg_v3 = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        memo_path: Some(v3_path.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr2, handle2, join2) = start(cfg_v3);
+    let (status, _, warm) = request(addr2, "POST", "/analyze?file=flow.loop", FLOW);
+    assert_eq!(status, 200);
+    assert_eq!(
+        semantic_view(warm.trim_end()),
+        semantic_view(cold.trim_end())
+    );
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+
+    let (status, _, metrics) = request(addr2, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for name in [
+        "dda_memo_load_files_total",
+        "dda_memo_load_records_total",
+        "dda_memo_load_bytes_total",
+        "dda_memo_archive_faults_total",
+        "dda_incremental_spliced_total",
+    ] {
+        assert!(metrics.contains(name), "missing {name} in:\n{metrics}");
+    }
+
+    let (status, _, _) = request(addr2, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    join2.join().expect("server thread");
+    drop(handle2);
+
+    // The archive stays v3 across restarts — no silent downgrade.
+    assert!(dda_core::persist_v3::is_v3_file(&v3_path).expect("readable"));
+    let reread = SharedMemo::new(4);
+    assert_eq!(
+        reread.load_memo_file(&v3_path).expect("persisted v3 loads"),
+        dda_core::MemoFormat::V3Binary
+    );
+}
+
 /// Satellite 3: N concurrent clients hammering one warm server get
 /// verdicts bit-identical to the serial analyzer, across worker and
 /// shard settings.

@@ -53,6 +53,16 @@ COMMANDS:
                 per line; `#` comments and blanks skipped). Multiple
                 inputs are allowed and analyzed in order. Output is
                 byte-identical for any --workers/--shards.
+    memo        operate on persisted memo files:
+                  `dda memo inspect <FILE>` prints the layout — for v3
+                  binary archives the header, per-shard offsets/record
+                  counts/checksums; for v2 text the entry counts.
+                  Corrupt files fail with a located error.
+                  `dda memo convert <IN> <OUT> [--shards N]` rewrites a
+                  memo file (v2 text or v3) as a v3 binary archive with
+                  N hash-partitioned shards (default 16). v2 text stays
+                  loadable everywhere; conversion is the explicit
+                  migration step
     serve       run a persistent analysis service over HTTP: POST .loop
                 programs to /analyze (or manifests to /batch) and read
                 the same JSONL `batch` emits. All requests share one
@@ -198,12 +208,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         && command != "graph"
         && command != "batch"
         && command != "serve"
+        && command != "memo"
     {
         return Err(format!("unknown command `{command}`"));
     }
-    // `serve` binds a socket instead of reading an input file.
+    // `serve` binds a socket instead of reading an input file; `memo`
+    // reads a subcommand (inspect/convert) into the file slot.
     let file = if command == "serve" {
         String::new()
+    } else if command == "memo" {
+        it.next()
+            .ok_or_else(|| "memo needs a subcommand (inspect or convert)".to_owned())?
+            .clone()
     } else {
         it.next()
             .ok_or_else(|| "missing input file (use `-` for stdin)".to_owned())?
@@ -243,13 +259,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             continue;
         }
         if !flag.starts_with('-') {
-            if command == "batch" || command == "graph" || command == "parallel" {
+            if command == "batch"
+                || command == "graph"
+                || command == "parallel"
+                || command == "memo"
+            {
                 extra_files.push(flag.clone());
                 continue;
             }
             return Err(format!(
-                "unexpected extra input `{flag}` (only `batch`, `graph`, and \
-                 `parallel` accept multiple inputs)"
+                "unexpected extra input `{flag}` (only `batch`, `graph`, \
+                 `parallel`, and `memo` accept multiple inputs)"
             ));
         }
         match flag.as_str() {
@@ -669,7 +689,8 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         let snapshot = MetricsSnapshot::from_registry(engine.metrics())
             .with_pairs(engine.stats())
             .with_memo_table("full", memo.full.counters(), memo.full.shard_ops())
-            .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops());
+            .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops())
+            .with_memo_load(memo.memo_load_stats());
         emit_metrics(format, &snapshot);
     }
     if opts.profile.is_some() {
@@ -765,7 +786,8 @@ fn run_graph(opts: &Options) -> Result<(), String> {
         let snapshot = MetricsSnapshot::from_registry(engine.metrics())
             .with_pairs(engine.stats())
             .with_memo_table("full", memo.full.counters(), memo.full.shard_ops())
-            .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops());
+            .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops())
+            .with_memo_load(memo.memo_load_stats());
         emit_metrics(format, &snapshot);
     }
     if opts.profile.is_some() {
@@ -804,9 +826,88 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     server.run()
 }
 
+/// `dda memo inspect <FILE>`: print a persisted memo file's layout.
+/// v3 archives get the full header/shard/checksum listing; v2 text gets
+/// an entry count. Corrupt files fail with the located error.
+fn memo_inspect(path: &str) -> Result<(), String> {
+    use dda::core::persist_v3::is_v3_file;
+    if is_v3_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))? {
+        let archive = dda::core::MemoArchive::open(path).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: dda-memo v3, {} shards/section, {} records, {} bytes{}",
+            archive.shard_count(),
+            archive.total_records(),
+            archive.file_len(),
+            if archive.is_mapped() { ", mmapped" } else { "" }
+        );
+        for s in archive.shard_infos() {
+            println!(
+                "  {} shard {:>4}: offset {:#x}, {} bytes, {} records, checksum {:#018x}",
+                s.section, s.shard, s.offset, s.len, s.records, s.checksum
+            );
+        }
+    } else {
+        let memo = dda::core::SharedMemo::new(1);
+        memo.load_memo_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: dda-memo v2 text, {} full + {} gcd entries",
+            memo.full.unique_entries(),
+            memo.gcd.unique_entries()
+        );
+    }
+    Ok(())
+}
+
+/// `dda memo convert <IN> <OUT>`: load a memo file (v2 text or v3
+/// binary) and write it back as a v3 archive with `--shards` shards.
+fn memo_convert(input: &str, output: &str, shards: usize) -> Result<(), String> {
+    let memo = dda::core::SharedMemo::new(shards.max(1));
+    let format = memo
+        .load_memo_file(input)
+        .map_err(|e| format!("{input}: {e}"))?;
+    memo.save_memo_file_v3(output, shards)
+        .map_err(|e| format!("{output}: {e}"))?;
+    let from = match format {
+        dda::core::MemoFormat::V2Text => "v2 text",
+        dda::core::MemoFormat::V3Binary => "v3 binary",
+    };
+    let entries = memo.full.unique_entries() + memo.gcd.unique_entries();
+    let loaded = memo.memo_load_stats();
+    eprintln!(
+        "converted {input} ({from}, {} records) -> {output} (v3, {shards} shards)",
+        loaded.records.max(entries as u64)
+    );
+    Ok(())
+}
+
+/// `dda memo`: inspect or convert persisted memo files.
+fn run_memo(opts: &Options) -> Result<(), String> {
+    match opts.file.as_str() {
+        "inspect" => {
+            let [path] = opts.extra_files.as_slice() else {
+                return Err("memo inspect needs exactly one file".into());
+            };
+            memo_inspect(path)
+        }
+        "convert" => {
+            let [input, output] = opts.extra_files.as_slice() else {
+                return Err("memo convert needs an input and an output file".into());
+            };
+            memo_convert(input, output, opts.shards)
+        }
+        other => Err(format!(
+            "unknown memo subcommand `{other}` (inspect or convert)"
+        )),
+    }
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     if opts.command == "serve" {
         return run_serve(opts);
+    }
+    if opts.command == "memo" {
+        return run_memo(opts);
     }
     if opts.command == "batch" {
         return run_batch(opts);
