@@ -88,8 +88,8 @@ fn print_row(label: &str, s: LatencySummary) {
         } else {
             s.sum as f64 / s.count as f64 / 1e3
         },
-        s.p50 as f64 / 1e3,
-        s.p99 as f64 / 1e3
+        s.p50.unwrap_or(0) as f64 / 1e3,
+        s.p99.unwrap_or(0) as f64 / 1e3
     );
 }
 
@@ -139,8 +139,8 @@ fn main() {
                 "{:<16} {:>12.3} {:>10.3} {:>10.3}",
                 kind.to_string(),
                 mean / 1e3,
-                s.p50 as f64 / 1e3,
-                s.p99 as f64 / 1e3
+                s.p50.unwrap_or(0) as f64 / 1e3,
+                s.p99.unwrap_or(0) as f64 / 1e3
             );
             mean
         })

@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod record;
+
 use std::time::{Duration, Instant};
 
 use dda_core::system::{Constraint, System};

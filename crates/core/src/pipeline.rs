@@ -31,6 +31,35 @@ use crate::stats::StageTimings;
 use crate::svpc::{svpc_into, SvpcStep};
 use crate::system::{Constraint, System, VarBounds};
 
+/// A request-scoped trace identifier, carried by probes so that every
+/// event a pipeline emits can be attributed to the request (service
+/// call, batch, CLI invocation) that caused it.
+///
+/// The id is an opaque 64-bit value rendered as 16 lowercase hex
+/// digits. The pipeline itself never reads it — like everything else a
+/// probe carries, it cannot feed back into analysis results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Parses the canonical hex form (1–16 hex digits, as produced by
+    /// `Display`). Returns `None` for anything else.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 || !s.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// A hook that observes the pipeline without influencing it.
 ///
 /// Probes receive [`TraceEvent`]s from every instrumented layer (GCD
@@ -45,6 +74,14 @@ pub trait Probe {
 
     /// Receives one event.
     fn record(&mut self, event: TraceEvent);
+
+    /// The request trace this probe attributes its events to, when the
+    /// probe was built for one (see [`TraceId`]). The pipeline never
+    /// calls this — it exists so downstream renderers (span JSONL, the
+    /// flight recorder) can stamp their output without a side channel.
+    fn trace(&self) -> Option<TraceId> {
+        None
+    }
 }
 
 /// The zero-cost probe: ignores everything, `ACTIVE = false`.

@@ -81,7 +81,7 @@ use dda_core::{
 };
 use dda_graph::{build_graph, ProgramGraph};
 use dda_ir::{extract_accesses, reference_pairs, Access, Program};
-use dda_obs::{MemoTableKind, MetricsProbe, MetricsRegistry};
+use dda_obs::{MemoTableKind, MetricsProbe, MetricsRegistry, TraceContext, WaveReport};
 
 use pool::par_map_metered;
 
@@ -96,9 +96,85 @@ fn gcd_verdict_of(out: Option<&EqOutcome>) -> dda_core::pipeline::GcdVerdict {
     }
 }
 
+/// The engine's observability sink: the process-global registry plus an
+/// optional request-scoped tee — the request's [`TraceContext`] local
+/// delta and trace id, as threaded by [`analyze_batch_traced`].
+///
+/// `Copy`, so wave closures capture it by value. Every `record_*`
+/// forwards to the global registry and, when a request scope is
+/// attached, repeats the recording into the local delta — one extra
+/// relaxed atomic add per event, no locks, no allocation. Nothing here
+/// feeds back into analysis, so verdicts are bit-identical with or
+/// without a scope (proptested in `tests/obs.rs`).
+#[derive(Clone, Copy)]
+struct Obs<'a> {
+    global: &'a MetricsRegistry,
+    local: Option<&'a MetricsRegistry>,
+    trace: Option<dda_core::pipeline::TraceId>,
+}
+
+impl<'a> Obs<'a> {
+    fn untraced(global: &'a MetricsRegistry) -> Obs<'a> {
+        Obs {
+            global,
+            local: None,
+            trace: None,
+        }
+    }
+
+    fn traced(global: &'a MetricsRegistry, trace: Option<&'a TraceContext>) -> Obs<'a> {
+        Obs {
+            global,
+            local: trace.map(TraceContext::local),
+            trace: trace.map(TraceContext::id),
+        }
+    }
+
+    /// A pipeline probe for one wave leader: records into the global
+    /// registry and tees into the request scope when one is attached.
+    fn probe(self) -> MetricsProbe<'a> {
+        MetricsProbe::scoped(self.global, self.local, self.trace)
+    }
+
+    fn record_wave(self, wave: &WaveReport) {
+        self.global.record_wave(wave);
+        if let Some(local) = self.local {
+            local.record_wave(wave);
+        }
+    }
+
+    fn record_gcd(self, verdict: dda_core::pipeline::GcdVerdict, cached: bool, nanos: u64) {
+        self.global.record_gcd(verdict, cached, nanos);
+        if let Some(local) = self.local {
+            local.record_gcd(verdict, cached, nanos);
+        }
+    }
+
+    fn record_leader_elections(self, table: MemoTableKind, n: u64) {
+        self.global.record_leader_elections(table, n);
+        if let Some(local) = self.local {
+            local.record_leader_elections(table, n);
+        }
+    }
+
+    fn record_incremental(self, spliced: u64, resolved: u64) {
+        self.global.record_incremental(spliced, resolved);
+        if let Some(local) = self.local {
+            local.record_incremental(spliced, resolved);
+        }
+    }
+
+    fn record_graph(self, edges: [u64; 4], parallel: u64, sequential: u64, nanos: u64) {
+        self.global.record_graph(edges, parallel, sequential, nanos);
+        if let Some(local) = self.local {
+            local.record_graph(edges, parallel, sequential, nanos);
+        }
+    }
+}
+
 /// [`par_map`] with the wave folded into the metrics registry. Empty
 /// slices are skipped entirely so idle waves don't inflate the counts.
-fn par_map_obs<T, R, F>(obs: &MetricsRegistry, workers: usize, items: &[T], f: F) -> Vec<R>
+fn par_map_obs<T, R, F>(obs: Obs<'_>, workers: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -551,6 +627,29 @@ pub fn analyze_batch(
     programs: &[Program],
     deadline: Deadline,
 ) -> BatchOutcome {
+    analyze_batch_traced(config, memo, obs, programs, deadline, None)
+}
+
+/// [`analyze_batch`] with an optional request scope: when `trace` is
+/// set, every wave report, leader election, stage timing, GCD verdict,
+/// refinement, and the batch's spliced/resolved split are *teed* into
+/// the context's local registry (in addition to `obs`) under its trace
+/// id — so a service can attribute each recording to the request that
+/// caused it.
+///
+/// Tracing is telemetry only: one extra relaxed atomic add per event,
+/// still allocation-free on the hot path, and the returned reports,
+/// stats, and timings are bit-identical to calling [`analyze_batch`]
+/// without a scope (proptested in `tests/obs.rs`).
+pub fn analyze_batch_traced(
+    config: &EngineConfig,
+    memo: &SharedMemo,
+    obs: &MetricsRegistry,
+    programs: &[Program],
+    deadline: Deadline,
+    trace: Option<&TraceContext>,
+) -> BatchOutcome {
+    let obs = Obs::traced(obs, trace);
     let cfg = config.effective_analyzer_config();
     let workers = config.effective_workers();
     let memo_on = cfg.memo != MemoMode::Off;
@@ -714,7 +813,7 @@ pub fn analyze_batch(
     debug_assert_eq!(batch_spliced + batch_resolved, batch_stats.pairs);
     obs.record_incremental(batch_spliced, batch_resolved);
     if config.check && !deadline_exceeded {
-        let summary = check_batch(config, obs, programs, &reports);
+        let summary = check_batch_obs(config, obs, programs, &reports);
         assert!(
             summary.failures.is_empty(),
             "certificate check failed: {:?}",
@@ -737,7 +836,7 @@ pub fn analyze_batch(
 /// every job sharing its key resolve to [`GcdRes::Cancelled`].
 #[allow(clippy::too_many_arguments)]
 fn gcd_wave_memo(
-    obs: &MetricsRegistry,
+    obs: Obs<'_>,
     memo: &SharedMemo,
     cfg: &AnalyzerConfig,
     workers: usize,
@@ -850,7 +949,7 @@ fn gcd_wave_memo(
 /// sharing their key resolve to [`FullRes::Cancelled`].
 #[allow(clippy::too_many_arguments)]
 fn full_wave_memo(
-    obs: &MetricsRegistry,
+    obs: Obs<'_>,
     memo: &SharedMemo,
     cfg: &AnalyzerConfig,
     workers: usize,
@@ -892,7 +991,7 @@ fn full_wave_memo(
             };
             let template = steps::pair_template(job.a, job.b, job.common);
             let mut fx = ReduceEffects::default();
-            let mut probe = MetricsProbe::new(obs);
+            let mut probe = obs.probe();
             let report =
                 steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
             let (ck, flipped) = fkeys[i].as_ref().expect("leaders have a key");
@@ -1051,6 +1150,17 @@ pub fn check_batch(
     programs: &[Program],
     reports: &[ProgramReport],
 ) -> CheckSummary {
+    check_batch_obs(config, Obs::untraced(obs), programs, reports)
+}
+
+/// [`check_batch`] against the engine's internal sink, so a traced
+/// batch's auto-check waves are teed into the request scope too.
+fn check_batch_obs(
+    config: &EngineConfig,
+    obs: Obs<'_>,
+    programs: &[Program],
+    reports: &[ProgramReport],
+) -> CheckSummary {
     let cfg = config.effective_analyzer_config();
     let resolve_cfg = AnalyzerConfig {
         memo: MemoMode::Off,
@@ -1180,7 +1290,25 @@ pub fn graph_batch(
     programs: &[Program],
     deadline: Deadline,
 ) -> GraphOutcome {
-    let batch = analyze_batch(config, memo, obs, programs, deadline);
+    graph_batch_traced(config, memo, obs, programs, deadline, None)
+}
+
+/// [`graph_batch`] with an optional request scope — the graph
+/// counterpart of [`analyze_batch_traced`]: analysis *and* graph-build
+/// telemetry (edge counts, loop verdicts, build latency) are teed into
+/// the context's local registry, and the built graphs are bit-identical
+/// with tracing on or off.
+#[must_use]
+pub fn graph_batch_traced(
+    config: &EngineConfig,
+    memo: &SharedMemo,
+    obs: &MetricsRegistry,
+    programs: &[Program],
+    deadline: Deadline,
+    trace: Option<&TraceContext>,
+) -> GraphOutcome {
+    let batch = analyze_batch_traced(config, memo, obs, programs, deadline, trace);
+    let obs = Obs::traced(obs, trace);
     let workers = config.effective_workers();
     let items: Vec<(&Program, &ProgramReport)> = programs.iter().zip(&batch.reports).collect();
     let built = par_map_obs(obs, workers, &items, |_, (program, report)| {
@@ -1298,7 +1426,7 @@ pub fn minimize_program<F: Fn(&Program) -> bool>(program: &Program, still_fails:
 /// The GCD wave without memoization: every problem job solves its own
 /// full equality system, exactly like the serial `MemoMode::Off` path.
 fn gcd_wave_off(
-    obs: &MetricsRegistry,
+    obs: Obs<'_>,
     workers: usize,
     jobs: &[Job<'_>],
     classified: &[Classified],
@@ -1349,7 +1477,7 @@ fn gcd_wave_off(
 /// The full-analysis wave without memoization: every lattice job runs the
 /// cascade itself.
 fn full_wave_off(
-    obs: &MetricsRegistry,
+    obs: Obs<'_>,
     cfg: &AnalyzerConfig,
     workers: usize,
     jobs: &[Job<'_>],
@@ -1367,7 +1495,7 @@ fn full_wave_off(
         let p = classified[i].problem().expect("lattice implies a problem");
         let template = steps::pair_template(job.a, job.b, job.common);
         let mut fx = ReduceEffects::default();
-        let mut probe = MetricsProbe::new(obs);
+        let mut probe = obs.probe();
         let report = steps::analyze_reduced_probed(cfg, p, lattice, template, &mut fx, &mut probe);
         FullRes::Computed {
             report,

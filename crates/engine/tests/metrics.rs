@@ -11,10 +11,19 @@
 //!    broader equivalence suite already pins whole reports; this test
 //!    names the memo counters so a telemetry regression fails here
 //!    with a focused message.
+//!
+//! Plus one exposition-validity check: a snapshot of an engine run
+//! joined with a service section whose request counts are split by
+//! `(endpoint, outcome)` must render a Prometheus exposition that
+//! [`dda_obs::prom::parse_exposition`] accepts (declared types, no
+//! duplicate series), with the labeled `dda_serve_requests_total`
+//! samples carrying the exact per-cell counts.
 
 use dda_core::{AnalyzerConfig, DependenceAnalyzer, MemoMode};
 use dda_engine::{Engine, EngineConfig};
 use dda_ir::{parse_program, passes, Program};
+use dda_obs::prom::parse_exposition;
+use dda_obs::{MetricsSnapshot, ServiceSection};
 use proptest::prelude::*;
 
 /// A small affine program: 1–2 loops around 1–2 statements over one
@@ -154,4 +163,72 @@ proptest! {
             "per-worker task counts must sum to the wave total"
         );
     }
+}
+
+/// The exposition with outcome/endpoint-labeled request counters is
+/// valid Prometheus text: parses cleanly, the labeled series carry the
+/// exact counts, and the unlabeled legacy sample is gone once labels
+/// are present.
+#[test]
+fn labeled_request_counters_render_a_valid_exposition() {
+    let mut engine = Engine::with_config(EngineConfig {
+        workers: 2,
+        shards: 2,
+        memo_mode: MemoMode::Improved,
+        analyzer: AnalyzerConfig::default(),
+        check: false,
+    });
+    let mut program = parse_program("for i = 1 to 9 { a[i + 1] = a[i]; }").unwrap();
+    passes::normalize(&mut program);
+    engine.analyze_programs(std::slice::from_ref(&program));
+
+    let memo = engine.memo();
+    let text = MetricsSnapshot::from_registry(engine.metrics())
+        .with_pairs(engine.stats())
+        .with_memo_table("full", memo.full.counters(), memo.full.shard_ops())
+        .with_memo_table("gcd", memo.gcd.counters(), memo.gcd.shard_ops())
+        .with_service(ServiceSection {
+            in_flight: 1,
+            max_in_flight: 8,
+            requests: 12,
+            shed: 2,
+            deadline_exceeded: 1,
+            requests_by: vec![
+                ("/analyze", "ok", 8),
+                ("/analyze", "deadline", 1),
+                ("/batch", "error", 1),
+                ("(accept)", "shed", 2),
+            ],
+        })
+        .to_prometheus();
+
+    let exp = parse_exposition(&text).expect("exposition must parse");
+    assert_eq!(
+        exp.types
+            .get("dda_serve_requests_total")
+            .map(String::as_str),
+        Some("counter")
+    );
+    for (endpoint, outcome, count) in [
+        ("/analyze", "ok", 8.0),
+        ("/analyze", "deadline", 1.0),
+        ("/batch", "error", 1.0),
+        ("(accept)", "shed", 2.0),
+    ] {
+        assert_eq!(
+            exp.value(
+                "dda_serve_requests_total",
+                &[("endpoint", endpoint), ("outcome", outcome)],
+            ),
+            Some(count),
+            "missing series endpoint={endpoint} outcome={outcome}"
+        );
+    }
+    // The unlabeled sample is replaced, not duplicated.
+    assert_eq!(exp.value("dda_serve_requests_total", &[]), None);
+    // The engine-side series still render alongside.
+    assert!(exp.value("dda_pairs_total", &[]).is_some());
+    assert!(exp
+        .value("dda_memo_queries_total", &[("table", "full")])
+        .is_some());
 }

@@ -17,6 +17,12 @@
 //!    authoritative `AnalysisStats` and memo-table counters, rendered
 //!    as Prometheus text exposition or JSON; [`prom`] parses and
 //!    validates the exposition for tests and CI.
+//! 4. **Request-scoped tracing and the flight recorder**
+//!    ([`TraceContext`], [`FlightRecorder`], [`CaptureStore`]) — a
+//!    64-bit trace id plus a request-local registry delta threaded
+//!    from the service through the engine's waves into the probes, a
+//!    lock-free ring of completed-request summaries, and bounded
+//!    on-disk slow-request captures (span JSONL + folded flamegraph).
 //!
 //! Determinism is a hard invariant: nothing here feeds back into
 //! analysis results, metrics stay outside the bit-compared
@@ -27,13 +33,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod metrics;
 pub mod probe;
 pub mod prom;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
+pub use flight::{CaptureStore, FlightRecorder, RequestOutcome, RequestSummary};
 pub use metrics::{Counter, Gauge, Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use probe::MetricsProbe;
 pub use registry::{MemoTableKind, MetricsRegistry, WaveReport, WorkerWork, GRAPH_EDGE_LABELS};
@@ -42,3 +51,4 @@ pub use snapshot::{
     RefinementSection, ServiceSection, StageSection,
 };
 pub use span::{Span, SpanRecorder};
+pub use trace::{TraceContext, TraceId, TraceIdGen};

@@ -110,18 +110,29 @@ impl Default for Histogram {
 
 /// A point-in-time read of a [`Histogram`]: total count and sum plus
 /// the p50/p90/p99 upper-bound estimates.
+///
+/// The quantiles are `Option`s: `None` is the documented sentinel for
+/// "no samples recorded" — an empty histogram has no percentiles, and
+/// rendering layers must say so (Prometheus output omits the quantile
+/// samples, JSON renders `null`) instead of inventing a misleading
+/// zero. With at least one sample every quantile is `Some(upper)`, the
+/// inclusive upper bound of the log2 bucket containing that rank; the
+/// saturated top bucket (values `>= 2^63`) reports `u64::MAX`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// Number of recorded samples.
     pub count: u64,
     /// Sum of all recorded samples (wrapping on overflow).
     pub sum: u64,
-    /// Upper bound of the bucket containing the 50th percentile.
-    pub p50: u64,
-    /// Upper bound of the bucket containing the 90th percentile.
-    pub p90: u64,
-    /// Upper bound of the bucket containing the 99th percentile.
-    pub p99: u64,
+    /// Upper bound of the bucket containing the 50th percentile;
+    /// `None` when the histogram is empty.
+    pub p50: Option<u64>,
+    /// Upper bound of the bucket containing the 90th percentile;
+    /// `None` when the histogram is empty.
+    pub p90: Option<u64>,
+    /// Upper bound of the bucket containing the 99th percentile;
+    /// `None` when the histogram is empty.
+    pub p99: Option<u64>,
 }
 
 impl Histogram {
@@ -184,9 +195,11 @@ impl Histogram {
         let counts: [u64; HISTOGRAM_BUCKETS] =
             std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let total: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> u64 {
+        let quantile = |q: f64| -> Option<u64> {
             if total == 0 {
-                return 0;
+                // The documented sentinel: an empty histogram has no
+                // percentiles, not zero-nanosecond ones.
+                return None;
             }
             // Rank of the sample that realizes quantile q, 1-based.
             let mut rank = (q * total as f64).ceil() as u64;
@@ -195,10 +208,10 @@ impl Histogram {
             for (i, &c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= rank {
-                    return Self::bucket_upper(i);
+                    return Some(Self::bucket_upper(i));
                 }
             }
-            Self::bucket_upper(HISTOGRAM_BUCKETS - 1)
+            Some(Self::bucket_upper(HISTOGRAM_BUCKETS - 1))
         };
         LatencySummary {
             count: total,
@@ -281,9 +294,14 @@ mod tests {
     }
 
     #[test]
-    fn summary_on_empty_histogram() {
+    fn summary_on_empty_histogram_is_the_sentinel() {
         let h = Histogram::new();
         let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        // The documented sentinel: no samples means no percentiles —
+        // `None`, never a fabricated 0.
+        assert_eq!((s.p50, s.p90, s.p99), (None, None, None));
         assert_eq!(s, LatencySummary::default());
     }
 
@@ -301,18 +319,36 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, 100);
         assert_eq!(s.sum, 90 * 100 + 10 * 1000);
-        assert_eq!(s.p50, 127);
-        assert_eq!(s.p90, 127);
-        assert_eq!(s.p99, 1023);
+        assert_eq!(s.p50, Some(127));
+        assert_eq!(s.p90, Some(127));
+        assert_eq!(s.p99, Some(1023));
     }
 
     #[test]
     fn summary_single_sample() {
+        // One observation: every quantile is that sample's bucket
+        // upper bound — present, not a sentinel.
         let h = Histogram::new();
         h.record(5);
         let s = h.summary();
         assert_eq!(s.count, 1);
-        assert_eq!((s.p50, s.p90, s.p99), (7, 7, 7));
+        assert_eq!((s.p50, s.p90, s.p99), (Some(7), Some(7), Some(7)));
+    }
+
+    #[test]
+    fn summary_saturated_top_bucket_reports_u64_max() {
+        // Values at or above 2^63 land in the open-ended top bucket;
+        // its upper "bound" is u64::MAX, documented as "at or above
+        // 2^63", never a wrapped or truncated midpoint.
+        let h = Histogram::new();
+        h.record(1 << 63);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(
+            (s.p50, s.p90, s.p99),
+            (Some(u64::MAX), Some(u64::MAX), Some(u64::MAX))
+        );
     }
 
     #[test]

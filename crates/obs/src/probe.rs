@@ -1,7 +1,7 @@
 //! A [`Probe`] that feeds the metrics registry.
 
 use crate::MetricsRegistry;
-use dda_core::pipeline::{Probe, TraceEvent};
+use dda_core::pipeline::{Probe, TraceEvent, TraceId};
 use dda_core::StageTimings;
 
 /// A pipeline probe that records stage/GCD/refinement telemetry into a
@@ -14,9 +14,17 @@ use dda_core::StageTimings;
 /// consumed by value exactly like every other probe, so the analyzer's
 /// behaviour is identical to running with `NullProbe` — the
 /// determinism proptests in `tests/obs.rs` pin that down.
+///
+/// A probe built with [`scoped`](MetricsProbe::scoped) additionally
+/// *tees* every recording into a request-local registry (the
+/// [`TraceContext`](crate::TraceContext) delta) and carries the
+/// request's [`TraceId`] — one more relaxed atomic add per event, still
+/// lock- and allocation-free.
 #[derive(Debug)]
 pub struct MetricsProbe<'a> {
     registry: &'a MetricsRegistry,
+    local: Option<&'a MetricsRegistry>,
+    trace: Option<TraceId>,
     /// The same per-stage wall-time aggregate `StatsProbe` collects,
     /// so callers swapping `StatsProbe` for `MetricsProbe` keep their
     /// timing reports unchanged.
@@ -28,6 +36,24 @@ impl<'a> MetricsProbe<'a> {
     pub fn new(registry: &'a MetricsRegistry) -> Self {
         MetricsProbe {
             registry,
+            local: None,
+            trace: None,
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// Creates a probe recording into `registry` and, when a request
+    /// scope is attached, teeing the same events into its local
+    /// registry under its trace id.
+    pub fn scoped(
+        registry: &'a MetricsRegistry,
+        local: Option<&'a MetricsRegistry>,
+        trace: Option<TraceId>,
+    ) -> Self {
+        MetricsProbe {
+            registry,
+            local,
+            trace,
             timings: StageTimings::default(),
         }
     }
@@ -42,6 +68,9 @@ impl Probe for MetricsProbe<'_> {
                 nanos,
             } => {
                 self.registry.record_stage(test, verdict, nanos);
+                if let Some(local) = self.local {
+                    local.record_stage(test, verdict, nanos);
+                }
                 self.timings.record(test, nanos);
             }
             TraceEvent::Gcd {
@@ -50,15 +79,25 @@ impl Probe for MetricsProbe<'_> {
                 nanos,
             } => {
                 self.registry.record_gcd(verdict, cached, nanos);
+                if let Some(local) = self.local {
+                    local.record_gcd(verdict, cached, nanos);
+                }
                 // Exactly what `StatsProbe` does: every GCD phase is
                 // timed, cached or not.
                 self.timings.record_gcd(nanos);
             }
             TraceEvent::Directions { tests, nanos, .. } => {
                 self.registry.record_refinement(tests, nanos);
+                if let Some(local) = self.local {
+                    local.record_refinement(tests, nanos);
+                }
             }
             _ => {}
         }
+    }
+
+    fn trace(&self) -> Option<TraceId> {
+        self.trace
     }
 }
 
@@ -103,5 +142,37 @@ mod tests {
         // Timings mirror StatsProbe: both GCD events count, cached too.
         assert_eq!(probe.timings.gcd_calls, 2);
         assert_eq!(probe.timings.gcd_nanos, 21);
+        assert_eq!(probe.trace(), None);
+    }
+
+    #[test]
+    fn scoped_probe_tees_into_the_local_registry() {
+        let global = MetricsRegistry::new();
+        let local = MetricsRegistry::new();
+        let mut probe = MetricsProbe::scoped(&global, Some(&local), Some(TraceId(9)));
+        probe.record(TraceEvent::Stage {
+            test: TestKind::Acyclic,
+            verdict: StageVerdict::Dependent,
+            nanos: 5,
+        });
+        probe.record(TraceEvent::Gcd {
+            verdict: GcdVerdict::Independent,
+            cached: false,
+            nanos: 7,
+        });
+        probe.record(TraceEvent::Directions {
+            vectors: Vec::new(),
+            distance: DistanceVector::default(),
+            tests: 2,
+            exact: true,
+            nanos: 11,
+        });
+        // Both registries saw exactly the same recordings.
+        for reg in [&global, &local] {
+            assert_eq!(reg.stage_verdicts(TestKind::Acyclic), [0, 1, 0, 0]);
+            assert_eq!(reg.gcd_verdicts(), [1, 0, 0]);
+            assert_eq!(reg.refinement_cascade_tests(), 2);
+        }
+        assert_eq!(probe.trace(), Some(TraceId(9)));
     }
 }

@@ -137,6 +137,11 @@ pub struct ServiceSection {
     pub shed: u64,
     /// Requests whose deadline expired (answered with partial results).
     pub deadline_exceeded: u64,
+    /// Request counts split by `(endpoint, outcome)`, where outcome is
+    /// one of `ok|shed|deadline|error`. When non-empty,
+    /// `dda_serve_requests_total` is rendered as these labeled series
+    /// (zero-count cells omitted) instead of one unlabeled sample.
+    pub requests_by: Vec<(&'static str, &'static str, u64)>,
 }
 
 /// Engine worker-pool figures.
@@ -743,12 +748,25 @@ impl MetricsSnapshot {
                 &[],
                 sv.max_in_flight,
             );
+            header(
+                &mut out,
+                "dda_serve_requests_total",
+                "counter",
+                "Requests accepted and answered, by endpoint and outcome.",
+            );
+            if sv.requests_by.is_empty() {
+                sample(&mut out, "dda_serve_requests_total", &[], sv.requests);
+            } else {
+                for &(endpoint, outcome, count) in &sv.requests_by {
+                    sample(
+                        &mut out,
+                        "dda_serve_requests_total",
+                        &[("endpoint", endpoint), ("outcome", outcome)],
+                        count,
+                    );
+                }
+            }
             for (name, help, value) in [
-                (
-                    "dda_serve_requests_total",
-                    "Requests accepted and answered.",
-                    sv.requests,
-                ),
                 (
                     "dda_serve_shed_total",
                     "Requests shed (429) by admission control.",
@@ -983,9 +1001,23 @@ impl MetricsSnapshot {
             let _ = write!(
                 out,
                 ",\"service\":{{\"in_flight\":{},\"max_in_flight\":{},\"requests\":{},\
-                 \"shed\":{},\"deadline_exceeded\":{}}}",
+                 \"shed\":{},\"deadline_exceeded\":{}",
                 sv.in_flight, sv.max_in_flight, sv.requests, sv.shed, sv.deadline_exceeded
             );
+            if !sv.requests_by.is_empty() {
+                out.push_str(",\"requests_by\":[");
+                for (i, &(endpoint, outcome, count)) in sv.requests_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"endpoint\":\"{endpoint}\",\"outcome\":\"{outcome}\",\"count\":{count}}}"
+                    );
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         if let Some(e) = &self.engine {
             let _ = write!(
@@ -1025,9 +1057,16 @@ impl MetricsSnapshot {
 }
 
 fn latency_json(l: LatencySummary) -> String {
+    // Empty histograms have no percentiles (the documented sentinel);
+    // JSON has no NaN, so they render as `null`.
+    let q = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
     format!(
         "\"latency\":{{\"count\":{},\"sum_nanos\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
-        l.count, l.sum, l.p50, l.p90, l.p99
+        l.count,
+        l.sum,
+        q(l.p50),
+        q(l.p90),
+        q(l.p99)
     )
 }
 
@@ -1049,10 +1088,16 @@ fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
 }
 
 fn summary(out: &mut String, name: &str, labels: &[(&str, &str)], l: LatencySummary) {
+    // Quantile samples are omitted entirely for empty histograms —
+    // the sentinel is "absent", which keeps the exposition free of
+    // non-finite values (our own `prom::parse_exposition` rejects
+    // them) and of fabricated zeros.
     for (q, v) in [("0.5", l.p50), ("0.9", l.p90), ("0.99", l.p99)] {
-        let mut with_q: Vec<(&str, &str)> = labels.to_vec();
-        with_q.push(("quantile", q));
-        let _ = writeln!(out, "{name}{} {v}", labels_str(&with_q));
+        if let Some(v) = v {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q));
+            let _ = writeln!(out, "{name}{} {v}", labels_str(&with_q));
+        }
     }
     let _ = writeln!(out, "{name}_sum{} {}", labels_str(labels), l.sum);
     let _ = writeln!(out, "{name}_count{} {}", labels_str(labels), l.count);
@@ -1096,6 +1141,11 @@ mod tests {
                 requests: 12,
                 shed: 2,
                 deadline_exceeded: 1,
+                requests_by: vec![
+                    ("/analyze", "ok", 9),
+                    ("/analyze", "deadline", 1),
+                    ("(accept)", "shed", 2),
+                ],
             })
     }
 
@@ -1119,6 +1169,10 @@ mod tests {
         assert!(text.contains("dda_serve_in_flight_requests 1"));
         assert!(text.contains("dda_serve_shed_total 2"));
         assert!(text.contains("dda_serve_deadline_exceeded_total 1"));
+        // The outcome split replaces the unlabeled requests sample.
+        assert!(text.contains("dda_serve_requests_total{endpoint=\"/analyze\",outcome=\"ok\"} 9"));
+        assert!(text.contains("dda_serve_requests_total{endpoint=\"(accept)\",outcome=\"shed\"} 2"));
+        assert!(!text.contains("dda_serve_requests_total 12"));
         assert!(text.contains("dda_memo_shard_ops_total{table=\"full\",shard=\"1\"} 9"));
         assert!(text.contains("dda_incremental_spliced_total 5"));
         assert!(text.contains("dda_incremental_resolved_total 11"));
@@ -1159,7 +1213,7 @@ mod tests {
             "\"capacity_bytes\":4096",
             "\"incremental\":{\"spliced\":5,\"resolved\":11}",
             "\"memo_load\":{\"files\":1,\"records\":16,\"bytes\":4096,\"nanos\":777,\"archive_faults\":3}",
-            "\"service\":{\"in_flight\":1,\"max_in_flight\":8,\"requests\":12,\"shed\":2,\"deadline_exceeded\":1}",
+            "\"service\":{\"in_flight\":1,\"max_in_flight\":8,\"requests\":12,\"shed\":2,\"deadline_exceeded\":1,\"requests_by\":[{\"endpoint\":\"/analyze\",\"outcome\":\"ok\",\"count\":9}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -12,7 +12,7 @@
 //! ([`SpanRecorder::to_jsonl`]) and the folded-stack format consumed by
 //! `flamegraph.pl` / speedscope ([`SpanRecorder::to_folded`]).
 
-use dda_core::pipeline::{Probe, TraceEvent};
+use dda_core::pipeline::{Probe, TraceEvent, TraceId};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -45,12 +45,24 @@ pub struct SpanRecorder {
     /// Indices into `nodes` of the currently open spans, root first.
     stack: Vec<usize>,
     next_seq: u64,
+    trace: Option<TraceId>,
 }
 
 impl SpanRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty recorder whose output is stamped with a
+    /// request trace id: every [`to_jsonl`](Self::to_jsonl) line gains
+    /// a `"trace"` field, so captured profiles correlate with service
+    /// logs and the flight recorder.
+    pub fn with_trace(trace: TraceId) -> Self {
+        SpanRecorder {
+            trace: Some(trace),
+            ..Self::default()
+        }
     }
 
     fn open(&mut self, name: String) -> usize {
@@ -119,34 +131,24 @@ impl SpanRecorder {
     /// Renders one JSON object per span, in sequence order.
     ///
     /// Fields: `seq`, `parent` (null for roots), `depth`, `name`,
-    /// `nanos`. No timestamps, by design (see module docs).
+    /// `nanos`, plus `trace` when the recorder carries a trace id. No
+    /// timestamps, by design (see module docs).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        let trace = self
+            .trace
+            .map_or(String::new(), |t| format!("\"trace\":\"{t}\","));
         for node in &self.nodes {
             let s = &node.span;
-            match s.parent {
-                Some(p) => {
-                    let _ = writeln!(
-                        out,
-                        "{{\"seq\":{},\"parent\":{},\"depth\":{},\"name\":\"{}\",\"nanos\":{}}}",
-                        s.seq,
-                        p,
-                        s.depth,
-                        json_escape(&s.name),
-                        s.nanos
-                    );
-                }
-                None => {
-                    let _ = writeln!(
-                        out,
-                        "{{\"seq\":{},\"parent\":null,\"depth\":{},\"name\":\"{}\",\"nanos\":{}}}",
-                        s.seq,
-                        s.depth,
-                        json_escape(&s.name),
-                        s.nanos
-                    );
-                }
-            }
+            let parent = s.parent.map_or("null".to_string(), |p| p.to_string());
+            let _ = writeln!(
+                out,
+                "{{{trace}\"seq\":{},\"parent\":{parent},\"depth\":{},\"name\":\"{}\",\"nanos\":{}}}",
+                s.seq,
+                s.depth,
+                json_escape(&s.name),
+                s.nanos
+            );
         }
         out
     }
@@ -182,7 +184,7 @@ impl SpanRecorder {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -250,6 +252,10 @@ impl Probe for SpanRecorder {
             _ => {}
         }
     }
+
+    fn trace(&self) -> Option<TraceId> {
+        self.trace
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +264,29 @@ mod tests {
     use dda_core::pipeline::{GcdVerdict, StageVerdict};
     use dda_core::result::{Answer, DependenceResult, DistanceVector, ResolvedBy};
     use dda_core::TestKind;
+
+    #[test]
+    fn trace_id_is_stamped_on_every_jsonl_line() {
+        let mut rec = SpanRecorder::with_trace(TraceId(0xfeed));
+        rec.begin_program("p");
+        feed_pair(&mut rec);
+        rec.finish();
+        assert_eq!(rec.trace(), Some(TraceId(0xfeed)));
+        let jsonl = rec.to_jsonl();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with("{\"trace\":\"000000000000feed\","),
+                "line missing trace stamp: {line}"
+            );
+        }
+        // An untraced recorder's output is unchanged: no trace field.
+        let mut bare = SpanRecorder::new();
+        bare.begin_program("p");
+        feed_pair(&mut bare);
+        bare.finish();
+        assert!(!bare.to_jsonl().contains("\"trace\""));
+    }
 
     fn feed_pair(rec: &mut SpanRecorder) {
         rec.record(TraceEvent::PairStarted {

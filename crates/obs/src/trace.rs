@@ -1,0 +1,145 @@
+//! Request-scoped tracing: a [`TraceContext`] pairs a 64-bit
+//! [`TraceId`] with a request-local [`MetricsRegistry`] delta.
+//!
+//! The service creates one context per analysis request and threads it
+//! (by reference) through the engine's waves into the pipeline probes.
+//! Every recording site *tees*: the process-global registry keeps its
+//! cumulative totals, and the context's local registry accumulates only
+//! this request's share — so a pair verdict, a stage timing, a memo
+//! fault or a deadline event is attributable to the request that caused
+//! it. Teeing is one extra relaxed atomic add per event, so the
+//! allocation-free hot path (pinned in `tests/alloc.rs`) is preserved,
+//! and because nothing here feeds back into analysis, verdicts stay
+//! bit-identical with tracing on or off (proptested in `tests/obs.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::MetricsRegistry;
+pub use dda_core::pipeline::TraceId;
+
+/// One request's observability scope: its trace id plus the
+/// request-local metrics delta.
+#[derive(Debug, Default)]
+pub struct TraceContext {
+    id: u64,
+    local: MetricsRegistry,
+}
+
+impl TraceContext {
+    /// Creates a context for `id` with an empty local registry.
+    #[must_use]
+    pub fn new(id: TraceId) -> TraceContext {
+        TraceContext {
+            id: id.0,
+            local: MetricsRegistry::new(),
+        }
+    }
+
+    /// The request's trace id.
+    #[must_use]
+    pub fn id(&self) -> TraceId {
+        TraceId(self.id)
+    }
+
+    /// The request-local metrics delta. Recording sites tee into this
+    /// alongside the global registry; after the request completes it
+    /// holds exactly this request's stage/GCD/refinement telemetry.
+    #[must_use]
+    pub fn local(&self) -> &MetricsRegistry {
+        &self.local
+    }
+}
+
+/// Generates distinct, well-scattered trace ids: a SplitMix64 stream
+/// seeded from the wall clock at construction. Lock-free (`fetch_add`
+/// on the stream counter) and collision-resistant enough for request
+/// correlation; ids carry no ordering or timing information.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    state: AtomicU64,
+}
+
+impl Default for TraceIdGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceIdGen {
+    /// Creates a generator seeded from the current wall clock.
+    #[must_use]
+    pub fn new() -> TraceIdGen {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        TraceIdGen::seeded(seed)
+    }
+
+    /// Creates a generator with a fixed seed (tests).
+    #[must_use]
+    pub fn seeded(seed: u64) -> TraceIdGen {
+        TraceIdGen {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    /// The next trace id in the stream. Never returns the zero id, so
+    /// `TraceId(0)` stays available as an "untraced" marker in logs.
+    pub fn next_id(&self) -> TraceId {
+        loop {
+            // SplitMix64: increment by the golden-gamma constant, then
+            // finalize. The increment is the atomic step, so concurrent
+            // callers get distinct stream positions.
+            let z = self
+                .state
+                .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let id = z ^ (z >> 31);
+            if id != 0 {
+                return TraceId(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_hex_round_trips() {
+        for raw in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let id = TraceId(raw);
+            assert_eq!(TraceId::from_hex(&id.to_string()), Some(id));
+        }
+        assert_eq!(TraceId(0xab).to_string(), "00000000000000ab");
+        assert_eq!(TraceId::from_hex("AB"), Some(TraceId(0xab)));
+        assert_eq!(TraceId::from_hex(""), None);
+        assert_eq!(TraceId::from_hex("xyz"), None);
+        assert_eq!(TraceId::from_hex("00000000000000000"), None, "17 digits");
+    }
+
+    #[test]
+    fn generator_yields_distinct_nonzero_ids() {
+        let gen = TraceIdGen::seeded(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = gen.next_id();
+            assert_ne!(id.0, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn context_exposes_id_and_local_registry() {
+        let ctx = TraceContext::new(TraceId(7));
+        assert_eq!(ctx.id(), TraceId(7));
+        ctx.local().record_incremental(2, 3);
+        assert_eq!(ctx.local().incremental_spliced(), 2);
+        assert_eq!(ctx.local().incremental_resolved(), 3);
+    }
+}

@@ -22,8 +22,19 @@ pub struct Request {
     /// Query parameters (`?a=b&c` → `{a: "b", c: ""}`; no %-decoding —
     /// the service's parameters are plain tokens).
     pub query: HashMap<String, String>,
+    /// Request headers, names lowercased, values trimmed. Later
+    /// duplicates overwrite earlier ones.
+    pub headers: HashMap<String, String>,
     /// The request body (empty without a `Content-Length`).
     pub body: String,
+}
+
+impl Request {
+    /// A header value by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(|s| &**s)
+    }
 }
 
 /// Reads one request from the stream.
@@ -44,6 +55,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
 
     let mut content_length = 0usize;
     let mut header_bytes = 0usize;
+    let mut headers = HashMap::new();
     loop {
         let mut h = String::new();
         let n = reader
@@ -67,6 +79,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                     .parse()
                     .map_err(|_| "bad Content-Length".to_owned())?;
             }
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_owned());
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -86,6 +99,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         method,
         path,
         query,
+        headers,
         body,
     })
 }
@@ -198,6 +212,9 @@ mod tests {
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/analyze");
             assert_eq!(req.query["check"], "1");
+            assert_eq!(req.header("host"), Some("x"));
+            assert_eq!(req.header("X-DDA-Trace-Id"), Some("00000000000000ab"));
+            assert_eq!(req.header("absent"), None);
             assert_eq!(req.body, "hello body");
             write_response(&mut stream, &Response::ok("resp\n".into(), "text/plain")).unwrap();
         });
@@ -205,7 +222,8 @@ mod tests {
         let mut client = TcpStream::connect(addr).unwrap();
         let body = "hello body";
         let msg = format!(
-            "POST /analyze?check=1 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /analyze?check=1 HTTP/1.1\r\nHost: x\r\n\
+             X-DDA-Trace-Id: 00000000000000ab\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         client.write_all(msg.as_bytes()).unwrap();

@@ -22,13 +22,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dda_core::stats::AnalysisStats;
 use dda_core::{MemoFormat, SharedMemo};
-use dda_engine::{analyze_batch, check_batch, graph_batch, Deadline, EngineConfig};
+use dda_engine::{analyze_batch_traced, check_batch, graph_batch_traced, Deadline, EngineConfig};
 use dda_graph::render::parallel_json_line;
-use dda_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, ServiceSection};
+use dda_obs::{
+    CaptureStore, Counter, FlightRecorder, Gauge, MetricsRegistry, MetricsSnapshot, RequestOutcome,
+    RequestSummary, ServiceSection, TraceContext, TraceId, TraceIdGen,
+};
 
 use crate::http::{self, Request, Response};
 use crate::manifest::{self, BatchInput};
@@ -65,7 +68,21 @@ pub struct ServeConfig {
     /// Run the normalization prepasses on submitted programs (matches
     /// the CLI default).
     pub normalize: bool,
+    /// Slow-request capture threshold in milliseconds; `0` disables the
+    /// latency trigger (deadline-exceeded requests are still captured).
+    /// Only effective with a `capture_dir`.
+    pub slow_ms: u64,
+    /// Directory for slow-request captures (`spans-<traceid>.jsonl` +
+    /// folded flamegraph, bounded, oldest evicted). `None` disables
+    /// capture entirely.
+    pub capture_dir: Option<PathBuf>,
+    /// Completed-request summaries remembered by the flight recorder
+    /// ring (served at `GET /debug/requests`).
+    pub flight_capacity: usize,
 }
+
+/// Captures kept on disk before the oldest is evicted.
+const MAX_CAPTURES: usize = 64;
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
@@ -79,7 +96,75 @@ impl Default for ServeConfig {
             max_in_flight: 4,
             queue_depth: 64,
             normalize: true,
+            slow_ms: 0,
+            capture_dir: None,
+            flight_capacity: 256,
         }
+    }
+}
+
+/// Endpoint labels for the by-(endpoint, outcome) request split.
+/// `(accept)` is the acceptor itself (shed connections never reach an
+/// endpoint); `(other)` covers unknown paths and unparsable requests.
+const ENDPOINTS: [&str; 10] = [
+    "/analyze",
+    "/batch",
+    "/parallel",
+    "/metrics",
+    "/healthz",
+    "/shutdown",
+    "/debug/requests",
+    "/debug/memo",
+    "(accept)",
+    "(other)",
+];
+
+/// Outcome labels, indexed by [`outcome_index`].
+const OUTCOMES: [&str; 4] = ["ok", "shed", "deadline", "error"];
+
+fn endpoint_index(path: &str) -> usize {
+    if path.starts_with("/debug/requests") {
+        return 6;
+    }
+    ENDPOINTS
+        .iter()
+        .position(|&e| e == path)
+        .unwrap_or(ENDPOINTS.len() - 1)
+}
+
+fn outcome_index(outcome: &str) -> usize {
+    OUTCOMES.iter().position(|&o| o == outcome).unwrap_or(3)
+}
+
+/// Lock-free request counts per (endpoint, outcome) cell. Bounded
+/// cardinality by construction: the endpoint set is the fixed
+/// [`ENDPOINTS`] table, never attacker-controlled paths.
+#[derive(Debug)]
+struct RequestsByOutcome([[Counter; 4]; ENDPOINTS.len()]);
+
+impl RequestsByOutcome {
+    fn new() -> RequestsByOutcome {
+        RequestsByOutcome(std::array::from_fn(|_| {
+            std::array::from_fn(|_| Counter::new())
+        }))
+    }
+
+    fn inc(&self, path: &str, outcome: &str) {
+        self.0[endpoint_index(path)][outcome_index(outcome)].inc();
+    }
+
+    /// Non-zero cells as `(endpoint, outcome, count)`, in table order.
+    fn snapshot(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let mut out = Vec::new();
+        for (e, row) in self.0.iter().enumerate() {
+            for (o, cell) in row.iter().enumerate() {
+                let count = cell.get();
+                if count > 0 {
+                    out.push((ENDPOINTS[e], OUTCOMES[o], count));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -94,6 +179,10 @@ struct State {
     requests: Counter,
     shed: Counter,
     deadline_exceeded: Counter,
+    requests_by: RequestsByOutcome,
+    trace_ids: TraceIdGen,
+    flight: FlightRecorder,
+    capture: Option<CaptureStore>,
     shutdown: AtomicBool,
     default_deadline_ms: u64,
     max_in_flight: u64,
@@ -147,6 +236,24 @@ impl ServerHandle {
     #[must_use]
     pub fn memo_evictions(&self) -> u64 {
         self.0.memo.evictions()
+    }
+
+    /// Completed requests recorded by the flight recorder.
+    #[must_use]
+    pub fn flight_recorded(&self) -> u64 {
+        self.0.flight.recorded()
+    }
+
+    /// Slow-request captures written so far (0 without a capture dir).
+    #[must_use]
+    pub fn captures(&self) -> u64 {
+        self.0.capture.as_ref().map_or(0, CaptureStore::captured)
+    }
+
+    /// Capture writes that failed and were degraded to this counter.
+    #[must_use]
+    pub fn capture_errors(&self) -> u64 {
+        self.0.capture.as_ref().map_or(0, CaptureStore::errors)
     }
 }
 
@@ -209,6 +316,13 @@ impl Server {
             requests: Counter::new(),
             shed: Counter::new(),
             deadline_exceeded: Counter::new(),
+            requests_by: RequestsByOutcome::new(),
+            trace_ids: TraceIdGen::new(),
+            flight: FlightRecorder::with_capacity(cfg.flight_capacity),
+            capture: cfg
+                .capture_dir
+                .clone()
+                .map(|dir| CaptureStore::new(dir, cfg.slow_ms, MAX_CAPTURES)),
             shutdown: AtomicBool::new(false),
             default_deadline_ms: cfg.deadline_ms,
             max_in_flight: cfg.max_in_flight.max(1) as u64,
@@ -280,6 +394,7 @@ impl Server {
                     Ok(()) => {}
                     Err(mpsc::TrySendError::Full(stream)) => {
                         self.state.shed.inc();
+                        self.state.requests_by.inc("(accept)", "shed");
                         shed_connection(stream);
                     }
                     Err(mpsc::TrySendError::Disconnected(_)) => break,
@@ -362,10 +477,25 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     state.in_flight.inc();
     state.requests.inc();
-    let resp = match http::read_request(&mut stream) {
-        Err(e) => Response::text(400, &format!("{e}\n")),
-        Ok(req) => route(state, &req),
+    let (path, resp) = match http::read_request(&mut stream) {
+        Err(e) => ("(other)".to_owned(), Response::text(400, &format!("{e}\n"))),
+        Ok(req) => (req.path.clone(), route(state, &req)),
     };
+    // Outcome classification for the (endpoint, outcome) split: a
+    // deadline-exceeded analysis still answers 200, so the header — not
+    // the status — marks it.
+    let outcome = if resp
+        .headers
+        .iter()
+        .any(|(n, _)| n == "X-DDA-Deadline-Exceeded")
+    {
+        "deadline"
+    } else if resp.status < 400 {
+        "ok"
+    } else {
+        "error"
+    };
+    state.requests_by.inc(&path, outcome);
     let _ = http::write_response(&mut stream, &resp);
     state.in_flight.dec();
 }
@@ -386,6 +516,11 @@ fn route(state: &State, req: &Request) -> Response {
         }
         ("GET", "/metrics") => Response::ok(metrics_text(state), "text/plain; version=0.0.4"),
         ("GET", "/healthz") => Response::ok("ok\n".into(), "text/plain"),
+        ("GET", "/debug/requests") => Response::ok(state.flight.to_jsonl(), "application/x-ndjson"),
+        ("GET", "/debug/memo") => Response::ok(debug_memo_json(state), "application/json"),
+        ("GET", p) if p.starts_with("/debug/requests/") => {
+            debug_request(state, &p["/debug/requests/".len()..])
+        }
         ("GET" | "POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             Response::ok("shutting down\n".into(), "text/plain")
@@ -393,6 +528,74 @@ fn route(state: &State, req: &Request) -> Response {
         ("GET" | "POST", _) => Response::text(404, "not found\n"),
         _ => Response::text(405, "method not allowed\n"),
     }
+}
+
+/// `GET /debug/requests/<traceid>`: one slow-request capture's span
+/// JSONL, read back from the capture directory.
+fn debug_request(state: &State, traceid: &str) -> Response {
+    let Some(id) = TraceId::from_hex(traceid) else {
+        return Response::text(400, &format!("bad trace id `{traceid}`\n"));
+    };
+    let Some(capture) = &state.capture else {
+        return Response::text(404, "capture disabled: no --capture-dir configured\n");
+    };
+    match capture.read(id) {
+        Some(body) => Response::ok(body, "application/x-ndjson"),
+        None => Response::text(404, &format!("no capture for trace {id}\n")),
+    }
+}
+
+/// `GET /debug/memo`: shard occupancy, byte usage, and archive fault
+/// stats for both memo tables, plus flight-recorder/capture health.
+fn debug_memo_json(state: &State) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"tables\":[");
+    let table = |out: &mut String, name: &str, c: dda_core::MemoCounters, shards: Vec<u64>| {
+        let _ = write!(
+            out,
+            "{{\"table\":\"{name}\",\"entries\":{},\"bytes\":{},\"capacity_bytes\":{},\
+             \"queries\":{},\"hits\":{},\"warm_loads\":{},\"evictions\":{},\"shard_ops\":[",
+            c.entries, c.bytes, c.capacity_bytes, c.queries, c.hits, c.warm_loads, c.evictions
+        );
+        for (j, ops) in shards.into_iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{ops}");
+        }
+        out.push_str("]}");
+    };
+    table(
+        &mut out,
+        "full",
+        state.memo.full.counters(),
+        state.memo.full.shard_ops(),
+    );
+    out.push(',');
+    table(
+        &mut out,
+        "gcd",
+        state.memo.gcd.counters(),
+        state.memo.gcd.shard_ops(),
+    );
+    let load = state.memo.memo_load_stats();
+    let _ = write!(
+        out,
+        "],\"load\":{{\"files\":{},\"records\":{},\"bytes\":{},\"nanos\":{},\
+         \"archive_faults\":{}}}",
+        load.files, load.records, load.bytes, load.nanos, load.archive_faults
+    );
+    let _ = write!(
+        out,
+        ",\"flight\":{{\"capacity\":{},\"recorded\":{},\"dropped\":{},\
+         \"captured\":{},\"capture_errors\":{}}}}}",
+        state.flight.capacity(),
+        state.flight.recorded(),
+        state.flight.dropped(),
+        state.capture.as_ref().map_or(0, CaptureStore::captured),
+        state.capture.as_ref().map_or(0, CaptureStore::errors),
+    );
+    out
 }
 
 /// What the request body holds.
@@ -414,6 +617,27 @@ enum Output {
 }
 
 fn analyze(state: &State, req: &Request, kind: InputKind, output: Output) -> Response {
+    // Every analysis response carries its trace id; an inbound
+    // `X-DDA-Trace-Id` (16 hex digits) is adopted for correlation,
+    // otherwise one is generated.
+    let trace_id = req
+        .header("x-dda-trace-id")
+        .and_then(TraceId::from_hex)
+        .unwrap_or_else(|| state.trace_ids.next_id());
+    let mut resp = analyze_traced(state, req, kind, output, trace_id);
+    resp.headers
+        .push(("X-DDA-Trace-Id".into(), trace_id.to_string()));
+    resp
+}
+
+fn analyze_traced(
+    state: &State,
+    req: &Request,
+    kind: InputKind,
+    output: Output,
+    trace_id: TraceId,
+) -> Response {
+    let endpoint = ENDPOINTS[endpoint_index(&req.path)];
     let mut input = BatchInput::default();
     let loaded = match kind {
         InputKind::Program => {
@@ -436,24 +660,33 @@ fn analyze(state: &State, req: &Request, kind: InputKind, output: Output) -> Res
         },
     };
 
+    // Per-request attribution: the trace context tees the engine's
+    // telemetry into its local delta, and the memo counters are
+    // differenced around the batch.
+    let ctx = TraceContext::new(trace_id);
+    let faults_before = state.memo.memo_load_stats().archive_faults;
+    let bytes_before = state.memo.bytes();
+    let start = Instant::now();
     let (out, graphs) = match output {
         Output::Reports => (
-            analyze_batch(
+            analyze_batch_traced(
                 &state.engine,
                 &state.memo,
                 &state.obs,
                 &input.programs,
                 deadline,
+                Some(&ctx),
             ),
             None,
         ),
         Output::Parallel => {
-            let g = graph_batch(
+            let g = graph_batch_traced(
                 &state.engine,
                 &state.memo,
                 &state.obs,
                 &input.programs,
                 deadline,
+                Some(&ctx),
             );
             (g.batch, Some(g.graphs))
         }
@@ -463,39 +696,74 @@ fn analyze(state: &State, req: &Request, kind: InputKind, output: Output) -> Res
     }
     state.stats.lock().expect("stats lock").add(&out.stats);
 
-    if req.query.get("check").is_some_and(|v| v != "0") {
-        if out.deadline_exceeded {
-            return Response::text(
-                422,
-                "deadline exceeded: partial results are conservative, not checkable\n",
-            );
+    let resp = 'resp: {
+        if req.query.get("check").is_some_and(|v| v != "0") {
+            if out.deadline_exceeded {
+                break 'resp Response::text(
+                    422,
+                    "deadline exceeded: partial results are conservative, not checkable\n",
+                );
+            }
+            let summary = check_batch(&state.engine, &state.obs, &input.programs, &out.reports);
+            if !summary.failures.is_empty() {
+                break 'resp Response::text(
+                    422,
+                    &format!("check: {} certificate failure(s)\n", summary.failures.len()),
+                );
+            }
         }
-        let summary = check_batch(&state.engine, &state.obs, &input.programs, &out.reports);
-        if !summary.failures.is_empty() {
-            return Response::text(
-                422,
-                &format!("check: {} certificate failure(s)\n", summary.failures.len()),
-            );
-        }
-    }
 
-    let mut body = String::new();
-    if let Some(graphs) = &graphs {
-        for (label, graph) in input.labels.iter().zip(graphs) {
-            body.push_str(&parallel_json_line(label, graph));
-            body.push('\n');
+        let mut body = String::new();
+        if let Some(graphs) = &graphs {
+            for (label, graph) in input.labels.iter().zip(graphs) {
+                body.push_str(&parallel_json_line(label, graph));
+                body.push('\n');
+            }
+        } else {
+            for (label, report) in input.labels.iter().zip(&out.reports) {
+                body.push_str(&render::batch_json_line(label, report));
+                body.push('\n');
+            }
         }
+        let mut resp = Response::ok(body, "application/x-ndjson");
+        if out.deadline_exceeded {
+            resp.headers
+                .push(("X-DDA-Deadline-Exceeded".into(), "true".into()));
+        }
+        resp
+    };
+
+    // Flight-record the completed request. Everything here is either
+    // lock-free (ring push) or post-response best-effort I/O (capture),
+    // so the analysis path never blocks on observability.
+    let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut summary = RequestSummary::blank(trace_id, endpoint).with_local(ctx.local());
+    summary.outcome = if out.deadline_exceeded {
+        RequestOutcome::DeadlineExceeded
+    } else if resp.status >= 400 {
+        RequestOutcome::Error
     } else {
-        for (label, report) in input.labels.iter().zip(&out.reports) {
-            body.push_str(&render::batch_json_line(label, report));
-            body.push('\n');
+        RequestOutcome::Ok
+    };
+    summary.status = resp.status;
+    summary.wall_nanos = wall_nanos;
+    summary.programs = input.programs.len() as u64;
+    summary.pairs = out.stats.pairs;
+    summary.spliced = out.spliced;
+    summary.resolved = out.resolved;
+    summary.archive_faults = state
+        .memo
+        .memo_load_stats()
+        .archive_faults
+        .saturating_sub(faults_before);
+    // May go negative under concurrent eviction by another request.
+    summary.memo_bytes_delta = state.memo.bytes() as i64 - bytes_before as i64;
+    if let Some(capture) = &state.capture {
+        if capture.should_capture(&summary) {
+            capture.capture(&summary);
         }
     }
-    let mut resp = Response::ok(body, "application/x-ndjson");
-    if out.deadline_exceeded {
-        resp.headers
-            .push(("X-DDA-Deadline-Exceeded".into(), "true".into()));
-    }
+    state.flight.push(summary);
     resp
 }
 
@@ -514,6 +782,7 @@ fn metrics_text(state: &State) -> String {
         requests: state.requests.get(),
         shed: state.shed.get(),
         deadline_exceeded: state.deadline_exceeded.get(),
+        requests_by: state.requests_by.snapshot(),
     };
     let stats = state.stats.lock().expect("stats lock");
     MetricsSnapshot::from_registry(&state.obs)

@@ -533,3 +533,157 @@ proptest! {
         stop(addr, &handle, join);
     }
 }
+
+/// Like [`request`] but with one extra request header.
+fn request_with_header(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    header: &str,
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let msg = format!(
+        "{method} {target} HTTP/1.1\r\nHost: dda\r\n{header}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("recv");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header separator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_owned(), body.to_owned())
+}
+
+/// The `X-DDA-Trace-Id` value from a response head.
+fn trace_id_of(head: &str) -> String {
+    head.lines()
+        .find_map(|l| l.strip_prefix("X-DDA-Trace-Id: "))
+        .expect("analysis responses carry a trace id")
+        .trim()
+        .to_owned()
+}
+
+#[test]
+fn debug_endpoints_expose_traced_requests_and_slow_captures() {
+    let dir = std::env::temp_dir().join(format!("dda-serve-capture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle, join) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        capture_dir: Some(dir.clone()),
+        flight_capacity: 8,
+        ..ServeConfig::default()
+    });
+
+    // An inbound trace id is honored and echoed back.
+    let (status, head, _) = request_with_header(
+        addr,
+        "POST",
+        "/analyze",
+        "X-DDA-Trace-Id: 00000000000000ab",
+        "for i = 1 to 9 { a[i + 1] = a[i]; }",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(trace_id_of(&head), "00000000000000ab");
+
+    // Without the header the service assigns a fresh nonzero id.
+    let (status, head, _) = request(addr, "POST", "/analyze", "for i = 1 to 9 { a[i] = a[i]; }");
+    assert_eq!(status, 200);
+    let assigned = trace_id_of(&head);
+    assert_eq!(assigned.len(), 16);
+    assert_ne!(assigned, "0000000000000000");
+
+    // A deadline-exceeded request is always captured, latency trigger
+    // or not.
+    let mut big = String::from("for i = 1 to 100 { for j = 1 to 100 { ");
+    for k in 0..60 {
+        big.push_str(&format!("a[i + {k}][j] = a[i][j + {k}] + 1; "));
+    }
+    big.push_str("} }");
+    let (status, head, _) = request(addr, "POST", "/analyze?deadline_ms=1", &big);
+    assert_eq!(status, 200);
+    assert!(head.contains("X-DDA-Deadline-Exceeded: true"), "{head}");
+    let slow_id = trace_id_of(&head);
+
+    // The ring lists all three requests, newest last, with outcomes.
+    let (status, _, ring) = request(addr, "GET", "/debug/requests", "");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = ring.lines().collect();
+    assert_eq!(lines.len(), 3, "{ring}");
+    assert!(
+        lines[0].contains("\"trace\":\"00000000000000ab\""),
+        "{ring}"
+    );
+    assert!(lines[0].contains("\"outcome\":\"ok\""), "{ring}");
+    assert!(
+        lines[2].contains(&format!("\"trace\":\"{slow_id}\"")),
+        "{ring}"
+    );
+    assert!(lines[2].contains("\"outcome\":\"deadline\""), "{ring}");
+    assert_eq!(handle.flight_recorded(), 3);
+
+    // The slow request's span capture is retrievable by trace id and
+    // every line of it carries that id.
+    assert_eq!(handle.captures(), 1);
+    let (status, _, capture) = request(addr, "GET", &format!("/debug/requests/{slow_id}"), "");
+    assert_eq!(status, 200, "{capture}");
+    assert!(!capture.is_empty());
+    for line in capture.lines() {
+        assert!(line.contains(&format!("\"trace\":\"{slow_id}\"")), "{line}");
+    }
+    assert!(
+        capture.contains("\"name\":\"request:/analyze\""),
+        "{capture}"
+    );
+
+    // Unknown ids 404, malformed ids 400.
+    let (status, _, _) = request(addr, "GET", "/debug/requests/ffffffffffffffff", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(addr, "GET", "/debug/requests/not-hex", "");
+    assert_eq!(status, 400);
+
+    // /debug/memo reports table occupancy and flight-recorder state.
+    let (status, _, memo) = request(addr, "GET", "/debug/memo", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "\"tables\":[",
+        "\"table\":\"full\"",
+        "\"table\":\"gcd\"",
+        "\"entries\":",
+        "\"bytes\":",
+        "\"shard_ops\":[",
+        "\"archive_faults\":",
+        "\"flight\":{",
+        "\"recorded\":3",
+        "\"captured\":1",
+    ] {
+        assert!(memo.contains(needle), "missing {needle} in {memo}");
+    }
+
+    // The labeled request counters appear on /metrics and validate.
+    let (status, _, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let exp = dda_obs::prom::parse_exposition(&metrics).expect("exposition parses");
+    assert_eq!(
+        exp.value(
+            "dda_serve_requests_total",
+            &[("endpoint", "/analyze"), ("outcome", "ok")],
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        exp.value(
+            "dda_serve_requests_total",
+            &[("endpoint", "/analyze"), ("outcome", "deadline")],
+        ),
+        Some(1.0)
+    );
+
+    stop(addr, &handle, join);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,6 +30,10 @@
 //!   Banerjee inequalities, Wolfe's direction-vector extension).
 //! - [`perfect`]: the synthetic PERFECT Club workload suite used by the
 //!   benchmark harness.
+//! - [`bench`]: the benchmark harness library — paper-table regeneration
+//!   helpers plus `bench::record`, the schema-versioned snapshot writer
+//!   and p99 regression gate behind `dda bench record` / `dda bench
+//!   gate`.
 //!
 //! # Quickstart
 //!
@@ -47,6 +51,7 @@
 //! ```
 
 pub use dda_baselines as baselines;
+pub use dda_bench as bench;
 pub use dda_check as check;
 pub use dda_core as core;
 pub use dda_engine as engine;

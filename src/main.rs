@@ -63,6 +63,16 @@ COMMANDS:
                   N hash-partitioned shards (default 16). v2 text stays
                   loadable everywhere; conversion is the explicit
                   migration step
+    bench       benchmark snapshots and the regression gate:
+                  `dda bench record [--quick] [--out FILE]` re-runs the
+                  standing measurements (per-stage resolving latency,
+                  corpus analyze wall, memo archive load) with exact
+                  sorted percentiles and writes a schema-versioned
+                  JSON snapshot (default `BENCH_<date>.json`).
+                  `dda bench gate <CURRENT> --baseline <FILE>
+                  [--tolerance-pct N]` compares two snapshots and
+                  exits nonzero on any p99 regression beyond the
+                  tolerance (default 25%)
     serve       run a persistent analysis service over HTTP: POST .loop
                 programs to /analyze (or manifests to /batch) and read
                 the same JSONL `batch` emits. All requests share one
@@ -132,6 +142,16 @@ SERVE OPTIONS:
                            Timed-out requests answer with sound
                            conservative partial results
     --workers / --shards   as for batch
+    --slow-ms <N>          capture any request slower than N ms into the
+                           flight recorder's on-disk store (0 = latency
+                           trigger off; deadline-exceeded requests are
+                           always captured). Needs --capture-dir
+    --capture-dir <DIR>    directory for slow-request captures
+                           (`spans-<traceid>.jsonl` + folded flamegraph;
+                           bounded, oldest evicted). Unset = no captures
+    --flight-capacity <N>  completed-request summaries kept in the
+                           in-memory ring behind GET /debug/requests
+                           (default 256)
 ";
 
 /// Output format for `--metrics`.
@@ -170,6 +190,20 @@ struct Options {
     memo_max_bytes: u64,
     /// `serve`: default per-request deadline in ms (0 = none).
     deadline_ms: u64,
+    /// `serve`: slow-request capture threshold in ms (0 = off).
+    slow_ms: u64,
+    /// `serve`: slow-request capture directory.
+    capture_dir: Option<String>,
+    /// `serve`: flight-recorder ring capacity.
+    flight_capacity: usize,
+    /// `bench record`: shrink every measurement for CI smoke runs.
+    quick: bool,
+    /// `bench record`: output path (default `BENCH_<date>.json`).
+    out: Option<String>,
+    /// `bench gate`: baseline snapshot path.
+    baseline: Option<String>,
+    /// `bench gate`: p99 regression tolerance in percent.
+    tolerance_pct: f64,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -201,6 +235,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             memo_path: None,
             memo_max_bytes: 0,
             deadline_ms: 0,
+            slow_ms: 0,
+            capture_dir: None,
+            flight_capacity: 256,
+            quick: false,
+            out: None,
+            baseline: None,
+            tolerance_pct: dda::bench::record::DEFAULT_TOLERANCE_PCT,
         });
     }
     if command != "analyze"
@@ -209,16 +250,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         && command != "batch"
         && command != "serve"
         && command != "memo"
+        && command != "bench"
     {
         return Err(format!("unknown command `{command}`"));
     }
     // `serve` binds a socket instead of reading an input file; `memo`
-    // reads a subcommand (inspect/convert) into the file slot.
+    // and `bench` read a subcommand into the file slot.
     let file = if command == "serve" {
         String::new()
     } else if command == "memo" {
         it.next()
             .ok_or_else(|| "memo needs a subcommand (inspect or convert)".to_owned())?
+            .clone()
+    } else if command == "bench" {
+        it.next()
+            .ok_or_else(|| "bench needs a subcommand (record or gate)".to_owned())?
             .clone()
     } else {
         it.next()
@@ -245,6 +291,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut memo_path = None;
     let mut memo_max_bytes = 0u64;
     let mut deadline_ms = 0u64;
+    let mut slow_ms = 0u64;
+    let mut capture_dir = None;
+    let mut flight_capacity = 256usize;
+    let mut quick = false;
+    let mut out = None;
+    let mut baseline = None;
+    let mut tolerance_pct = dda::bench::record::DEFAULT_TOLERANCE_PCT;
     while let Some(flag) = it.next() {
         if let Some(list) = flag.strip_prefix("--tests=") {
             config.pipeline = list.parse().map_err(|e| format!("--tests: {e}"))?;
@@ -263,13 +316,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 || command == "graph"
                 || command == "parallel"
                 || command == "memo"
+                || command == "bench"
             {
                 extra_files.push(flag.clone());
                 continue;
             }
             return Err(format!(
                 "unexpected extra input `{flag}` (only `batch`, `graph`, \
-                 `parallel`, and `memo` accept multiple inputs)"
+                 `parallel`, `memo`, and `bench` accept multiple inputs)"
             ));
         }
         match flag.as_str() {
@@ -318,6 +372,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let n = it.next().ok_or("--deadline-ms needs a count")?;
                 deadline_ms = n.parse().map_err(|_| format!("bad deadline `{n}`"))?;
             }
+            "--slow-ms" => {
+                let n = it.next().ok_or("--slow-ms needs a count")?;
+                slow_ms = n.parse().map_err(|_| format!("bad threshold `{n}`"))?;
+            }
+            "--capture-dir" => {
+                capture_dir = Some(it.next().ok_or("--capture-dir needs a directory")?.clone());
+            }
+            "--flight-capacity" => {
+                let n = it.next().ok_or("--flight-capacity needs a count")?;
+                flight_capacity = n.parse().map_err(|_| format!("bad capacity `{n}`"))?;
+            }
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--baseline" => {
+                baseline = Some(it.next().ok_or("--baseline needs a path")?.clone());
+            }
+            "--tolerance-pct" => {
+                let n = it.next().ok_or("--tolerance-pct needs a percentage")?;
+                tolerance_pct = n
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("bad tolerance `{n}`"))?;
+            }
             "--memo-load" => {
                 memo_load = Some(it.next().ok_or("--memo-load needs a path")?.clone());
             }
@@ -357,6 +437,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         memo_path,
         memo_max_bytes,
         deadline_ms,
+        slow_ms,
+        capture_dir,
+        flight_capacity,
+        quick,
+        out,
+        baseline,
+        tolerance_pct,
     })
 }
 
@@ -816,6 +903,9 @@ fn run_serve(opts: &Options) -> Result<(), String> {
         deadline_ms: opts.deadline_ms,
         memo_path: opts.memo_path.clone().map(Into::into),
         normalize: opts.normalize,
+        slow_ms: opts.slow_ms,
+        capture_dir: opts.capture_dir.clone().map(Into::into),
+        flight_capacity: opts.flight_capacity,
         ..dda::serve::ServeConfig::default()
     };
     let server = dda::serve::Server::bind(&cfg)?;
@@ -881,6 +971,65 @@ fn memo_convert(input: &str, output: &str, shards: usize) -> Result<(), String> 
     Ok(())
 }
 
+/// `dda bench`: record a benchmark snapshot or gate one against a
+/// committed baseline.
+fn run_bench(opts: &Options) -> Result<(), String> {
+    use dda::bench::record as bench;
+    match opts.file.as_str() {
+        "record" => {
+            if !opts.extra_files.is_empty() {
+                return Err("bench record takes no positional inputs".into());
+            }
+            let report = bench::record(opts.quick);
+            let path = opts
+                .out
+                .clone()
+                .unwrap_or_else(|| format!("BENCH_{}.json", report.date));
+            std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "bench record: wrote {path} ({} stages, {} corpus programs, \
+                 {} memo records{})",
+                report.stages.len(),
+                report.corpus_programs,
+                report.memo_records,
+                if report.quick { ", --quick" } else { "" }
+            );
+            Ok(())
+        }
+        "gate" => {
+            let [current] = opts.extra_files.as_slice() else {
+                return Err("bench gate needs exactly one current snapshot file".into());
+            };
+            let baseline = opts
+                .baseline
+                .as_deref()
+                .ok_or("bench gate needs --baseline <FILE>")?;
+            let cur = std::fs::read_to_string(current).map_err(|e| format!("{current}: {e}"))?;
+            let base = std::fs::read_to_string(baseline).map_err(|e| format!("{baseline}: {e}"))?;
+            let report = bench::gate(&cur, &base, opts.tolerance_pct)?;
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if report.passed() {
+                println!("bench gate: pass (tolerance {}%)", opts.tolerance_pct);
+                Ok(())
+            } else {
+                for failure in &report.failures {
+                    eprintln!("bench gate failure: {failure}");
+                }
+                Err(format!(
+                    "{} p99 regression(s) beyond {}% tolerance",
+                    report.failures.len(),
+                    opts.tolerance_pct
+                ))
+            }
+        }
+        other => Err(format!(
+            "unknown bench subcommand `{other}` (record or gate)"
+        )),
+    }
+}
+
 /// `dda memo`: inspect or convert persisted memo files.
 fn run_memo(opts: &Options) -> Result<(), String> {
     match opts.file.as_str() {
@@ -908,6 +1057,9 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if opts.command == "memo" {
         return run_memo(opts);
+    }
+    if opts.command == "bench" {
+        return run_bench(opts);
     }
     if opts.command == "batch" {
         return run_batch(opts);

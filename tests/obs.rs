@@ -11,11 +11,24 @@
 //! 2. The engine — whose metrics registry is always on — matches the
 //!    bare serial analyzer at every worker/shard combination, so the
 //!    always-on instrumentation cannot perturb batch results either.
+//! 3. Request-scoped tracing is invisible: `analyze_batch_traced` /
+//!    `graph_batch_traced` with a [`TraceContext`] attached produce
+//!    reports, stats, spliced/resolved splits, and rendered JSONL
+//!    bit-identical to the untraced entry points — across worker and
+//!    shard counts, and on both cold and warm memo tables.
+//! 4. The flight recorder stays off the analysis path: a capture
+//!    directory that cannot be created degrades to a metered error
+//!    counter, never an analysis failure.
 
-use dda::core::{AnalyzerConfig, DependenceAnalyzer, MemoMode, ProgramReport};
-use dda::engine::{Engine, EngineConfig};
+use dda::core::{AnalyzerConfig, DependenceAnalyzer, MemoMode, ProgramReport, SharedMemo};
+use dda::engine::{
+    analyze_batch, analyze_batch_traced, graph_batch, graph_batch_traced, Deadline, Engine,
+    EngineConfig,
+};
+use dda::graph::render::parallel_json_line;
 use dda::ir::{parse_program, passes, Program};
-use dda::obs::{MetricsProbe, MetricsRegistry, SpanRecorder};
+use dda::obs::{MetricsProbe, MetricsRegistry, SpanRecorder, TraceContext, TraceId};
+use dda::serve::render::batch_json_line;
 use proptest::prelude::*;
 
 /// A small program mixing affine and symbolic subscripts over 1–2
@@ -157,4 +170,99 @@ proptest! {
             }
         }
     }
+
+    /// Request-scoped tracing is pure telemetry: the traced batch entry
+    /// points match the untraced ones bit for bit — reports, cumulative
+    /// stats, the incremental spliced/resolved split, and the service's
+    /// rendered JSONL — on cold *and* warm memo tables, across
+    /// worker/shard combinations.
+    #[test]
+    fn traced_batches_identical_to_untraced(
+        sources in proptest::collection::vec(arb_program(), 1..=3),
+    ) {
+        let programs = parse_batch(&sources);
+        for (workers, shards) in [(1usize, 1usize), (4, 3)] {
+            let config = EngineConfig {
+                workers,
+                shards,
+                memo_mode: MemoMode::Improved,
+                analyzer: AnalyzerConfig::default(),
+                check: false,
+            };
+            let bare_memo = SharedMemo::new(shards);
+            let bare_obs = MetricsRegistry::new();
+            let traced_memo = SharedMemo::new(shards);
+            let traced_obs = MetricsRegistry::new();
+
+            // Round 1 runs cold, round 2 re-analyzes the same batch on
+            // the now-warm tables (memo hits flow through the traced
+            // forwarders too).
+            for round in ["cold", "warm"] {
+                let want = analyze_batch(
+                    &config, &bare_memo, &bare_obs, &programs, Deadline::none(),
+                );
+                let ctx = TraceContext::new(TraceId(0xdda0_0b50_0000_0001));
+                let got = analyze_batch_traced(
+                    &config, &traced_memo, &traced_obs, &programs,
+                    Deadline::none(), Some(&ctx),
+                );
+                prop_assert_eq!(
+                    &got.reports, &want.reports,
+                    "tracing changed verdicts ({} round, workers={} shards={})",
+                    round, workers, shards
+                );
+                prop_assert_eq!(&got.stats, &want.stats);
+                prop_assert_eq!(got.spliced, want.spliced);
+                prop_assert_eq!(got.resolved, want.resolved);
+                prop_assert_eq!(got.deadline_exceeded, want.deadline_exceeded);
+                for (w, g) in want.reports.iter().zip(&got.reports) {
+                    prop_assert_eq!(
+                        batch_json_line("p.loop", w),
+                        batch_json_line("p.loop", g),
+                        "tracing changed rendered JSONL ({} round)", round
+                    );
+                }
+            }
+
+            // Graph batches too: verdict JSONL must match untraced.
+            let g_want = graph_batch(
+                &config, &bare_memo, &bare_obs, &programs, Deadline::none(),
+            );
+            let ctx = TraceContext::new(TraceId(7));
+            let g_got = graph_batch_traced(
+                &config, &traced_memo, &traced_obs, &programs,
+                Deadline::none(), Some(&ctx),
+            );
+            prop_assert_eq!(&g_got.batch.reports, &g_want.batch.reports);
+            for (w, g) in g_want.graphs.iter().zip(&g_got.graphs) {
+                prop_assert_eq!(
+                    parallel_json_line("p.loop", w),
+                    parallel_json_line("p.loop", g),
+                    "tracing changed graph JSONL"
+                );
+            }
+        }
+    }
+}
+
+/// Capture-dir write failure degrades to a metered counter: pointing
+/// the store at a path whose parent is a regular file makes every
+/// capture attempt fail, the error counter ticks, and nothing panics
+/// or propagates into the analysis path.
+#[test]
+fn capture_failure_is_metered_not_fatal() {
+    use dda::obs::{CaptureStore, RequestSummary};
+    let dir = std::env::temp_dir().join(format!("dda_obs_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").unwrap();
+
+    let store = CaptureStore::new(blocker.join("captures"), 0, 4);
+    let summary = RequestSummary::blank(TraceId(0x77), "/analyze");
+    store.capture(&summary);
+    store.capture(&summary);
+    assert_eq!(store.errors(), 2, "each failed capture must be metered");
+    assert_eq!(store.captured(), 0);
+    assert!(store.read(TraceId(0x77)).is_none());
+    std::fs::remove_dir_all(&dir).ok();
 }
